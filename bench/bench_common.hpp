@@ -1,0 +1,88 @@
+// Shared infrastructure of the paper-reproduction benchmark harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper on the
+// re-derived RAID-5 models. Environment controls:
+//   RRL_BENCH_QUICK=1   restrict the sweep to t <= 1e3 h and cap the
+//                       expensive SR / RR V-solves (CI-friendly run).
+//   RRL_BENCH_TMAX=<t>  custom upper end of the time sweep.
+//   RRL_BENCH_SR_CAP=<n> cap standard-randomization steps (default: none;
+//                       the paper's largest run needs ~4.4e6).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "models/raid5.hpp"
+#include "rrl.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace rrl::bench {
+
+/// The paper's experiment grid: C_H = 1, D_H = 3, G in {20, 40},
+/// t in {1, 10, 1e2, 1e3, 1e4, 1e5} h, eps = 1e-12.
+constexpr double kEpsilon = 1e-12;
+inline const std::vector<int> kGroupCounts = {20, 40};
+
+inline std::vector<double> time_sweep() {
+  const bool quick = env_flag("RRL_BENCH_QUICK");
+  const double tmax = env_double("RRL_BENCH_TMAX", quick ? 1e3 : 1e5);
+  std::vector<double> ts;
+  for (double t = 1.0; t <= tmax * 1.0000001; t *= 10.0) ts.push_back(t);
+  return ts;
+}
+
+inline std::int64_t sr_step_cap() {
+  return static_cast<std::int64_t>(
+      env_double("RRL_BENCH_SR_CAP", env_flag("RRL_BENCH_QUICK") ? 2e6 : -1));
+}
+
+inline Raid5Params paper_params(int groups) {
+  Raid5Params p;  // defaults are the paper's fixed values
+  p.groups = groups;
+  return p;
+}
+
+inline void print_model_banner(const char* measure, const Raid5Model& m) {
+  std::printf(
+      "model: level-5 RAID, G=%d, N=%d, C_H=%d, D_H=%d  (%s)\n"
+      "       %d states, %lld transitions, Lambda=%.4f 1/h, eps=%g\n",
+      m.params.groups, m.params.disks_per_group, m.params.ctrl_spares,
+      m.params.disk_spares, measure, m.chain.num_states(),
+      static_cast<long long>(m.chain.num_transitions()),
+      m.chain.max_exit_rate(), kEpsilon);
+}
+
+/// Paper step counts for side-by-side comparison (Tables 1 and 2).
+struct PaperRow {
+  double t;
+  std::int64_t rr_g20, other_g20, rr_g40, other_g40;
+};
+// Table 1: RR/RRL and RSD steps for UA(t).
+inline const std::vector<PaperRow> kPaperTable1 = {
+    {1e0, 56, 66, 86, 99},          {1e1, 323, 355, 554, 594},
+    {1e2, 2234, 2612, 4187, 4823},  {1e3, 2708, 2612, 5123, 4823},
+    {1e4, 2938, 2612, 5549, 4823},  {1e5, 3157, 2612, 5957, 4823},
+};
+// Table 2: RR/RRL and SR steps for UR(t).
+inline const std::vector<PaperRow> kPaperTable2 = {
+    {1e0, 56, 65, 86, 98},
+    {1e1, 323, 354, 554, 593},
+    {1e2, 2233, 2726, 4186, 4849},
+    {1e3, 2708, 24844, 5122, 45234},
+    {1e4, 2937, 240958, 5547, 442203},
+    {1e5, 3157, 2386068, 5955, 4390141},
+};
+
+inline const PaperRow* paper_row(const std::vector<PaperRow>& table,
+                                 double t) {
+  for (const PaperRow& row : table) {
+    if (std::abs(row.t - t) < 0.5 * t) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace rrl::bench

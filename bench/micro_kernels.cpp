@@ -1,0 +1,131 @@
+// Micro-benchmarks of the computational kernels (google-benchmark):
+// uniformized SpMV stepping, Poisson window construction, schema stepping,
+// closed-form transform evaluation, epsilon acceleration and full Crump
+// inversions. These are the primitives whose costs compose into the
+// table/figure benches.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "rrl.hpp"
+
+namespace {
+
+using namespace rrl;
+
+const Raid5Model& raid_model(int groups) {
+  static const Raid5Model g20 = [] {
+    Raid5Params p;
+    p.groups = 20;
+    return build_raid5_availability(p);
+  }();
+  static const Raid5Model g40 = [] {
+    Raid5Params p;
+    p.groups = 40;
+    return build_raid5_availability(p);
+  }();
+  return groups == 20 ? g20 : g40;
+}
+
+void BM_DtmcStep(benchmark::State& state) {
+  const Raid5Model& model = raid_model(static_cast<int>(state.range(0)));
+  const RandomizedDtmc dtmc(model.chain);
+  std::vector<double> pi(static_cast<std::size_t>(model.chain.num_states()),
+                         0.0);
+  pi[static_cast<std::size_t>(model.initial_state)] = 1.0;
+  std::vector<double> next(pi.size(), 0.0);
+  for (auto _ : state) {
+    dtmc.step(pi, next);
+    pi.swap(next);
+    benchmark::DoNotOptimize(pi.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          model.chain.num_transitions());
+}
+BENCHMARK(BM_DtmcStep)->Arg(20)->Arg(40);
+
+void BM_PoissonConstruction(benchmark::State& state) {
+  const double mean = std::pow(10.0, static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    const PoissonDistribution p(mean);
+    benchmark::DoNotOptimize(p.tail(static_cast<std::int64_t>(mean)));
+  }
+}
+BENCHMARK(BM_PoissonConstruction)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_SchemaComputation(benchmark::State& state) {
+  const Raid5Model& model = raid_model(20);
+  const auto rewards = model.failure_rewards();
+  const auto alpha = model.initial_distribution();
+  const double t = std::pow(10.0, static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    const auto schema = compute_regenerative_schema(
+        model.chain, rewards, alpha, model.initial_state, t, {});
+    benchmark::DoNotOptimize(schema.K());
+  }
+}
+BENCHMARK(BM_SchemaComputation)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_TransformEvaluation(benchmark::State& state) {
+  const Raid5Model& model = raid_model(20);
+  const auto rewards = model.failure_rewards();
+  const auto alpha = model.initial_distribution();
+  const double t = std::pow(10.0, static_cast<double>(state.range(0)));
+  const auto schema = compute_regenerative_schema(
+      model.chain, rewards, alpha, model.initial_state, t, {});
+  const TrrTransform transform(schema);
+  std::complex<double> s(1e-4, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform.trr(s));
+    s += std::complex<double>(0.0, 1e-5);  // walk up the contour
+  }
+  state.SetItemsProcessed(state.iterations() * (schema.K() + 1));
+}
+BENCHMARK(BM_TransformEvaluation)->Arg(2)->Arg(5);
+
+void BM_EpsilonAcceleration(benchmark::State& state) {
+  for (auto _ : state) {
+    EpsilonAccelerator accel;
+    double partial = 0.0;
+    double term = 1.0;
+    for (int k = 0; k < static_cast<int>(state.range(0)); ++k) {
+      partial += term;
+      term *= 0.9;
+      accel.push(partial);
+    }
+    benchmark::DoNotOptimize(accel.estimate());
+  }
+}
+BENCHMARK(BM_EpsilonAcceleration)->Arg(64)->Arg(256);
+
+void BM_CrumpInversion(benchmark::State& state) {
+  // Full inversion of a rational transform at paper-grade tolerance.
+  const double t = 100.0;
+  CrumpOptions opt;
+  opt.damping = damping_for_bounded(1.0, 1e-12, 8.0 * t);
+  opt.tolerance = 1e-14;
+  for (auto _ : state) {
+    const auto r = crump_invert(
+        [](std::complex<double> s) { return 1.0 / (s + 0.01); }, t, opt);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_CrumpInversion);
+
+void BM_RrlEndToEnd(benchmark::State& state) {
+  const Raid5Model& model = raid_model(static_cast<int>(state.range(0)));
+  const auto rewards = model.failure_rewards();
+  const auto alpha = model.initial_distribution();
+  RrlOptions opt;
+  opt.epsilon = 1e-12;
+  const RegenerativeRandomizationLaplace solver(
+      model.chain, rewards, alpha, model.initial_state, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.trr(1e4).value);
+  }
+}
+BENCHMARK(BM_RrlEndToEnd)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Table 1 reproduction: number of steps required by RR/RRL and RSD for the
+// measure UA(t), RAID-5 availability model, G in {20, 40},
+// t in {1, ..., 1e5} h, eps = 1e-12.
+//
+// "Steps" are DTMC steps of chains the size of the model: the truncation
+// point K for RR/RRL (both methods step the same schema) and the
+// randomization steps (saturating at steady-state detection) for RSD.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rrl;
+  using namespace rrl::bench;
+
+  std::printf(
+      "=== Table 1: steps required by RR/RRL and RSD for UA(t) ===\n");
+  std::printf("paper columns shown in [brackets] for comparison\n\n");
+
+  for (const int groups : kGroupCounts) {
+    const Raid5Model model = build_raid5_availability(paper_params(groups));
+    print_model_banner("availability / UA(t)", model);
+
+    const auto rewards = model.failure_rewards();
+    const auto alpha = model.initial_distribution();
+
+    RrlOptions rrl_opt;
+    rrl_opt.epsilon = kEpsilon;
+    const RegenerativeRandomizationLaplace rrl_solver(
+        model.chain, rewards, alpha, model.initial_state, rrl_opt);
+
+    RsdOptions rsd_opt;
+    rsd_opt.epsilon = kEpsilon;
+    const RandomizationSteadyStateDetection rsd(model.chain, rewards, alpha,
+                                                rsd_opt);
+
+    TextTable table({"t (h)", "RR/RRL steps", "[paper]", "RSD steps",
+                     "[paper]", "UA(t)"});
+    for (const double t : time_sweep()) {
+      const auto schema = rrl_solver.schema(t);
+      const auto rsd_result = rsd.trr(t);
+      const PaperRow* paper = paper_row(kPaperTable1, t);
+      const bool g20 = groups == 20;
+      table.add_row(
+          {fmt_sig(t, 6), std::to_string(schema.dtmc_steps()),
+           paper ? std::to_string(g20 ? paper->rr_g20 : paper->rr_g40) : "-",
+           std::to_string(rsd_result.stats.dtmc_steps),
+           paper ? std::to_string(g20 ? paper->other_g20 : paper->other_g40)
+                 : "-",
+           fmt_sci(rsd_result.value, 5)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "shape check (paper): RR/RRL needs fewer steps than RSD up to a\n"
+      "crossover near t = 1e2..1e3 h, then RSD saturates (steady-state\n"
+      "detected) while RR/RRL keeps growing logarithmically in t.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 2 reproduction: number of steps required by RR/RRL and SR for the
+// measure UR(t), RAID-5 reliability model (absorbing failed state),
+// G in {20, 40}, t in {1, ..., 1e5} h, eps = 1e-12.
+//
+// SR's step count is its Poisson right-truncation point (~Lambda*t for
+// large t) and is computed exactly from the Poisson distribution without
+// stepping the chain, so this table is cheap even at t = 1e5.
+#include "bench_common.hpp"
+
+#include "markov/poisson.hpp"
+
+int main() {
+  using namespace rrl;
+  using namespace rrl::bench;
+
+  std::printf(
+      "=== Table 2: steps required by RR/RRL and SR for UR(t) ===\n");
+  std::printf("paper columns shown in [brackets] for comparison\n\n");
+
+  for (const int groups : kGroupCounts) {
+    const Raid5Model model = build_raid5_reliability(paper_params(groups));
+    print_model_banner("reliability / UR(t)", model);
+
+    const auto rewards = model.failure_rewards();
+    const auto alpha = model.initial_distribution();
+
+    RrlOptions rrl_opt;
+    rrl_opt.epsilon = kEpsilon;
+    const RegenerativeRandomizationLaplace rrl_solver(
+        model.chain, rewards, alpha, model.initial_state, rrl_opt);
+
+    TextTable table({"t (h)", "RR/RRL steps", "[paper]", "SR steps",
+                     "[paper]", "UR(t) via RRL"});
+    for (const double t : time_sweep()) {
+      const auto schema = rrl_solver.schema(t);
+      const auto rrl_result = rrl_solver.trr(t);
+      // SR step count: smallest n with r_max * P[N(Lambda t) > n] <= eps.
+      const PoissonDistribution poisson(model.chain.max_exit_rate() * t);
+      const std::int64_t sr_steps =
+          poisson.right_truncation_point(kEpsilon);
+      const PaperRow* paper = paper_row(kPaperTable2, t);
+      const bool g20 = groups == 20;
+      table.add_row(
+          {fmt_sig(t, 6), std::to_string(schema.dtmc_steps()),
+           paper ? std::to_string(g20 ? paper->rr_g20 : paper->rr_g40) : "-",
+           std::to_string(sr_steps),
+           paper ? std::to_string(g20 ? paper->other_g20 : paper->other_g40)
+                 : "-",
+           fmt_sci(rrl_result.value, 5)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "shape check (paper): SR steps grow linearly in t (~Lambda*t, i.e.\n"
+      "millions at t = 1e5 h) while RR/RRL saturates into logarithmic\n"
+      "growth after t ~ 1e2 h; paper spot values UR(1e5) = 0.50480 (G=20)\n"
+      "and 0.74750 (G=40).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fault-tolerant multiprocessor dependability study: the coverage knob.
+//
+// Demonstrates the second model family: a P-processor / M-memory / B-bus
+// system where failures are covered (survived) with probability c. The
+// study sweeps c and reports unreliability at one year and the expected
+// delivered compute capacity (performability MRR) — showing how coverage,
+// not raw component quality, dominates system dependability.
+//
+// Usage:
+//   multiproc_dependability [--processors 8] [--memories 4] [--buses 2]
+//                           [--eps 1e-10] [--t 8760]
+#include <cstdio>
+
+#include "rrl.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rrl;
+  const CliArgs args(argc, argv);
+
+  MultiprocParams base;
+  base.processors = static_cast<int>(args.get_long("processors", 8));
+  base.memories = static_cast<int>(args.get_long("memories", 4));
+  base.buses = static_cast<int>(args.get_long("buses", 2));
+  const double eps = args.get_double("eps", 1e-10);
+  const double t = args.get_double("t", 8760.0);  // one year
+
+  {
+    const auto m = build_multiproc_availability(base);
+    std::printf(
+        "multiprocessor: %d processors (min %d), %d memories (min %d), "
+        "%d buses\n%d states, %lld transitions\n\n",
+        base.processors, base.min_procs, base.memories, base.min_mems,
+        base.buses, m.chain.num_states(),
+        static_cast<long long>(m.chain.num_transitions()));
+  }
+
+  TextTable table({"coverage", "UR(1 yr)", "UA(1 yr)", "capacity MRR",
+                   "RRL steps"});
+  for (const double c : {0.90, 0.95, 0.99, 0.995, 0.999, 1.0}) {
+    MultiprocParams p = base;
+    p.coverage = c;
+
+    const auto rel = build_multiproc_reliability(p);
+    RrlOptions opt;
+    opt.epsilon = eps;
+    const RegenerativeRandomizationLaplace ur_solver(
+        rel.chain, rel.failure_rewards(), rel.initial_distribution(),
+        rel.initial_state, opt);
+    const auto ur = ur_solver.trr(t);
+
+    const auto avail = build_multiproc_availability(p);
+    const RegenerativeRandomizationLaplace ua_solver(
+        avail.chain, avail.failure_rewards(), avail.initial_distribution(),
+        avail.initial_state, opt);
+    const auto ua = ua_solver.trr(t);
+    const RegenerativeRandomizationLaplace cap_solver(
+        avail.chain, avail.capacity_rewards(), avail.initial_distribution(),
+        avail.initial_state, opt);
+    const auto cap = cap_solver.mrr(t);
+
+    table.add_row({fmt_sig(c, 4), fmt_sci(ur.value, 4),
+                   fmt_sci(ua.value, 4), fmt_sig(cap.value, 9),
+                   std::to_string(ur.stats.dtmc_steps)});
+  }
+  table.print();
+  std::printf(
+      "\nUR scales almost linearly with (1 - coverage): the uncovered-\n"
+      "failure path dominates, the classic lesson of coverage modeling.\n"
+      "With coverage = 1 only resource exhaustion remains.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Performability study: MRR(t) with a throughput reward structure — the
+// "performability" half of the paper's title. Degraded parity groups serve
+// reads at a fraction of nominal throughput (parity reconstruct-on-the-fly),
+// a failed system serves nothing; MRR(t) is then the expected fraction of
+// nominal throughput delivered over the mission [0, t].
+//
+// Usage:
+//   performability_study [--groups 20] [--degraded 0.5] [--eps 1e-10]
+//                        [--tmax 1e5]
+#include <cstdio>
+
+#include "rrl.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rrl;
+  const CliArgs args(argc, argv);
+
+  Raid5Params params;
+  params.groups = static_cast<int>(args.get_long("groups", 20));
+  const double degraded = args.get_double("degraded", 0.5);
+  const double eps = args.get_double("eps", 1e-10);
+  const double tmax = args.get_double("tmax", 1e5);
+
+  const Raid5Model model = build_raid5_availability(params);
+  const auto rewards = model.throughput_rewards(degraded);
+  const auto alpha = model.initial_distribution();
+
+  std::printf(
+      "RAID-5 performability: delivered-throughput fraction\n"
+      "G=%d groups, degraded groups serve %.0f%% of nominal\n\n",
+      params.groups, 100.0 * degraded);
+
+  RrlOptions opt;
+  opt.epsilon = eps;
+  const RegenerativeRandomizationLaplace solver(
+      model.chain, rewards, alpha, model.initial_state, opt);
+
+  TextTable table({"t (h)", "TRR(t) thr. fraction", "MRR(t) over [0,t]",
+                   "lost capacity-hours"});
+  for (double t = 1.0; t <= tmax * 1.0000001; t *= 10.0) {
+    const auto trr = solver.trr(t);
+    const auto mrr = solver.mrr(t);
+    // Accumulated throughput shortfall in "full-array hours".
+    const double lost = (1.0 - mrr.value) * t;
+    table.add_row({fmt_sig(t, 6), fmt_sig(trr.value, 10),
+                   fmt_sig(mrr.value, 10), fmt_sci(lost, 4)});
+  }
+  table.print();
+
+  std::printf(
+      "\nsensitivity: expected delivered fraction over 1 year vs sparing\n");
+  TextTable sweep({"disk spares", "ctrl spares", "MRR(8760 h)",
+                   "lost capacity-hours/yr"});
+  for (const int ds : {0, 1, 3}) {
+    for (const int cs : {0, 1}) {
+      Raid5Params p = params;
+      p.disk_spares = ds;
+      p.ctrl_spares = cs;
+      const Raid5Model m = build_raid5_availability(p);
+      RrlOptions o;
+      o.epsilon = eps;
+      const RegenerativeRandomizationLaplace s(
+          m.chain, m.throughput_rewards(degraded), m.initial_distribution(),
+          m.initial_state, o);
+      const double mrr = s.mrr(8760.0).value;
+      sweep.add_row({std::to_string(ds), std::to_string(cs),
+                     fmt_sig(mrr, 10), fmt_sci((1.0 - mrr) * 8760.0, 4)});
+    }
+  }
+  sweep.print();
+  std::printf(
+      "\nMore spares push the delivered fraction toward 1; the reward\n"
+      "structure (not the solver) is all that changed relative to the\n"
+      "availability study — the point of the paper's general TRR/MRR\n"
+      "measures.\n");
+  return 0;
+}

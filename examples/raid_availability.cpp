@@ -1,0 +1,88 @@
+// RAID-5 availability study: the paper's UA(t) measure over a mission-time
+// sweep, with solver statistics — the workload of Table 1 / Figure 3 as a
+// user-facing application.
+//
+// Usage:
+//   raid_availability [--groups 20] [--ctrl-spares 1] [--disk-spares 3]
+//                     [--eps 1e-12] [--tmax 1e5] [--solver rrl|rr|rsd|sr]
+#include <cstdio>
+#include <string>
+
+#include "rrl.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rrl;
+  const CliArgs args(argc, argv);
+
+  Raid5Params params;
+  params.groups = static_cast<int>(args.get_long("groups", 20));
+  params.ctrl_spares = static_cast<int>(args.get_long("ctrl-spares", 1));
+  params.disk_spares = static_cast<int>(args.get_long("disk-spares", 3));
+  const double eps = args.get_double("eps", 1e-12);
+  const double tmax = args.get_double("tmax", 1e5);
+  const std::string solver_name = args.get_string("solver", "rrl");
+
+  const Raid5Model model = build_raid5_availability(params);
+  std::printf(
+      "RAID-5 availability model: G=%d groups x N=%d disks, %d+%d spares\n"
+      "%d states, %lld transitions, Lambda=%.4f 1/h\n\n",
+      params.groups, params.disks_per_group, params.ctrl_spares,
+      params.disk_spares, model.chain.num_states(),
+      static_cast<long long>(model.chain.num_transitions()),
+      model.chain.max_exit_rate());
+
+  const auto rewards = model.failure_rewards();
+  const auto alpha = model.initial_distribution();
+
+  TextTable table({"t (h)", "UA(t)", "interval UA [0,t]", "steps",
+                   "seconds"});
+  for (double t = 1.0; t <= tmax * 1.0000001; t *= 10.0) {
+    TransientValue ua;
+    TransientValue iua;
+    if (solver_name == "rrl") {
+      RrlOptions opt;
+      opt.epsilon = eps;
+      const RegenerativeRandomizationLaplace solver(
+          model.chain, rewards, alpha, model.initial_state, opt);
+      ua = solver.trr(t);
+      iua = solver.mrr(t);
+    } else if (solver_name == "rr") {
+      RrOptions opt;
+      opt.epsilon = eps;
+      const RegenerativeRandomization solver(model.chain, rewards, alpha,
+                                             model.initial_state, opt);
+      ua = solver.trr(t);
+      iua = solver.mrr(t);
+    } else if (solver_name == "rsd") {
+      RsdOptions opt;
+      opt.epsilon = eps;
+      const RandomizationSteadyStateDetection solver(model.chain, rewards,
+                                                     alpha, opt);
+      ua = solver.trr(t);
+      iua = solver.mrr(t);
+    } else if (solver_name == "sr") {
+      SrOptions opt;
+      opt.epsilon = eps;
+      const StandardRandomization solver(model.chain, rewards, alpha, opt);
+      ua = solver.trr(t);
+      iua = solver.mrr(t);
+    } else {
+      std::fprintf(stderr, "unknown --solver '%s' (rrl|rr|rsd|sr)\n",
+                   solver_name.c_str());
+      return 1;
+    }
+    table.add_row({fmt_sig(t, 6), fmt_sci(ua.value, 6),
+                   fmt_sci(iua.value, 6),
+                   std::to_string(ua.stats.dtmc_steps),
+                   fmt_sig(ua.stats.seconds + iua.stats.seconds, 3)});
+  }
+  table.print();
+
+  std::printf(
+      "\nUA(t) saturates at the steady-state unavailability; the interval\n"
+      "unavailability (MRR) approaches it from below. Try --solver sr to\n"
+      "feel the Lambda*t cost the RRL method avoids.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// RAID-5 reliability (mission survival) study: the paper's UR(t) measure —
+// the probability the array has lost data by time t — plus derived metrics
+// commonly quoted in storage papers (MTTDL-style time to reach given risk).
+//
+// Usage:
+//   raid_reliability [--groups 20] [--eps 1e-12] [--tmax 1e6]
+//                    [--risk 0.01,0.10,0.50]
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "rrl.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rrl;
+  const CliArgs args(argc, argv);
+
+  Raid5Params params;
+  params.groups = static_cast<int>(args.get_long("groups", 20));
+  const double eps = args.get_double("eps", 1e-12);
+  const double tmax = args.get_double("tmax", 1e6);
+
+  const Raid5Model model = build_raid5_reliability(params);
+  std::printf(
+      "RAID-5 reliability model (absorbing data-loss state): G=%d, N=%d\n"
+      "%d states, %lld transitions\n\n",
+      params.groups, params.disks_per_group, model.chain.num_states(),
+      static_cast<long long>(model.chain.num_transitions()));
+
+  RrlOptions opt;
+  opt.epsilon = eps;
+  const RegenerativeRandomizationLaplace solver(
+      model.chain, model.failure_rewards(), model.initial_distribution(),
+      model.initial_state, opt);
+
+  TextTable table({"t (h)", "UR(t)", "R(t) = 1-UR", "steps", "abscissae"});
+  for (double t = 1.0; t <= tmax * 1.0000001; t *= 10.0) {
+    const auto r = solver.trr(t);
+    table.add_row({fmt_sig(t, 6), fmt_sci(r.value, 6),
+                   fmt_sci(1.0 - r.value, 6),
+                   std::to_string(r.stats.dtmc_steps),
+                   std::to_string(r.stats.abscissae)});
+  }
+  table.print();
+
+  // Invert UR(t) = risk by bisection on t — each evaluation is a full RRL
+  // solve, affordable because RRL cost grows only logarithmically in t.
+  std::printf("\ntime to reach a given data-loss risk (bisection on t):\n");
+  std::istringstream risks(args.get_string("risk", "0.01,0.10,0.50"));
+  TextTable risk_table({"risk", "t_risk (h)", "t_risk (years)"});
+  std::string token;
+  while (std::getline(risks, token, ',')) {
+    const double risk = std::strtod(token.c_str(), nullptr);
+    if (risk <= 0.0 || risk >= 1.0) continue;
+    double lo = 1.0;
+    double hi = tmax;
+    // Grow hi until the risk is bracketed (UR is increasing in t).
+    while (solver.trr(hi).value < risk && hi < 1e12) hi *= 10.0;
+    for (int iter = 0; iter < 60 && hi / lo > 1.0 + 1e-9; ++iter) {
+      const double mid = std::sqrt(lo * hi);  // geometric bisection
+      (solver.trr(mid).value < risk ? lo : hi) = mid;
+    }
+    const double t_risk = std::sqrt(lo * hi);
+    risk_table.add_row({fmt_sig(risk, 3), fmt_sig(t_risk, 5),
+                        fmt_sig(t_risk / (24.0 * 365.0), 5)});
+  }
+  risk_table.print();
+  std::printf(
+      "\nNote how the RR/RRL step count barely grows across six decades of\n"
+      "t — the property that makes the bisection above practical at all.\n");
+  return 0;
+}

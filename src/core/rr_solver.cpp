@@ -1,0 +1,67 @@
+#include "core/rr_solver.hpp"
+
+#include "core/standard_randomization.hpp"
+#include "core/vmodel.hpp"
+#include "support/stopwatch.hpp"
+
+namespace rrl {
+
+RegenerativeRandomization::RegenerativeRandomization(
+    const Ctmc& chain, std::vector<double> rewards,
+    std::vector<double> initial, index_t regenerative_state,
+    RrOptions options)
+    : chain_(chain),
+      rewards_(std::move(rewards)),
+      initial_(std::move(initial)),
+      regenerative_(regenerative_state),
+      options_(options) {
+  RRL_EXPECTS(options_.epsilon > 0.0);
+  RRL_EXPECTS(static_cast<index_t>(rewards_.size()) == chain.num_states());
+  check_distribution(initial_, chain.num_states());
+}
+
+RegenerativeSchema RegenerativeRandomization::schema(double t) const {
+  RegenerativeOptions opts;
+  opts.epsilon = options_.epsilon;
+  opts.rate_factor = options_.rate_factor;
+  opts.step_cap = options_.schema_step_cap;
+  return compute_regenerative_schema(chain_, rewards_, initial_,
+                                     regenerative_, t, opts);
+}
+
+TransientValue RegenerativeRandomization::trr(double t) const {
+  RRL_EXPECTS(t >= 0.0);
+  return solve(t, Kind::kTrr);
+}
+
+TransientValue RegenerativeRandomization::mrr(double t) const {
+  RRL_EXPECTS(t > 0.0);
+  return solve(t, Kind::kMrr);
+}
+
+TransientValue RegenerativeRandomization::solve(double t, Kind kind) const {
+  const Stopwatch watch;
+  const RegenerativeSchema sch = schema(t);
+  const VModel vmodel = build_vmodel(sch);
+
+  // Solve V_{K,L} by standard randomization with the remaining eps/2.
+  SrOptions sr;
+  sr.epsilon = options_.epsilon / 2.0;
+  sr.rate_factor = 1.0;
+  sr.step_cap = options_.vmodel_step_cap;
+  const StandardRandomization inner(vmodel.chain, vmodel.rewards,
+                                    vmodel.initial, sr);
+  const TransientValue v =
+      kind == Kind::kTrr ? inner.trr(t) : inner.mrr(t);
+
+  TransientValue out;
+  out.value = v.value;
+  out.stats.dtmc_steps = sch.dtmc_steps();
+  out.stats.vmodel_steps = v.stats.dtmc_steps;
+  out.stats.lambda = sch.lambda;
+  out.stats.capped = sch.capped || v.stats.capped;
+  out.stats.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace rrl

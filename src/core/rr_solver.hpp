@@ -1,0 +1,54 @@
+// The original regenerative randomization method (RR, the paper's refs
+// [1, 2]): compute the schema, materialize the truncated transformed model
+// V_{K,L}, and solve it by standard randomization with the remaining eps/2
+// budget. Kept as a baseline: for large t the V-solve still needs ~Lambda*t
+// randomization steps (of a much smaller chain), which is precisely the cost
+// the paper's new variant (RRL) eliminates.
+#pragma once
+
+#include <vector>
+
+#include "core/regenerative.hpp"
+#include "core/solver.hpp"
+#include "markov/ctmc.hpp"
+
+namespace rrl {
+
+struct RrOptions {
+  /// Total error bound (eps/2 model truncation + eps/2 V-solve).
+  double epsilon = 1e-12;
+  /// Lambda = rate_factor * max exit rate of X.
+  double rate_factor = 1.0;
+  /// Step caps forwarded to the schema computation and to the V-solve.
+  std::int64_t schema_step_cap = 10'000'000;
+  std::int64_t vmodel_step_cap = -1;
+};
+
+/// Regenerative randomization solver bound to one model + measure.
+class RegenerativeRandomization {
+ public:
+  /// Preconditions: paper structure (S strongly connected, f_i absorbing);
+  /// `regenerative_state` in S; rewards >= 0; `initial` a distribution with
+  /// no mass on absorbing states.
+  RegenerativeRandomization(const Ctmc& chain, std::vector<double> rewards,
+                            std::vector<double> initial,
+                            index_t regenerative_state, RrOptions options = {});
+
+  [[nodiscard]] TransientValue trr(double t) const;
+  [[nodiscard]] TransientValue mrr(double t) const;
+
+  /// The schema computed for time horizon t (exposed for analysis).
+  [[nodiscard]] RegenerativeSchema schema(double t) const;
+
+ private:
+  enum class Kind { kTrr, kMrr };
+  [[nodiscard]] TransientValue solve(double t, Kind kind) const;
+
+  const Ctmc& chain_;
+  std::vector<double> rewards_;
+  std::vector<double> initial_;
+  index_t regenerative_;
+  RrOptions options_;
+};
+
+}  // namespace rrl

@@ -1,0 +1,80 @@
+#include "core/rrl_transform.hpp"
+
+namespace rrl {
+
+TrrTransform::ChainSeries TrrTransform::flatten(
+    const ExcursionSeries& series, std::span<const double> f_rewards) {
+  ChainSeries out;
+  out.a = series.a;
+  out.c = series.c;
+  const std::size_t steps = series.qa.size();  // = K (may be 0)
+  out.vat.resize(steps);
+  out.rv.resize(steps);
+  for (std::size_t k = 0; k < steps; ++k) {
+    out.vat[k] = series.va_total(k);
+    out.rv[k] = series.va_rewarded(k, f_rewards);
+  }
+  return out;
+}
+
+TrrTransform::TrrTransform(const RegenerativeSchema& schema)
+    : lambda_(schema.lambda),
+      alpha_r_(schema.alpha_r),
+      has_primed_(schema.has_primed),
+      main_(flatten(schema.main, schema.f_rewards)) {
+  if (has_primed_) {
+    primed_ = flatten(schema.primed, schema.f_rewards);
+  }
+}
+
+TrrTransform::ChainSums TrrTransform::accumulate(
+    const ChainSeries& series, std::complex<long double> theta) {
+  ChainSums sums;
+  std::complex<long double> power(1.0L, 0.0L);
+  const std::size_t kmax = series.a.size() - 1;
+  for (std::size_t k = 0; k <= kmax; ++k) {
+    sums.a += static_cast<long double>(series.a[k]) * power;
+    sums.c += static_cast<long double>(series.c[k]) * power;
+    if (k < kmax) {
+      sums.va += static_cast<long double>(series.vat[k]) * power;
+      sums.rv += static_cast<long double>(series.rv[k]) * power;
+      power *= theta;
+    }
+  }
+  sums.top_power = power;  // theta^K
+  return sums;
+}
+
+std::complex<double> TrrTransform::trr(std::complex<double> s) const {
+  using cld = std::complex<long double>;
+  const cld sl(static_cast<long double>(s.real()),
+               static_cast<long double>(s.imag()));
+  const long double lambda = static_cast<long double>(lambda_);
+  const cld s_plus_lambda = sl + lambda;
+  const cld theta = lambda / s_plus_lambda;
+
+  const ChainSums m = accumulate(main_, theta);
+  const long double aK = static_cast<long double>(main_.a.back());
+
+  // B(s) = s * Sa + Lambda * Sva + a(K) * Lambda * theta^K.
+  const cld B = sl * m.a + lambda * m.va + aK * lambda * m.top_power;
+
+  // A(s) (1 when alpha_r = 1).
+  cld A(1.0L, 0.0L);
+  cld primed_terms(0.0L, 0.0L);
+  if (has_primed_) {
+    const ChainSums p = accumulate(primed_, theta);
+    const long double apL = static_cast<long double>(primed_.a.back());
+    A = cld(1.0L, 0.0L) - (sl / s_plus_lambda) * p.a -
+        (lambda / s_plus_lambda) * p.va - apL * p.top_power * theta;
+    // (1/(s+Lambda)) * Sc' + (theta/s) * Srv'.
+    primed_terms = p.c / s_plus_lambda + theta / sl * p.rv;
+  }
+
+  const cld p0 = A / B;
+  const cld value = (m.c + lambda / sl * m.rv) * p0 + primed_terms;
+  return {static_cast<double>(value.real()),
+          static_cast<double>(value.imag())};
+}
+
+}  // namespace rrl

@@ -1,0 +1,100 @@
+#include "core/standard_randomization.hpp"
+
+#include <cmath>
+
+#include "markov/poisson.hpp"
+#include "sparse/vector_ops.hpp"
+#include "support/stopwatch.hpp"
+
+namespace rrl {
+
+StandardRandomization::StandardRandomization(const Ctmc& chain,
+                                             std::vector<double> rewards,
+                                             std::vector<double> initial,
+                                             SrOptions options)
+    : chain_(chain),
+      rewards_(std::move(rewards)),
+      initial_(std::move(initial)),
+      options_(options),
+      dtmc_(chain, options.rate_factor) {
+  RRL_EXPECTS(options_.epsilon > 0.0);
+  RRL_EXPECTS(static_cast<index_t>(rewards_.size()) == chain.num_states());
+  check_distribution(initial_, chain.num_states());
+  reward_idx_ = nonzero_reward_states(rewards_);
+  r_max_ = max_reward(rewards_);
+}
+
+TransientValue StandardRandomization::trr(double t) const {
+  RRL_EXPECTS(t >= 0.0);
+  return solve(t, Kind::kTrr);
+}
+
+TransientValue StandardRandomization::mrr(double t) const {
+  RRL_EXPECTS(t > 0.0);
+  return solve(t, Kind::kMrr);
+}
+
+TransientValue StandardRandomization::solve(double t, Kind kind) const {
+  const Stopwatch watch;
+  TransientValue out;
+  out.stats.lambda = dtmc_.lambda();
+
+  if (r_max_ == 0.0 || t == 0.0) {
+    // Zero rewards give zero measures; t == 0 gives the initial reward rate.
+    out.value = t == 0.0 ? sparse_reward_dot(reward_idx_, rewards_, initial_)
+                         : 0.0;
+    out.stats.seconds = watch.seconds();
+    return out;
+  }
+
+  const double mean = dtmc_.lambda() * t;
+  const PoissonDistribution poisson(mean);
+
+  // Truncation point: neglected mass times r_max must stay below eps.
+  std::int64_t n_max = 0;
+  if (kind == Kind::kTrr) {
+    // error <= r_max * P[N > n_max]
+    n_max = poisson.right_truncation_point(options_.epsilon / r_max_);
+  } else {
+    // error <= r_max * E[(N - n_max)^+] / (Lambda t); find the smallest
+    // n with the bound below eps (expected_excess is decreasing in n).
+    const double target = options_.epsilon * mean / r_max_;
+    std::int64_t lo = 0;
+    std::int64_t hi = poisson.window_last() + 1;
+    while (lo < hi) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      if (poisson.expected_excess(mid) <= target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    n_max = lo;
+  }
+  if (options_.step_cap >= 0 && n_max > options_.step_cap) {
+    n_max = options_.step_cap;
+    out.stats.capped = true;
+  }
+
+  const std::size_t n_states = static_cast<std::size_t>(chain_.num_states());
+  std::vector<double> pi = initial_;
+  std::vector<double> next(n_states, 0.0);
+  CompensatedSum acc;
+
+  for (std::int64_t n = 0;; ++n) {
+    const double d = sparse_reward_dot(reward_idx_, rewards_, pi);
+    const double weight =
+        kind == Kind::kTrr ? poisson.pmf(n) : poisson.tail(n + 1);
+    if (weight != 0.0) acc.add(weight * d);
+    if (n == n_max) break;
+    dtmc_.step(pi, next);
+    pi.swap(next);
+  }
+
+  out.stats.dtmc_steps = n_max;
+  out.value = kind == Kind::kTrr ? acc.value() : acc.value() / mean;
+  out.stats.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace rrl

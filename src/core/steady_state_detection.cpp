@@ -1,0 +1,103 @@
+#include "core/steady_state_detection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "markov/poisson.hpp"
+#include "sparse/vector_ops.hpp"
+#include "support/stopwatch.hpp"
+
+namespace rrl {
+
+RandomizationSteadyStateDetection::RandomizationSteadyStateDetection(
+    const Ctmc& chain, std::vector<double> rewards,
+    std::vector<double> initial, RsdOptions options)
+    : chain_(chain),
+      rewards_(std::move(rewards)),
+      initial_(std::move(initial)),
+      options_(options),
+      dtmc_(chain, options.rate_factor) {
+  RRL_EXPECTS(options_.epsilon > 0.0);
+  RRL_EXPECTS(static_cast<index_t>(rewards_.size()) == chain.num_states());
+  RRL_EXPECTS(chain.absorbing_states().empty());  // irreducible models only
+  check_distribution(initial_, chain.num_states());
+  r_max_ = max_reward(rewards_);
+}
+
+TransientValue RandomizationSteadyStateDetection::trr(double t) const {
+  RRL_EXPECTS(t >= 0.0);
+  return solve(t, Kind::kTrr);
+}
+
+TransientValue RandomizationSteadyStateDetection::mrr(double t) const {
+  RRL_EXPECTS(t > 0.0);
+  return solve(t, Kind::kMrr);
+}
+
+TransientValue RandomizationSteadyStateDetection::solve(double t,
+                                                        Kind kind) const {
+  const Stopwatch watch;
+  TransientValue out;
+  out.stats.lambda = dtmc_.lambda();
+  if (r_max_ == 0.0 || t == 0.0) {
+    out.value = t == 0.0 ? dot(rewards_, initial_) : 0.0;
+    out.stats.seconds = watch.seconds();
+    return out;
+  }
+
+  const double mean = dtmc_.lambda() * t;
+  const PoissonDistribution poisson(mean);
+  const double tol = options_.detection_tol > 0.0 ? options_.detection_tol
+                                                  : options_.epsilon / 2.0;
+
+  // Poisson truncation with eps/2 (the other eps/2 covers detection).
+  std::int64_t n_max =
+      poisson.right_truncation_point(options_.epsilon / (2.0 * r_max_));
+  if (options_.step_cap >= 0 && n_max > options_.step_cap) {
+    n_max = options_.step_cap;
+    out.stats.capped = true;
+  }
+
+  // Backward iteration: w_0 = r, w_{n+1} = P w_n, d(n) = alpha . w_n.
+  const std::size_t n_states = static_cast<std::size_t>(chain_.num_states());
+  std::vector<double> w = rewards_;
+  std::vector<double> next(n_states, 0.0);
+  CompensatedSum acc;
+
+  std::int64_t n = 0;
+  for (;; ++n) {
+    const double d = dot(initial_, w);
+    const double weight =
+        kind == Kind::kTrr ? poisson.pmf(n) : poisson.tail(n + 1);
+    if (weight != 0.0) acc.add(weight * d);
+    if (n == n_max) break;
+
+    // span(w_n) brackets every future coefficient d(m), m >= n: detection.
+    const auto [mn, mx] = std::minmax_element(w.begin(), w.end());
+    if (*mx - *mn <= tol) {
+      const double d_ss = 0.5 * (*mx + *mn);
+      // Remaining terms m = n+1, n+2, ... folded into the midpoint:
+      //   TRR: sum_{m>n} pmf(m) d_ss = tail(n+1) d_ss
+      //   MRR: sum_{m>n} P[N>=m+1] d_ss = E[(N-n)^+ excess] via
+      //        sum_{j>=n+2} P[N>=j] = expected_excess(n+1).
+      if (kind == Kind::kTrr) {
+        acc.add(poisson.tail(n + 1) * d_ss);
+      } else {
+        acc.add(poisson.expected_excess(n + 1) * d_ss);
+      }
+      out.stats.detection_step = n;
+      break;
+    }
+
+    // w <- P w: gather product with the stored P^T's transpose.
+    dtmc_.transition_transposed().mul_vec_transposed(w, next);
+    w.swap(next);
+  }
+
+  out.stats.dtmc_steps = n;
+  out.value = kind == Kind::kTrr ? acc.value() : acc.value() / mean;
+  out.stats.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace rrl

@@ -1,0 +1,80 @@
+#include "core/vmodel.hpp"
+
+namespace rrl {
+
+namespace {
+
+/// Emit the transitions and rewards of one excursion chain.
+/// `base(k)` maps chain position k to a V-model state index.
+template <class BaseFn>
+void emit_chain(const ExcursionSeries& series, double lambda, index_t s0,
+                const VModel& model, const BaseFn& base,
+                std::vector<Triplet>& rates, std::vector<double>& rewards) {
+  const std::int64_t kmax = series.truncation();
+  for (std::int64_t k = 0; k <= kmax; ++k) {
+    const auto uk = static_cast<std::size_t>(k);
+    const double ak = series.a[uk];
+    const index_t from = base(k);
+    rewards[static_cast<std::size_t>(from)] =
+        ak > 0.0 ? series.c[uk] / ak : 0.0;
+    if (k == kmax) {
+      // Truncation: the whole step flow of the last state goes to `a`.
+      rates.push_back({from, model.truncation_state(), lambda});
+      continue;
+    }
+    if (ak == 0.0) continue;  // unreachable tail (exact termination)
+    const double w = series.a[uk + 1] / ak;
+    if (w > 0.0) rates.push_back({from, base(k + 1), w * lambda});
+    const double q = series.qa[uk] / ak;
+    // The k = 0 return of the main chain is a self-loop (from == s0).
+    if (q > 0.0 && from != s0) rates.push_back({from, s0, q * lambda});
+    for (std::size_t i = 0; i < series.va.size(); ++i) {
+      const double v = series.va[i][uk] / ak;
+      if (v > 0.0) {
+        rates.push_back({from, model.f(i), v * lambda});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+VModel build_vmodel(const RegenerativeSchema& schema) {
+  VModel model;
+  model.lambda = schema.lambda;
+  model.K = schema.K();
+  model.L = schema.has_primed ? schema.L() : -1;
+  model.num_absorbing = schema.absorbing.size();
+
+  const std::int64_t n = (model.K + 1) + (model.L >= 0 ? model.L + 1 : 0) +
+                         static_cast<std::int64_t>(model.num_absorbing) + 1;
+  model.rewards.assign(static_cast<std::size_t>(n), 0.0);
+  model.initial.assign(static_cast<std::size_t>(n), 0.0);
+
+  std::vector<Triplet> rates;
+  const index_t s0 = model.s(0);
+  emit_chain(schema.main, schema.lambda, s0, model,
+             [&](std::int64_t k) { return model.s(k); }, rates,
+             model.rewards);
+  if (model.L >= 0) {
+    emit_chain(schema.primed, schema.lambda, s0, model,
+               [&](std::int64_t k) { return model.s_primed(k); }, rates,
+               model.rewards);
+  }
+  for (std::size_t i = 0; i < model.num_absorbing; ++i) {
+    model.rewards[static_cast<std::size_t>(model.f(i))] =
+        schema.f_rewards[i];
+  }
+
+  model.initial[static_cast<std::size_t>(s0)] = schema.alpha_r;
+  if (model.L >= 0) {
+    model.initial[static_cast<std::size_t>(model.s_primed(0))] =
+        1.0 - schema.alpha_r;
+  }
+
+  model.chain =
+      Ctmc::from_transitions(static_cast<index_t>(n), std::move(rates));
+  return model;
+}
+
+}  // namespace rrl

@@ -1,0 +1,59 @@
+// Explicit construction of the truncated transformed CTMC V_{K,L} (V_K when
+// alpha_r = 1) from a regenerative schema — the chain of the paper's
+// Figure 1.
+//
+// States: s_0..s_K, then (when alpha_r < 1) s'_0..s'_L, then f_1..f_A, then
+// the truncation state `a`. Rates (all multiples of Lambda):
+//   s_k  -> s_{k+1} : w_k Lambda      (w_k = a(k+1)/a(k))
+//   s_k  -> s_0     : q_k Lambda      (k >= 1; the k = 0 return is a
+//                                      self-loop and is dropped, which
+//                                      leaves the CTMC unchanged)
+//   s_k  -> f_i     : v_k^i Lambda
+//   s_K  -> a       : Lambda
+//   s'_k -> s'_{k+1}: w'_k Lambda,  s'_k -> s_0 : q'_k Lambda,
+//   s'_k -> f_i    : v'^i_k Lambda, s'_L -> a  : Lambda
+// Rewards: r(s_k) = b(k), r(s'_k) = b'(k), r(f_i) given, r(a) = 0.
+// Initial distribution: alpha_r at s_0, 1 - alpha_r at s'_0.
+//
+// The original regenerative randomization method (RR) solves this model by
+// standard randomization; the test suite also uses it to cross-validate the
+// closed-form Laplace transform of Section 2.1.
+#pragma once
+
+#include <vector>
+
+#include "core/regenerative.hpp"
+#include "markov/ctmc.hpp"
+
+namespace rrl {
+
+struct VModel {
+  Ctmc chain;
+  std::vector<double> rewards;
+  std::vector<double> initial;
+  double lambda = 0.0;
+
+  // State index helpers.
+  std::int64_t K = 0;
+  std::int64_t L = -1;  ///< -1 when there is no primed chain
+  [[nodiscard]] index_t s(std::int64_t k) const {
+    return static_cast<index_t>(k);
+  }
+  [[nodiscard]] index_t s_primed(std::int64_t k) const {
+    RRL_EXPECTS(L >= 0);
+    return static_cast<index_t>(K + 1 + k);
+  }
+  [[nodiscard]] index_t f(std::size_t i) const {
+    return static_cast<index_t>(K + 1 + (L >= 0 ? L + 1 : 0) +
+                                static_cast<std::int64_t>(i));
+  }
+  [[nodiscard]] index_t truncation_state() const {
+    return f(num_absorbing);  // the state right after f_1..f_A
+  }
+  std::size_t num_absorbing = 0;
+};
+
+/// Materialize V_{K,L} from a schema.
+[[nodiscard]] VModel build_vmodel(const RegenerativeSchema& schema);
+
+}  // namespace rrl

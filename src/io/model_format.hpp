@@ -1,0 +1,51 @@
+// Plain-text model interchange format.
+//
+// Lets downstream users bring their own rewarded CTMCs to the solvers (and
+// lets the CLI tool export the built-in generators). Line-oriented format,
+// whitespace-separated, '#' comments:
+//
+//   states <N>                # required, first non-comment line
+//   transition <from> <to> <rate>
+//   reward <state> <value>    # default 0
+//   initial <state> <prob>    # default: unit mass on state 0
+//   regenerative <state>      # optional solver hint
+//
+// Indices are 0-based. Duplicate `transition` lines are summed (consistent
+// with the in-memory builder); duplicate `reward`/`initial` lines overwrite.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+
+namespace rrl {
+
+/// A parsed model file: chain + measure data + optional solver hint.
+struct ModelFile {
+  Ctmc chain;
+  std::vector<double> rewards;
+  std::vector<double> initial;
+  index_t regenerative = -1;  ///< -1 = not specified
+};
+
+/// Parse a model from a stream. Throws contract_error with a line-numbered
+/// message on malformed input.
+[[nodiscard]] ModelFile read_model(std::istream& in);
+
+/// Parse a model from a file path (throws if the file cannot be opened).
+[[nodiscard]] ModelFile read_model_file(const std::string& path);
+
+/// Serialize a model (only non-zero rewards / initial entries are written).
+void write_model(std::ostream& out, const Ctmc& chain,
+                 std::span<const double> rewards,
+                 std::span<const double> initial, index_t regenerative = -1);
+
+/// Serialize to a file path (throws if the file cannot be opened).
+void write_model_file(const std::string& path, const Ctmc& chain,
+                      std::span<const double> rewards,
+                      std::span<const double> initial,
+                      index_t regenerative = -1);
+
+}  // namespace rrl

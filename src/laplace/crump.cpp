@@ -1,0 +1,64 @@
+#include "laplace/crump.hpp"
+
+#include <cmath>
+
+#include "laplace/epsilon.hpp"
+#include "sparse/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+CrumpResult crump_invert(const LaplaceTransform& transform, double t,
+                         const CrumpOptions& options) {
+  RRL_EXPECTS(t > 0.0);
+  RRL_EXPECTS(options.t_multiplier > 0.0);
+  RRL_EXPECTS(options.damping > 0.0);
+  RRL_EXPECTS(options.tolerance > 0.0);
+  RRL_EXPECTS(options.max_terms > options.min_terms && options.min_terms >= 1);
+
+  const double T = options.t_multiplier * t;
+  const double a = options.damping;
+  const double scale = std::exp(a * t) / T;
+
+  CrumpResult result;
+  result.period = T;
+  result.damping = a;
+
+  // k = 0 term: F(a)/2 (real by conjugate symmetry of real-valued f).
+  CompensatedSum partial(transform(std::complex<double>(a, 0.0)).real() / 2.0);
+  int abscissae = 1;
+
+  // Incremental rotation e^{ik pi t / T}.
+  const std::complex<double> step = std::polar(1.0, M_PI * t / T);
+  std::complex<double> rotation(1.0, 0.0);
+
+  EpsilonAccelerator accel;
+  accel.push(scale * partial.value());
+  double previous = accel.estimate();
+  int hits = 0;
+
+  for (int k = 1; k <= options.max_terms; ++k) {
+    rotation *= step;
+    const std::complex<double> s(a, static_cast<double>(k) * M_PI / T);
+    partial.add((transform(s) * rotation).real());
+    ++abscissae;
+    accel.push(scale * partial.value());
+    const double current = accel.estimate();
+    const double delta = std::abs(current - previous);
+    previous = current;
+    result.final_delta = delta;
+    if (accel.count() >= options.min_terms && delta <= options.tolerance) {
+      if (++hits >= options.required_hits) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      hits = 0;
+    }
+  }
+  result.abscissae = abscissae;
+  result.value = previous;
+  return result;
+}
+
+}  // namespace rrl

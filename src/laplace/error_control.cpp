@@ -1,0 +1,39 @@
+#include "laplace/error_control.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+double damping_for_bounded(double bound, double eps, double period_T) {
+  RRL_EXPECTS(bound >= 0.0 && eps > 0.0 && period_T > 0.0);
+  // bound * x / (1 - x) = eps/4 with x = e^{-2aT}
+  //   => x = 1 / (1 + 4*bound/eps)  =>  a = log(1 + 4*bound/eps) / (2T).
+  return std::log1p(4.0 * bound / eps) / (2.0 * period_T);
+}
+
+double damping_for_time_linear(double bound, double eps, double t,
+                               double period_T) {
+  RRL_EXPECTS(bound > 0.0 && eps > 0.0 && t > 0.0 && period_T > 0.0);
+  // Discretization error of C (with |C(u)| <= M u, M = bound):
+  //   sum_{k>=1} M (2kT + t) x^k = M ((t + 2T) x - t x^2) / (1-x)^2,
+  // set equal to eps/4 and solve the quadratic
+  //   (eps/4 + M t) x^2 - (eps/2 + (t + 2T) M) x + eps/4 = 0
+  // for the root in (0, 1). The paper's Eq. (2) writes the explicit root and
+  // patches its catastrophic cancellation with a Taylor branch for small
+  //   y = sqrt((eps/4 + t M)/(eps/2 + (t+2T) M));
+  // multiplying by the conjugate gives the equivalent, uniformly stable
+  //   x = eps / (2 (B + sqrt(B^2 - C eps))),
+  // B = eps/2 + (t + 2T) M, C = eps/4 + t M.
+  const double M = bound;
+  const double B = eps / 2.0 + (t + 2.0 * period_T) * M;
+  const double C = eps / 4.0 + t * M;
+  const double disc = B * B - C * eps;
+  RRL_ENSURES(disc >= 0.0);  // B^2 >= C*eps holds for all valid inputs
+  const double x = eps / (2.0 * (B + std::sqrt(disc)));
+  RRL_ENSURES(x > 0.0 && x < 1.0);
+  return std::log(1.0 / x) / (2.0 * period_T);
+}
+
+}  // namespace rrl

@@ -1,0 +1,33 @@
+// Damping-parameter selection for Durbin-series Laplace inversion
+// (paper Section 2.2).
+//
+// Durbin's approximation with period 2T and damping a has discretization
+// error f*(t) = sum_{k>=1} f(2kT + t) e^{-2akT}. The paper bounds it using an
+// a-priori bound on f and solves for the damping parameter a that makes the
+// bound equal eps/4:
+//   * |f| <= M            (TRR: M = r_max)       => geometric series bound;
+//   * |f(u)| <= M u       (C(t) = t MRR: M = r_max) => Eq. (2), which the
+//     paper notes suffers severe cancellation and patches with a Taylor
+//     branch. We use the algebraically equivalent conjugate form
+//     x = eps / (2 (B + sqrt(B^2 - C eps))), which is cancellation-free for
+//     all parameter values and agrees with Eq. (2) and its Taylor branch.
+#pragma once
+
+namespace rrl {
+
+/// Damping parameter for a transform of a function bounded by `bound`
+/// (|f| <= bound): solves bound * e^{-2aT}/(1 - e^{-2aT}) = eps/4, i.e.
+/// a = (1/2T) log(1 + 4*bound/eps)  [paper, TRR case].
+/// Preconditions: bound >= 0, eps > 0, period_T > 0.
+[[nodiscard]] double damping_for_bounded(double bound, double eps,
+                                         double period_T);
+
+/// Damping parameter for a transform of a function with a linear-in-time
+/// bound (|f(u)| <= bound * u): solves the paper's Eq. (2) for
+/// x = e^{-2aT} in the cancellation-free conjugate form and returns
+/// a = log(1/x)/(2T). The truncated time-domain error is then <= eps/4.
+/// Preconditions: bound > 0, eps > 0, t > 0, period_T > 0.
+[[nodiscard]] double damping_for_time_linear(double bound, double eps,
+                                             double t, double period_T);
+
+}  // namespace rrl

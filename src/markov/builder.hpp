@@ -1,0 +1,80 @@
+// Generic breadth-first state-space builder.
+//
+// Model generators (e.g. the RAID-5 model of the paper's Section 3) describe
+// a CTMC implicitly: a structured state type plus a function emitting the
+// outgoing transitions of a state. This template explores the reachable state
+// space from a set of initial states, interning each structured state to a
+// dense index, and assembles the resulting Ctmc.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+/// BFS expansion of an implicitly defined CTMC.
+///
+/// State must be hashable (via Hash) and equality comparable. The expand
+/// callable is invoked as expand(state, emit) and must call
+/// emit(successor_state, rate) for every outgoing transition (rate >= 0;
+/// zero rates are ignored).
+template <class State, class Hash = std::hash<State>>
+class StateSpaceBuilder {
+ public:
+  using EmitFn = std::function<void(const State&, double)>;
+  using ExpandFn = std::function<void(const State&, const EmitFn&)>;
+
+  /// Result: the assembled chain plus the index -> structured-state map.
+  struct Result {
+    Ctmc chain;
+    std::vector<State> states;
+    std::unordered_map<State, index_t, Hash> index_of;
+  };
+
+  /// Explore everything reachable from `initial_states` and build the CTMC.
+  /// `max_states` is a safety valve against runaway generators.
+  [[nodiscard]] static Result explore(const std::vector<State>& initial_states,
+                                      const ExpandFn& expand,
+                                      index_t max_states = 10'000'000) {
+    Result r;
+    std::deque<index_t> frontier;
+    auto intern = [&](const State& s) -> index_t {
+      const auto it = r.index_of.find(s);
+      if (it != r.index_of.end()) return it->second;
+      RRL_ENSURES(static_cast<index_t>(r.states.size()) < max_states);
+      const index_t id = static_cast<index_t>(r.states.size());
+      r.states.push_back(s);
+      r.index_of.emplace(s, id);
+      frontier.push_back(id);
+      return id;
+    };
+
+    for (const State& s : initial_states) intern(s);
+
+    std::vector<Triplet> rates;
+    while (!frontier.empty()) {
+      const index_t from = frontier.front();
+      frontier.pop_front();
+      // Copy: interning may reallocate r.states.
+      const State current = r.states[static_cast<std::size_t>(from)];
+      expand(current, [&](const State& to, double rate) {
+        RRL_EXPECTS(rate >= 0.0);
+        if (rate == 0.0) return;
+        const index_t to_id = intern(to);
+        RRL_EXPECTS(to_id != from);  // no self-loop rates in a CTMC
+        rates.push_back({from, to_id, rate});
+      });
+    }
+    r.chain = Ctmc::from_transitions(static_cast<index_t>(r.states.size()),
+                                     std::move(rates));
+    return r;
+  }
+};
+
+}  // namespace rrl

@@ -1,0 +1,63 @@
+#include "markov/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "markov/scc.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+Ctmc Ctmc::from_transitions(index_t num_states, std::vector<Triplet> rates) {
+  RRL_EXPECTS(num_states > 0);
+  std::vector<Triplet> kept;
+  kept.reserve(rates.size());
+  for (const Triplet& t : rates) {
+    RRL_EXPECTS(std::isfinite(t.value) && t.value >= 0.0);
+    RRL_EXPECTS(t.row != t.col);  // CTMC self-rates are meaningless
+    if (t.value > 0.0) kept.push_back(t);
+  }
+  Ctmc chain;
+  chain.rates_ = CsrMatrix::from_triplets(num_states, num_states,
+                                          std::move(kept));
+  chain.exit_rates_ = chain.rates_.row_sums();
+  chain.max_exit_ =
+      chain.exit_rates_.empty()
+          ? 0.0
+          : *std::max_element(chain.exit_rates_.begin(),
+                              chain.exit_rates_.end());
+  return chain;
+}
+
+std::vector<index_t> Ctmc::absorbing_states() const {
+  std::vector<index_t> result;
+  for (index_t i = 0; i < num_states(); ++i) {
+    if (is_absorbing(i)) result.push_back(i);
+  }
+  return result;
+}
+
+CtmcStructure classify_structure(const Ctmc& chain) {
+  CtmcStructure s;
+  s.absorbing = chain.absorbing_states();
+
+  // SCC over the whole graph; non-absorbing states must form exactly one
+  // component among themselves. Absorbing states are singleton components.
+  const SccResult scc = strongly_connected_components(chain.rates());
+  std::vector<bool> comp_has_transient(static_cast<std::size_t>(scc.count),
+                                       false);
+  for (index_t i = 0; i < chain.num_states(); ++i) {
+    if (!chain.is_absorbing(i)) {
+      comp_has_transient[static_cast<std::size_t>(
+          scc.component[static_cast<std::size_t>(i)])] = true;
+    }
+  }
+  s.transient_scc_count = static_cast<index_t>(
+      std::count(comp_has_transient.begin(), comp_has_transient.end(), true));
+  s.valid = (s.transient_scc_count == 1) ||
+            (chain.num_states() == static_cast<index_t>(s.absorbing.size()));
+  s.irreducible = s.valid && s.absorbing.empty();
+  return s;
+}
+
+}  // namespace rrl

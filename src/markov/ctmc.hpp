@@ -1,0 +1,78 @@
+// Homogeneous continuous-time Markov chain representation.
+//
+// The paper assumes state space Omega = S u {f_1..f_A} with the f_i absorbing
+// and all states of S strongly connected with paths to the f_i (A = 0 means X
+// is irreducible). This module stores the off-diagonal rate matrix in CSR
+// form together with per-state exit rates, and provides the structural
+// classification needed to validate that assumption.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace rrl {
+
+/// Immutable CTMC: off-diagonal transition rates + exit rates.
+class Ctmc {
+ public:
+  Ctmc() = default;
+
+  /// Build from a triplet list of off-diagonal rates.
+  /// Preconditions: rates are finite and non-negative; no diagonal entries.
+  /// Zero-rate entries are dropped; duplicates are summed.
+  static Ctmc from_transitions(index_t num_states,
+                               std::vector<Triplet> rates);
+
+  [[nodiscard]] index_t num_states() const noexcept {
+    return rates_.rows();
+  }
+  [[nodiscard]] std::int64_t num_transitions() const noexcept {
+    return rates_.nnz();
+  }
+
+  /// Off-diagonal rate matrix R; row i holds the rates out of state i.
+  [[nodiscard]] const CsrMatrix& rates() const noexcept { return rates_; }
+
+  /// Total output rate of each state (row sums of R).
+  [[nodiscard]] std::span<const double> exit_rates() const noexcept {
+    return exit_rates_;
+  }
+
+  /// Maximum output rate over all states (the paper's Lambda before any
+  /// safety factor).
+  [[nodiscard]] double max_exit_rate() const noexcept { return max_exit_; }
+
+  [[nodiscard]] bool is_absorbing(index_t i) const {
+    return exit_rates_[static_cast<std::size_t>(i)] == 0.0;
+  }
+
+  /// Indices of all absorbing states, in increasing order.
+  [[nodiscard]] std::vector<index_t> absorbing_states() const;
+
+ private:
+  CsrMatrix rates_;
+  std::vector<double> exit_rates_;
+  double max_exit_ = 0.0;
+};
+
+/// Result of checking the paper's structural assumption on a CTMC.
+struct CtmcStructure {
+  /// True iff the non-absorbing states form one strongly connected component
+  /// and (when reachable_from is given) every state is reachable.
+  bool valid = false;
+  /// True iff there are no absorbing states (A = 0) and the chain is
+  /// irreducible.
+  bool irreducible = false;
+  /// The absorbing states f_1..f_A in index order.
+  std::vector<index_t> absorbing;
+  /// Number of strongly connected components among non-absorbing states.
+  index_t transient_scc_count = 0;
+};
+
+/// Classify a CTMC against the paper's assumptions (Section 1): S strongly
+/// connected, f_i absorbing.
+[[nodiscard]] CtmcStructure classify_structure(const Ctmc& chain);
+
+}  // namespace rrl

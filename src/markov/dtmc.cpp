@@ -1,0 +1,37 @@
+#include "markov/dtmc.hpp"
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+RandomizedDtmc::RandomizedDtmc(const Ctmc& chain, double rate_factor) {
+  RRL_EXPECTS(chain.max_exit_rate() > 0.0);
+  RRL_EXPECTS(rate_factor >= 1.0);
+  lambda_ = rate_factor * chain.max_exit_rate();
+
+  const index_t n = chain.num_states();
+  const CsrMatrix& rates = chain.rates();
+  const auto exit = chain.exit_rates();
+
+  std::vector<Triplet> entries;
+  entries.reserve(static_cast<std::size_t>(rates.nnz()) +
+                  static_cast<std::size_t>(n));
+  const auto row_ptr = rates.row_ptr();
+  const auto col_idx = rates.col_idx();
+  const auto values = rates.values();
+  self_loop_.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    // Transposed: P(i, j) becomes entry (j, i).
+    for (std::int64_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      entries.push_back({col_idx[static_cast<std::size_t>(k)], i,
+                         values[static_cast<std::size_t>(k)] / lambda_});
+    }
+    const double stay = 1.0 - exit[static_cast<std::size_t>(i)] / lambda_;
+    self_loop_[static_cast<std::size_t>(i)] = stay;
+    if (stay != 0.0) entries.push_back({i, i, stay});
+  }
+  pt_ = CsrMatrix::from_triplets(n, n, std::move(entries));
+}
+
+}  // namespace rrl

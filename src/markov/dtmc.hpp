@@ -1,0 +1,52 @@
+// Randomized (uniformized) DTMC.
+//
+// Randomization with rate Lambda >= max exit rate turns the CTMC X into the
+// DTMC X^ with transition matrix P = I + Q/Lambda subordinated to a Poisson
+// process of rate Lambda. This class materializes P transposed in CSR form so
+// that distribution stepping pi' = pi * P is a gather-style SpMV.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+
+namespace rrl {
+
+class RandomizedDtmc {
+ public:
+  /// Randomize `chain` with Lambda = rate_factor * max_exit_rate().
+  /// rate_factor = 1 reproduces the paper's choice (Lambda = max output
+  /// rate); factors > 1 add self-loop slack (useful to guarantee
+  /// aperiodicity for steady-state detection).
+  /// Precondition: chain.max_exit_rate() > 0 and rate_factor >= 1.
+  explicit RandomizedDtmc(const Ctmc& chain, double rate_factor = 1.0);
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  [[nodiscard]] index_t num_states() const noexcept {
+    return pt_.rows();
+  }
+
+  /// out = in * P  (one randomization step of a probability vector).
+  /// Preconditions: sizes match num_states(); in and out are distinct.
+  void step(std::span<const double> in, std::span<double> out) const {
+    pt_.mul_vec(in, out);
+  }
+
+  /// P transposed, row j = incoming probabilities of state j.
+  [[nodiscard]] const CsrMatrix& transition_transposed() const noexcept {
+    return pt_;
+  }
+
+  /// Self-loop probability of state i: 1 - exit(i)/Lambda.
+  [[nodiscard]] double self_loop(index_t i) const {
+    return self_loop_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  CsrMatrix pt_;
+  std::vector<double> self_loop_;
+  double lambda_ = 0.0;
+};
+
+}  // namespace rrl

@@ -1,0 +1,162 @@
+#include "markov/poisson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+namespace {
+// Weights whose ratio to the mode weight is below this threshold are treated
+// as numerically zero; their true total mass is far below any eps the solvers
+// request (the window then extends ~ sqrt(2*69*ln10) ~ 18 std deviations).
+constexpr double kRelativeFloor = 1e-30;
+}  // namespace
+
+double log_factorial(std::int64_t n) noexcept {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double poisson_log_pmf(std::int64_t n, double mean) noexcept {
+  if (mean <= 0.0) return n == 0 ? 0.0 : -HUGE_VAL;
+  return static_cast<double>(n) * std::log(mean) - mean - log_factorial(n);
+}
+
+PoissonDistribution::PoissonDistribution(double mean) : mean_(mean) {
+  RRL_EXPECTS(mean >= 0.0 && std::isfinite(mean));
+  if (mean == 0.0) {
+    first_ = last_ = 0;
+    pmf_ = {1.0};
+    prefix_ = {1.0};
+    suffix_ = {1.0};
+    return;
+  }
+
+  const auto mode = static_cast<std::int64_t>(std::floor(mean));
+  const double log_pmode = poisson_log_pmf(mode, mean);
+
+  // Grow the window outward from the mode until the relative weight drops
+  // below the floor. Work with weights normalized to the mode (value 1 at the
+  // mode) so that no underflow occurs even for huge means.
+  std::vector<double> down;  // weights for n = mode-1, mode-2, ...
+  std::vector<double> up;    // weights for n = mode+1, mode+2, ...
+  {
+    double w = 1.0;
+    for (std::int64_t n = mode; n > 0; --n) {
+      w *= static_cast<double>(n) / mean;  // pmf(n-1)/pmf(n) = n/mean
+      if (w < kRelativeFloor) break;
+      down.push_back(w);
+    }
+  }
+  {
+    double w = 1.0;
+    for (std::int64_t n = mode;; ++n) {
+      w *= mean / static_cast<double>(n + 1);  // pmf(n+1)/pmf(n)
+      if (w < kRelativeFloor) break;
+      up.push_back(w);
+    }
+  }
+
+  first_ = mode - static_cast<std::int64_t>(down.size());
+  last_ = mode + static_cast<std::int64_t>(up.size());
+  const std::size_t len = static_cast<std::size_t>(last_ - first_ + 1);
+  pmf_.resize(len);
+  const std::size_t mode_pos = down.size();
+  pmf_[mode_pos] = 1.0;
+  for (std::size_t i = 0; i < down.size(); ++i) {
+    pmf_[mode_pos - 1 - i] = down[i];
+  }
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    pmf_[mode_pos + 1 + i] = up[i];
+  }
+
+  // Normalize so the window sums to exactly 1. The true mass outside the
+  // window is below ~1e-30 * window-size, so the normalized weights agree
+  // with the true pmf (exp(log_pmode) * w) to ~1e-13 relative while making
+  // prefix and suffix sums exactly consistent. log_pmode is only needed to
+  // confirm the mode weight is representable.
+  RRL_ENSURES(std::isfinite(log_pmode));
+  CompensatedSum total;
+  for (const double w : pmf_) total.add(w);
+  const double unit = 1.0 / total.value();
+  for (double& w : pmf_) w *= unit;
+
+  prefix_.resize(len);
+  suffix_.resize(len);
+  {
+    CompensatedSum acc;
+    for (std::size_t i = 0; i < len; ++i) {
+      acc.add(pmf_[i]);
+      prefix_[i] = std::min(1.0, acc.value());
+    }
+  }
+  {
+    CompensatedSum acc;
+    for (std::size_t i = len; i-- > 0;) {
+      acc.add(pmf_[i]);
+      suffix_[i] = std::min(1.0, acc.value());
+    }
+  }
+}
+
+double PoissonDistribution::pmf(std::int64_t n) const noexcept {
+  if (n < first_ || n > last_) return 0.0;
+  return pmf_[static_cast<std::size_t>(n - first_)];
+}
+
+double PoissonDistribution::cdf(std::int64_t n) const noexcept {
+  if (n < first_) return 0.0;
+  if (n > last_) return 1.0;
+  return prefix_[static_cast<std::size_t>(n - first_)];
+}
+
+double PoissonDistribution::tail(std::int64_t n) const noexcept {
+  if (n <= first_) return 1.0;
+  if (n > last_) return 0.0;
+  return suffix_[static_cast<std::size_t>(n - first_)];
+}
+
+double PoissonDistribution::expected_excess(std::int64_t k) const noexcept {
+  if (k < 0) return mean_ - static_cast<double>(k);
+  if (k >= last_) return 0.0;
+  // E[(N-k)^+] = sum_{n>k} (n-k) pmf(n) = mean*P[N>=k] - k*P[N>=k+1].
+  // Evaluated from suffix sums; for k far below the window both tails are 1
+  // and the expression reduces to mean - k exactly.
+  return mean_ * tail(k) - static_cast<double>(k) * tail(k + 1);
+}
+
+std::int64_t PoissonDistribution::right_truncation_point(
+    double eps) const noexcept {
+  // Smallest n with P[N > n] <= eps. Scan the suffix array from the right;
+  // the window is tiny compared to solver work so a linear scan is fine, but
+  // the suffix array is monotone so use binary search for cleanliness.
+  if (eps >= 1.0) return std::max<std::int64_t>(first_ - 1, 0);
+  // find first index i where suffix_[i] <= eps  => P[N >= first_+i] <= eps,
+  // so P[N > n] <= eps for n = first_+i-1.
+  const auto it = std::lower_bound(
+      suffix_.begin(), suffix_.end(), eps,
+      [](double s, double e) { return s > e; });
+  if (it == suffix_.end()) return last_;
+  const std::int64_t i = it - suffix_.begin();
+  return std::max<std::int64_t>(first_ + i - 1, 0);
+}
+
+std::int64_t PoissonDistribution::left_truncation_point(
+    double eps) const noexcept {
+  // Largest n with P[N < n] <= eps.
+  if (first_ == 0 && prefix_.empty()) return 0;
+  std::int64_t n = first_;
+  // prefix_[i] = P[N <= first_+i]; P[N < first_] <= window floor ~ 0.
+  for (std::size_t i = 0; i < prefix_.size(); ++i) {
+    if (prefix_[i] <= eps) {
+      n = first_ + static_cast<std::int64_t>(i) + 1;
+    } else {
+      break;
+    }
+  }
+  return n;
+}
+
+}  // namespace rrl

@@ -1,0 +1,69 @@
+// Stable Poisson arithmetic for randomization (uniformization) methods.
+//
+// Randomization expresses transient CTMC quantities as Poisson mixtures
+//   TRR(t) = sum_n  pois(n; Lambda*t) * d(n),
+// so every solver needs Poisson pmf values, left/right tails, truncation
+// points, and the partial expectation E[(N-k)^+] used by the regenerative
+// truncation criterion. This module follows the Fox-Glynn idea: compute the
+// pmf by outward recursion from the mode (where it is representable), keep
+// only the numerically significant window, normalize, and precompute prefix
+// and suffix sums so that both tails are available without 1-x cancellation.
+// Means up to ~1e7 (the paper's largest is Lambda*t ~ 4.4e6) are handled with
+// absolute tail accuracy near machine epsilon.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rrl {
+
+/// Precomputed Poisson distribution with mean `mean` (= Lambda * t).
+class PoissonDistribution {
+ public:
+  /// Precondition: mean >= 0 and finite. mean == 0 degenerates to N == 0.
+  explicit PoissonDistribution(double mean);
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// First / last index of the numerically significant pmf window.
+  [[nodiscard]] std::int64_t window_first() const noexcept { return first_; }
+  [[nodiscard]] std::int64_t window_last() const noexcept { return last_; }
+
+  /// P[N == n]; exactly zero outside the significant window (mass outside is
+  /// below ~1e-30 relative and is accounted to the adjacent tail).
+  [[nodiscard]] double pmf(std::int64_t n) const noexcept;
+
+  /// P[N <= n], computed from prefix sums (no cancellation for small n).
+  [[nodiscard]] double cdf(std::int64_t n) const noexcept;
+
+  /// P[N >= n], computed from suffix sums (no cancellation for large n).
+  [[nodiscard]] double tail(std::int64_t n) const noexcept;
+
+  /// E[(N - k)^+] = mean * P[N >= k] - k * P[N >= k+1]. Used by the
+  /// regenerative-randomization model-truncation bound.
+  [[nodiscard]] double expected_excess(std::int64_t k) const noexcept;
+
+  /// Smallest n with P[N > n] <= eps: summing n = 0..n covers the mixture up
+  /// to eps. This is the step count of standard randomization.
+  [[nodiscard]] std::int64_t right_truncation_point(double eps) const noexcept;
+
+  /// Largest n with P[N < n] <= eps (0 if none); terms below it may be
+  /// skipped when accumulating mixtures.
+  [[nodiscard]] std::int64_t left_truncation_point(double eps) const noexcept;
+
+ private:
+  double mean_ = 0.0;
+  std::int64_t first_ = 0;  // window start (inclusive)
+  std::int64_t last_ = 0;   // window end (inclusive)
+  std::vector<double> pmf_;     // pmf over [first_, last_]
+  std::vector<double> prefix_;  // prefix_[i] = P[N <= first_ + i]
+  std::vector<double> suffix_;  // suffix_[i] = P[N >= first_ + i]
+};
+
+/// log(n!) via lgamma.
+[[nodiscard]] double log_factorial(std::int64_t n) noexcept;
+
+/// Stable single-value log pmf: n*log(m) - m - log(n!). Valid for any n, m>0.
+[[nodiscard]] double poisson_log_pmf(std::int64_t n, double mean) noexcept;
+
+}  // namespace rrl

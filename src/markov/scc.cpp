@@ -1,0 +1,81 @@
+#include "markov/scc.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+SccResult strongly_connected_components(const CsrMatrix& adjacency) {
+  RRL_EXPECTS(adjacency.rows() == adjacency.cols());
+  const index_t n = adjacency.rows();
+  const auto row_ptr = adjacency.row_ptr();
+  const auto col_idx = adjacency.col_idx();
+
+  constexpr index_t kUnvisited = -1;
+  std::vector<index_t> low(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> num(static_cast<std::size_t>(n), kUnvisited);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<index_t> stack;
+  SccResult result;
+  result.component.assign(static_cast<std::size_t>(n), kUnvisited);
+
+  // Explicit DFS frame: vertex + next out-edge cursor.
+  struct Frame {
+    index_t v;
+    std::int64_t edge;
+  };
+  std::vector<Frame> dfs;
+  index_t next_num = 0;
+
+  for (index_t root = 0; root < n; ++root) {
+    if (num[static_cast<std::size_t>(root)] != kUnvisited) continue;
+    dfs.push_back({root, row_ptr[static_cast<std::size_t>(root)]});
+    num[static_cast<std::size_t>(root)] = low[static_cast<std::size_t>(root)] =
+        next_num++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const index_t v = frame.v;
+      if (frame.edge < row_ptr[static_cast<std::size_t>(v) + 1]) {
+        const index_t w = col_idx[static_cast<std::size_t>(frame.edge++)];
+        if (num[static_cast<std::size_t>(w)] == kUnvisited) {
+          num[static_cast<std::size_t>(w)] =
+              low[static_cast<std::size_t>(w)] = next_num++;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          dfs.push_back({w, row_ptr[static_cast<std::size_t>(w)]});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(v)] =
+              std::min(low[static_cast<std::size_t>(v)],
+                       num[static_cast<std::size_t>(w)]);
+        }
+        continue;
+      }
+      // All edges of v explored: close the frame.
+      if (low[static_cast<std::size_t>(v)] ==
+          num[static_cast<std::size_t>(v)]) {
+        index_t w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          result.component[static_cast<std::size_t>(w)] = result.count;
+        } while (w != v);
+        ++result.count;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const index_t parent = dfs.back().v;
+        low[static_cast<std::size_t>(parent)] =
+            std::min(low[static_cast<std::size_t>(parent)],
+                     low[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rrl

@@ -1,0 +1,24 @@
+// Strongly connected components (iterative Tarjan) over a CSR adjacency
+// pattern. Used to validate the paper's structural assumptions on models.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace rrl {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// Component id per vertex, in [0, count). Ids are in reverse topological
+  /// order of the condensation (Tarjan property).
+  std::vector<index_t> component;
+  index_t count = 0;
+};
+
+/// Decompose the directed graph given by the sparsity pattern of `adjacency`
+/// (an entry (i, j) is an edge i -> j; values are ignored).
+[[nodiscard]] SccResult strongly_connected_components(
+    const CsrMatrix& adjacency);
+
+}  // namespace rrl

@@ -1,0 +1,89 @@
+#include "markov/steady_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+std::vector<double> gth_steady_state(const Ctmc& chain,
+                                     index_t max_dense_states) {
+  const index_t n = chain.num_states();
+  RRL_EXPECTS(n > 0 && n <= max_dense_states);
+
+  // Dense copy of the off-diagonal rate matrix.
+  const std::size_t un = static_cast<std::size_t>(n);
+  std::vector<double> a(un * un, 0.0);
+  {
+    const CsrMatrix& r = chain.rates();
+    const auto row_ptr = r.row_ptr();
+    const auto col_idx = r.col_idx();
+    const auto values = r.values();
+    for (index_t i = 0; i < n; ++i) {
+      for (std::int64_t k = row_ptr[static_cast<std::size_t>(i)];
+           k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        a[static_cast<std::size_t>(i) * un +
+          static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])] =
+            values[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+
+  // GTH elimination: fold state m into states 0..m-1 using only additions,
+  // divisions and multiplications of non-negative numbers.
+  for (std::size_t m = un - 1; m >= 1; --m) {
+    double out_sum = 0.0;
+    for (std::size_t j = 0; j < m; ++j) out_sum += a[m * un + j];
+    RRL_ENSURES(out_sum > 0.0);  // irreducibility guarantees an exit
+    for (std::size_t i = 0; i < m; ++i) {
+      const double w = a[i * un + m] / out_sum;
+      if (w == 0.0) continue;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j != i) a[i * un + j] += w * a[m * un + j];
+      }
+    }
+  }
+
+  // Back substitution: pi_0 = 1, then unfold.
+  std::vector<double> pi(un, 0.0);
+  pi[0] = 1.0;
+  for (std::size_t m = 1; m < un; ++m) {
+    double out_sum = 0.0;
+    for (std::size_t j = 0; j < m; ++j) out_sum += a[m * un + j];
+    double inflow = 0.0;
+    for (std::size_t i = 0; i < m; ++i) inflow += pi[i] * a[i * un + m];
+    pi[m] = inflow / out_sum;
+  }
+  const double total = sum(pi);
+  RRL_ENSURES(total > 0.0);
+  for (double& p : pi) p /= total;
+  return pi;
+}
+
+PowerIterationResult power_steady_state(const RandomizedDtmc& dtmc, double tol,
+                                        std::int64_t max_iterations) {
+  const std::size_t n = static_cast<std::size_t>(dtmc.num_states());
+  PowerIterationResult result;
+  std::vector<double> cur(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::int64_t it = 0; it < max_iterations; ++it) {
+    dtmc.step(cur, next);
+    const double delta = dist_l1(cur, next);
+    cur.swap(next);
+    result.iterations = it + 1;
+    result.final_delta = delta;
+    if (delta <= tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Renormalize to wash out accumulated round-off.
+  const double total = sum(cur);
+  for (double& p : cur) p /= total;
+  result.distribution = std::move(cur);
+  return result;
+}
+
+}  // namespace rrl

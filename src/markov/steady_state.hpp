@@ -1,0 +1,39 @@
+// Steady-state solvers for irreducible CTMCs.
+//
+// Two engines: GTH (Grassmann-Taksar-Heyman) elimination, the numerically
+// benign direct method (no subtractions) for small chains; and power
+// iteration on the randomized DTMC for larger sparse chains. Used to
+// cross-validate randomization with steady-state detection (RSD) and as a
+// reference in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+#include "markov/dtmc.hpp"
+
+namespace rrl {
+
+/// Stationary distribution by dense GTH elimination.
+/// Precondition: chain irreducible and num_states() <= max_dense_states.
+/// Complexity O(n^3) time, O(n^2) memory.
+[[nodiscard]] std::vector<double> gth_steady_state(
+    const Ctmc& chain, index_t max_dense_states = 2048);
+
+/// Result of the sparse power iteration.
+struct PowerIterationResult {
+  std::vector<double> distribution;
+  std::int64_t iterations = 0;
+  bool converged = false;
+  double final_delta = 0.0;  // last L1 step difference
+};
+
+/// Stationary distribution of an irreducible (and, via self-loops,
+/// aperiodic) randomized DTMC by power iteration: pi <- pi P until the L1
+/// difference of consecutive iterates is <= tol.
+[[nodiscard]] PowerIterationResult power_steady_state(
+    const RandomizedDtmc& dtmc, double tol = 1e-13,
+    std::int64_t max_iterations = 2'000'000);
+
+}  // namespace rrl

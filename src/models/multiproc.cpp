@@ -1,0 +1,134 @@
+#include "models/multiproc.hpp"
+
+#include "markov/builder.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+std::size_t MultiprocStateHash::operator()(
+    const MultiprocState& s) const noexcept {
+  std::uint64_t key = 0;
+  key = key << 16 | static_cast<std::uint16_t>(s.fp);
+  key = key << 16 | static_cast<std::uint16_t>(s.fm);
+  key = key << 16 | static_cast<std::uint16_t>(s.fb);
+  key = key << 1 | static_cast<std::uint64_t>(s.failed);
+  return std::hash<std::uint64_t>{}(key);
+}
+
+namespace {
+
+MultiprocModel build(const MultiprocParams& p, bool absorbing_failure) {
+  RRL_EXPECTS(p.processors >= 1 && p.memories >= 1 && p.buses >= 1);
+  RRL_EXPECTS(p.min_procs >= 1 && p.min_procs <= p.processors);
+  RRL_EXPECTS(p.min_mems >= 1 && p.min_mems <= p.memories);
+  RRL_EXPECTS(p.coverage >= 0.0 && p.coverage <= 1.0);
+
+  const MultiprocState init{};
+  const MultiprocState crashed{0, 0, 0, true};
+
+  using Builder = StateSpaceBuilder<MultiprocState, MultiprocStateHash>;
+  const auto expand = [&](const MultiprocState& s,
+                          const Builder::EmitFn& emit) {
+    if (s.failed) {
+      if (!absorbing_failure) emit(init, p.mu_g);
+      return;
+    }
+    const int up_p = p.processors - s.fp;
+    const int up_m = p.memories - s.fm;
+    const int up_b = p.buses - s.fb;
+
+    // Component failures. A covered failure that would drop a resource
+    // below its operational threshold is also a system failure (no spare
+    // capacity left to reconfigure into).
+    auto emit_failure = [&](double rate, MultiprocState next,
+                            bool still_operational) {
+      if (rate <= 0.0) return;
+      // Uncovered fraction always crashes; covered fraction crashes too
+      // when the resource is exhausted.
+      if (still_operational) {
+        emit(next, rate * p.coverage);
+        if (p.coverage < 1.0) emit(crashed, rate * (1.0 - p.coverage));
+      } else {
+        emit(crashed, rate);
+      }
+    };
+    {
+      MultiprocState n = s;
+      n.fp = static_cast<std::int16_t>(n.fp + 1);
+      emit_failure(static_cast<double>(up_p) * p.lambda_p, n,
+                   up_p - 1 >= p.min_procs);
+    }
+    {
+      MultiprocState n = s;
+      n.fm = static_cast<std::int16_t>(n.fm + 1);
+      emit_failure(static_cast<double>(up_m) * p.lambda_m, n,
+                   up_m - 1 >= p.min_mems);
+    }
+    {
+      MultiprocState n = s;
+      n.fb = static_cast<std::int16_t>(n.fb + 1);
+      emit_failure(static_cast<double>(up_b) * p.lambda_b, n, up_b - 1 >= 1);
+    }
+
+    // Single repairman with processor > memory > bus priority.
+    if (s.fp > 0) {
+      MultiprocState n = s;
+      n.fp = static_cast<std::int16_t>(n.fp - 1);
+      emit(n, p.mu_p);
+    } else if (s.fm > 0) {
+      MultiprocState n = s;
+      n.fm = static_cast<std::int16_t>(n.fm - 1);
+      emit(n, p.mu_m);
+    } else if (s.fb > 0) {
+      MultiprocState n = s;
+      n.fb = static_cast<std::int16_t>(n.fb - 1);
+      emit(n, p.mu_b);
+    }
+  };
+
+  auto result = Builder::explore({init, crashed}, expand);
+
+  MultiprocModel model;
+  model.params = p;
+  model.absorbing_failure = absorbing_failure;
+  model.initial_state = result.index_of.at(init);
+  model.failed_state = result.index_of.at(crashed);
+  model.chain = std::move(result.chain);
+  model.states = std::move(result.states);
+  return model;
+}
+
+}  // namespace
+
+std::vector<double> MultiprocModel::failure_rewards() const {
+  std::vector<double> r(static_cast<std::size_t>(chain.num_states()), 0.0);
+  r[static_cast<std::size_t>(failed_state)] = 1.0;
+  return r;
+}
+
+std::vector<double> MultiprocModel::capacity_rewards() const {
+  std::vector<double> r(static_cast<std::size_t>(chain.num_states()), 0.0);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].failed) continue;
+    r[i] = static_cast<double>(params.processors - states[i].fp) /
+           static_cast<double>(params.processors);
+  }
+  return r;
+}
+
+std::vector<double> MultiprocModel::initial_distribution() const {
+  std::vector<double> alpha(static_cast<std::size_t>(chain.num_states()),
+                            0.0);
+  alpha[static_cast<std::size_t>(initial_state)] = 1.0;
+  return alpha;
+}
+
+MultiprocModel build_multiproc_availability(const MultiprocParams& params) {
+  return build(params, /*absorbing_failure=*/false);
+}
+
+MultiprocModel build_multiproc_reliability(const MultiprocParams& params) {
+  return build(params, /*absorbing_failure=*/true);
+}
+
+}  // namespace rrl

@@ -1,0 +1,84 @@
+// Fault-tolerant multiprocessor dependability model with imperfect
+// coverage — the second classic workload family of the regenerative-
+// randomization literature (repairable fault-tolerant systems, cf. the
+// paper's introduction and refs. [1, 7]).
+//
+// The system has P processors, M shared-memory modules and B buses. It is
+// operational while at least min_procs processors, min_mems memories and
+// one bus are up. Component failures are *covered* with probability
+// `coverage` (the component is isolated and the system keeps running
+// degraded); an uncovered failure crashes the system immediately — the
+// dominant failure path of well-maintained systems. A single repairman
+// fixes one component at a time with processor > memory > bus priority;
+// a crashed or exhausted system is restored by a global repair (rate mu_g)
+// in the availability variant and absorbs in the reliability variant.
+//
+// The state is (failed processors, failed memories, failed buses) plus a
+// distinguished failed state; exhaustion (too few resources left) and
+// uncovered failures both lead to it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+
+namespace rrl {
+
+struct MultiprocParams {
+  int processors = 8;       ///< P
+  int memories = 4;         ///< M
+  int buses = 2;            ///< B
+  int min_procs = 2;        ///< operational threshold
+  int min_mems = 1;
+  double lambda_p = 5e-5;   ///< processor failure rate (1/h)
+  double lambda_m = 2e-5;   ///< memory failure rate
+  double lambda_b = 1e-5;   ///< bus failure rate
+  double coverage = 0.995;  ///< P[failure is covered]
+  double mu_p = 0.5;        ///< repair rates (single repairman)
+  double mu_m = 0.5;
+  double mu_b = 0.5;
+  double mu_g = 0.2;        ///< global repair (availability variant)
+};
+
+struct MultiprocState {
+  std::int16_t fp = 0;   ///< failed processors
+  std::int16_t fm = 0;   ///< failed memories
+  std::int16_t fb = 0;   ///< failed buses
+  bool failed = false;   ///< system crashed / exhausted
+
+  friend bool operator==(const MultiprocState&,
+                         const MultiprocState&) = default;
+};
+
+struct MultiprocStateHash {
+  std::size_t operator()(const MultiprocState& s) const noexcept;
+};
+
+struct MultiprocModel {
+  Ctmc chain;
+  std::vector<MultiprocState> states;
+  index_t initial_state = 0;
+  index_t failed_state = 0;
+  MultiprocParams params;
+  bool absorbing_failure = false;
+
+  /// Reward 1 on the failed state (UA/UR measure).
+  [[nodiscard]] std::vector<double> failure_rewards() const;
+
+  /// Performability reward: delivered compute capacity, (P - fp)/P for
+  /// operational states, 0 when failed.
+  [[nodiscard]] std::vector<double> capacity_rewards() const;
+
+  [[nodiscard]] std::vector<double> initial_distribution() const;
+};
+
+/// Availability variant (global repair from the failed state; irreducible).
+[[nodiscard]] MultiprocModel build_multiproc_availability(
+    const MultiprocParams& params);
+
+/// Reliability variant (failed state absorbing).
+[[nodiscard]] MultiprocModel build_multiproc_reliability(
+    const MultiprocParams& params);
+
+}  // namespace rrl

@@ -1,0 +1,280 @@
+// Event/rate table of the approximated RAID-5 model. States below are
+// operational unless marked F. G = groups, N = disks per group, NU = number
+// of unavailable disk slots tracked by counts (nfd + nwd + ndr).
+//
+// NFC == 0 (no controller down; invariant NWD == 0):
+//  E1 safe disk failure          rate N*(G-NU)*lambda_d
+//       -> nfd+1; aligned' = (NU == 0)   [pessimistic: a failure outside the
+//          affected groups is assumed to land in a different string]
+//  E2 collision disk failure     rate (N-1)*(ndr*lambda_s + nfd*lambda_d)
+//       -> F   [a partner of a degraded group fails: two unavailable disks
+//          in one group; partners of reconstructing groups are overloaded]
+//  E3a aligned-controller fail   rate lambda_c          (only if NU>=1, AL)
+//       -> nfc=1, reconstructions stall: nwd' = ndr, ndr' = 0
+//  E3b other-controller fail     rate (N-1)*lambda_c if NU>=1 and AL,
+//                                rate N*lambda_c     if NU>=1 and !AL -> F
+//       [the new string intersects the group of every unavailable disk]
+//  E3c any-controller fail       rate N*lambda_c         (if NU == 0)
+//       -> nfc=1 (trivially aligned)
+//  E4 reconstruction success     rate ndr*mu_drc*p_r
+//       -> ndr-1; aligned' = aligned || (NU-1 <= 1)   [paper's rule:
+//          unaligned persists while >= 2 unavailable disks remain]
+//  E5 reconstruction failure     rate ndr*mu_drc*(1-p_r) -> F
+//  E6 repairman disk replace     rate mu_drp   (if nfd>=1 and nsd>=1)
+//       -> nfd-1, nsd-1, ndr+1   [group has no other unavailable disk, so
+//          reconstruction starts immediately]
+//  E7 direct disk repair         rate max(0, nfd-nsd)*mu_sr
+//       -> nfd-1, ndr+1          [failed disks beyond the spare pool]
+//
+// NFC == 1 (whole string unavailable; invariants AL, NDR == 0):
+//  E8  disk fail off-string      rate (N-1)*G*lambda_d -> F
+//       [every group already has its string disk unavailable; disks behind
+//        the failed controller are powered off and do not fail]
+//  E9  second controller fail    rate (N-1)*lambda_c -> F
+//  E10 controller replace        rate mu_crp  (if nsc >= 1)
+//       -> nfc=0, nsc-1, ndr' = G - nfd, nwd' = 0
+//       [the string's healthy disks and the waiting replaced disks all start
+//        reconstruction, per the paper: "the reconstruction process also
+//        starts when a disk ... becomes available due to the replacement of
+//        the failed controller"]
+//  E11 controller direct repair  rate mu_sr   (if nsc == 0); same effect
+//  E12 repairman disk replace    rate mu_drp  (if nsc == 0, nfd>=1, nsd>=1)
+//       -> nfd-1, nsd-1, nwd+1   [replaced disk sits behind the failed
+//          controller; repairman is free because no ctrl spare is available]
+//  E13 direct disk repair        rate max(0, nfd-nsd)*mu_sr -> nfd-1, nwd+1
+//
+// Always (operational states):
+//  E14 disk spare replenishment  rate (D_H - nsd)*mu_sr -> nsd+1
+//  E15 ctrl spare replenishment  rate (C_H - nsc)*mu_sr -> nsc+1
+//
+// Failed state:
+//  E16 global repair             rate mu_g -> initial state
+//      (availability model only; the reliability model absorbs here)
+#include "models/raid5.hpp"
+
+#include <sstream>
+
+#include "markov/builder.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+std::string Raid5State::to_string() const {
+  std::ostringstream os;
+  if (failed) return "FAILED";
+  os << "nfd=" << nfd << " nwd=" << nwd << " ndr=" << ndr << " nsd=" << nsd
+     << " nfc=" << nfc << " nsc=" << nsc << " al=" << (aligned ? 'Y' : 'N');
+  return os.str();
+}
+
+std::size_t Raid5StateHash::operator()(const Raid5State& s) const noexcept {
+  // Pack the small counters into one 64-bit word; each fits in 8 bits.
+  std::uint64_t key = 0;
+  key = key << 8 | static_cast<std::uint8_t>(s.nfd);
+  key = key << 8 | static_cast<std::uint8_t>(s.nwd);
+  key = key << 8 | static_cast<std::uint8_t>(s.ndr);
+  key = key << 8 | static_cast<std::uint8_t>(s.nsd);
+  key = key << 8 | static_cast<std::uint8_t>(s.nfc);
+  key = key << 8 | static_cast<std::uint8_t>(s.nsc);
+  key = key << 1 | static_cast<std::uint64_t>(s.aligned);
+  key = key << 1 | static_cast<std::uint64_t>(s.failed);
+  return std::hash<std::uint64_t>{}(key);
+}
+
+namespace {
+
+Raid5State initial_state(const Raid5Params& p) {
+  Raid5State s;
+  s.nsd = static_cast<std::int16_t>(p.disk_spares);
+  s.nsc = static_cast<std::int16_t>(p.ctrl_spares);
+  return s;
+}
+
+Raid5State failed_state() {
+  Raid5State s;
+  s.failed = true;
+  return s;
+}
+
+/// Canonicalize the alignment flag: <= 1 unavailable disk is trivially
+/// aligned, and a down controller implies alignment by reachability.
+Raid5State canonical(Raid5State s) {
+  if (s.unavailable() <= 1 || s.nfc >= 1) s.aligned = true;
+  return s;
+}
+
+Raid5Model build(const Raid5Params& p, bool absorbing_failure) {
+  RRL_EXPECTS(p.groups >= 1 && p.disks_per_group >= 2);
+  RRL_EXPECTS(p.ctrl_spares >= 0 && p.disk_spares >= 0);
+  RRL_EXPECTS(p.p_r >= 0.0 && p.p_r <= 1.0);
+  const int G = p.groups;
+  const int N = p.disks_per_group;
+  const Raid5State init = initial_state(p);
+
+  using Builder = StateSpaceBuilder<Raid5State, Raid5StateHash>;
+  const auto expand = [&](const Raid5State& s, const Builder::EmitFn& emit) {
+    if (s.failed) {
+      if (!absorbing_failure) emit(init, p.mu_g);  // E16
+      return;
+    }
+    const int nu = s.unavailable();
+
+    if (s.nfc == 0) {
+      // E1: safe disk failure (lands in a group with no unavailable disk).
+      if (nu < G) {
+        Raid5State n = s;
+        n.nfd = static_cast<std::int16_t>(n.nfd + 1);
+        n.aligned = (nu == 0);
+        emit(canonical(n), static_cast<double>(N * (G - nu)) * p.lambda_d);
+      }
+      // E2: collision failure of a partner disk -> system failure.
+      {
+        const double rate =
+            static_cast<double>(N - 1) *
+            (static_cast<double>(s.ndr) * p.lambda_s +
+             static_cast<double>(s.nfd) * p.lambda_d);
+        if (rate > 0.0) emit(failed_state(), rate);
+      }
+      // E3: controller failures.
+      if (nu == 0) {
+        Raid5State n = s;  // E3c
+        n.nfc = 1;
+        emit(canonical(n), static_cast<double>(N) * p.lambda_c);
+      } else if (s.aligned) {
+        Raid5State n = s;  // E3a: the aligned string's controller fails
+        n.nfc = 1;
+        n.nwd = n.ndr;  // reconstructions stall behind the dead controller
+        n.ndr = 0;
+        emit(canonical(n), p.lambda_c);
+        emit(failed_state(), static_cast<double>(N - 1) * p.lambda_c);  // E3b
+      } else {
+        emit(failed_state(), static_cast<double>(N) * p.lambda_c);  // E3b
+      }
+      // E4/E5: reconstruction completion.
+      if (s.ndr >= 1) {
+        const double total = static_cast<double>(s.ndr) * p.mu_drc;
+        Raid5State n = s;
+        n.ndr = static_cast<std::int16_t>(n.ndr - 1);
+        emit(canonical(n), total * p.p_r);
+        if (p.p_r < 1.0) emit(failed_state(), total * (1.0 - p.p_r));
+      }
+      // E6: repairman installs a disk spare (no controller work pending).
+      if (s.nfd >= 1 && s.nsd >= 1) {
+        Raid5State n = s;
+        n.nfd = static_cast<std::int16_t>(n.nfd - 1);
+        n.nsd = static_cast<std::int16_t>(n.nsd - 1);
+        n.ndr = static_cast<std::int16_t>(n.ndr + 1);
+        emit(canonical(n), p.mu_drp);
+      }
+      // E7: direct repair of failed disks beyond the spare pool.
+      if (s.nfd > s.nsd) {
+        Raid5State n = s;
+        n.nfd = static_cast<std::int16_t>(n.nfd - 1);
+        n.ndr = static_cast<std::int16_t>(n.ndr + 1);
+        emit(canonical(n), static_cast<double>(s.nfd - s.nsd) * p.mu_sr);
+      }
+    } else {  // nfc == 1
+      // E8: any available disk outside the failed string collides.
+      emit(failed_state(), static_cast<double>((N - 1) * G) * p.lambda_d);
+      // E9: losing a second controller is fatal.
+      emit(failed_state(), static_cast<double>(N - 1) * p.lambda_c);
+      // E10/E11: controller replacement or direct repair; both restart the
+      // whole string's reconstruction.
+      {
+        Raid5State n = s;
+        n.nfc = 0;
+        n.nwd = 0;
+        n.ndr = static_cast<std::int16_t>(G - s.nfd);
+        if (s.nsc >= 1) {
+          Raid5State via_spare = n;
+          via_spare.nsc = static_cast<std::int16_t>(via_spare.nsc - 1);
+          emit(canonical(via_spare), p.mu_crp);  // E10
+        } else {
+          emit(canonical(n), p.mu_sr);  // E11
+        }
+      }
+      // E12: repairman free (no controller spare) installs disk spares.
+      if (s.nsc == 0 && s.nfd >= 1 && s.nsd >= 1) {
+        Raid5State n = s;
+        n.nfd = static_cast<std::int16_t>(n.nfd - 1);
+        n.nsd = static_cast<std::int16_t>(n.nsd - 1);
+        n.nwd = static_cast<std::int16_t>(n.nwd + 1);
+        emit(canonical(n), p.mu_drp);
+      }
+      // E13: direct repair of failed disks beyond the spare pool.
+      if (s.nfd > s.nsd) {
+        Raid5State n = s;
+        n.nfd = static_cast<std::int16_t>(n.nfd - 1);
+        n.nwd = static_cast<std::int16_t>(n.nwd + 1);
+        emit(canonical(n), static_cast<double>(s.nfd - s.nsd) * p.mu_sr);
+      }
+    }
+
+    // E14/E15: spare replenishment (unlimited repairmen).
+    if (s.nsd < p.disk_spares) {
+      Raid5State n = s;
+      n.nsd = static_cast<std::int16_t>(n.nsd + 1);
+      emit(canonical(n),
+           static_cast<double>(p.disk_spares - s.nsd) * p.mu_sr);
+    }
+    if (s.nsc < p.ctrl_spares) {
+      Raid5State n = s;
+      n.nsc = static_cast<std::int16_t>(n.nsc + 1);
+      emit(canonical(n),
+           static_cast<double>(p.ctrl_spares - s.nsc) * p.mu_sr);
+    }
+  };
+
+  auto result = Builder::explore({init, failed_state()}, expand);
+
+  Raid5Model model;
+  model.params = p;
+  model.absorbing_failure = absorbing_failure;
+  model.initial_state = result.index_of.at(init);
+  model.failed_state = result.index_of.at(failed_state());
+  model.chain = std::move(result.chain);
+  model.states = std::move(result.states);
+  return model;
+}
+
+}  // namespace
+
+std::vector<double> Raid5Model::failure_rewards() const {
+  std::vector<double> r(static_cast<std::size_t>(chain.num_states()), 0.0);
+  r[static_cast<std::size_t>(failed_state)] = 1.0;
+  return r;
+}
+
+std::vector<double> Raid5Model::throughput_rewards(
+    double degraded_throughput) const {
+  RRL_EXPECTS(degraded_throughput >= 0.0 && degraded_throughput <= 1.0);
+  const double G = static_cast<double>(params.groups);
+  std::vector<double> r(static_cast<std::size_t>(chain.num_states()), 0.0);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const Raid5State& s = states[i];
+    if (s.failed) continue;
+    // A group is degraded when one of its disks is unavailable; with a
+    // controller down every group is degraded.
+    const double degraded =
+        s.nfc >= 1 ? G : static_cast<double>(s.unavailable());
+    r[i] = (G - degraded + degraded_throughput * degraded) / G;
+  }
+  return r;
+}
+
+std::vector<double> Raid5Model::initial_distribution() const {
+  std::vector<double> alpha(static_cast<std::size_t>(chain.num_states()),
+                            0.0);
+  alpha[static_cast<std::size_t>(initial_state)] = 1.0;
+  return alpha;
+}
+
+Raid5Model build_raid5_availability(const Raid5Params& params) {
+  return build(params, /*absorbing_failure=*/false);
+}
+
+Raid5Model build_raid5_reliability(const Raid5Params& params) {
+  return build(params, /*absorbing_failure=*/true);
+}
+
+}  // namespace rrl

@@ -1,0 +1,119 @@
+// Level-5 RAID dependability model (paper, Section 3).
+//
+// The system has G parity groups of N disks plus N controllers; controller c
+// controls the "string" of the c-th disk of every group. C_H / D_H hot spare
+// controllers / disks are available. The system is operational iff every
+// parity group has at most one unavailable disk (unavailable = failed,
+// replaced-but-not-reconstructed, under reconstruction, or behind a failed
+// controller). Replaced disks are reconstructed (rate mu_drc) when the rest
+// of their group is available; during a reconstruction the other N-1 disks of
+// the group are overloaded and fail with lambda_s > lambda_d. A single
+// repairman installs hot spares with priority to controllers (mu_crp over
+// mu_drp); consumed spares and failed components without spares are handled
+// by unlimited rate-mu_sr repairmen. A reconstruction succeeds with
+// probability p_r; failure is a system failure. A failed system is globally
+// repaired with rate mu_g (availability model) or absorbs (reliability
+// model).
+//
+// Following the paper, the exact model is replaced by a pessimistic
+// approximation whose state tracks only counts plus an alignment flag:
+//   NFD  failed disks awaiting a spare        NSD  available spare disks
+//   NWD  replaced disks waiting to rebuild    NFC  failed controllers
+//   NDR  disks under reconstruction           NSC  available spare ctrl.
+//   AL   all unavailable disks in one string  F    system failed
+// The paper's approximation rule is applied verbatim: once unavailable disks
+// are unaligned they stay unaligned while >= 2 of them remain. Pessimistic
+// choices (documented per event in raid5.cpp): a new failure outside the
+// affected groups unaligns the state, and any controller failure other than
+// the aligned string's controller is fatal.
+//
+// Reachable-state invariants (tested in tests/test_raid5.cpp):
+//   operational => NFC <= 1;
+//   NFC == 1 => AL, NDR == 0, NFD + NWD <= G;
+//   NFC == 0 => NWD == 0, NFD + NDR <= G;
+//   AL == false => NFD + NDR >= 2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+
+namespace rrl {
+
+/// Model parameters; defaults are the paper's fixed values (rates in 1/h).
+/// p_r is not specified in the paper and defaults to the value that
+/// reproduces the reported UR(1e5 h) magnitudes (see DESIGN.md).
+struct Raid5Params {
+  int groups = 20;          ///< G: parity groups (paper: 20 / 40)
+  int disks_per_group = 5;  ///< N: disks per group = number of controllers
+  int ctrl_spares = 1;      ///< C_H hot spare controllers
+  int disk_spares = 3;      ///< D_H hot spare disks
+  double lambda_d = 1e-5;   ///< non-overloaded disk failure rate
+  double lambda_s = 2e-5;   ///< overloaded disk failure rate
+  double lambda_c = 5e-5;   ///< controller failure rate
+  double mu_drc = 1.0;      ///< reconstruction rate per disk
+  double mu_drp = 4.0;      ///< repairman disk replacement rate
+  double mu_crp = 4.0;      ///< repairman controller replacement rate
+  double mu_sr = 0.25;      ///< spare replenishment / direct repair rate
+  double mu_g = 0.25;       ///< global repair rate (availability model)
+  double p_r = 0.999;       ///< reconstruction success probability
+};
+
+/// Structured state of the approximated model.
+struct Raid5State {
+  std::int16_t nfd = 0;  ///< failed disks awaiting a spare
+  std::int16_t nwd = 0;  ///< replaced disks waiting for reconstruction
+  std::int16_t ndr = 0;  ///< disks under reconstruction
+  std::int16_t nsd = 0;  ///< available hot spare disks
+  std::int16_t nfc = 0;  ///< failed controllers
+  std::int16_t nsc = 0;  ///< available hot spare controllers
+  bool aligned = true;   ///< unavailable disks all in one string
+  bool failed = false;   ///< system failed
+
+  friend bool operator==(const Raid5State&, const Raid5State&) = default;
+
+  /// Number of unavailable *disk slots* counted by the group-collision
+  /// logic when no controller is down (NFC == 1 makes it the whole string).
+  [[nodiscard]] int unavailable() const noexcept { return nfd + nwd + ndr; }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Raid5StateHash {
+  std::size_t operator()(const Raid5State& s) const noexcept;
+};
+
+/// Assembled model: CTMC + state decoding + distinguished states.
+struct Raid5Model {
+  Ctmc chain;
+  std::vector<Raid5State> states;
+  index_t initial_state = 0;  ///< all components good, spares full
+  index_t failed_state = 0;   ///< the system-failed state
+  Raid5Params params;
+  bool absorbing_failure = false;  ///< true for the reliability variant
+
+  /// Reward: 1 on the failed state, 0 elsewhere. TRR(t) under this reward is
+  /// UA(t) in the availability model and UR(t) in the reliability model.
+  [[nodiscard]] std::vector<double> failure_rewards() const;
+
+  /// Performability reward: delivered throughput fraction, where each
+  /// degraded parity group serves at `degraded_throughput` of nominal and a
+  /// failed system serves nothing.
+  [[nodiscard]] std::vector<double> throughput_rewards(
+      double degraded_throughput = 0.5) const;
+
+  /// Initial distribution: unit mass on initial_state.
+  [[nodiscard]] std::vector<double> initial_distribution() const;
+};
+
+/// Availability model: global repair arc F -> initial (irreducible CTMC).
+[[nodiscard]] Raid5Model build_raid5_availability(const Raid5Params& params);
+
+/// Reliability model: F absorbing (one transition less than availability,
+/// exactly as the paper notes).
+[[nodiscard]] Raid5Model build_raid5_reliability(const Raid5Params& params);
+
+}  // namespace rrl

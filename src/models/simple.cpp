@@ -1,0 +1,175 @@
+#include "models/simple.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+double TwoStateModel::unavailability(double t) const {
+  const double s = lambda + mu;
+  return lambda / s * (1.0 - std::exp(-s * t));
+}
+
+double TwoStateModel::interval_unavailability(double t) const {
+  RRL_EXPECTS(t > 0.0);
+  const double s = lambda + mu;
+  // Integral of UA over [0,t] = (lambda/s) * (t - (1 - e^{-st})/s).
+  return lambda / s * (1.0 - (1.0 - std::exp(-s * t)) / (s * t));
+}
+
+TwoStateModel make_two_state(double lambda, double mu) {
+  RRL_EXPECTS(lambda > 0.0 && mu > 0.0);
+  TwoStateModel m;
+  m.lambda = lambda;
+  m.mu = mu;
+  m.chain = Ctmc::from_transitions(2, {{0, 1, lambda}, {1, 0, mu}});
+  return m;
+}
+
+double ErlangModel::unreliability(double t) const {
+  // 1 - sum_{k<n} e^{-lt}(lt)^k/k!; stages are small in tests so the direct
+  // sum is exact enough.
+  const double x = lambda * t;
+  double term = std::exp(-x);
+  double cum = 0.0;
+  for (int k = 0; k < stages; ++k) {
+    cum += term;
+    term *= x / static_cast<double>(k + 1);
+  }
+  return 1.0 - cum;
+}
+
+double ErlangModel::interval_unreliability(double t) const {
+  RRL_EXPECTS(t > 0.0);
+  // (1/t) Int_0^t UR = 1 - (1/(lambda t)) sum_{k<n} P[N(lambda t) >= k+1].
+  const double x = lambda * t;
+  // P[N >= j] computed by downward recursion on the pmf.
+  double pmf = std::exp(-x);  // P[N = 0]
+  double cdf = pmf;           // P[N <= 0]
+  double acc = 0.0;
+  for (int k = 0; k < stages; ++k) {
+    // P[N >= k+1] = 1 - P[N <= k]
+    acc += 1.0 - cdf;
+    pmf *= x / static_cast<double>(k + 1);
+    cdf += pmf;
+  }
+  return 1.0 - acc / x;
+}
+
+ErlangModel make_erlang(int stages, double lambda) {
+  RRL_EXPECTS(stages >= 1 && lambda > 0.0);
+  ErlangModel m;
+  m.stages = stages;
+  m.lambda = lambda;
+  std::vector<Triplet> rates;
+  for (int i = 0; i < stages; ++i) {
+    rates.push_back({i, i + 1, lambda});
+  }
+  m.chain = Ctmc::from_transitions(stages + 1, std::move(rates));
+  return m;
+}
+
+Ctmc make_birth_death(const std::vector<double>& birth,
+                      const std::vector<double>& death) {
+  RRL_EXPECTS(!birth.empty());
+  RRL_EXPECTS(birth.size() == death.size());
+  const index_t n = static_cast<index_t>(birth.size()) + 1;
+  std::vector<Triplet> rates;
+  for (index_t i = 0; i + 1 < n; ++i) {
+    rates.push_back({i, i + 1, birth[static_cast<std::size_t>(i)]});
+    rates.push_back({i + 1, i, death[static_cast<std::size_t>(i)]});
+  }
+  return Ctmc::from_transitions(n, std::move(rates));
+}
+
+double Mm1kModel::stationary(int i) const {
+  RRL_EXPECTS(i >= 0 && i <= capacity);
+  const double rho = lambda / mu;
+  if (rho == 1.0) return 1.0 / static_cast<double>(capacity + 1);
+  const double norm =
+      (1.0 - std::pow(rho, capacity + 1)) / (1.0 - rho);
+  return std::pow(rho, i) / norm;
+}
+
+double Mm1kModel::stationary_mean_length() const {
+  double mean = 0.0;
+  for (int i = 0; i <= capacity; ++i) {
+    mean += static_cast<double>(i) * stationary(i);
+  }
+  return mean;
+}
+
+Mm1kModel make_mm1k(double lambda, double mu, int capacity) {
+  RRL_EXPECTS(lambda > 0.0 && mu > 0.0 && capacity >= 1);
+  Mm1kModel m;
+  m.lambda = lambda;
+  m.mu = mu;
+  m.capacity = capacity;
+  m.chain = make_birth_death(std::vector<double>(capacity, lambda),
+                             std::vector<double>(capacity, mu));
+  return m;
+}
+
+Ctmc make_cycle(int length, double rate) {
+  RRL_EXPECTS(length >= 2 && rate > 0.0);
+  std::vector<Triplet> rates;
+  for (int i = 0; i < length; ++i) {
+    rates.push_back({i, (i + 1) % length, rate});
+  }
+  return Ctmc::from_transitions(length, std::move(rates));
+}
+
+Ctmc make_random_ctmc(const RandomCtmcOptions& options) {
+  RRL_EXPECTS(options.num_states >= 2);
+  RRL_EXPECTS(options.num_absorbing >= 0 &&
+              options.num_absorbing < options.num_states - 1);
+  const index_t n_trans = options.num_states - options.num_absorbing;
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> rate_dist(options.min_rate,
+                                                   options.max_rate);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  std::vector<Triplet> rates;
+  // Random Hamiltonian cycle over the transient part: guarantees one SCC.
+  std::vector<index_t> order(static_cast<std::size_t>(n_trans));
+  for (index_t i = 0; i < n_trans; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::shuffle(order.begin(), order.end(), rng);
+  for (index_t i = 0; i < n_trans; ++i) {
+    const index_t from = order[static_cast<std::size_t>(i)];
+    const index_t to =
+        order[static_cast<std::size_t>((i + 1) % n_trans)];
+    rates.push_back({from, to, rate_dist(rng)});
+  }
+  // Extra random edges within the transient part.
+  for (index_t i = 0; i < n_trans; ++i) {
+    for (index_t j = 0; j < n_trans; ++j) {
+      if (i == j) continue;
+      if (coin(rng) < options.extra_edge_prob) {
+        rates.push_back({i, j, rate_dist(rng)});
+      }
+    }
+  }
+  // Every transient state must have a path to each absorbing state; give a
+  // random subset direct arcs and guarantee at least one.
+  for (index_t a = 0; a < options.num_absorbing; ++a) {
+    const index_t f = n_trans + a;
+    bool any = false;
+    for (index_t i = 0; i < n_trans; ++i) {
+      if (coin(rng) < options.extra_edge_prob) {
+        rates.push_back({i, f, options.absorb_rate_scale * rate_dist(rng)});
+        any = true;
+      }
+    }
+    if (!any) {
+      const index_t i =
+          static_cast<index_t>(rng() % static_cast<std::uint64_t>(n_trans));
+      rates.push_back({i, f, options.absorb_rate_scale * rate_dist(rng)});
+    }
+  }
+  return Ctmc::from_transitions(options.num_states, std::move(rates));
+}
+
+}  // namespace rrl

@@ -1,0 +1,87 @@
+// Small reference models with known closed-form transient solutions, used by
+// the test suite as analytic ground truth and by the examples. Also provides
+// a seeded random-CTMC generator for property-based cross-solver tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+
+namespace rrl {
+
+/// Two-state availability model: state 0 = up (fails with rate lambda),
+/// state 1 = down (repaired with rate mu). Irreducible.
+struct TwoStateModel {
+  Ctmc chain;
+  double lambda = 0.0;
+  double mu = 0.0;
+
+  /// P[X(t) = down | X(0) = up] = lambda/(lambda+mu) * (1 - exp(-(l+m)t)).
+  [[nodiscard]] double unavailability(double t) const;
+
+  /// (1/t) * Integral of unavailability over [0, t] (closed form).
+  [[nodiscard]] double interval_unavailability(double t) const;
+};
+[[nodiscard]] TwoStateModel make_two_state(double lambda, double mu);
+
+/// Erlang absorption chain: 0 -> 1 -> ... -> n (absorbing), all rates lambda.
+/// Time to absorption is Erlang(n, lambda).
+struct ErlangModel {
+  Ctmc chain;
+  int stages = 0;
+  double lambda = 0.0;
+
+  /// P[absorbed by t] = P[Erlang(n, lambda) <= t].
+  [[nodiscard]] double unreliability(double t) const;
+
+  /// (1/t) * Integral of unreliability over [0, t] (closed form via Poisson
+  /// tails).
+  [[nodiscard]] double interval_unreliability(double t) const;
+};
+[[nodiscard]] ErlangModel make_erlang(int stages, double lambda);
+
+/// General birth-death chain on {0..n}: state i goes up with birth[i]
+/// (i < n) and down with death[i-1] (i > 0). Irreducible when all rates > 0.
+[[nodiscard]] Ctmc make_birth_death(const std::vector<double>& birth,
+                                    const std::vector<double>& death);
+
+/// M/M/1/K queue (arrival lambda, service mu, capacity K): birth-death with
+/// constant rates. Stationary distribution is geometric in rho = lambda/mu.
+struct Mm1kModel {
+  Ctmc chain;
+  double lambda = 0.0;
+  double mu = 0.0;
+  int capacity = 0;
+
+  /// Stationary probability of queue length i.
+  [[nodiscard]] double stationary(int i) const;
+
+  /// Stationary mean queue length.
+  [[nodiscard]] double stationary_mean_length() const;
+};
+[[nodiscard]] Mm1kModel make_mm1k(double lambda, double mu, int capacity);
+
+/// Unidirectional cycle 0 -> 1 -> ... -> n-1 -> 0 with uniform rate; the
+/// randomized DTMC at Lambda = max exit rate is periodic, exercising the
+/// aperiodicity safeguards of steady-state detection.
+[[nodiscard]] Ctmc make_cycle(int length, double rate);
+
+/// Options for the seeded random-CTMC generator used in property tests.
+struct RandomCtmcOptions {
+  index_t num_states = 20;
+  index_t num_absorbing = 0;   // appended after the strongly connected part
+  double extra_edge_prob = 0.3;  // density beyond the guaranteed cycle
+  double min_rate = 0.1;
+  double max_rate = 10.0;
+  double absorb_rate_scale = 0.05;  // rates into absorbing states are scaled
+                                    // down so chains are not instantly killed
+  std::uint64_t seed = 1;
+};
+
+/// Random CTMC satisfying the paper's structure: the first
+/// (num_states - num_absorbing) states are strongly connected (a random cycle
+/// guarantees it) and every one of them reaches each absorbing state.
+[[nodiscard]] Ctmc make_random_ctmc(const RandomCtmcOptions& options);
+
+}  // namespace rrl

@@ -1,0 +1,45 @@
+// Umbrella header of the rrl library.
+//
+// rrl reproduces Carrasco's "Transient Analysis of Dependability/
+// Performability Models by Regenerative Randomization with Laplace Transform
+// Inversion" (IPDPS 2000 Workshops): four transient solvers for rewarded
+// CTMCs — standard randomization (SR), randomization with steady-state
+// detection (RSD), regenerative randomization (RR) and the paper's new
+// variant RRL — plus the substrates (sparse kernels, Poisson arithmetic,
+// uniformization, Laplace inversion) and the paper's RAID-5 evaluation
+// models.
+//
+// Quick start (see examples/quickstart.cpp):
+//   rrl::Ctmc chain = ...;                      // your model
+//   std::vector<double> rewards = ...;          // r_i >= 0
+//   std::vector<double> alpha = ...;            // initial distribution
+//   rrl::RegenerativeRandomizationLaplace solver(chain, rewards, alpha,
+//                                                /*regenerative_state=*/0);
+//   double ua = solver.trr(t).value;            // TRR(t)
+//   double mu = solver.mrr(t).value;            // MRR(t)
+#pragma once
+
+#include "core/regenerative.hpp"       // IWYU pragma: export
+#include "core/rr_solver.hpp"          // IWYU pragma: export
+#include "core/rrl_solver.hpp"         // IWYU pragma: export
+#include "core/rrl_transform.hpp"      // IWYU pragma: export
+#include "core/solver.hpp"             // IWYU pragma: export
+#include "core/standard_randomization.hpp"   // IWYU pragma: export
+#include "core/steady_state_detection.hpp"   // IWYU pragma: export
+#include "core/vmodel.hpp"             // IWYU pragma: export
+#include "laplace/crump.hpp"           // IWYU pragma: export
+#include "laplace/epsilon.hpp"         // IWYU pragma: export
+#include "laplace/error_control.hpp"   // IWYU pragma: export
+#include "laplace/gaver_stehfest.hpp"  // IWYU pragma: export
+#include "markov/builder.hpp"          // IWYU pragma: export
+#include "markov/ctmc.hpp"             // IWYU pragma: export
+#include "markov/dtmc.hpp"             // IWYU pragma: export
+#include "markov/poisson.hpp"          // IWYU pragma: export
+#include "markov/scc.hpp"              // IWYU pragma: export
+#include "markov/steady_state.hpp"     // IWYU pragma: export
+#include "io/model_format.hpp"         // IWYU pragma: export
+#include "models/multiproc.hpp"        // IWYU pragma: export
+#include "models/raid5.hpp"            // IWYU pragma: export
+#include "models/simple.hpp"           // IWYU pragma: export
+#include "sparse/csr.hpp"              // IWYU pragma: export
+#include "sparse/vector_ops.hpp"       // IWYU pragma: export

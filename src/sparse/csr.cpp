@@ -1,0 +1,139 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+CsrMatrix CsrMatrix::from_triplets(index_t rows, index_t cols,
+                                   std::vector<Triplet> entries) {
+  RRL_EXPECTS(rows >= 0 && cols >= 0);
+  for (const Triplet& e : entries) {
+    RRL_EXPECTS(e.row >= 0 && e.row < rows);
+    RRL_EXPECTS(e.col >= 0 && e.col < cols);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+
+  for (std::size_t i = 0; i < entries.size();) {
+    const index_t r = entries[i].row;
+    const index_t c = entries[i].col;
+    double sum = 0.0;
+    for (; i < entries.size() && entries[i].row == r && entries[i].col == c;
+         ++i) {
+      sum += entries[i].value;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(sum);
+    m.row_ptr_[static_cast<std::size_t>(r) + 1] =
+        static_cast<std::int64_t>(m.values_.size());
+  }
+  // Rows without entries inherit the running offset.
+  for (std::size_t r = 1; r < m.row_ptr_.size(); ++r) {
+    m.row_ptr_[r] = std::max(m.row_ptr_[r], m.row_ptr_[r - 1]);
+  }
+  return m;
+}
+
+void CsrMatrix::mul_vec(std::span<const double> x, std::span<double> y) const {
+  RRL_EXPECTS(static_cast<index_t>(x.size()) == cols_);
+  RRL_EXPECTS(static_cast<index_t>(y.size()) == rows_);
+  RRL_EXPECTS(x.data() != y.data());
+  for (index_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const std::int64_t lo = row_ptr_[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr_[static_cast<std::size_t>(r) + 1];
+    for (std::int64_t k = lo; k < hi; ++k) {
+      acc += values_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void CsrMatrix::mul_vec_transposed(std::span<const double> x,
+                                   std::span<double> y) const {
+  RRL_EXPECTS(static_cast<index_t>(x.size()) == rows_);
+  RRL_EXPECTS(static_cast<index_t>(y.size()) == cols_);
+  RRL_EXPECTS(x.data() != y.data());
+  std::fill(y.begin(), y.end(), 0.0);
+  for (index_t r = 0; r < rows_; ++r) {
+    const double xr = x[static_cast<std::size_t>(r)];
+    if (xr == 0.0) continue;
+    const std::int64_t lo = row_ptr_[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr_[static_cast<std::size_t>(r) + 1];
+    for (std::int64_t k = lo; k < hi; ++k) {
+      y[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
+          values_[static_cast<std::size_t>(k)] * xr;
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(static_cast<std::size_t>(cols_) + 1, 0);
+  t.col_idx_.resize(values_.size());
+  t.values_.resize(values_.size());
+
+  // Counting pass: how many entries land in each transposed row.
+  for (const index_t c : col_idx_) {
+    ++t.row_ptr_[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t r = 1; r < t.row_ptr_.size(); ++r) {
+    t.row_ptr_[r] += t.row_ptr_[r - 1];
+  }
+  // Placement pass, using a scratch cursor per transposed row.
+  std::vector<std::int64_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (index_t r = 0; r < rows_; ++r) {
+    const std::int64_t lo = row_ptr_[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr_[static_cast<std::size_t>(r) + 1];
+    for (std::int64_t k = lo; k < hi; ++k) {
+      const index_t c = col_idx_[static_cast<std::size_t>(k)];
+      const std::int64_t pos = cursor[static_cast<std::size_t>(c)]++;
+      t.col_idx_[static_cast<std::size_t>(pos)] = r;
+      t.values_[static_cast<std::size_t>(pos)] =
+          values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return t;
+}
+
+std::vector<double> CsrMatrix::row_sums() const {
+  std::vector<double> sums(static_cast<std::size_t>(rows_), 0.0);
+  for (index_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const std::int64_t lo = row_ptr_[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr_[static_cast<std::size_t>(r) + 1];
+    for (std::int64_t k = lo; k < hi; ++k) {
+      acc += values_[static_cast<std::size_t>(k)];
+    }
+    sums[static_cast<std::size_t>(r)] = acc;
+  }
+  return sums;
+}
+
+double CsrMatrix::coeff(index_t row, index_t col) const {
+  RRL_EXPECTS(row >= 0 && row < rows_);
+  RRL_EXPECTS(col >= 0 && col < cols_);
+  const auto lo = row_ptr_[static_cast<std::size_t>(row)];
+  const auto hi = row_ptr_[static_cast<std::size_t>(row) + 1];
+  const auto first = col_idx_.begin() + lo;
+  const auto last = col_idx_.begin() + hi;
+  const auto it = std::lower_bound(first, last, col);
+  if (it == last || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(lo + (it - first))];
+}
+
+}  // namespace rrl

@@ -1,0 +1,82 @@
+// Compressed-sparse-row matrix substrate.
+//
+// All solvers in this library reduce to repeated sparse matrix-vector
+// products with the (randomized) transition matrix, so this module provides a
+// cache-friendly CSR container, a duplicate-summing triplet builder, a
+// transpose, and gather-style SpMV kernels. Matrices are immutable after
+// construction (P.10: prefer immutable data).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rrl {
+
+/// Index type for matrix dimensions / state indices. 32-bit indices keep the
+/// CSR arrays compact; models in this library are well below 2^31 states.
+using index_t = std::int32_t;
+
+/// One (row, col, value) entry used while assembling a sparse matrix.
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSR sparse matrix over doubles.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from triplets. Duplicate (row, col) entries are summed; entries
+  /// that sum to exactly zero are kept (callers may rely on the pattern).
+  /// Preconditions: all indices within [0, rows) x [0, cols).
+  static CsrMatrix from_triplets(index_t rows, index_t cols,
+                                 std::vector<Triplet> entries);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::int64_t nnz() const noexcept {
+    return static_cast<std::int64_t>(values_.size());
+  }
+
+  /// Row pointer array, size rows()+1.
+  [[nodiscard]] std::span<const std::int64_t> row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  /// Column index array, size nnz(), sorted within each row.
+  [[nodiscard]] std::span<const index_t> col_idx() const noexcept {
+    return col_idx_;
+  }
+  /// Value array, size nnz().
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
+  }
+
+  /// y = A x (gather kernel: one pass per row, sequential writes).
+  /// Preconditions: x.size() == cols(), y.size() == rows(); x and y distinct.
+  void mul_vec(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A^T x (scatter kernel). Preconditions mirror mul_vec.
+  void mul_vec_transposed(std::span<const double> x, std::span<double> y) const;
+
+  /// Returns A^T as a new CSR matrix (used to turn row-stochastic P into a
+  /// gather-friendly stepping operator for distributions).
+  [[nodiscard]] CsrMatrix transposed() const;
+
+  /// Sum of each row's values (e.g. total exit rates of a rate matrix).
+  [[nodiscard]] std::vector<double> row_sums() const;
+
+  /// Value at (row, col); zero if the entry is not stored. O(log nnz(row)).
+  [[nodiscard]] double coeff(index_t row, index_t col) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<std::int64_t> row_ptr_ = {0};
+  std::vector<index_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace rrl

@@ -1,0 +1,88 @@
+// Tiny command-line option parser used by the examples and benchmark
+// harnesses (no external dependencies; supports --key=value and --key value
+// as well as boolean flags).
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rrl {
+
+/// Parses `--key=value`, `--key value` and bare `--flag` arguments.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg.erase(0, 2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[arg] = argv[++i];
+      } else {
+        options_[arg] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options_.count(key) != 0;
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::strtod(it->second.c_str(),
+                                                         nullptr);
+  }
+
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback
+                                : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads an environment variable as bool ("1", "true", "yes" => true).
+[[nodiscard]] inline bool env_flag(const char* name, bool fallback = false) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "yes";
+}
+
+/// Reads an environment variable as double, with fallback.
+[[nodiscard]] inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::strtod(v, nullptr);
+}
+
+}  // namespace rrl

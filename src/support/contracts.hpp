@@ -1,0 +1,40 @@
+// Minimal contract-checking helpers in the spirit of the C++ Core Guidelines
+// (I.6/I.8: Expects/Ensures). Violations throw rrl::contract_error so that
+// library misuse is diagnosable in tests and never silently corrupts results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rrl {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class contract_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line) {
+  throw contract_error(std::string(kind) + " failed: " + cond + " at " + file +
+                       ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace rrl
+
+/// Precondition check: caller obligations on entry to a function.
+#define RRL_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::rrl::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                   __LINE__);                              \
+  } while (false)
+
+/// Postcondition / invariant check inside library code.
+#define RRL_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::rrl::detail::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

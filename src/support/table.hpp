@@ -1,0 +1,72 @@
+// Plain-text table printer used by the benchmark harnesses to emit the same
+// rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+/// Column-aligned ASCII table. Collects rows of strings and prints them with
+/// a header rule, right-aligning numeric-looking cells.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row) {
+    RRL_EXPECTS(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  /// Render the table to `os`.
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+           << r[c];
+      }
+      os << " |\n";
+    };
+    print_row(header_);
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      os << std::string(width[c] + 2, '-') << '|';
+    os << '\n';
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant digits (benchmark output).
+inline std::string fmt_sig(double v, int digits = 5) {
+  std::ostringstream ss;
+  ss << std::setprecision(digits) << v;
+  return ss.str();
+}
+
+/// Format a double in scientific notation (values such as UR(t) at ε=1e-12).
+inline std::string fmt_sci(double v, int digits = 6) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(digits) << v;
+  return ss.str();
+}
+
+}  // namespace rrl

@@ -1,0 +1,111 @@
+// Unit tests for the BFS state-space builder.
+#include "markov/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+struct Pair {
+  int a = 0;
+  int b = 0;
+  friend bool operator==(const Pair&, const Pair&) = default;
+};
+struct PairHash {
+  std::size_t operator()(const Pair& p) const noexcept {
+    return std::hash<long long>{}(static_cast<long long>(p.a) * 1000003 +
+                                  p.b);
+  }
+};
+
+TEST(Builder, ExploresReachableStatesOnly) {
+  // Random walk on a 3x3 grid, started in a corner; all 9 cells reachable.
+  using B = StateSpaceBuilder<Pair, PairHash>;
+  const auto result = B::explore(
+      {Pair{0, 0}},
+      [](const Pair& s, const B::EmitFn& emit) {
+        if (s.a < 2) emit(Pair{s.a + 1, s.b}, 1.0);
+        if (s.a > 0) emit(Pair{s.a - 1, s.b}, 1.0);
+        if (s.b < 2) emit(Pair{s.a, s.b + 1}, 1.0);
+        if (s.b > 0) emit(Pair{s.a, s.b - 1}, 1.0);
+      });
+  EXPECT_EQ(result.chain.num_states(), 9);
+  EXPECT_EQ(result.chain.num_transitions(), 24);  // 12 grid edges, both ways
+  EXPECT_EQ(result.states.size(), 9u);
+  EXPECT_EQ(result.index_of.size(), 9u);
+  // Index 0 is the initial state.
+  EXPECT_EQ(result.index_of.at(Pair{0, 0}), 0);
+}
+
+TEST(Builder, UnreachableStatesAreNotCreated) {
+  using B = StateSpaceBuilder<Pair, PairHash>;
+  const auto result = B::explore(
+      {Pair{0, 0}},
+      [](const Pair& s, const B::EmitFn& emit) {
+        if (s.a < 3) emit(Pair{s.a + 1, 0}, 2.0);  // one-way chain
+      });
+  EXPECT_EQ(result.chain.num_states(), 4);
+  EXPECT_TRUE(result.chain.is_absorbing(result.index_of.at(Pair{3, 0})));
+}
+
+TEST(Builder, ParallelTransitionsAreSummed) {
+  using B = StateSpaceBuilder<Pair, PairHash>;
+  const auto result = B::explore(
+      {Pair{0, 0}},
+      [](const Pair& s, const B::EmitFn& emit) {
+        if (s.a == 0) {
+          emit(Pair{1, 0}, 1.5);
+          emit(Pair{1, 0}, 2.5);  // second event to the same successor
+        }
+      });
+  EXPECT_DOUBLE_EQ(result.chain.exit_rates()[0], 4.0);
+  EXPECT_EQ(result.chain.num_transitions(), 1);
+}
+
+TEST(Builder, ZeroRatesIgnored) {
+  using B = StateSpaceBuilder<Pair, PairHash>;
+  const auto result = B::explore(
+      {Pair{0, 0}},
+      [](const Pair& s, const B::EmitFn& emit) {
+        if (s.a == 0) emit(Pair{1, 0}, 0.0);
+      });
+  EXPECT_EQ(result.chain.num_states(), 1);
+}
+
+TEST(Builder, SelfLoopEmissionIsRejected) {
+  using B = StateSpaceBuilder<Pair, PairHash>;
+  EXPECT_THROW(
+      B::explore({Pair{0, 0}},
+                 [](const Pair& s, const B::EmitFn& emit) {
+                   emit(s, 1.0);
+                 }),
+      contract_error);
+}
+
+TEST(Builder, MaxStatesSafetyValve) {
+  using B = StateSpaceBuilder<Pair, PairHash>;
+  EXPECT_THROW(
+      B::explore({Pair{0, 0}},
+                 [](const Pair& s, const B::EmitFn& emit) {
+                   emit(Pair{s.a + 1, 0}, 1.0);  // unbounded generator
+                 },
+                 /*max_states=*/100),
+      contract_error);
+}
+
+TEST(Builder, MultipleInitialStates) {
+  using B = StateSpaceBuilder<Pair, PairHash>;
+  const auto result = B::explore(
+      {Pair{0, 0}, Pair{5, 5}},
+      [](const Pair& s, const B::EmitFn& emit) {
+        if (s.a == 0) emit(Pair{1, 0}, 1.0);
+        if (s.a == 5) emit(Pair{0, 0}, 1.0);
+      });
+  EXPECT_EQ(result.chain.num_states(), 3);
+  EXPECT_EQ(result.index_of.at(Pair{5, 5}), 1);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,147 @@
+// Property-based cross-solver agreement over randomized CTMCs
+// (parameterized gtest sweep): for every generated model and time point,
+// all applicable solvers must agree within a small multiple of eps, and the
+// structural invariants of the regenerative schema must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/regenerative.hpp"
+#include "core/rr_solver.hpp"
+#include "core/rrl_solver.hpp"
+#include "core/standard_randomization.hpp"
+#include "core/steady_state_detection.hpp"
+#include "models/simple.hpp"
+
+namespace rrl {
+namespace {
+
+struct CaseSpec {
+  std::uint64_t seed;
+  index_t states;
+  index_t absorbing;
+  double t;
+};
+
+class CrossSolver : public ::testing::TestWithParam<CaseSpec> {
+ protected:
+  static constexpr double kEps = 1e-10;
+
+  void SetUp() override {
+    const CaseSpec spec = GetParam();
+    chain_ = make_random_ctmc({.num_states = spec.states,
+                               .num_absorbing = spec.absorbing,
+                               .seed = spec.seed});
+    rewards_.assign(static_cast<std::size_t>(spec.states), 0.0);
+    // A transient reward and (when present) rewarded absorbing states with
+    // distinct rates, per the paper's general reward structure.
+    rewards_[static_cast<std::size_t>(spec.states) / 2] = 0.75;
+    for (index_t i = 0; i < spec.absorbing; ++i) {
+      rewards_[static_cast<std::size_t>(spec.states - 1 - i)] =
+          1.0 - 0.25 * static_cast<double>(i);
+    }
+    alpha_.assign(static_cast<std::size_t>(spec.states), 0.0);
+    alpha_[0] = 1.0;
+  }
+
+  Ctmc chain_;
+  std::vector<double> rewards_;
+  std::vector<double> alpha_;
+};
+
+TEST_P(CrossSolver, TrrAgreesAcrossAllMethods) {
+  const CaseSpec spec = GetParam();
+  SrOptions sr_opt;
+  sr_opt.epsilon = kEps;
+  const StandardRandomization sr(chain_, rewards_, alpha_, sr_opt);
+  const double reference = sr.trr(spec.t).value;
+
+  RrOptions rr_opt;
+  rr_opt.epsilon = kEps;
+  const RegenerativeRandomization rr(chain_, rewards_, alpha_, 0, rr_opt);
+  EXPECT_NEAR(rr.trr(spec.t).value, reference, 10.0 * kEps);
+
+  RrlOptions rrl_opt;
+  rrl_opt.epsilon = kEps;
+  const RegenerativeRandomizationLaplace rrl_solver(chain_, rewards_, alpha_,
+                                                    0, rrl_opt);
+  const auto rrl_result = rrl_solver.trr(spec.t);
+  EXPECT_TRUE(rrl_result.stats.inversion_converged);
+  EXPECT_NEAR(rrl_result.value, reference, 10.0 * kEps);
+
+  if (spec.absorbing == 0) {
+    RsdOptions rsd_opt;
+    rsd_opt.epsilon = kEps;
+    const RandomizationSteadyStateDetection rsd(chain_, rewards_, alpha_,
+                                                rsd_opt);
+    EXPECT_NEAR(rsd.trr(spec.t).value, reference, 10.0 * kEps);
+  }
+}
+
+TEST_P(CrossSolver, MrrAgreesAcrossAllMethods) {
+  const CaseSpec spec = GetParam();
+  SrOptions sr_opt;
+  sr_opt.epsilon = kEps;
+  const StandardRandomization sr(chain_, rewards_, alpha_, sr_opt);
+  const double reference = sr.mrr(spec.t).value;
+  const double tol = 10.0 * kEps * std::max(1.0, spec.t);
+
+  RrOptions rr_opt;
+  rr_opt.epsilon = kEps;
+  const RegenerativeRandomization rr(chain_, rewards_, alpha_, 0, rr_opt);
+  EXPECT_NEAR(rr.mrr(spec.t).value, reference, tol);
+
+  RrlOptions rrl_opt;
+  rrl_opt.epsilon = kEps;
+  const RegenerativeRandomizationLaplace rrl_solver(chain_, rewards_, alpha_,
+                                                    0, rrl_opt);
+  EXPECT_NEAR(rrl_solver.mrr(spec.t).value, reference, tol);
+}
+
+TEST_P(CrossSolver, SchemaInvariantsHold) {
+  const CaseSpec spec = GetParam();
+  const auto schema =
+      compute_regenerative_schema(chain_, rewards_, alpha_, 0, spec.t, {});
+  // a(0) = 1, non-increasing, in [0, 1].
+  EXPECT_DOUBLE_EQ(schema.main.a[0], 1.0);
+  for (std::size_t k = 0; k < schema.main.a.size(); ++k) {
+    EXPECT_GE(schema.main.a[k], 0.0);
+    EXPECT_LE(schema.main.a[k], 1.0 + 1e-14);
+    if (k > 0) {
+      EXPECT_LE(schema.main.a[k], schema.main.a[k - 1] * (1.0 + 1e-14));
+    }
+    // c(k) <= r_max * a(k).
+    EXPECT_LE(schema.main.c[k],
+              schema.r_max * schema.main.a[k] * (1.0 + 1e-12));
+  }
+  // Mass conservation per step.
+  for (std::size_t k = 0; k + 1 < schema.main.a.size(); ++k) {
+    double out = schema.main.a[k + 1] + schema.main.qa[k];
+    for (const auto& va : schema.main.va) out += va[k];
+    EXPECT_NEAR(out, schema.main.a[k], 1e-13);
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<CaseSpec>& info) {
+  const CaseSpec& c = info.param;
+  return "seed" + std::to_string(c.seed) + "_n" + std::to_string(c.states) +
+         "_A" + std::to_string(c.absorbing) + "_t" +
+         std::to_string(static_cast<int>(c.t * 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomModels, CrossSolver,
+    ::testing::Values(
+        // Irreducible models (A = 0) across sizes and horizons.
+        CaseSpec{1, 8, 0, 0.4}, CaseSpec{2, 8, 0, 4.0},
+        CaseSpec{3, 15, 0, 12.0}, CaseSpec{4, 15, 0, 120.0},
+        CaseSpec{5, 30, 0, 7.0}, CaseSpec{6, 30, 0, 70.0},
+        // Absorbing models (A = 1, 2, 3).
+        CaseSpec{7, 10, 1, 1.5}, CaseSpec{8, 10, 1, 15.0},
+        CaseSpec{9, 20, 2, 3.0}, CaseSpec{10, 20, 2, 30.0},
+        CaseSpec{11, 25, 3, 9.0}, CaseSpec{12, 12, 1, 90.0}),
+    case_name);
+
+}  // namespace
+}  // namespace rrl

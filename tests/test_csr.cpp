@@ -1,0 +1,147 @@
+// Unit tests for the CSR sparse-matrix substrate.
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+CsrMatrix small() {
+  // [ 1 2 0 ]
+  // [ 0 0 3 ]
+  // [ 4 0 5 ]
+  return CsrMatrix::from_triplets(
+      3, 3, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 2, 3.0}, {2, 0, 4.0}, {2, 2, 5.0}});
+}
+
+TEST(Csr, BasicShape) {
+  const CsrMatrix m = small();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 5);
+}
+
+TEST(Csr, CoeffLookup) {
+  const CsrMatrix m = small();
+  EXPECT_DOUBLE_EQ(m.coeff(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.coeff(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.coeff(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.coeff(2, 1), 0.0);
+}
+
+TEST(Csr, DuplicatesAreSummed) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      2, 2, {{0, 1, 1.5}, {0, 1, 2.5}, {1, 0, -1.0}, {1, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(m.coeff(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.coeff(1, 0), 0.0);  // summed to zero but pattern kept
+  EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(Csr, UnsortedInputIsSorted) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      2, 3, {{1, 2, 6.0}, {0, 2, 3.0}, {1, 0, 4.0}, {0, 0, 1.0}});
+  const auto cols = m.col_idx();
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 2);
+  EXPECT_EQ(cols[2], 0);
+  EXPECT_EQ(cols[3], 2);
+}
+
+TEST(Csr, EmptyRows) {
+  const CsrMatrix m = CsrMatrix::from_triplets(4, 4, {{3, 0, 7.0}});
+  const auto rp = m.row_ptr();
+  EXPECT_EQ(rp[0], 0);
+  EXPECT_EQ(rp[1], 0);
+  EXPECT_EQ(rp[2], 0);
+  EXPECT_EQ(rp[3], 0);
+  EXPECT_EQ(rp[4], 1);
+  EXPECT_DOUBLE_EQ(m.coeff(3, 0), 7.0);
+}
+
+TEST(Csr, MulVec) {
+  const CsrMatrix m = small();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3, 0.0);
+  m.mul_vec(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 * 1 + 2.0 * 2);  // 5
+  EXPECT_DOUBLE_EQ(y[1], 3.0 * 3);            // 9
+  EXPECT_DOUBLE_EQ(y[2], 4.0 * 1 + 5.0 * 3);  // 19
+}
+
+TEST(Csr, MulVecTransposed) {
+  const CsrMatrix m = small();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3, 0.0);
+  m.mul_vec_transposed(x, y);
+  // y = A^T x: y_j = sum_i A(i,j) x_i
+  EXPECT_DOUBLE_EQ(y[0], 1.0 * 1 + 4.0 * 3);  // 13
+  EXPECT_DOUBLE_EQ(y[1], 2.0 * 1);            // 2
+  EXPECT_DOUBLE_EQ(y[2], 3.0 * 2 + 5.0 * 3);  // 21
+}
+
+TEST(Csr, TransposedMatchesMulVecTransposed) {
+  const CsrMatrix m = small();
+  const CsrMatrix mt = m.transposed();
+  EXPECT_EQ(mt.rows(), 3);
+  EXPECT_EQ(mt.nnz(), m.nnz());
+  const std::vector<double> x = {0.5, -1.0, 2.0};
+  std::vector<double> y1(3, 0.0);
+  std::vector<double> y2(3, 0.0);
+  m.mul_vec_transposed(x, y1);
+  mt.mul_vec(x, y2);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(Csr, DoubleTransposeRoundTrip) {
+  const CsrMatrix m = small();
+  const CsrMatrix mtt = m.transposed().transposed();
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(mtt.coeff(i, j), m.coeff(i, j));
+    }
+  }
+}
+
+TEST(Csr, RowSums) {
+  const auto sums = small().row_sums();
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 3.0);
+  EXPECT_DOUBLE_EQ(sums[2], 9.0);
+}
+
+TEST(Csr, RejectsOutOfRangeIndices) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0}}),
+               contract_error);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{0, -1, 1.0}}),
+               contract_error);
+}
+
+TEST(Csr, MulVecRejectsBadSizes) {
+  const CsrMatrix m = small();
+  std::vector<double> x(2, 0.0);
+  std::vector<double> y(3, 0.0);
+  EXPECT_THROW(m.mul_vec(x, y), contract_error);
+}
+
+TEST(Csr, RectangularMatrix) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(2, 4, {{0, 3, 1.0}, {1, 1, 2.0}});
+  const std::vector<double> x = {1.0, 1.0, 1.0, 1.0};
+  std::vector<double> y(2, 0.0);
+  m.mul_vec(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  const CsrMatrix mt = m.transposed();
+  EXPECT_EQ(mt.rows(), 4);
+  EXPECT_EQ(mt.cols(), 2);
+  EXPECT_DOUBLE_EQ(mt.coeff(3, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,84 @@
+// Unit tests for the CTMC representation and structural classification.
+#include "markov/ctmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/simple.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(Ctmc, ExitRatesAndMax) {
+  const Ctmc c = Ctmc::from_transitions(
+      3, {{0, 1, 2.0}, {0, 2, 1.0}, {1, 0, 5.0}});
+  EXPECT_EQ(c.num_states(), 3);
+  EXPECT_EQ(c.num_transitions(), 3);
+  EXPECT_DOUBLE_EQ(c.exit_rates()[0], 3.0);
+  EXPECT_DOUBLE_EQ(c.exit_rates()[1], 5.0);
+  EXPECT_DOUBLE_EQ(c.exit_rates()[2], 0.0);
+  EXPECT_DOUBLE_EQ(c.max_exit_rate(), 5.0);
+}
+
+TEST(Ctmc, AbsorbingDetection) {
+  const Ctmc c = Ctmc::from_transitions(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  EXPECT_FALSE(c.is_absorbing(0));
+  EXPECT_FALSE(c.is_absorbing(1));
+  EXPECT_TRUE(c.is_absorbing(2));
+  const auto abs = c.absorbing_states();
+  ASSERT_EQ(abs.size(), 1u);
+  EXPECT_EQ(abs[0], 2);
+}
+
+TEST(Ctmc, ZeroRatesAreDropped) {
+  const Ctmc c = Ctmc::from_transitions(2, {{0, 1, 0.0}, {1, 0, 1.0}});
+  EXPECT_EQ(c.num_transitions(), 1);
+  EXPECT_TRUE(c.is_absorbing(0));
+}
+
+TEST(Ctmc, RejectsSelfLoops) {
+  EXPECT_THROW(Ctmc::from_transitions(2, {{0, 0, 1.0}}), contract_error);
+}
+
+TEST(Ctmc, RejectsNegativeRates) {
+  EXPECT_THROW(Ctmc::from_transitions(2, {{0, 1, -1.0}}), contract_error);
+}
+
+TEST(CtmcStructure, IrreducibleChain) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const CtmcStructure s = classify_structure(m.chain);
+  EXPECT_TRUE(s.valid);
+  EXPECT_TRUE(s.irreducible);
+  EXPECT_TRUE(s.absorbing.empty());
+  EXPECT_EQ(s.transient_scc_count, 1);
+}
+
+TEST(CtmcStructure, AbsorbingChainIsValidButNotIrreducible) {
+  // 0 <-> 1, both -> f (paper structure with A = 1).
+  const Ctmc c = Ctmc::from_transitions(
+      3, {{0, 1, 1.0}, {1, 0, 1.0}, {0, 2, 0.1}, {1, 2, 0.1}});
+  const CtmcStructure s = classify_structure(c);
+  EXPECT_TRUE(s.valid);
+  EXPECT_FALSE(s.irreducible);
+  ASSERT_EQ(s.absorbing.size(), 1u);
+  EXPECT_EQ(s.absorbing[0], 2);
+}
+
+TEST(CtmcStructure, DisconnectedTransientPartIsInvalid) {
+  // Two separate cycles: transient states form two SCCs.
+  const Ctmc c = Ctmc::from_transitions(
+      4, {{0, 1, 1.0}, {1, 0, 1.0}, {2, 3, 1.0}, {3, 2, 1.0}});
+  const CtmcStructure s = classify_structure(c);
+  EXPECT_FALSE(s.valid);
+  EXPECT_EQ(s.transient_scc_count, 2);
+}
+
+TEST(CtmcStructure, OneWayChainIsInvalid) {
+  // 0 -> 1 -> 2 with no way back: {0} and {1} are separate SCCs.
+  const Ctmc c = Ctmc::from_transitions(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  const CtmcStructure s = classify_structure(c);
+  EXPECT_FALSE(s.valid);
+}
+
+}  // namespace
+}  // namespace rrl

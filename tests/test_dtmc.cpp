@@ -1,0 +1,93 @@
+// Unit tests for the randomized (uniformized) DTMC.
+#include "markov/dtmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/simple.hpp"
+#include "sparse/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(Dtmc, LambdaIsMaxExitRate) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const RandomizedDtmc d(m.chain);
+  EXPECT_DOUBLE_EQ(d.lambda(), 1.0);
+}
+
+TEST(Dtmc, RateFactorScalesLambda) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const RandomizedDtmc d(m.chain, 1.5);
+  EXPECT_DOUBLE_EQ(d.lambda(), 1.5);
+}
+
+TEST(Dtmc, TransitionMatrixIsStochastic) {
+  const Ctmc c = Ctmc::from_transitions(
+      3, {{0, 1, 2.0}, {0, 2, 1.0}, {1, 0, 5.0}, {2, 0, 0.5}});
+  const RandomizedDtmc d(c);
+  // Row sums of P = column sums of the stored P^T.
+  std::vector<double> ones(3, 1.0);
+  std::vector<double> col_sums(3, 0.0);
+  d.transition_transposed().mul_vec_transposed(ones, col_sums);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(col_sums[i], 1.0, 1e-15) << "row " << i;
+  }
+}
+
+TEST(Dtmc, SelfLoopProbabilities) {
+  const Ctmc c = Ctmc::from_transitions(
+      3, {{0, 1, 2.0}, {1, 0, 4.0}, {2, 0, 1.0}});
+  const RandomizedDtmc d(c);
+  EXPECT_DOUBLE_EQ(d.lambda(), 4.0);
+  EXPECT_DOUBLE_EQ(d.self_loop(0), 0.5);
+  EXPECT_DOUBLE_EQ(d.self_loop(1), 0.0);
+  EXPECT_DOUBLE_EQ(d.self_loop(2), 0.75);
+}
+
+TEST(Dtmc, StepPreservesProbabilityMass) {
+  const auto m = make_mm1k(2.0, 3.0, 5);
+  const RandomizedDtmc d(m.chain);
+  std::vector<double> pi(6, 0.0);
+  pi[0] = 1.0;
+  std::vector<double> next(6, 0.0);
+  for (int k = 0; k < 100; ++k) {
+    d.step(pi, next);
+    pi.swap(next);
+    EXPECT_NEAR(sum(pi), 1.0, 1e-13);
+  }
+}
+
+TEST(Dtmc, StepMatchesManualComputation) {
+  // Two-state: P = [[1-l/L, l/L], [m/L, 1-m/L]] with L = max(l, m).
+  const auto m = make_two_state(0.5, 2.0);
+  const RandomizedDtmc d(m.chain);
+  std::vector<double> pi = {0.25, 0.75};
+  std::vector<double> next(2, 0.0);
+  d.step(pi, next);
+  EXPECT_NEAR(next[0], 0.25 * (1 - 0.25) + 0.75 * 1.0, 1e-15);
+  EXPECT_NEAR(next[1], 0.25 * 0.25 + 0.75 * 0.0, 1e-15);
+}
+
+TEST(Dtmc, AbsorbingStateGetsFullSelfLoop) {
+  const Ctmc c = Ctmc::from_transitions(2, {{0, 1, 1.0}});
+  const RandomizedDtmc d(c);
+  EXPECT_DOUBLE_EQ(d.self_loop(1), 1.0);
+  std::vector<double> pi = {0.0, 1.0};
+  std::vector<double> next(2, 0.0);
+  d.step(pi, next);
+  EXPECT_DOUBLE_EQ(next[1], 1.0);
+}
+
+TEST(Dtmc, RejectsAllAbsorbingChain) {
+  const Ctmc c = Ctmc::from_transitions(2, {{0, 1, 0.0}});
+  EXPECT_THROW(RandomizedDtmc{c}, contract_error);
+}
+
+TEST(Dtmc, RejectsRateFactorBelowOne) {
+  const auto m = make_two_state(1.0, 1.0);
+  EXPECT_THROW(RandomizedDtmc(m.chain, 0.5), contract_error);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,119 @@
+// Unit tests for the Section 2.2 damping-parameter selection.
+#include "laplace/error_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(ErrorControl, BoundedCaseSolvesTheDefiningEquation) {
+  // a must satisfy bound * e^{-2aT}/(1 - e^{-2aT}) = eps/4.
+  for (const double bound : {1.0, 0.01, 250.0}) {
+    for (const double eps : {1e-6, 1e-12}) {
+      const double T = 8.0 * 100.0;
+      const double a = damping_for_bounded(bound, eps, T);
+      EXPECT_GT(a, 0.0);
+      const double x = std::exp(-2.0 * a * T);
+      EXPECT_NEAR(bound * x / (1.0 - x), eps / 4.0, 1e-6 * eps);
+    }
+  }
+}
+
+TEST(ErrorControl, BoundedCasePaperScale) {
+  // eps = 1e-12, r_max = 1, T = 8t: e^{at} = (1 + 4e12)^{1/16} ~ 6.13 —
+  // the damping amplification the inversion has to live with.
+  const double t = 1000.0;
+  const double a = damping_for_bounded(1.0, 1e-12, 8.0 * t);
+  EXPECT_NEAR(std::exp(a * t), std::pow(1.0 + 4e12, 1.0 / 16.0), 1e-9);
+}
+
+TEST(ErrorControl, TimeLinearCaseSolvesEq2) {
+  // x = e^{-2aT} must be the (0,1) root of
+  //   (eps/4 + Mt) x^2 - (eps/2 + (t+2T)M) x + eps/4 = 0.
+  for (const double t : {1.0, 100.0, 1e5}) {
+    for (const double eps : {1e-6, 1e-12}) {
+      const double M = 1.0;
+      const double T = 8.0 * t;
+      const double a = damping_for_time_linear(M, eps, t, T);
+      const double x = std::exp(-2.0 * a * T);
+      EXPECT_GT(x, 0.0);
+      EXPECT_LT(x, 1.0);
+      const double residual =
+          (eps / 4.0 + M * t) * x * x - (eps / 2.0 + (t + 2.0 * T) * M) * x +
+          eps / 4.0;
+      // Residual relative to the linear coefficient.
+      EXPECT_LT(std::abs(residual) / ((t + 2.0 * T) * M), 1e-14)
+          << "t=" << t << " eps=" << eps;
+    }
+  }
+}
+
+TEST(ErrorControl, TimeLinearMatchesDiscretizationErrorBound) {
+  // The a returned must make the C-series discretization bound equal eps/4:
+  //   M ((t+2T) x - t x^2) / (1-x)^2 = eps/4.
+  const double t = 50.0;
+  const double eps = 1e-10;
+  const double M = 2.5;
+  const double T = 8.0 * t;
+  const double a = damping_for_time_linear(M, eps, t, T);
+  const double x = std::exp(-2.0 * a * T);
+  const double bound =
+      M * ((t + 2.0 * T) * x - t * x * x) / ((1.0 - x) * (1.0 - x));
+  EXPECT_NEAR(bound, eps / 4.0, 1e-5 * eps);
+}
+
+TEST(ErrorControl, ConjugateFormAgreesWithNaiveEq2WhenBenign) {
+  // For moderate parameters the paper's direct Eq. (2) expression is
+  // accurate; the conjugate form must agree with it.
+  const double t = 10.0;
+  const double eps = 1e-4;  // benign: no catastrophic cancellation
+  const double M = 1.0;
+  const double T = 8.0 * t;
+  const double B = eps / 2.0 + (t + 2.0 * T) * M;
+  const double C = eps / 4.0 + t * M;
+  const double naive_x = (B - std::sqrt(B * B - C * eps)) / (2.0 * C);
+  const double a = damping_for_time_linear(M, eps, t, T);
+  EXPECT_NEAR(std::exp(-2.0 * a * T), naive_x, 1e-8 * naive_x);
+}
+
+TEST(ErrorControl, StableWhereNaiveEq2Cancels) {
+  // Paper: Eq. (2) "has severe cancellation errors" when
+  // y = sqrt((eps/4 + t r_max)/(eps/2 + (t+2T) r_max)) << 1... here eps is
+  // tiny, so the naive numerator is B - sqrt(B^2 - C*eps) with C*eps/B^2 ~
+  // 1e-18: complete cancellation in double precision. The conjugate form
+  // must still produce the correct root.
+  const double t = 1e5;
+  const double eps = 1e-12;
+  const double M = 1.0;
+  const double T = 8.0 * t;
+  const double a = damping_for_time_linear(M, eps, t, T);
+  const double x = std::exp(-2.0 * a * T);
+  // Verify against the defining quadratic evaluated in long double.
+  const long double B = eps / 2.0L + (t + 2.0L * T) * M;
+  const long double C = eps / 4.0L + static_cast<long double>(t) * M;
+  const long double residual = C * x * x - B * x + eps / 4.0L;
+  EXPECT_LT(std::abs(static_cast<double>(residual)) / static_cast<double>(B),
+            1e-16);
+}
+
+TEST(ErrorControl, MoreAccuracyMeansMoreDamping) {
+  const double T = 800.0;
+  EXPECT_GT(damping_for_bounded(1.0, 1e-12, T),
+            damping_for_bounded(1.0, 1e-6, T));
+  EXPECT_GT(damping_for_time_linear(1.0, 1e-12, 100.0, T),
+            damping_for_time_linear(1.0, 1e-6, 100.0, T));
+}
+
+TEST(ErrorControl, RejectsInvalidArguments) {
+  EXPECT_THROW(damping_for_bounded(-1.0, 1e-6, 1.0), contract_error);
+  EXPECT_THROW(damping_for_bounded(1.0, 0.0, 1.0), contract_error);
+  EXPECT_THROW(damping_for_time_linear(0.0, 1e-6, 1.0, 1.0), contract_error);
+  EXPECT_THROW(damping_for_time_linear(1.0, 1e-6, -1.0, 1.0), contract_error);
+}
+
+}  // namespace
+}  // namespace rrl

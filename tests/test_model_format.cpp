@@ -1,0 +1,132 @@
+// Tests of the plain-text model interchange format.
+#include "io/model_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "models/multiproc.hpp"
+#include "models/raid5.hpp"
+#include "core/rrl_solver.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(ModelFormat, ParsesMinimalModel) {
+  std::istringstream in(R"(# a two-state availability model
+states 2
+transition 0 1 0.001
+transition 1 0 1.0
+reward 1 1.0
+)");
+  const ModelFile m = read_model(in);
+  EXPECT_EQ(m.chain.num_states(), 2);
+  EXPECT_EQ(m.chain.num_transitions(), 2);
+  EXPECT_DOUBLE_EQ(m.rewards[1], 1.0);
+  EXPECT_DOUBLE_EQ(m.initial[0], 1.0);  // default: delta at state 0
+  EXPECT_EQ(m.regenerative, -1);
+}
+
+TEST(ModelFormat, ParsesFullModel) {
+  std::istringstream in(R"(states 3
+regenerative 0
+initial 0 0.25
+initial 1 0.75
+reward 2 0.5
+transition 0 1 1.0   # inline comment
+transition 1 2 2.0
+transition 2 0 3.0
+)");
+  const ModelFile m = read_model(in);
+  EXPECT_EQ(m.regenerative, 0);
+  EXPECT_DOUBLE_EQ(m.initial[1], 0.75);
+  EXPECT_DOUBLE_EQ(m.rewards[2], 0.5);
+  EXPECT_DOUBLE_EQ(m.chain.rates().coeff(1, 2), 2.0);
+}
+
+TEST(ModelFormat, DuplicateTransitionsAreSummed) {
+  std::istringstream in(R"(states 2
+transition 0 1 1.0
+transition 0 1 0.5
+transition 1 0 1.0
+)");
+  const ModelFile m = read_model(in);
+  EXPECT_DOUBLE_EQ(m.chain.rates().coeff(0, 1), 1.5);
+}
+
+TEST(ModelFormat, RoundTripPreservesTheModel) {
+  Raid5Params p;
+  p.groups = 3;
+  const Raid5Model original = build_raid5_availability(p);
+  std::stringstream buffer;
+  write_model(buffer, original.chain, original.failure_rewards(),
+              original.initial_distribution(), original.initial_state);
+  const ModelFile loaded = read_model(buffer);
+
+  EXPECT_EQ(loaded.chain.num_states(), original.chain.num_states());
+  EXPECT_EQ(loaded.chain.num_transitions(),
+            original.chain.num_transitions());
+  EXPECT_EQ(loaded.regenerative, original.initial_state);
+  for (index_t i = 0; i < original.chain.num_states(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.chain.exit_rates()[static_cast<std::size_t>(i)],
+                     original.chain.exit_rates()[static_cast<std::size_t>(i)])
+        << "state " << i;
+  }
+  // And the loaded model solves to the same measure.
+  RrlOptions opt;
+  opt.epsilon = 1e-12;
+  const RegenerativeRandomizationLaplace a(
+      original.chain, original.failure_rewards(),
+      original.initial_distribution(), original.initial_state, opt);
+  const RegenerativeRandomizationLaplace b(loaded.chain, loaded.rewards,
+                                           loaded.initial,
+                                           loaded.regenerative, opt);
+  EXPECT_NEAR(a.trr(100.0).value, b.trr(100.0).value, 1e-15);
+}
+
+TEST(ModelFormat, FileRoundTrip) {
+  const MultiprocModel m = build_multiproc_reliability({});
+  const std::string path = "/tmp/rrl_model_roundtrip_test.rrlm";
+  write_model_file(path, m.chain, m.failure_rewards(),
+                   m.initial_distribution(), m.initial_state);
+  const ModelFile loaded = read_model_file(path);
+  EXPECT_EQ(loaded.chain.num_states(), m.chain.num_states());
+  EXPECT_EQ(loaded.chain.num_transitions(), m.chain.num_transitions());
+}
+
+TEST(ModelFormat, ErrorsCarryLineNumbers) {
+  const auto expect_error = [](const char* text, const char* fragment) {
+    std::istringstream in(text);
+    try {
+      (void)read_model(in);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const contract_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("transition 0 1 1.0\n", "'states <N>' must come before");
+  expect_error("states 2\nstates 3\n", "duplicate 'states'");
+  expect_error("states 0\n", "positive count");
+  expect_error("states 2\ntransition 0 5 1.0\n", "bad target state");
+  expect_error("states 2\ntransition 0 1 -2\n", "non-negative rate");
+  expect_error("states 2\ntransition 1 1 1.0\n", "self-loop");
+  expect_error("states 2\nreward 0 -1\n", "non-negative value");
+  expect_error("states 2\ninitial 0 1.5\n", "probability in [0, 1]");
+  expect_error("states 2\nfrobnicate 1\n", "unknown keyword");
+  expect_error("states 2\ntransition 0 1 1\ninitial 0 0.4\n", "sums to");
+}
+
+TEST(ModelFormat, MissingStatesLine) {
+  std::istringstream in("# only comments\n");
+  EXPECT_THROW((void)read_model(in), contract_error);
+}
+
+TEST(ModelFormat, MissingFileThrows) {
+  EXPECT_THROW((void)read_model_file("/nonexistent/path/model.rrlm"),
+               contract_error);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,151 @@
+// Tests of the fault-tolerant multiprocessor model generator.
+#include "models/multiproc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rrl_solver.hpp"
+#include "core/standard_randomization.hpp"
+#include "markov/ctmc.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(Multiproc, StructureOfBothVariants) {
+  const MultiprocParams p;
+  const auto avail = build_multiproc_availability(p);
+  const auto rel = build_multiproc_reliability(p);
+  EXPECT_TRUE(classify_structure(avail.chain).irreducible);
+  const auto s = classify_structure(rel.chain);
+  EXPECT_TRUE(s.valid);
+  ASSERT_EQ(s.absorbing.size(), 1u);
+  EXPECT_EQ(s.absorbing[0], rel.failed_state);
+  EXPECT_EQ(avail.chain.num_states(), rel.chain.num_states());
+  EXPECT_EQ(avail.chain.num_transitions(), rel.chain.num_transitions() + 1);
+}
+
+TEST(Multiproc, StateSpaceIsTheOperationalBox) {
+  // Operational states: fp <= P - min_procs, fm <= M - min_mems,
+  // fb <= B - 1, plus the failed state.
+  const MultiprocParams p;  // P=8,min 2; M=4,min 1; B=2
+  const auto m = build_multiproc_availability(p);
+  const int expected =
+      (p.processors - p.min_procs + 1) * (p.memories - p.min_mems + 1) *
+          p.buses +
+      1;
+  EXPECT_EQ(m.chain.num_states(), expected);
+  for (const MultiprocState& s : m.states) {
+    if (s.failed) continue;
+    EXPECT_LE(s.fp, p.processors - p.min_procs);
+    EXPECT_LE(s.fm, p.memories - p.min_mems);
+    EXPECT_LE(s.fb, p.buses - 1);
+  }
+}
+
+TEST(Multiproc, UncoveredFailureRateIsExplicit) {
+  const MultiprocParams p;
+  const auto m = build_multiproc_availability(p);
+  // From the initial state, the crash rate is the uncovered fraction of
+  // the total failure rate.
+  const double total_failure_rate = p.processors * p.lambda_p +
+                                    p.memories * p.lambda_m +
+                                    p.buses * p.lambda_b;
+  EXPECT_NEAR(m.chain.rates().coeff(m.initial_state, m.failed_state),
+              (1.0 - p.coverage) * total_failure_rate, 1e-15);
+}
+
+TEST(Multiproc, PerfectCoverageRemovesDirectCrashFromFullState) {
+  MultiprocParams p;
+  p.coverage = 1.0;
+  const auto m = build_multiproc_availability(p);
+  EXPECT_DOUBLE_EQ(m.chain.rates().coeff(m.initial_state, m.failed_state),
+                   0.0);
+}
+
+TEST(Multiproc, RepairmanPriorityIsProcessorsFirst) {
+  const MultiprocParams p;
+  const auto m = build_multiproc_availability(p);
+  // Find a state with both a processor and a memory failed: only the
+  // processor repair arc may exist.
+  for (std::size_t i = 0; i < m.states.size(); ++i) {
+    const MultiprocState& s = m.states[i];
+    if (s.failed || s.fp != 1 || s.fm != 1 || s.fb != 0) continue;
+    MultiprocState after_p{0, 1, 0, false};
+    MultiprocState after_m{1, 0, 0, false};
+    index_t ip = -1;
+    index_t im = -1;
+    for (std::size_t j = 0; j < m.states.size(); ++j) {
+      if (m.states[j] == after_p) ip = static_cast<index_t>(j);
+      if (m.states[j] == after_m) im = static_cast<index_t>(j);
+    }
+    ASSERT_GE(ip, 0);
+    ASSERT_GE(im, 0);
+    EXPECT_DOUBLE_EQ(
+        m.chain.rates().coeff(static_cast<index_t>(i), ip), p.mu_p);
+    EXPECT_DOUBLE_EQ(
+        m.chain.rates().coeff(static_cast<index_t>(i), im), 0.0);
+    return;
+  }
+  FAIL() << "state with fp=1, fm=1 not found";
+}
+
+TEST(Multiproc, SolversAgreeOnUnavailability) {
+  const auto m = build_multiproc_availability({});
+  const double eps = 1e-11;
+  SrOptions sr_opt;
+  sr_opt.epsilon = eps;
+  const StandardRandomization sr(m.chain, m.failure_rewards(),
+                                 m.initial_distribution(), sr_opt);
+  RrlOptions rrl_opt;
+  rrl_opt.epsilon = eps;
+  const RegenerativeRandomizationLaplace rrl_solver(
+      m.chain, m.failure_rewards(), m.initial_distribution(),
+      m.initial_state, rrl_opt);
+  for (const double t : {1.0, 100.0, 10000.0}) {
+    EXPECT_NEAR(rrl_solver.trr(t).value, sr.trr(t).value, 10.0 * eps)
+        << "t=" << t;
+  }
+}
+
+TEST(Multiproc, CoverageDominatesTheFailureRate) {
+  // The signature of imperfect-coverage systems: unreliability scales
+  // roughly with (1 - coverage), not with raw component failure rates.
+  auto ur_at = [](double coverage) {
+    MultiprocParams p;
+    p.coverage = coverage;
+    const auto m = build_multiproc_reliability(p);
+    RrlOptions opt;
+    opt.epsilon = 1e-10;
+    const RegenerativeRandomizationLaplace s(
+        m.chain, m.failure_rewards(), m.initial_distribution(),
+        m.initial_state, opt);
+    return s.trr(1e4).value;
+  };
+  const double ur_poor = ur_at(0.95);
+  const double ur_good = ur_at(0.995);
+  EXPECT_GT(ur_poor, 5.0 * ur_good);
+  EXPECT_LT(ur_poor, 20.0 * ur_good);  // ~10x, matching the coverage ratio
+}
+
+TEST(Multiproc, CapacityRewardsAreSane) {
+  const auto m = build_multiproc_availability({});
+  const auto r = m.capacity_rewards();
+  EXPECT_DOUBLE_EQ(r[static_cast<std::size_t>(m.initial_state)], 1.0);
+  EXPECT_DOUBLE_EQ(r[static_cast<std::size_t>(m.failed_state)], 0.0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_GE(r[i], 0.0);
+    EXPECT_LE(r[i], 1.0);
+  }
+}
+
+TEST(Multiproc, RejectsBadParameters) {
+  MultiprocParams p;
+  p.min_procs = 0;
+  EXPECT_THROW(build_multiproc_availability(p), contract_error);
+  p = MultiprocParams{};
+  p.coverage = 1.5;
+  EXPECT_THROW(build_multiproc_reliability(p), contract_error);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,135 @@
+// Additional numerical property tests cutting across modules: Poisson
+// identities, V-model flow conservation, Crump robustness knobs, and
+// stiffness behaviour typical of dependability models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rrl_solver.hpp"
+#include "core/standard_randomization.hpp"
+#include "core/vmodel.hpp"
+#include "laplace/crump.hpp"
+#include "laplace/error_control.hpp"
+#include "markov/poisson.hpp"
+#include "markov/steady_state.hpp"
+#include "models/simple.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(PoissonProperty, ExcessTelescopesToTail) {
+  // E[(N-k)^+] - E[(N-k-1)^+] ... careful: the telescoping identity is
+  // E[(N-k)^+] - E[(N-(k+1))^+] = P[N >= k+1].
+  const PoissonDistribution p(37.5);
+  for (std::int64_t k = 0; k <= 90; k += 3) {
+    EXPECT_NEAR(p.expected_excess(k) - p.expected_excess(k + 1),
+                p.tail(k + 1), 1e-12)
+        << "k=" << k;
+  }
+}
+
+TEST(PoissonProperty, ExcessIsConvexAndDecreasing) {
+  const PoissonDistribution p(100.0);
+  double prev = p.expected_excess(0);
+  double prev_slope = -1e300;
+  for (std::int64_t k = 1; k <= 200; ++k) {
+    const double cur = p.expected_excess(k);
+    EXPECT_LE(cur, prev + 1e-12);
+    const double slope = cur - prev;  // = -P[N >= k] in [-1, 0], increasing
+    EXPECT_GE(slope, prev_slope - 1e-12);
+    prev = cur;
+    prev_slope = slope;
+  }
+}
+
+TEST(VModelProperty, ChainStateFlowsAreConserved) {
+  // For every non-truncation chain state: w_k + q_k + sum_i v_k^i = 1,
+  // i.e. the exit rate is Lambda minus the (dropped) self-loop at s_0.
+  const auto c = make_random_ctmc(
+      {.num_states = 16, .num_absorbing = 2, .seed = 47});
+  std::vector<double> rewards(16, 0.0);
+  rewards[14] = 0.5;
+  rewards[15] = 1.0;
+  std::vector<double> alpha(16, 0.0);
+  alpha[0] = 1.0;
+  const auto schema =
+      compute_regenerative_schema(c, rewards, alpha, 0, 30.0, {});
+  const VModel v = build_vmodel(schema);
+  const auto exits = v.chain.exit_rates();
+  // s_0: exit = Lambda * (1 - q_0) because the self-return is dropped.
+  const double q0 = schema.main.qa[0] / schema.main.a[0];
+  EXPECT_NEAR(exits[0], v.lambda * (1.0 - q0), 1e-12 * v.lambda);
+  // s_k, 0 < k < K with surviving mass: exit = Lambda exactly.
+  for (std::int64_t k = 1; k < v.K; ++k) {
+    if (schema.main.a[static_cast<std::size_t>(k)] == 0.0) continue;
+    EXPECT_NEAR(exits[static_cast<std::size_t>(v.s(k))], v.lambda,
+                1e-12 * v.lambda)
+        << "k=" << k;
+  }
+  // Truncation and absorbing states: exit 0.
+  EXPECT_EQ(exits[static_cast<std::size_t>(v.truncation_state())], 0.0);
+  for (std::size_t i = 0; i < v.num_absorbing; ++i) {
+    EXPECT_EQ(exits[static_cast<std::size_t>(v.f(i))], 0.0);
+  }
+}
+
+TEST(CrumpProperty, RequiredHitsIncreasesRobustnessNotValue) {
+  const double t = 2.5;
+  CrumpOptions one;
+  one.damping = damping_for_bounded(1.0, 1e-10, 8.0 * t);
+  one.tolerance = 1e-12;
+  CrumpOptions two = one;
+  two.required_hits = 2;
+  const auto f = [](std::complex<double> s) { return 1.0 / (s + 0.7); };
+  const auto r1 = crump_invert(f, t, one);
+  const auto r2 = crump_invert(f, t, two);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_GE(r2.abscissae, r1.abscissae);
+  EXPECT_NEAR(r1.value, r2.value, 1e-10);
+  EXPECT_NEAR(r2.value, std::exp(-0.7 * t), 1e-9);
+}
+
+TEST(CrumpProperty, MinTermsIsHonored) {
+  const double t = 1.0;
+  CrumpOptions opt;
+  opt.damping = damping_for_bounded(1.0, 1e-8, 8.0 * t);
+  opt.tolerance = 1e-2;  // trivially satisfied immediately
+  opt.min_terms = 32;
+  const auto r = crump_invert(
+      [](std::complex<double> s) { return 1.0 / (s + 1.0); }, t, opt);
+  EXPECT_GE(r.abscissae, 32);
+}
+
+TEST(Stiffness, SrHandlesEightOrdersOfMagnitude) {
+  // Typical dependability stiffness: failures ~1e-8/h vs repairs ~1/h.
+  const Ctmc c = Ctmc::from_transitions(
+      3, {{0, 1, 1e-8}, {1, 0, 1.0}, {1, 2, 1e-7}, {2, 0, 0.25}});
+  const std::vector<double> rewards = {0.0, 0.0, 1.0};
+  const std::vector<double> alpha = {1.0, 0.0, 0.0};
+  const StandardRandomization sr(c, rewards, alpha);
+  // Steady-state unavailability ~ (1e-8/1)*(1e-7/0.25)/(...)~ tiny; the
+  // solver must not lose it to roundoff.
+  const double ua = sr.trr(1e6).value;
+  EXPECT_GT(ua, 0.0);
+  EXPECT_LT(ua, 1e-12);
+  // Compare with GTH (numerically benign by construction).
+  const auto pi = gth_steady_state(c);
+  EXPECT_NEAR(ua, pi[2], 1e-2 * pi[2]);
+}
+
+TEST(Stiffness, RrlHandlesEightOrdersOfMagnitude) {
+  const Ctmc c = Ctmc::from_transitions(
+      3, {{0, 1, 1e-8}, {1, 0, 1.0}, {1, 2, 1e-7}, {2, 0, 0.25}});
+  const std::vector<double> rewards = {0.0, 0.0, 1.0};
+  const std::vector<double> alpha = {1.0, 0.0, 0.0};
+  RrlOptions opt;
+  opt.epsilon = 1e-20;  // far below the measure's magnitude
+  const RegenerativeRandomizationLaplace solver(c, rewards, alpha, 0, opt);
+  const auto pi = gth_steady_state(c);
+  const double ua = solver.trr(1e6).value;
+  EXPECT_NEAR(ua, pi[2], 1e-2 * pi[2]);
+}
+
+}  // namespace
+}  // namespace rrl

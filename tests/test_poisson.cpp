@@ -1,0 +1,127 @@
+// Unit tests for the stable Poisson arithmetic substrate.
+#include "markov/poisson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(Poisson, PmfMatchesDirectFormulaSmallMean) {
+  const PoissonDistribution p(3.5);
+  double direct = std::exp(-3.5);
+  for (int n = 0; n <= 30; ++n) {
+    EXPECT_NEAR(p.pmf(n), direct, 1e-13 * direct + 1e-300) << "n=" << n;
+    direct *= 3.5 / (n + 1);
+  }
+}
+
+TEST(Poisson, PmfSumsToOne) {
+  for (const double mean : {0.1, 1.0, 17.0, 400.0, 123456.0}) {
+    const PoissonDistribution p(mean);
+    double total = 0.0;
+    for (std::int64_t n = p.window_first(); n <= p.window_last(); ++n) {
+      total += p.pmf(n);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << "mean=" << mean;
+  }
+}
+
+TEST(Poisson, DegenerateZeroMean) {
+  const PoissonDistribution p(0.0);
+  EXPECT_EQ(p.pmf(0), 1.0);
+  EXPECT_EQ(p.pmf(1), 0.0);
+  EXPECT_EQ(p.cdf(0), 1.0);
+  EXPECT_EQ(p.tail(0), 1.0);
+  EXPECT_EQ(p.tail(1), 0.0);
+  EXPECT_EQ(p.right_truncation_point(1e-12), 0);
+}
+
+TEST(Poisson, CdfAndTailAreConsistent) {
+  const PoissonDistribution p(50.0);
+  for (std::int64_t n = 0; n <= 150; n += 7) {
+    EXPECT_NEAR(p.cdf(n) + p.tail(n + 1), 1.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Poisson, TailIsExactForKnownValues) {
+  // P[N >= 1] = 1 - e^{-mean}.
+  for (const double mean : {0.25, 1.0, 4.0}) {
+    const PoissonDistribution p(mean);
+    EXPECT_NEAR(p.tail(1), 1.0 - std::exp(-mean), 1e-14);
+  }
+}
+
+TEST(Poisson, MonotoneCdf) {
+  const PoissonDistribution p(200.0);
+  double prev = -1.0;
+  for (std::int64_t n = p.window_first(); n <= p.window_last(); ++n) {
+    EXPECT_GE(p.cdf(n), prev);
+    prev = p.cdf(n);
+  }
+}
+
+TEST(Poisson, ExpectedExcessBasics) {
+  const PoissonDistribution p(10.0);
+  // E[(N - 0)^+] = E[N] = mean.
+  EXPECT_NEAR(p.expected_excess(0), 10.0, 1e-10);
+  // Direct evaluation for a mid-range k.
+  const std::int64_t k = 12;
+  double direct = 0.0;
+  for (std::int64_t n = k + 1; n <= p.window_last(); ++n) {
+    direct += static_cast<double>(n - k) * p.pmf(n);
+  }
+  EXPECT_NEAR(p.expected_excess(k), direct, 1e-12);
+  // Decreasing in k; zero beyond the window.
+  EXPECT_GT(p.expected_excess(5), p.expected_excess(15));
+  EXPECT_EQ(p.expected_excess(p.window_last() + 1), 0.0);
+}
+
+TEST(Poisson, RightTruncationCoversTail) {
+  for (const double mean : {1.0, 24.0, 1000.0}) {
+    const PoissonDistribution p(mean);
+    for (const double eps : {1e-6, 1e-12}) {
+      const std::int64_t n = p.right_truncation_point(eps);
+      EXPECT_LE(p.tail(n + 1), eps) << "mean=" << mean << " eps=" << eps;
+      if (n > 0) {
+        EXPECT_GT(p.tail(n), eps) << "truncation point not minimal";
+      }
+    }
+  }
+}
+
+TEST(Poisson, LeftTruncationIsSafe) {
+  const PoissonDistribution p(10000.0);
+  const std::int64_t n = p.left_truncation_point(1e-12);
+  EXPECT_GT(n, 0);
+  EXPECT_LE(p.cdf(n - 1), 1e-12);
+}
+
+TEST(Poisson, HugeMeanStability) {
+  // The paper's largest SR run corresponds to mean ~ 4.4e6.
+  const PoissonDistribution p(4.4e6);
+  EXPECT_NEAR(p.tail(1), 1.0, 1e-15);
+  EXPECT_NEAR(p.cdf(p.window_last()), 1.0, 1e-12);
+  const std::int64_t n = p.right_truncation_point(1e-12);
+  EXPECT_GT(n, 4'400'000);
+  EXPECT_LT(n, 4'440'000);  // mean + ~15 std deviations
+  EXPECT_NEAR(p.expected_excess(0), 4.4e6, 1.0);
+}
+
+TEST(Poisson, LogPmfMatchesWindowPmf) {
+  const PoissonDistribution p(77.0);
+  for (std::int64_t n = 50; n <= 110; n += 5) {
+    EXPECT_NEAR(std::exp(poisson_log_pmf(n, 77.0)), p.pmf(n),
+                1e-12 * p.pmf(n));
+  }
+}
+
+TEST(Poisson, RejectsNegativeMean) {
+  EXPECT_THROW(PoissonDistribution(-1.0), contract_error);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,158 @@
+// Integration tests: the paper's measures (UA, UR, performability MRR) on
+// the RAID-5 models, all four solvers cross-checked.
+#include <gtest/gtest.h>
+
+#include "core/rr_solver.hpp"
+#include "core/rrl_solver.hpp"
+#include "core/standard_randomization.hpp"
+#include "core/steady_state_detection.hpp"
+#include "models/raid5.hpp"
+
+namespace rrl {
+namespace {
+
+Raid5Params tiny() {
+  Raid5Params p;
+  p.groups = 3;  // small instance keeps SR affordable in tests
+  return p;
+}
+
+TEST(RaidIntegration, UnavailabilityAllSolversAgree) {
+  const auto m = build_raid5_availability(tiny());
+  const auto rewards = m.failure_rewards();
+  const auto alpha = m.initial_distribution();
+  const double eps = 1e-10;
+
+  SrOptions sr_opt;
+  sr_opt.epsilon = eps;
+  const StandardRandomization sr(m.chain, rewards, alpha, sr_opt);
+  RsdOptions rsd_opt;
+  rsd_opt.epsilon = eps;
+  const RandomizationSteadyStateDetection rsd(m.chain, rewards, alpha,
+                                              rsd_opt);
+  RrOptions rr_opt;
+  rr_opt.epsilon = eps;
+  const RegenerativeRandomization rr(m.chain, rewards, alpha,
+                                     m.initial_state, rr_opt);
+  RrlOptions rrl_opt;
+  rrl_opt.epsilon = eps;
+  const RegenerativeRandomizationLaplace rrl_solver(
+      m.chain, rewards, alpha, m.initial_state, rrl_opt);
+
+  for (const double t : {1.0, 10.0, 100.0, 1000.0}) {
+    const double ua = sr.trr(t).value;
+    EXPECT_NEAR(rsd.trr(t).value, ua, 10.0 * eps) << "t=" << t;
+    EXPECT_NEAR(rr.trr(t).value, ua, 10.0 * eps) << "t=" << t;
+    EXPECT_NEAR(rrl_solver.trr(t).value, ua, 10.0 * eps) << "t=" << t;
+    EXPECT_GT(ua, 0.0);
+    EXPECT_LT(ua, 1e-3);
+  }
+}
+
+TEST(RaidIntegration, UnreliabilityAllSolversAgree) {
+  const auto m = build_raid5_reliability(tiny());
+  const auto rewards = m.failure_rewards();
+  const auto alpha = m.initial_distribution();
+  const double eps = 1e-10;
+
+  SrOptions sr_opt;
+  sr_opt.epsilon = eps;
+  const StandardRandomization sr(m.chain, rewards, alpha, sr_opt);
+  RrOptions rr_opt;
+  rr_opt.epsilon = eps;
+  const RegenerativeRandomization rr(m.chain, rewards, alpha,
+                                     m.initial_state, rr_opt);
+  RrlOptions rrl_opt;
+  rrl_opt.epsilon = eps;
+  const RegenerativeRandomizationLaplace rrl_solver(
+      m.chain, rewards, alpha, m.initial_state, rrl_opt);
+
+  double prev = 0.0;
+  for (const double t : {1.0, 10.0, 100.0, 1000.0}) {
+    const double ur = sr.trr(t).value;
+    EXPECT_NEAR(rr.trr(t).value, ur, 10.0 * eps) << "t=" << t;
+    EXPECT_NEAR(rrl_solver.trr(t).value, ur, 10.0 * eps) << "t=" << t;
+    // UR is a CDF: non-decreasing in t, within [0, 1].
+    EXPECT_GE(ur, prev);
+    EXPECT_LE(ur, 1.0);
+    prev = ur;
+  }
+}
+
+TEST(RaidIntegration, IntervalMeasuresAgree) {
+  const auto m = build_raid5_availability(tiny());
+  const auto rewards = m.failure_rewards();
+  const auto alpha = m.initial_distribution();
+  const double eps = 1e-10;
+  SrOptions sr_opt;
+  sr_opt.epsilon = eps;
+  const StandardRandomization sr(m.chain, rewards, alpha, sr_opt);
+  RrlOptions rrl_opt;
+  rrl_opt.epsilon = eps;
+  const RegenerativeRandomizationLaplace rrl_solver(
+      m.chain, rewards, alpha, m.initial_state, rrl_opt);
+  for (const double t : {10.0, 1000.0}) {
+    EXPECT_NEAR(rrl_solver.mrr(t).value, sr.mrr(t).value, 10.0 * eps * t)
+        << "t=" << t;
+  }
+}
+
+TEST(RaidIntegration, PerformabilityThroughputMeasure) {
+  // MRR with throughput rewards: expected delivered-throughput fraction.
+  const auto m = build_raid5_availability(tiny());
+  const auto rewards = m.throughput_rewards(0.5);
+  const auto alpha = m.initial_distribution();
+  const RegenerativeRandomizationLaplace rrl_solver(
+      m.chain, rewards, alpha, m.initial_state);
+  SrOptions sr_opt;
+  const StandardRandomization sr(m.chain, rewards, alpha, sr_opt);
+  for (const double t : {10.0, 500.0}) {
+    const double via_rrl = rrl_solver.mrr(t).value;
+    EXPECT_NEAR(via_rrl, sr.mrr(t).value, 1e-10 * t) << "t=" << t;
+    // Nearly full throughput, but strictly below 1.
+    EXPECT_GT(via_rrl, 0.999);
+    EXPECT_LT(via_rrl, 1.0);
+  }
+}
+
+TEST(RaidIntegration, UnreliabilityApproachesOneForHugeMissions) {
+  const auto m = build_raid5_reliability(tiny());
+  const RegenerativeRandomizationLaplace solver(
+      m.chain, m.failure_rewards(), m.initial_distribution(),
+      m.initial_state);
+  const auto r = solver.trr(1e8);
+  EXPECT_TRUE(r.stats.inversion_converged);
+  EXPECT_GT(r.value, 0.99);
+  EXPECT_LE(r.value, 1.0 + 1e-10);
+}
+
+TEST(RaidIntegration, RsdSaturatesOnRaid) {
+  const auto m = build_raid5_availability(tiny());
+  RsdOptions opt;
+  opt.epsilon = 1e-10;
+  const RandomizationSteadyStateDetection rsd(
+      m.chain, m.failure_rewards(), m.initial_distribution(), opt);
+  const auto s5 = rsd.trr(1e5).stats;
+  const auto s7 = rsd.trr(1e7).stats;
+  EXPECT_GT(s5.detection_step, 0);
+  EXPECT_EQ(s5.dtmc_steps, s7.dtmc_steps);
+}
+
+TEST(RaidIntegration, RrlStepAdvantageAtLargeT) {
+  // The headline Table 2 shape at miniature scale: for large t the RRL/RR
+  // step count is orders of magnitude below SR's ~ Lambda*t.
+  const auto m = build_raid5_reliability(tiny());
+  const auto rewards = m.failure_rewards();
+  const auto alpha = m.initial_distribution();
+  RrlOptions rrl_opt;
+  const RegenerativeRandomizationLaplace rrl_solver(
+      m.chain, rewards, alpha, m.initial_state, rrl_opt);
+  const double t = 1e5;
+  const auto r = rrl_solver.trr(t);
+  const double sr_steps_estimate = m.chain.max_exit_rate() * t;
+  EXPECT_LT(static_cast<double>(r.stats.dtmc_steps),
+            sr_steps_estimate / 100.0);
+}
+
+}  // namespace
+}  // namespace rrl

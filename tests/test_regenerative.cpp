@@ -1,0 +1,238 @@
+// Tests of the regenerative schema computation (Section 2 core).
+#include "core/regenerative.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/poisson.hpp"
+#include "models/simple.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+RegenerativeSchema two_state_schema(double t, double eps = 1e-12) {
+  static const TwoStateModel m = make_two_state(1e-3, 1.0);
+  static const std::vector<double> rewards = {0.0, 1.0};
+  static const std::vector<double> alpha = {1.0, 0.0};
+  RegenerativeOptions opt;
+  opt.epsilon = eps;
+  return compute_regenerative_schema(m.chain, rewards, alpha, 0, t, opt);
+}
+
+TEST(Schema, BasicShapeTwoState) {
+  const auto s = two_state_schema(100.0);
+  EXPECT_DOUBLE_EQ(s.alpha_r, 1.0);
+  EXPECT_FALSE(s.has_primed);
+  EXPECT_DOUBLE_EQ(s.lambda, 1.0);  // max exit rate = mu
+  EXPECT_GE(s.K(), 1);
+  EXPECT_DOUBLE_EQ(s.main.a[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.r_max, 1.0);
+}
+
+TEST(Schema, TwoStateAtMaxExitRateIsExact) {
+  // At Lambda = mu the down state has no self-loop, so every excursion
+  // returns after exactly two randomization steps: the schema is exact with
+  // K = 2 for every horizon — regenerative randomization nails two-state
+  // availability models in O(1) steps.
+  for (const double t : {1.0, 1e3, 1e6}) {
+    const auto s = two_state_schema(t);
+    EXPECT_EQ(s.K(), 2) << "t=" << t;
+    EXPECT_TRUE(s.main.exact) << "t=" << t;
+    EXPECT_DOUBLE_EQ(s.main.a.back(), 0.0) << "t=" << t;
+  }
+}
+
+TEST(Schema, SurvivalMassIsNonIncreasing) {
+  const auto s = two_state_schema(1000.0);
+  for (std::size_t k = 1; k < s.main.a.size(); ++k) {
+    EXPECT_LE(s.main.a[k], s.main.a[k - 1] * (1.0 + 1e-14)) << "k=" << k;
+  }
+}
+
+TEST(Schema, MassConservationPerStep) {
+  // a(k) = a(k+1) + qa(k) + sum_i va_i(k): every step's mass must be fully
+  // accounted for (survive, regenerate, or absorb).
+  const auto c = make_random_ctmc(
+      {.num_states = 20, .num_absorbing = 2, .seed = 11});
+  std::vector<double> rewards(20, 0.0);
+  rewards[18] = 1.0;  // one absorbing state rewarded
+  std::vector<double> alpha(20, 0.0);
+  alpha[0] = 1.0;
+  const auto s =
+      compute_regenerative_schema(c, rewards, alpha, 0, 50.0, {});
+  ASSERT_EQ(s.absorbing.size(), 2u);
+  for (std::size_t k = 0; k + 1 < s.main.a.size(); ++k) {
+    double out = s.main.a[k + 1] + s.main.qa[k];
+    for (const auto& va : s.main.va) out += va[k];
+    EXPECT_NEAR(out, s.main.a[k], 1e-14) << "k=" << k;
+  }
+}
+
+TEST(Schema, TwoStateExcursionIsExactlyGeometric) {
+  // With rate slack (Lambda = 2*mu) the down state keeps a self-loop of
+  // probability 1/2: a(1) = lambda/L and a(k) decays geometrically.
+  static const TwoStateModel m = make_two_state(1e-3, 1.0);
+  static const std::vector<double> rewards = {0.0, 1.0};
+  static const std::vector<double> alpha = {1.0, 0.0};
+  RegenerativeOptions opt;
+  opt.rate_factor = 2.0;
+  const auto s =
+      compute_regenerative_schema(m.chain, rewards, alpha, 0, 10.0, opt);
+  const double L = 2.0;
+  EXPECT_NEAR(s.main.a[1], 1e-3 / L, 1e-16);
+  const double stay = 1.0 - 1.0 / L;
+  for (std::size_t k = 2; k < s.main.a.size(); ++k) {
+    EXPECT_NEAR(s.main.a[k], s.main.a[k - 1] * stay,
+                1e-15 * s.main.a[k - 1])
+        << "k=" << k;
+  }
+}
+
+TEST(Schema, RewardMassMatchesDownStateProbability) {
+  // c(k) = P[excursion alive at age k and in the rewarded state]; for the
+  // two-state model every surviving excursion of age >= 1 sits in `down`.
+  const auto s = two_state_schema(10.0);
+  EXPECT_DOUBLE_EQ(s.main.c[0], 0.0);  // at r, reward 0
+  for (std::size_t k = 1; k < s.main.c.size(); ++k) {
+    EXPECT_NEAR(s.main.c[k], s.main.a[k], 1e-18);
+  }
+}
+
+RegenerativeSchema three_state_schema(double t) {
+  // 3-state repairable system (the quickstart model): excursions linger in
+  // the degraded/down states with genuine self-loops, so the truncation
+  // point exhibits the paper's two regimes.
+  static const Ctmc chain = Ctmc::from_transitions(3, {{0, 1, 2e-3},
+                                                       {1, 0, 1.0},
+                                                       {1, 2, 1e-3},
+                                                       {2, 0, 0.5}});
+  static const std::vector<double> rewards = {0.0, 0.0, 1.0};
+  static const std::vector<double> alpha = {1.0, 0.0, 0.0};
+  RegenerativeOptions opt;
+  opt.epsilon = 1e-12;
+  return compute_regenerative_schema(chain, rewards, alpha, 0, t, opt);
+}
+
+TEST(Schema, TruncationGrowsLogarithmicallyInTime) {
+  const auto k1 = three_state_schema(1e2).K();
+  const auto k2 = three_state_schema(1e4).K();
+  const auto k3 = three_state_schema(1e6).K();
+  EXPECT_GT(k2, k1);
+  EXPECT_GT(k3, k2);
+  // Two decades of t add a constant number of steps in the log regime.
+  const auto d1 = k2 - k1;
+  const auto d2 = k3 - k2;
+  EXPECT_NEAR(static_cast<double>(d2), static_cast<double>(d1),
+              0.5 * static_cast<double>(d1) + 4.0);
+}
+
+TEST(Schema, TruncationMeetsTheErrorBound) {
+  const double t = 1e4;
+  const auto s = three_state_schema(t);
+  // Recompute the bound at K: r_max * a(K) * E[(N - K)^+] <= eps/2.
+  const PoissonDistribution poisson(s.lambda * t);
+  const double bound =
+      s.r_max * s.main.a.back() * poisson.expected_excess(s.K());
+  EXPECT_LE(bound, 1e-12 / 2.0);
+  // And K is minimal: the bound one step earlier must exceed the budget.
+  const double bound_before =
+      s.r_max * s.main.a[static_cast<std::size_t>(s.K()) - 1] *
+      poisson.expected_excess(s.K() - 1);
+  EXPECT_GT(bound_before, 1e-12 / 2.0);
+}
+
+TEST(Schema, ErlangChainTerminatesExactly) {
+  // From state 0 of an Erlang absorption chain every excursion is absorbed
+  // after exactly `stages` steps (all exit rates equal => no self-loops), so
+  // a(stages) == 0 and the schema is exact regardless of t.
+  const auto m = make_erlang(5, 2.0);
+  std::vector<double> rewards(6, 0.0);
+  rewards[5] = 1.0;
+  std::vector<double> alpha(6, 0.0);
+  alpha[0] = 1.0;
+  const auto s =
+      compute_regenerative_schema(m.chain, rewards, alpha, 0, 1e9, {});
+  EXPECT_TRUE(s.main.exact);
+  EXPECT_EQ(s.K(), 5);
+  EXPECT_DOUBLE_EQ(s.main.a.back(), 0.0);
+  // All absorption happens at the last step.
+  EXPECT_NEAR(s.main.va[0][4], 1.0, 1e-15);
+}
+
+TEST(Schema, PrimedChainAppearsWhenInitialMassOffR) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const std::vector<double> rewards = {0.0, 1.0};
+  const std::vector<double> alpha = {0.25, 0.75};
+  const auto s =
+      compute_regenerative_schema(m.chain, rewards, alpha, 0, 100.0, {});
+  EXPECT_TRUE(s.has_primed);
+  EXPECT_DOUBLE_EQ(s.alpha_r, 0.25);
+  EXPECT_DOUBLE_EQ(s.primed.a[0], 0.75);
+  EXPECT_GE(s.L(), 1);
+  EXPECT_EQ(s.dtmc_steps(), s.K() + s.L());
+  // The primed excursion (started in `down`) also decays geometrically.
+  for (std::size_t k = 1; k < s.primed.a.size(); ++k) {
+    EXPECT_LE(s.primed.a[k], s.primed.a[k - 1]);
+  }
+}
+
+TEST(Schema, StepCountMatchesPaperAccounting) {
+  const auto s = two_state_schema(1000.0);
+  EXPECT_EQ(s.dtmc_steps(), s.K());
+  EXPECT_EQ(static_cast<std::int64_t>(s.main.a.size()) - 1, s.K());
+  EXPECT_EQ(s.main.qa.size(), s.main.a.size() - 1);
+}
+
+TEST(Schema, SmallTimeReducesToPoissonRegime) {
+  // For tiny t the criterion stops as soon as the Poisson mass is covered,
+  // like standard randomization.
+  const auto s = two_state_schema(0.1);
+  // lambda*t ~ 0.1: a handful of steps suffices.
+  EXPECT_LE(s.K(), 20);
+}
+
+TEST(Schema, CapFlagsTheResult) {
+  RegenerativeOptions opt;
+  opt.epsilon = 1e-12;
+  opt.step_cap = 3;
+  const Ctmc chain = Ctmc::from_transitions(
+      3, {{0, 1, 2e-3}, {1, 0, 1.0}, {1, 2, 1e-3}, {2, 0, 0.5}});
+  const std::vector<double> rewards = {0.0, 0.0, 1.0};
+  const std::vector<double> alpha = {1.0, 0.0, 0.0};
+  const auto s =
+      compute_regenerative_schema(chain, rewards, alpha, 0, 1e6, opt);
+  EXPECT_TRUE(s.capped);
+  EXPECT_EQ(s.K(), 3);
+}
+
+TEST(Schema, RejectsAbsorbingRegenerativeState) {
+  const auto m = make_erlang(2, 1.0);
+  std::vector<double> rewards(3, 0.0);
+  std::vector<double> alpha = {1.0, 0.0, 0.0};
+  EXPECT_THROW((void)compute_regenerative_schema(m.chain, rewards, alpha, 2,
+                                                 1.0, {}),
+               contract_error);
+}
+
+TEST(Schema, RejectsInitialMassOnAbsorbingStates) {
+  const auto m = make_erlang(2, 1.0);
+  std::vector<double> rewards(3, 0.0);
+  std::vector<double> alpha = {0.5, 0.0, 0.5};
+  EXPECT_THROW((void)compute_regenerative_schema(m.chain, rewards, alpha, 0,
+                                                 1.0, {}),
+               contract_error);
+}
+
+TEST(Schema, ZeroRewardsTruncateImmediately) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const std::vector<double> rewards = {0.0, 0.0};
+  const std::vector<double> alpha = {1.0, 0.0};
+  const auto s =
+      compute_regenerative_schema(m.chain, rewards, alpha, 0, 1e6, {});
+  EXPECT_EQ(s.K(), 0);  // r_max == 0 => bound is identically zero
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,128 @@
+// Tests of the RRL extensions: rigorous bounds (the flavour of the paper's
+// reference [2]) and the batch multi-time-point API.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rrl_solver.hpp"
+#include "core/standard_randomization.hpp"
+#include "models/raid5.hpp"
+#include "models/simple.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(RrlBounds, BracketTheTrueValue) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const RegenerativeRandomizationLaplace solver(m.chain, {0.0, 1.0},
+                                                {1.0, 0.0}, 0);
+  for (const double t : {1.0, 100.0, 1e4}) {
+    const auto b = solver.trr_bounds(t);
+    const double truth = m.unavailability(t);
+    EXPECT_LE(b.lower, truth) << "t=" << t;
+    EXPECT_GE(b.upper, truth) << "t=" << t;
+    EXPECT_LE(b.lower, b.value);
+    EXPECT_GE(b.upper, b.value);
+    // The bracket is tight: within a few eps of the point estimate.
+    EXPECT_LE(b.upper - b.lower, 5e-12) << "t=" << t;
+  }
+}
+
+TEST(RrlBounds, MrrBracket) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const RegenerativeRandomizationLaplace solver(m.chain, {0.0, 1.0},
+                                                {1.0, 0.0}, 0);
+  for (const double t : {10.0, 1e3}) {
+    const auto b = solver.mrr_bounds(t);
+    const double truth = m.interval_unavailability(t);
+    EXPECT_LE(b.lower, truth + 1e-15) << "t=" << t;
+    EXPECT_GE(b.upper, truth - 1e-15) << "t=" << t;
+  }
+}
+
+TEST(RrlBounds, RespectRewardRange) {
+  const auto m = make_erlang(3, 2.0);
+  std::vector<double> reward(4, 0.0);
+  reward[3] = 1.0;
+  std::vector<double> alpha(4, 0.0);
+  alpha[0] = 1.0;
+  const RegenerativeRandomizationLaplace solver(m.chain, reward, alpha, 0);
+  const auto b = solver.trr_bounds(50.0);  // UR(50) ~ 1
+  EXPECT_GE(b.lower, 0.0);
+  EXPECT_LE(b.upper, 1.0);  // clipped at r_max
+}
+
+TEST(RrlBatch, MatchesPerPointSolves) {
+  const auto c = make_random_ctmc(
+      {.num_states = 14, .num_absorbing = 1, .seed = 8});
+  std::vector<double> rewards(14, 0.0);
+  rewards[13] = 1.0;
+  std::vector<double> alpha(14, 0.0);
+  alpha[0] = 1.0;
+  const RegenerativeRandomizationLaplace solver(c, rewards, alpha, 0);
+  const std::vector<double> ts = {0.5, 2.0, 8.0, 32.0, 128.0};
+  const auto batch_trr = solver.trr_many(ts);
+  const auto batch_mrr = solver.mrr_many(ts);
+  ASSERT_EQ(batch_trr.size(), ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_NEAR(batch_trr[i].value, solver.trr(ts[i]).value, 2e-12)
+        << "t=" << ts[i];
+    EXPECT_NEAR(batch_mrr[i].value, solver.mrr(ts[i]).value, 2e-12)
+        << "t=" << ts[i];
+  }
+}
+
+TEST(RrlBatch, UnsortedSweepIsFine) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const RegenerativeRandomizationLaplace solver(m.chain, {0.0, 1.0},
+                                                {1.0, 0.0}, 0);
+  const std::vector<double> ts = {1e4, 1.0, 100.0};
+  const auto batch = solver.trr_many(ts);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_NEAR(batch[i].value, m.unavailability(ts[i]), 1e-11);
+  }
+}
+
+TEST(RrlBatch, SchemaIsPaidOnce) {
+  // The first entry carries the shared schema step count; the rest only
+  // pay inversions.
+  const auto model = [] {
+    Raid5Params p;
+    p.groups = 3;
+    return build_raid5_availability(p);
+  }();
+  const RegenerativeRandomizationLaplace solver(
+      model.chain, model.failure_rewards(), model.initial_distribution(),
+      model.initial_state);
+  const std::vector<double> ts = {1.0, 10.0, 100.0, 1000.0};
+  const auto batch = solver.trr_many(ts);
+  EXPECT_GT(batch[0].stats.dtmc_steps, 0);
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].stats.dtmc_steps, 0);
+    EXPECT_GT(batch[i].stats.abscissae, 0);
+  }
+  // Batch matches the per-point values on the RAID model too.
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_NEAR(batch[i].value, solver.trr(ts[i]).value, 2e-12);
+  }
+}
+
+TEST(RrlBatch, RejectsEmptyAndNonPositive) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const RegenerativeRandomizationLaplace solver(m.chain, {0.0, 1.0},
+                                                {1.0, 0.0}, 0);
+  EXPECT_THROW((void)solver.trr_many({}), contract_error);
+  const std::vector<double> bad = {1.0, 0.0};
+  EXPECT_THROW((void)solver.trr_many(bad), contract_error);
+}
+
+TEST(RrlBounds, RejectsNonPositiveTime) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const RegenerativeRandomizationLaplace solver(m.chain, {0.0, 1.0},
+                                                {1.0, 0.0}, 0);
+  EXPECT_THROW((void)solver.trr_bounds(0.0), contract_error);
+}
+
+}  // namespace
+}  // namespace rrl

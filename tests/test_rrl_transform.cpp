@@ -1,0 +1,178 @@
+// Cross-validation of the Section 2.1 closed-form Laplace transform against
+// the transform computed directly from the explicit V_{K,L} CTMC:
+//   p~(s) = (s I - Q_V^T)^{-1} alpha,   TRR~(s) = r . p~(s),
+// solved by dense complex Gaussian elimination. Agreement at many complex
+// abscissae proves the closed form implements the V model exactly.
+#include "core/rrl_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "core/vmodel.hpp"
+#include "models/simple.hpp"
+
+namespace rrl {
+namespace {
+
+using cd = std::complex<double>;
+
+/// Dense complex Gaussian elimination with partial pivoting (test-only).
+std::vector<cd> solve_dense(std::vector<std::vector<cd>> a,
+                            std::vector<cd> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const cd factor = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<cd> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    cd acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a[i][c] * x[c];
+    x[i] = acc / a[i][i];
+  }
+  return x;
+}
+
+/// TRR~(s) of a CTMC computed from first principles.
+cd transform_by_linear_solve(const Ctmc& chain,
+                             const std::vector<double>& rewards,
+                             const std::vector<double>& alpha, cd s) {
+  const std::size_t n = static_cast<std::size_t>(chain.num_states());
+  // (s I - Q^T) p~ = alpha, with Q = R - diag(exit).
+  std::vector<std::vector<cd>> a(n, std::vector<cd>(n, cd(0.0, 0.0)));
+  const auto& r = chain.rates();
+  const auto row_ptr = r.row_ptr();
+  const auto col_idx = r.col_idx();
+  const auto values = r.values();
+  for (index_t i = 0; i < chain.num_states(); ++i) {
+    a[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] =
+        s + chain.exit_rates()[static_cast<std::size_t>(i)];
+    for (std::int64_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      // Q^T entry (j, i) = rate i->j.
+      a[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])]
+       [static_cast<std::size_t>(i)] -= values[static_cast<std::size_t>(k)];
+    }
+  }
+  std::vector<cd> b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = alpha[i];
+  const auto p = solve_dense(std::move(a), std::move(b));
+  cd acc(0.0, 0.0);
+  for (std::size_t i = 0; i < n; ++i) acc += rewards[i] * p[i];
+  return acc;
+}
+
+void expect_transform_matches(const Ctmc& chain,
+                              const std::vector<double>& rewards,
+                              const std::vector<double>& alpha,
+                              index_t regenerative, double t) {
+  const auto schema =
+      compute_regenerative_schema(chain, rewards, alpha, regenerative, t, {});
+  const VModel v = build_vmodel(schema);
+  const TrrTransform transform(schema);
+  // Abscissae spanning the contour the inversion uses: a + ik pi/T.
+  const double a_damp = 0.02 / t;
+  for (const double im : {0.0, 0.1 / t, 3.0 / t, 50.0 / t}) {
+    const cd s(a_damp, im);
+    const cd closed = transform.trr(s);
+    const cd direct =
+        transform_by_linear_solve(v.chain, v.rewards, v.initial, s);
+    const double scale = std::max(1.0, std::abs(direct));
+    EXPECT_NEAR(closed.real(), direct.real(), 1e-10 * scale)
+        << "s=(" << s.real() << "," << s.imag() << ")";
+    EXPECT_NEAR(closed.imag(), direct.imag(), 1e-10 * scale)
+        << "s=(" << s.real() << "," << s.imag() << ")";
+  }
+}
+
+TEST(Transform, MatchesDenseSolveIrreducible) {
+  const auto m = make_two_state(2e-3, 0.5);
+  expect_transform_matches(m.chain, {0.0, 1.0}, {1.0, 0.0}, 0, 25.0);
+}
+
+TEST(Transform, MatchesDenseSolveRandomIrreducible) {
+  const auto c = make_random_ctmc({.num_states = 14, .seed = 31});
+  std::vector<double> rewards(14, 0.0);
+  rewards[3] = 1.0;
+  rewards[7] = 0.25;
+  std::vector<double> alpha(14, 0.0);
+  alpha[0] = 1.0;
+  expect_transform_matches(c, rewards, alpha, 0, 10.0);
+}
+
+TEST(Transform, MatchesDenseSolveWithAbsorbingStates) {
+  const auto c = make_random_ctmc(
+      {.num_states = 13, .num_absorbing = 2, .seed = 17});
+  std::vector<double> rewards(13, 0.0);
+  rewards[11] = 1.0;   // r_{f_1}
+  rewards[12] = 0.5;   // r_{f_2}
+  rewards[4] = 0.125;  // and a transient reward
+  std::vector<double> alpha(13, 0.0);
+  alpha[0] = 1.0;
+  expect_transform_matches(c, rewards, alpha, 0, 15.0);
+}
+
+TEST(Transform, MatchesDenseSolveWithPrimedChain) {
+  const auto c = make_random_ctmc({.num_states = 10, .seed = 41});
+  std::vector<double> rewards(10, 0.0);
+  rewards[5] = 1.0;
+  std::vector<double> alpha(10, 0.05);  // spread initial mass (alpha_r < 1)
+  alpha[0] = 1.0 - 0.05 * 9;
+  expect_transform_matches(c, rewards, alpha, 0, 8.0);
+}
+
+TEST(Transform, ConjugateSymmetry) {
+  // TRR~(conj(s)) = conj(TRR~(s)) since TRR(t) is real.
+  const auto m = make_two_state(1e-3, 1.0);
+  const std::vector<double> rewards = {0.0, 1.0};
+  const std::vector<double> alpha = {1.0, 0.0};
+  const auto schema =
+      compute_regenerative_schema(m.chain, rewards, alpha, 0, 100.0, {});
+  const TrrTransform tr(schema);
+  const cd s(0.01, 0.3);
+  const cd a = tr.trr(s);
+  const cd b = tr.trr(std::conj(s));
+  EXPECT_NEAR(a.real(), b.real(), 1e-15);
+  EXPECT_NEAR(a.imag(), -b.imag(), 1e-15);
+}
+
+TEST(Transform, SmallSLimitIsSteadyState) {
+  // s * TRR~(s) -> TRR(inf) as s -> 0 (final value theorem); for the
+  // two-state model TRR(inf) = lambda/(lambda+mu).
+  const auto m = make_two_state(1e-3, 1.0);
+  const std::vector<double> rewards = {0.0, 1.0};
+  const std::vector<double> alpha = {1.0, 0.0};
+  const auto schema =
+      compute_regenerative_schema(m.chain, rewards, alpha, 0, 1e7, {});
+  const TrrTransform tr(schema);
+  const cd s(1e-9, 0.0);
+  const cd limit = s * tr.trr(s);
+  EXPECT_NEAR(limit.real(), 1e-3 / (1e-3 + 1.0), 1e-9);
+}
+
+TEST(Transform, CumulativeIsTrrOverS) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const std::vector<double> rewards = {0.0, 1.0};
+  const std::vector<double> alpha = {1.0, 0.0};
+  const auto schema =
+      compute_regenerative_schema(m.chain, rewards, alpha, 0, 100.0, {});
+  const TrrTransform tr(schema);
+  const cd s(0.05, 0.4);
+  const cd lhs = tr.cumulative(s) * s;
+  const cd rhs = tr.trr(s);
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,128 @@
+// Randomization with steady-state detection against SR and GTH.
+#include "core/steady_state_detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/standard_randomization.hpp"
+#include "markov/steady_state.hpp"
+#include "models/simple.hpp"
+#include "sparse/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(Rsd, MatchesClosedFormBeforeDetection) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const RandomizationSteadyStateDetection rsd(m.chain, {0.0, 1.0},
+                                              {1.0, 0.0});
+  for (const double t : {0.1, 1.0, 5.0}) {
+    EXPECT_NEAR(rsd.trr(t).value, m.unavailability(t), 1e-11) << "t=" << t;
+  }
+}
+
+TEST(Rsd, MatchesClosedFormAfterDetection) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const RandomizationSteadyStateDetection rsd(m.chain, {0.0, 1.0},
+                                              {1.0, 0.0});
+  for (const double t : {1e3, 1e5, 1e7}) {
+    const auto r = rsd.trr(t);
+    EXPECT_NEAR(r.value, m.unavailability(t), 1e-10) << "t=" << t;
+    EXPECT_GT(r.stats.detection_step, 0) << "t=" << t;
+  }
+}
+
+TEST(Rsd, StepCountSaturates) {
+  // The defining behaviour (Table 1, RSD column): steps stop growing once
+  // stationarity is detected.
+  const auto m = make_two_state(1e-2, 1.0);
+  const RandomizationSteadyStateDetection rsd(m.chain, {0.0, 1.0},
+                                              {1.0, 0.0});
+  const auto s4 = rsd.trr(1e4).stats.dtmc_steps;
+  const auto s6 = rsd.trr(1e6).stats.dtmc_steps;
+  const auto s8 = rsd.trr(1e8).stats.dtmc_steps;
+  EXPECT_EQ(s4, s6);
+  EXPECT_EQ(s6, s8);
+}
+
+TEST(Rsd, MrrMatchesSr) {
+  const auto c = make_random_ctmc({.num_states = 25, .seed = 77});
+  std::vector<double> rewards(25, 0.0);
+  rewards[12] = 1.0;
+  rewards[3] = 0.5;
+  std::vector<double> alpha(25, 0.0);
+  alpha[0] = 1.0;
+  const StandardRandomization sr(c, rewards, alpha);
+  const RandomizationSteadyStateDetection rsd(c, rewards, alpha);
+  for (const double t : {0.5, 5.0, 500.0}) {
+    EXPECT_NEAR(rsd.mrr(t).value, sr.mrr(t).value, 1e-10) << "t=" << t;
+    EXPECT_NEAR(rsd.trr(t).value, sr.trr(t).value, 1e-10) << "t=" << t;
+  }
+}
+
+TEST(Rsd, DetectedValueMatchesGthStationaryReward) {
+  const auto c = make_random_ctmc({.num_states = 30, .seed = 13});
+  std::vector<double> rewards(30, 0.0);
+  rewards[7] = 1.0;
+  std::vector<double> alpha(30, 0.0);
+  alpha[0] = 1.0;
+  const RandomizationSteadyStateDetection rsd(c, rewards, alpha);
+  const auto pi = gth_steady_state(c);
+  const double stationary_reward = dot(pi, rewards);
+  EXPECT_NEAR(rsd.trr(1e8).value, stationary_reward, 1e-9);
+}
+
+TEST(Rsd, PeriodicChainNeedsRateSlack) {
+  // A pure cycle randomized at Lambda = max exit has no self-loops: pi^(n)
+  // never settles and detection must not fire; with rate_factor > 1 the
+  // chain is aperiodic and detection works.
+  const Ctmc cycle = make_cycle(6, 1.0);
+  std::vector<double> rewards(6, 0.0);
+  rewards[0] = 1.0;
+  std::vector<double> alpha(6, 0.0);
+  alpha[0] = 1.0;
+
+  RsdOptions strict;
+  strict.rate_factor = 1.0;
+  const RandomizationSteadyStateDetection periodic(cycle, rewards, alpha,
+                                                   strict);
+  const auto r1 = periodic.trr(200.0);
+  EXPECT_EQ(r1.stats.detection_step, -1);  // never detected
+
+  RsdOptions slack;
+  slack.rate_factor = 1.25;
+  const RandomizationSteadyStateDetection aperiodic(cycle, rewards, alpha,
+                                                    slack);
+  const auto r2 = aperiodic.trr(2000.0);
+  EXPECT_GT(r2.stats.detection_step, 0);
+  EXPECT_NEAR(r2.value, 1.0 / 6.0, 1e-9);  // uniform stationary distribution
+  EXPECT_NEAR(r1.value, 1.0 / 6.0, 1e-9);
+}
+
+TEST(Rsd, RejectsAbsorbingModels) {
+  const auto m = make_erlang(3, 1.0);
+  std::vector<double> rewards(4, 0.0);
+  std::vector<double> alpha(4, 0.0);
+  alpha[0] = 1.0;
+  EXPECT_THROW(
+      RandomizationSteadyStateDetection(m.chain, rewards, alpha),
+      contract_error);
+}
+
+TEST(Rsd, DetectionToleranceIsConfigurable) {
+  const auto m = make_two_state(1e-2, 1.0);
+  RsdOptions loose;
+  loose.detection_tol = 1e-4;
+  RsdOptions tight;
+  tight.detection_tol = 1e-14;
+  const RandomizationSteadyStateDetection a(m.chain, {0.0, 1.0}, {1.0, 0.0},
+                                            loose);
+  const RandomizationSteadyStateDetection b(m.chain, {0.0, 1.0}, {1.0, 0.0},
+                                            tight);
+  const auto ra = a.trr(1e6);
+  const auto rb = b.trr(1e6);
+  EXPECT_LT(ra.stats.detection_step, rb.stats.detection_step);
+}
+
+}  // namespace
+}  // namespace rrl

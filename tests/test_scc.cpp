@@ -1,0 +1,71 @@
+// Unit tests for the iterative Tarjan SCC decomposition.
+#include "markov/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rrl {
+namespace {
+
+CsrMatrix graph(index_t n, std::vector<Triplet> edges) {
+  for (auto& e : edges) e.value = 1.0;
+  return CsrMatrix::from_triplets(n, n, std::move(edges));
+}
+
+TEST(Scc, SingleCycle) {
+  const auto g = graph(3, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}});
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.count, 1);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[1], r.component[2]);
+}
+
+TEST(Scc, Dag) {
+  const auto g = graph(3, {{0, 1, 0}, {1, 2, 0}});
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.count, 3);
+  std::set<index_t> ids(r.component.begin(), r.component.end());
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(Scc, TwoComponentsWithBridge) {
+  // {0,1} cycle -> {2,3} cycle.
+  const auto g = graph(
+      4, {{0, 1, 0}, {1, 0, 0}, {1, 2, 0}, {2, 3, 0}, {3, 2, 0}});
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.count, 2);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[2], r.component[3]);
+  EXPECT_NE(r.component[0], r.component[2]);
+  // Tarjan numbers components in reverse topological order: the sink
+  // component {2,3} gets the smaller id.
+  EXPECT_LT(r.component[2], r.component[0]);
+}
+
+TEST(Scc, IsolatedVertices) {
+  const auto g = graph(3, {{0, 1, 0}});
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.count, 3);
+}
+
+TEST(Scc, SelfLoopOnlyVertex) {
+  const auto g = graph(2, {{0, 0, 0}, {0, 1, 0}});
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.count, 2);
+}
+
+TEST(Scc, LargeCycleIterativeDfs) {
+  // Deep recursion would overflow a recursive Tarjan; the iterative version
+  // must handle a 200k-cycle.
+  std::vector<Triplet> edges;
+  const index_t n = 200'000;
+  edges.reserve(n);
+  for (index_t i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n, 1.0});
+  const SccResult r = strongly_connected_components(
+      CsrMatrix::from_triplets(n, n, std::move(edges)));
+  EXPECT_EQ(r.count, 1);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,119 @@
+// Unit tests for the analytic reference models.
+#include "models/simple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/ctmc.hpp"
+#include "markov/scc.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(TwoState, ClosedFormLimits) {
+  const auto m = make_two_state(2e-3, 0.5);
+  EXPECT_DOUBLE_EQ(m.unavailability(0.0), 0.0);
+  const double ss = 2e-3 / (2e-3 + 0.5);
+  EXPECT_NEAR(m.unavailability(1e6), ss, 1e-15);
+  // UA is increasing from 0 to the steady state.
+  EXPECT_LT(m.unavailability(1.0), m.unavailability(10.0));
+  EXPECT_LT(m.unavailability(10.0), ss);
+}
+
+TEST(TwoState, IntervalUnavailabilityIsAverageOfUa) {
+  const auto m = make_two_state(1e-2, 1.0);
+  // Numerical quadrature of UA over [0, t] (Simpson) vs the closed form.
+  const double t = 7.0;
+  const int n = 4000;
+  const double h = t / n;
+  double integral = m.unavailability(0.0) + m.unavailability(t);
+  for (int i = 1; i < n; ++i) {
+    integral += (i % 2 == 1 ? 4.0 : 2.0) * m.unavailability(i * h);
+  }
+  integral *= h / 3.0;
+  EXPECT_NEAR(m.interval_unavailability(t), integral / t, 1e-12);
+}
+
+TEST(Erlang, UnreliabilityMatchesGammaCdf) {
+  const auto m = make_erlang(4, 0.5);
+  // P[Erlang(4, 0.5) <= t]; spot values against independent evaluation.
+  EXPECT_NEAR(m.unreliability(0.0), 0.0, 1e-15);
+  // For n=1 the Erlang is exponential.
+  const auto e1 = make_erlang(1, 2.0);
+  EXPECT_NEAR(e1.unreliability(1.5), 1.0 - std::exp(-3.0), 1e-14);
+  // Monotone in t.
+  EXPECT_LT(m.unreliability(1.0), m.unreliability(5.0));
+  EXPECT_NEAR(m.unreliability(1e4), 1.0, 1e-12);
+}
+
+TEST(Erlang, IntervalUnreliabilityQuadratureCheck) {
+  const auto m = make_erlang(3, 1.0);
+  const double t = 5.0;
+  const int n = 4000;
+  const double h = t / n;
+  double integral = m.unreliability(0.0) + m.unreliability(t);
+  for (int i = 1; i < n; ++i) {
+    integral += (i % 2 == 1 ? 4.0 : 2.0) * m.unreliability(i * h);
+  }
+  integral *= h / 3.0;
+  EXPECT_NEAR(m.interval_unreliability(t), integral / t, 1e-12);
+}
+
+TEST(Erlang, ChainStructure) {
+  const auto m = make_erlang(5, 1.0);
+  EXPECT_EQ(m.chain.num_states(), 6);
+  EXPECT_TRUE(m.chain.is_absorbing(5));
+  EXPECT_EQ(m.chain.num_transitions(), 5);
+}
+
+TEST(BirthDeath, StructureAndRates) {
+  const Ctmc c = make_birth_death({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_EQ(c.num_states(), 3);
+  EXPECT_DOUBLE_EQ(c.rates().coeff(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c.rates().coeff(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(c.rates().coeff(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c.rates().coeff(2, 1), 4.0);
+}
+
+TEST(Mm1k, StationaryDistributionSumsToOne) {
+  const auto m = make_mm1k(1.5, 2.0, 10);
+  double total = 0.0;
+  for (int i = 0; i <= 10; ++i) total += m.stationary(i);
+  EXPECT_NEAR(total, 1.0, 1e-14);
+  EXPECT_GT(m.stationary_mean_length(), 0.0);
+  EXPECT_LT(m.stationary_mean_length(), 10.0);
+}
+
+TEST(Cycle, PeriodicStructure) {
+  const Ctmc c = make_cycle(5, 2.0);
+  EXPECT_EQ(c.num_states(), 5);
+  EXPECT_EQ(c.num_transitions(), 5);
+  const auto scc = strongly_connected_components(c.rates());
+  EXPECT_EQ(scc.count, 1);
+}
+
+TEST(RandomCtmc, SatisfiesPaperStructure) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto c = make_random_ctmc(
+        {.num_states = 25, .num_absorbing = 2, .seed = seed});
+    const CtmcStructure s = classify_structure(c);
+    EXPECT_TRUE(s.valid) << "seed=" << seed;
+    EXPECT_EQ(s.absorbing.size(), 2u) << "seed=" << seed;
+  }
+}
+
+TEST(RandomCtmc, IrreducibleWhenNoAbsorbing) {
+  const auto c = make_random_ctmc({.num_states = 30, .seed = 3});
+  EXPECT_TRUE(classify_structure(c).irreducible);
+}
+
+TEST(RandomCtmc, Deterministic) {
+  const auto a = make_random_ctmc({.num_states = 15, .seed = 9});
+  const auto b = make_random_ctmc({.num_states = 15, .seed = 9});
+  EXPECT_EQ(a.num_transitions(), b.num_transitions());
+  EXPECT_DOUBLE_EQ(a.max_exit_rate(), b.max_exit_rate());
+}
+
+}  // namespace
+}  // namespace rrl

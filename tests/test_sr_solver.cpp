@@ -1,0 +1,131 @@
+// Standard randomization against analytic ground truth.
+#include "core/standard_randomization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/simple.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(Sr, TwoStateUnavailability) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const StandardRandomization sr(m.chain, {0.0, 1.0}, {1.0, 0.0});
+  for (const double t : {0.1, 1.0, 10.0, 1000.0}) {
+    EXPECT_NEAR(sr.trr(t).value, m.unavailability(t), 1e-12) << "t=" << t;
+  }
+}
+
+TEST(Sr, TwoStateIntervalUnavailability) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const StandardRandomization sr(m.chain, {0.0, 1.0}, {1.0, 0.0});
+  for (const double t : {0.5, 5.0, 500.0}) {
+    EXPECT_NEAR(sr.mrr(t).value, m.interval_unavailability(t), 1e-12)
+        << "t=" << t;
+  }
+}
+
+TEST(Sr, ErlangUnreliability) {
+  const auto m = make_erlang(4, 0.8);
+  // Reward 1 on the absorbing state (index = stages).
+  std::vector<double> reward(5, 0.0);
+  reward[4] = 1.0;
+  std::vector<double> alpha(5, 0.0);
+  alpha[0] = 1.0;
+  const StandardRandomization sr(m.chain, reward, alpha);
+  for (const double t : {0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(sr.trr(t).value, m.unreliability(t), 1e-12) << "t=" << t;
+  }
+}
+
+TEST(Sr, ErlangIntervalUnreliability) {
+  const auto m = make_erlang(3, 1.0);
+  std::vector<double> reward(4, 0.0);
+  reward[3] = 1.0;
+  std::vector<double> alpha(4, 0.0);
+  alpha[0] = 1.0;
+  const StandardRandomization sr(m.chain, reward, alpha);
+  for (const double t : {1.0, 5.0, 25.0}) {
+    EXPECT_NEAR(sr.mrr(t).value, m.interval_unreliability(t), 1e-12)
+        << "t=" << t;
+  }
+}
+
+TEST(Sr, TimeZeroReturnsInitialRewardRate) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const StandardRandomization up(m.chain, {0.0, 1.0}, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(up.trr(0.0).value, 0.0);
+  const StandardRandomization down(m.chain, {0.0, 1.0}, {0.0, 1.0});
+  EXPECT_DOUBLE_EQ(down.trr(0.0).value, 1.0);
+}
+
+TEST(Sr, StepCountIsPoissonTruncation) {
+  const auto m = make_two_state(1e-3, 1.0);
+  SrOptions opt;
+  opt.epsilon = 1e-12;
+  const StandardRandomization sr(m.chain, {0.0, 1.0}, {1.0, 0.0}, opt);
+  const auto r = sr.trr(1000.0);
+  // Lambda*t = 1000; truncation ~ mean + ~8 std devs.
+  EXPECT_GT(r.stats.dtmc_steps, 1000);
+  EXPECT_LT(r.stats.dtmc_steps, 1000 + 300);
+  EXPECT_DOUBLE_EQ(r.stats.lambda, 1.0);
+}
+
+TEST(Sr, StepsGrowLinearlyInTime) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const StandardRandomization sr(m.chain, {0.0, 1.0}, {1.0, 0.0});
+  const auto s1 = sr.trr(1e3).stats.dtmc_steps;
+  const auto s2 = sr.trr(1e4).stats.dtmc_steps;
+  // Truncation is mean + O(sqrt(mean)), so the ratio undershoots 10 a bit.
+  const double ratio = static_cast<double>(s2) / static_cast<double>(s1);
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 10.5);
+}
+
+TEST(Sr, CapIsHonoredAndFlagged) {
+  const auto m = make_two_state(1e-3, 1.0);
+  SrOptions opt;
+  opt.step_cap = 100;
+  const StandardRandomization sr(m.chain, {0.0, 1.0}, {1.0, 0.0}, opt);
+  const auto r = sr.trr(1e4);
+  EXPECT_TRUE(r.stats.capped);
+  EXPECT_EQ(r.stats.dtmc_steps, 100);
+}
+
+TEST(Sr, ZeroRewardShortCircuits) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const StandardRandomization sr(m.chain, {0.0, 0.0}, {1.0, 0.0});
+  const auto r = sr.trr(100.0);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_EQ(r.stats.dtmc_steps, 0);
+}
+
+TEST(Sr, GeneralRewardStructure) {
+  // MRR with non-indicator rewards: mean queue length of an M/M/1/K over
+  // [0, t] approaches the stationary mean for large t.
+  const auto m = make_mm1k(1.0, 2.0, 6);
+  std::vector<double> rewards(7);
+  for (int i = 0; i <= 6; ++i) rewards[static_cast<std::size_t>(i)] = i;
+  std::vector<double> alpha(7, 0.0);
+  alpha[0] = 1.0;
+  const StandardRandomization sr(m.chain, rewards, alpha);
+  const double long_run = sr.mrr(2000.0).value;
+  EXPECT_NEAR(long_run, m.stationary_mean_length(), 1e-2);
+}
+
+TEST(Sr, RejectsBadInputs) {
+  const auto m = make_two_state(1e-3, 1.0);
+  EXPECT_THROW(StandardRandomization(m.chain, {0.0}, {1.0, 0.0}),
+               contract_error);
+  EXPECT_THROW(StandardRandomization(m.chain, {0.0, 1.0}, {0.4, 0.4}),
+               contract_error);
+  const StandardRandomization sr(m.chain, {0.0, 1.0}, {1.0, 0.0});
+  EXPECT_THROW((void)sr.trr(-1.0), contract_error);
+  EXPECT_THROW((void)sr.mrr(0.0), contract_error);
+}
+
+}  // namespace
+}  // namespace rrl

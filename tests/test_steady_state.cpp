@@ -1,0 +1,80 @@
+// Unit tests for the GTH and power-iteration steady-state solvers.
+#include "markov/steady_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/simple.hpp"
+#include "sparse/vector_ops.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(Gth, TwoStateClosedForm) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const auto pi = gth_steady_state(m.chain);
+  const double expected_down = 1e-3 / (1e-3 + 1.0);
+  EXPECT_NEAR(pi[0], 1.0 - expected_down, 1e-15);
+  EXPECT_NEAR(pi[1], expected_down, 1e-15);
+}
+
+TEST(Gth, Mm1kGeometricStationary) {
+  const auto m = make_mm1k(2.0, 3.0, 8);
+  const auto pi = gth_steady_state(m.chain);
+  for (int i = 0; i <= 8; ++i) {
+    EXPECT_NEAR(pi[static_cast<std::size_t>(i)], m.stationary(i), 1e-14)
+        << "i=" << i;
+  }
+}
+
+TEST(Gth, SatisfiesBalanceEquations) {
+  const auto c = make_random_ctmc({.num_states = 30, .seed = 42});
+  const auto pi = gth_steady_state(c);
+  EXPECT_NEAR(sum(pi), 1.0, 1e-13);
+  // pi Q = 0  <=>  for all j: sum_i pi_i R(i,j) = pi_j * exit_j.
+  std::vector<double> inflow(30, 0.0);
+  c.rates().mul_vec_transposed(pi, inflow);
+  for (index_t j = 0; j < 30; ++j) {
+    EXPECT_NEAR(inflow[static_cast<std::size_t>(j)],
+                pi[static_cast<std::size_t>(j)] *
+                    c.exit_rates()[static_cast<std::size_t>(j)],
+                1e-12);
+  }
+}
+
+TEST(Gth, NumericallyBenignOnStiffChain) {
+  // Rates spanning 8 orders of magnitude (a dependability-model signature).
+  const Ctmc c = Ctmc::from_transitions(
+      3, {{0, 1, 1e-8}, {1, 0, 1.0}, {1, 2, 1e-6}, {2, 0, 0.25}});
+  const auto pi = gth_steady_state(c);
+  EXPECT_NEAR(sum(pi), 1.0, 1e-14);
+  // Balance at state 2: pi_1 * 1e-6 = pi_2 * 0.25.
+  EXPECT_NEAR(pi[1] * 1e-6, pi[2] * 0.25, 1e-18);
+}
+
+TEST(Gth, RejectsOversizedChain) {
+  const auto m = make_mm1k(1.0, 1.0, 9);
+  EXPECT_THROW(gth_steady_state(m.chain, /*max_dense_states=*/5),
+               contract_error);
+}
+
+TEST(PowerIteration, MatchesGth) {
+  const auto c = make_random_ctmc({.num_states = 40, .seed = 7});
+  const auto ref = gth_steady_state(c);
+  // rate_factor > 1 guarantees aperiodicity.
+  const RandomizedDtmc d(c, 1.05);
+  const auto r = power_steady_state(d, 1e-14);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(dist_l1(r.distribution, ref), 1e-10);
+}
+
+TEST(PowerIteration, ReportsNonConvergence) {
+  const auto m = make_two_state(1e-6, 1.0);  // very stiff => slow mixing
+  const RandomizedDtmc d(m.chain);
+  const auto r = power_steady_state(d, 1e-16, /*max_iterations=*/3);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3);
+}
+
+}  // namespace
+}  // namespace rrl

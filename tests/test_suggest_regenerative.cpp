@@ -1,0 +1,88 @@
+// Tests of the regenerative-state selection heuristic.
+#include <gtest/gtest.h>
+
+#include "core/regenerative.hpp"
+#include "core/rrl_solver.hpp"
+#include "models/raid5.hpp"
+#include "models/simple.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(SuggestRegenerative, TwoStatePicksTheUpState) {
+  // Stationary mass: up ~ mu/(lambda+mu) ~ 1: state 0 must be suggested.
+  const auto m = make_two_state(1e-3, 1.0);
+  EXPECT_EQ(suggest_regenerative_state(m.chain), 0);
+}
+
+TEST(SuggestRegenerative, RaidPicksThePerfectState) {
+  Raid5Params p;
+  p.groups = 5;
+  const auto avail = build_raid5_availability(p);
+  EXPECT_EQ(suggest_regenerative_state(avail.chain, 256),
+            avail.initial_state);
+  // Works on the absorbing (reliability) variant too: the conditional
+  // occupancy still concentrates on the perfect state.
+  const auto rel = build_raid5_reliability(p);
+  EXPECT_EQ(suggest_regenerative_state(rel.chain, 256), rel.initial_state);
+}
+
+TEST(SuggestRegenerative, NeverSuggestsAbsorbingStates) {
+  const auto c = make_random_ctmc(
+      {.num_states = 15, .num_absorbing = 3, .seed = 29});
+  const index_t r = suggest_regenerative_state(c);
+  EXPECT_FALSE(c.is_absorbing(r));
+}
+
+TEST(SuggestRegenerative, SuggestionIsUsableAndConsistent) {
+  const auto c = make_random_ctmc({.num_states = 20, .seed = 55});
+  std::vector<double> rewards(20, 0.0);
+  rewards[9] = 1.0;
+  std::vector<double> alpha(20, 0.0);
+  alpha[0] = 1.0;
+  const index_t r = suggest_regenerative_state(c);
+  const RegenerativeRandomizationLaplace with_suggested(c, rewards, alpha,
+                                                        r);
+  const RegenerativeRandomizationLaplace with_default(c, rewards, alpha, 0);
+  const double t = 25.0;
+  EXPECT_NEAR(with_suggested.trr(t).value, with_default.trr(t).value,
+              1e-10);
+}
+
+TEST(SuggestRegenerative, MeasurablyBetterThanAWorstCaseChoice) {
+  // On the RAID model, the perfect state (suggested) yields a much smaller
+  // truncation K than a rarely-visited degraded state.
+  Raid5Params p;
+  p.groups = 5;
+  const auto m = build_raid5_availability(p);
+  const auto rewards = m.failure_rewards();
+  const auto alpha = m.initial_distribution();
+  const index_t good = suggest_regenerative_state(m.chain, 256);
+  // Find some deep degraded state (many failed disks) as the bad choice.
+  index_t bad = good;
+  for (std::size_t i = 0; i < m.states.size(); ++i) {
+    if (!m.states[i].failed && m.states[i].nfd >= 3) {
+      bad = static_cast<index_t>(i);
+      break;
+    }
+  }
+  ASSERT_NE(bad, good);
+  RegenerativeOptions opt;
+  opt.epsilon = 1e-10;
+  const double t = 1e4;
+  const auto schema_good =
+      compute_regenerative_schema(m.chain, rewards, alpha, good, t, opt);
+  const auto schema_bad =
+      compute_regenerative_schema(m.chain, rewards, alpha, bad, t, opt);
+  EXPECT_LT(schema_good.dtmc_steps() * 2, schema_bad.dtmc_steps());
+}
+
+TEST(SuggestRegenerative, RejectsDegenerateInputs) {
+  const auto m = make_two_state(1.0, 2.0);
+  EXPECT_THROW((void)suggest_regenerative_state(m.chain, 0),
+               contract_error);
+}
+
+}  // namespace
+}  // namespace rrl

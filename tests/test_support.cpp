@@ -1,0 +1,85 @@
+// Tests for the support utilities (CLI parser, table printer, stopwatch,
+// contracts).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/contracts.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(Cli, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--beta", "2",  "--flag",
+                        "--name", "hello", "positional"};
+  const CliArgs args(8, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(args.get_long("beta", 0), 2);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_EQ(args.get_string("name", ""), "hello");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Cli, FallbacksApply) {
+  const char* argv[] = {"prog"};
+  const CliArgs args(1, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 3.25), 3.25);
+  EXPECT_EQ(args.get_string("missing", "d"), "d");
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, ExplicitFalseFlag) {
+  const char* argv[] = {"prog", "--flag=false"};
+  const CliArgs args(2, argv);
+  EXPECT_FALSE(args.get_bool("flag", true));
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("|   a | long-header |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 |           4 |"), std::string::npos);
+}
+
+TEST(Table, RejectsAridityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), contract_error);
+}
+
+TEST(Formatting, SigAndSci) {
+  EXPECT_EQ(fmt_sig(1234.5678, 5), "1234.6");
+  EXPECT_EQ(fmt_sci(0.000123456, 3), "1.235e-04");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1e-3;
+  EXPECT_GE(w.seconds(), 0.0);
+  EXPECT_GE(w.millis(), 0.0);  // both units advance monotonically
+  w.reset();
+  EXPECT_LT(w.seconds(), 1.0);
+}
+
+TEST(Contracts, MacrosThrowWithContext) {
+  try {
+    RRL_EXPECTS(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,53 @@
+// Unit tests for the compensated-summation vector kernels.
+#include "sparse/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rrl {
+namespace {
+
+TEST(VectorOps, CompensatedSumBeatsNaiveSum) {
+  // Sum 1 + 1e-16 * 10^7: naive summation loses the small terms entirely.
+  CompensatedSum s(1.0);
+  for (int i = 0; i < 10'000'000; ++i) s.add(1e-16);
+  EXPECT_NEAR(s.value(), 1.0 + 1e-9, 1e-15);
+}
+
+TEST(VectorOps, CompensatedSumHandlesCancellation) {
+  CompensatedSum s;
+  s.add(1e100);
+  s.add(1.0);
+  s.add(-1e100);
+  EXPECT_DOUBLE_EQ(s.value(), 1.0);
+}
+
+TEST(VectorOps, SumAndDot) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(sum(x), 6.0);
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+}
+
+TEST(VectorOps, Norms) {
+  const std::vector<double> x = {3.0, -4.0, 0.5};
+  EXPECT_DOUBLE_EQ(norm_l1(x), 7.5);
+  EXPECT_DOUBLE_EQ(norm_linf(x), 4.0);
+}
+
+TEST(VectorOps, DistL1) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {4.0, 0.0};
+  EXPECT_DOUBLE_EQ(dist_l1(x, y), 5.0);
+}
+
+TEST(VectorOps, DotRejectsMismatchedSizes) {
+  const std::vector<double> x = {1.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW((void)dot(x, y), contract_error);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,151 @@
+// Tests of the explicit V_{K,L} construction: structure, stochastic
+// consistency, and — the core of the method — equivalence of the truncated
+// transformed model with the original CTMC.
+#include "core/vmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/standard_randomization.hpp"
+#include "models/simple.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(VModel, StateLayout) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const std::vector<double> rewards = {0.0, 1.0};
+  const std::vector<double> alpha = {1.0, 0.0};
+  const auto schema =
+      compute_regenerative_schema(m.chain, rewards, alpha, 0, 100.0, {});
+  const VModel v = build_vmodel(schema);
+  // K+1 chain states + A absorbing + truncation state.
+  EXPECT_EQ(v.chain.num_states(), schema.K() + 2);
+  EXPECT_EQ(v.L, -1);
+  EXPECT_EQ(v.truncation_state(), v.chain.num_states() - 1);
+  EXPECT_TRUE(v.chain.is_absorbing(v.truncation_state()));
+  EXPECT_DOUBLE_EQ(v.initial[0], 1.0);
+  EXPECT_DOUBLE_EQ(sum(v.initial), 1.0);
+}
+
+TEST(VModel, ExitRatesNeverExceedLambda) {
+  const auto c = make_random_ctmc(
+      {.num_states = 15, .num_absorbing = 1, .seed = 5});
+  std::vector<double> rewards(15, 0.0);
+  rewards[14] = 1.0;
+  std::vector<double> alpha(15, 0.0);
+  alpha[0] = 1.0;
+  const auto schema =
+      compute_regenerative_schema(c, rewards, alpha, 0, 20.0, {});
+  const VModel v = build_vmodel(schema);
+  for (const double exit : v.chain.exit_rates()) {
+    EXPECT_LE(exit, v.lambda * (1.0 + 1e-12));
+  }
+  // The last chain state feeds the truncation state at full rate Lambda.
+  EXPECT_DOUBLE_EQ(
+      v.chain.rates().coeff(v.s(v.K), v.truncation_state()), v.lambda);
+}
+
+TEST(VModel, RewardsAreConditionalExpectations) {
+  const auto m = make_two_state(1e-3, 1.0);
+  const std::vector<double> rewards = {0.0, 1.0};
+  const std::vector<double> alpha = {1.0, 0.0};
+  const auto schema =
+      compute_regenerative_schema(m.chain, rewards, alpha, 0, 100.0, {});
+  const VModel v = build_vmodel(schema);
+  EXPECT_DOUBLE_EQ(v.rewards[0], 0.0);  // b(0) = reward of r
+  for (std::int64_t k = 1; k < v.K; ++k) {
+    // Two-state: every surviving excursion sits in the rewarded state.
+    EXPECT_NEAR(v.rewards[static_cast<std::size_t>(v.s(k))], 1.0, 1e-13);
+  }
+  // The schema terminates exactly (a(K) = 0): s_K is unreachable and
+  // carries zero reward by convention.
+  ASSERT_TRUE(schema.main.exact);
+  EXPECT_DOUBLE_EQ(v.rewards[static_cast<std::size_t>(v.s(v.K))], 0.0);
+  EXPECT_DOUBLE_EQ(
+      v.rewards[static_cast<std::size_t>(v.truncation_state())], 0.0);
+}
+
+// The fundamental theorem of the method: TRR/MRR of V equal those of X.
+TEST(VModel, TransformedModelReproducesTrr) {
+  const auto m = make_two_state(2e-3, 0.5);
+  const std::vector<double> rewards = {0.0, 1.0};
+  const std::vector<double> alpha = {1.0, 0.0};
+  for (const double t : {1.0, 10.0, 300.0}) {
+    RegenerativeOptions opt;
+    opt.epsilon = 1e-12;
+    const auto schema =
+        compute_regenerative_schema(m.chain, rewards, alpha, 0, t, opt);
+    const VModel v = build_vmodel(schema);
+    SrOptions sr;
+    sr.epsilon = 1e-13;
+    const StandardRandomization on_v(v.chain, v.rewards, v.initial, sr);
+    const double expected = m.unavailability(t);
+    EXPECT_NEAR(on_v.trr(t).value, expected, 1e-11) << "t=" << t;
+  }
+}
+
+TEST(VModel, TransformedModelReproducesTrrWithAbsorption) {
+  // Random absorbing chain: V (solved by SR) vs X (solved by SR).
+  const auto c = make_random_ctmc(
+      {.num_states = 12, .num_absorbing = 2, .seed = 23});
+  std::vector<double> rewards(12, 0.0);
+  rewards[10] = 1.0;
+  rewards[11] = 0.5;
+  std::vector<double> alpha(12, 0.0);
+  alpha[0] = 1.0;
+  for (const double t : {0.5, 5.0, 50.0}) {
+    const auto schema =
+        compute_regenerative_schema(c, rewards, alpha, 0, t, {});
+    const VModel v = build_vmodel(schema);
+    SrOptions sr;
+    sr.epsilon = 1e-13;
+    const StandardRandomization on_v(v.chain, v.rewards, v.initial, sr);
+    const StandardRandomization on_x(c, rewards, alpha, sr);
+    EXPECT_NEAR(on_v.trr(t).value, on_x.trr(t).value, 1e-11) << "t=" << t;
+    EXPECT_NEAR(on_v.mrr(t).value, on_x.mrr(t).value, 1e-11) << "t=" << t;
+  }
+}
+
+TEST(VModel, PrimedChainLayoutAndEquivalence) {
+  const auto m = make_two_state(2e-3, 0.5);
+  const std::vector<double> rewards = {0.0, 1.0};
+  const std::vector<double> alpha = {0.3, 0.7};  // alpha_r < 1
+  const double t = 20.0;
+  const auto schema =
+      compute_regenerative_schema(m.chain, rewards, alpha, 0, t, {});
+  ASSERT_TRUE(schema.has_primed);
+  const VModel v = build_vmodel(schema);
+  EXPECT_EQ(v.chain.num_states(), schema.K() + 1 + schema.L() + 1 + 1);
+  EXPECT_DOUBLE_EQ(v.initial[static_cast<std::size_t>(v.s(0))], 0.3);
+  EXPECT_DOUBLE_EQ(v.initial[static_cast<std::size_t>(v.s_primed(0))], 0.7);
+
+  SrOptions sr;
+  sr.epsilon = 1e-13;
+  const StandardRandomization on_v(v.chain, v.rewards, v.initial, sr);
+  const StandardRandomization on_x(m.chain, rewards, alpha, sr);
+  EXPECT_NEAR(on_v.trr(t).value, on_x.trr(t).value, 1e-11);
+}
+
+TEST(VModel, ExactTerminationProducesLosslessModel) {
+  // Erlang chain: the V model is exact (no mass can reach `a`), so V solved
+  // at any horizon matches the closed form.
+  const auto m = make_erlang(4, 1.0);
+  std::vector<double> rewards(5, 0.0);
+  rewards[4] = 1.0;
+  std::vector<double> alpha(5, 0.0);
+  alpha[0] = 1.0;
+  const auto schema =
+      compute_regenerative_schema(m.chain, rewards, alpha, 0, 50.0, {});
+  ASSERT_TRUE(schema.main.exact);
+  const VModel v = build_vmodel(schema);
+  SrOptions sr;
+  sr.epsilon = 1e-13;
+  const StandardRandomization on_v(v.chain, v.rewards, v.initial, sr);
+  for (const double t : {1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(on_v.trr(t).value, m.unreliability(t), 1e-12) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace rrl

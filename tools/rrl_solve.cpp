@@ -1,0 +1,177 @@
+// rrl_solve — command-line front end to the library.
+//
+//   rrl_solve --model m.rrlm --t 10,100,1000 [--measure trr|mrr]
+//             [--solver rrl|rr|sr|rsd] [--eps 1e-12]
+//             [--regenerative auto|<index>] [--bounds]
+//   rrl_solve --export raid20|raid40|multiproc --output m.rrlm
+//
+// The model file format is documented in src/io/model_format.hpp. With
+// --export the built-in generators are serialized so they can be edited or
+// fed to other tools.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/model_format.hpp"
+#include "models/multiproc.hpp"
+#include "models/raid5.hpp"
+#include "rrl.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace rrl;
+
+std::vector<double> parse_times(const std::string& spec) {
+  std::vector<double> ts;
+  std::istringstream in(spec);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    const double t = std::strtod(token.c_str(), nullptr);
+    if (t > 0.0) ts.push_back(t);
+  }
+  return ts;
+}
+
+int export_model(const std::string& which, const std::string& output) {
+  if (which == "raid20" || which == "raid40") {
+    Raid5Params p;
+    p.groups = which == "raid20" ? 20 : 40;
+    const Raid5Model m = build_raid5_availability(p);
+    write_model_file(output, m.chain, m.failure_rewards(),
+                     m.initial_distribution(), m.initial_state);
+  } else if (which == "multiproc") {
+    const MultiprocModel m = build_multiproc_availability({});
+    write_model_file(output, m.chain, m.failure_rewards(),
+                     m.initial_distribution(), m.initial_state);
+  } else {
+    std::fprintf(stderr, "unknown --export '%s' (raid20|raid40|multiproc)\n",
+                 which.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", output.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    if (args.has("export")) {
+      return export_model(args.get_string("export", ""),
+                          args.get_string("output", "model.rrlm"));
+    }
+    if (!args.has("model") || !args.has("t")) {
+      std::fprintf(
+          stderr,
+          "usage: rrl_solve --model <file> --t <t1,t2,...> "
+          "[--measure trr|mrr] [--solver rrl|rr|sr|rsd] [--eps 1e-12] "
+          "[--regenerative auto|<idx>] [--bounds]\n"
+          "       rrl_solve --export raid20|raid40|multiproc "
+          "[--output m.rrlm]\n");
+      return 2;
+    }
+
+    const ModelFile model = read_model_file(args.get_string("model", ""));
+    const auto structure = classify_structure(model.chain);
+    std::printf("model: %d states, %lld transitions, %zu absorbing, %s\n",
+                model.chain.num_states(),
+                static_cast<long long>(model.chain.num_transitions()),
+                structure.absorbing.size(),
+                structure.irreducible
+                    ? "irreducible"
+                    : (structure.valid ? "valid (absorbing)" : "INVALID"));
+    if (!structure.valid) {
+      std::fprintf(stderr,
+                   "error: the non-absorbing states are not strongly "
+                   "connected (the paper's structural assumption)\n");
+      return 1;
+    }
+
+    const std::vector<double> ts = parse_times(args.get_string("t", ""));
+    if (ts.empty()) {
+      std::fprintf(stderr, "error: no valid time points in --t\n");
+      return 2;
+    }
+    const double eps = args.get_double("eps", 1e-12);
+    const std::string measure = args.get_string("measure", "trr");
+    const std::string solver = args.get_string("solver", "rrl");
+    const bool want_mrr = measure == "mrr";
+    const bool want_bounds = args.get_bool("bounds", false);
+
+    index_t regenerative = model.regenerative;
+    const std::string regen_arg = args.get_string("regenerative", "");
+    if (regen_arg == "auto" || (regen_arg.empty() && regenerative < 0)) {
+      regenerative = suggest_regenerative_state(model.chain);
+      std::printf("regenerative state (auto): %d\n", regenerative);
+    } else if (!regen_arg.empty()) {
+      regenerative = static_cast<index_t>(
+          std::strtol(regen_arg.c_str(), nullptr, 10));
+    }
+
+    TextTable table(want_bounds
+                        ? std::vector<std::string>{"t", "value", "lower",
+                                                   "upper", "steps"}
+                        : std::vector<std::string>{"t", "value", "steps",
+                                                   "seconds"});
+    for (const double t : ts) {
+      if (solver == "rrl") {
+        RrlOptions opt;
+        opt.epsilon = eps;
+        const RegenerativeRandomizationLaplace s(
+            model.chain, model.rewards, model.initial, regenerative, opt);
+        if (want_bounds) {
+          const auto b = want_mrr ? s.mrr_bounds(t) : s.trr_bounds(t);
+          table.add_row({fmt_sig(t, 6), fmt_sci(b.value, 9),
+                         fmt_sci(b.lower, 9), fmt_sci(b.upper, 9),
+                         std::to_string(b.stats.dtmc_steps)});
+        } else {
+          const auto r = want_mrr ? s.mrr(t) : s.trr(t);
+          table.add_row({fmt_sig(t, 6), fmt_sci(r.value, 9),
+                         std::to_string(r.stats.dtmc_steps),
+                         fmt_sig(r.stats.seconds, 3)});
+        }
+      } else if (solver == "rr") {
+        RrOptions opt;
+        opt.epsilon = eps;
+        const RegenerativeRandomization s(model.chain, model.rewards,
+                                          model.initial, regenerative, opt);
+        const auto r = want_mrr ? s.mrr(t) : s.trr(t);
+        table.add_row({fmt_sig(t, 6), fmt_sci(r.value, 9),
+                       std::to_string(r.stats.dtmc_steps),
+                       fmt_sig(r.stats.seconds, 3)});
+      } else if (solver == "sr") {
+        SrOptions opt;
+        opt.epsilon = eps;
+        const StandardRandomization s(model.chain, model.rewards,
+                                      model.initial, opt);
+        const auto r = want_mrr ? s.mrr(t) : s.trr(t);
+        table.add_row({fmt_sig(t, 6), fmt_sci(r.value, 9),
+                       std::to_string(r.stats.dtmc_steps),
+                       fmt_sig(r.stats.seconds, 3)});
+      } else if (solver == "rsd") {
+        RsdOptions opt;
+        opt.epsilon = eps;
+        const RandomizationSteadyStateDetection s(
+            model.chain, model.rewards, model.initial, opt);
+        const auto r = want_mrr ? s.mrr(t) : s.trr(t);
+        table.add_row({fmt_sig(t, 6), fmt_sci(r.value, 9),
+                       std::to_string(r.stats.dtmc_steps),
+                       fmt_sig(r.stats.seconds, 3)});
+      } else {
+        std::fprintf(stderr, "unknown --solver '%s'\n", solver.c_str());
+        return 2;
+      }
+    }
+    std::printf("%s(t), solver=%s, eps=%g:\n", want_mrr ? "MRR" : "TRR",
+                solver.c_str(), eps);
+    table.print();
+    return 0;
+  } catch (const rrl::contract_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
