@@ -7,7 +7,13 @@
 // V-model randomization makes it the slowest method for large t, and there
 // is a crosspoint between RR/RRL and RSD at small-to-moderate t.
 // RRL_BENCH_QUICK=1 restricts t <= 1e3 (see bench_common.hpp).
+//
+// Solvers are constructed through the registry, and a second table reports
+// the amortized solve_grid() sweep: the whole time grid in one call costs
+// about as much as the single largest point for every method.
 #include "bench_common.hpp"
+
+#include <memory>
 
 #include "support/stopwatch.hpp"
 
@@ -18,6 +24,7 @@ int main() {
   std::printf(
       "=== Figure 3: CPU times of RRL, RR and RSD for UA(t) ===\n\n");
 
+  const std::vector<std::string> names = {"rrl", "rr", "rsd"};
   for (const int groups : kGroupCounts) {
     const Raid5Model model = build_raid5_availability(paper_params(groups));
     print_model_banner("availability / UA(t)", model);
@@ -25,35 +32,42 @@ int main() {
     const auto rewards = model.failure_rewards();
     const auto alpha = model.initial_distribution();
 
-    RrlOptions rrl_opt;
-    rrl_opt.epsilon = kEpsilon;
-    const RegenerativeRandomizationLaplace rrl_solver(
-        model.chain, rewards, alpha, model.initial_state, rrl_opt);
+    SolverConfig config;
+    config.epsilon = kEpsilon;
+    config.regenerative = model.initial_state;
+    // In quick mode this caps RSD's randomization pass, RR's V-solve and
+    // the RR/RRL schemas; capped results are marked '*' below.
+    config.step_cap = sr_step_cap();
+    std::vector<std::unique_ptr<TransientSolver>> solvers;
+    for (const std::string& name : names) {
+      solvers.push_back(make_solver(name, model.chain, rewards, alpha,
+                                    config));
+    }
 
-    RrOptions rr_opt;
-    rr_opt.epsilon = kEpsilon;
-    rr_opt.vmodel_step_cap = sr_step_cap();
-    const RegenerativeRandomization rr(model.chain, rewards, alpha,
-                                       model.initial_state, rr_opt);
-
-    RsdOptions rsd_opt;
-    rsd_opt.epsilon = kEpsilon;
-    const RandomizationSteadyStateDetection rsd(model.chain, rewards, alpha,
-                                                rsd_opt);
+    const std::vector<double> ts = time_sweep();
+    std::vector<double> summed_seconds(names.size(), 0.0);
 
     TextTable table({"t (h)", "RRL (s)", "RR (s)", "RSD (s)", "RRL absc.",
                      "RRL inv. %", "UA(t) via RRL"});
-    for (const double t : time_sweep()) {
-      const auto rrl_result = rrl_solver.trr(t);
-      const auto rr_result = rr.trr(t);
-      const auto rsd_result = rsd.trr(t);
+    for (const double t : ts) {
+      std::vector<TransientValue> results;
+      for (std::size_t j = 0; j < solvers.size(); ++j) {
+        results.push_back(solvers[j]->solve_point(t, MeasureKind::kTrr));
+        summed_seconds[j] += results.back().stats.seconds;
+      }
+      const TransientValue& rrl_result = results[0];
+      const TransientValue& rr_result = results[1];
+      const TransientValue& rsd_result = results[2];
       const double inversion_share =
           100.0 * rrl_result.stats.laplace_seconds /
           std::max(rrl_result.stats.seconds, 1e-12);
-      table.add_row({fmt_sig(t, 6), fmt_sig(rrl_result.stats.seconds, 4),
+      table.add_row({fmt_sig(t, 6),
+                     fmt_sig(rrl_result.stats.seconds, 4) +
+                         (rrl_result.stats.capped ? "*" : ""),
                      fmt_sig(rr_result.stats.seconds, 4) +
                          (rr_result.stats.capped ? "*" : ""),
-                     fmt_sig(rsd_result.stats.seconds, 4),
+                     fmt_sig(rsd_result.stats.seconds, 4) +
+                         (rsd_result.stats.capped ? "*" : ""),
                      std::to_string(rrl_result.stats.abscissae),
                      fmt_sig(inversion_share, 3),
                      fmt_sci(rrl_result.value, 5)});
@@ -72,12 +86,28 @@ int main() {
       }
     }
     table.print();
-    std::printf("(* = RR V-solve step cap hit; set RRL_BENCH_SR_CAP=-1 for "
-                "the full run)\n\n");
+    std::printf("(* = step cap hit, accuracy not guaranteed; set "
+                "RRL_BENCH_SR_CAP=-1 for the full run)\n\n");
+
+    // The same sweep as ONE amortized solve_grid() call per method.
+    TextTable grid_table({"solver", "per-point sum (s)", "grid sweep (s)",
+                          "grid steps", "grid V-steps"});
+    for (std::size_t j = 0; j < solvers.size(); ++j) {
+      const SolveReport report =
+          solvers[j]->solve_grid(SolveRequest::trr(ts));
+      grid_table.add_row(
+          {names[j], fmt_sig(summed_seconds[j], 4),
+           fmt_sig(report.total.seconds, 4),
+           std::to_string(report.total.dtmc_steps),
+           std::to_string(report.total.vmodel_steps)});
+    }
+    grid_table.print();
+    std::printf("\n");
   }
   std::printf(
       "shape check (paper Fig. 3): RRL ~ RSD for large t and both beat RR\n"
       "significantly; the numerical inversion consumes ~1-2%% of RRL time\n"
-      "(abscissae between 105 and 329).\n");
+      "(abscissae between 105 and 329). The amortized grid sweep costs\n"
+      "about one largest-t solve for every method.\n");
   return 0;
 }

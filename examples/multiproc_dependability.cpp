@@ -8,8 +8,9 @@
 //
 // Usage:
 //   multiproc_dependability [--processors 8] [--memories 4] [--buses 2]
-//                           [--eps 1e-10] [--t 8760]
+//                           [--eps 1e-10] [--t 8760] [--solver rrl|rr|rsd|sr]
 #include <cstdio>
+#include <string>
 
 #include "rrl.hpp"
 #include "support/cli.hpp"
@@ -36,29 +37,46 @@ int main(int argc, char** argv) {
         static_cast<long long>(m.chain.num_transitions()));
   }
 
+  const std::string solver_name = args.get_string("solver", "rrl");
+  if (!solver_registered(solver_name)) {
+    std::fprintf(stderr, "unknown --solver '%s' (registered: %s)\n",
+                 solver_name.c_str(), registered_solver_list().c_str());
+    return 1;
+  }
+  if (solver_name == "rsd") {
+    std::printf(
+        "note: rsd requires an irreducible chain, so the UR column (an\n"
+        "absorbing reliability model) is computed with rrl instead.\n\n");
+  }
   TextTable table({"coverage", "UR(1 yr)", "UA(1 yr)", "capacity MRR",
-                   "RRL steps"});
+                   "steps"});
   for (const double c : {0.90, 0.95, 0.99, 0.995, 0.999, 1.0}) {
     MultiprocParams p = base;
     p.coverage = c;
 
     const auto rel = build_multiproc_reliability(p);
-    RrlOptions opt;
-    opt.epsilon = eps;
-    const RegenerativeRandomizationLaplace ur_solver(
-        rel.chain, rel.failure_rewards(), rel.initial_distribution(),
-        rel.initial_state, opt);
-    const auto ur = ur_solver.trr(t);
+    SolverConfig config;
+    config.epsilon = eps;
+    config.regenerative = rel.initial_state;
+    // The reliability variant has an absorbing failed state, which rsd's
+    // irreducibility precondition rejects — fall back to rrl for UR then.
+    const std::string ur_solver_name =
+        solver_name == "rsd" ? "rrl" : solver_name;
+    const auto ur_solver =
+        make_solver(ur_solver_name, rel.chain, rel.failure_rewards(),
+                    rel.initial_distribution(), config);
+    const auto ur = ur_solver->solve_point(t, MeasureKind::kTrr);
 
     const auto avail = build_multiproc_availability(p);
-    const RegenerativeRandomizationLaplace ua_solver(
-        avail.chain, avail.failure_rewards(), avail.initial_distribution(),
-        avail.initial_state, opt);
-    const auto ua = ua_solver.trr(t);
-    const RegenerativeRandomizationLaplace cap_solver(
-        avail.chain, avail.capacity_rewards(), avail.initial_distribution(),
-        avail.initial_state, opt);
-    const auto cap = cap_solver.mrr(t);
+    config.regenerative = avail.initial_state;
+    const auto ua_solver =
+        make_solver(solver_name, avail.chain, avail.failure_rewards(),
+                    avail.initial_distribution(), config);
+    const auto ua = ua_solver->solve_point(t, MeasureKind::kTrr);
+    const auto cap_solver =
+        make_solver(solver_name, avail.chain, avail.capacity_rewards(),
+                    avail.initial_distribution(), config);
+    const auto cap = cap_solver->solve_point(t, MeasureKind::kMrr);
 
     table.add_row({fmt_sig(c, 4), fmt_sci(ur.value, 4),
                    fmt_sci(ua.value, 4), fmt_sig(cap.value, 9),

@@ -1,5 +1,5 @@
 // Quickstart: build a tiny rewarded CTMC by hand and compute its transient
-// measures with all four solvers of the library.
+// measures with all four solvers through the registry interface.
 //
 // The model is a 3-state repairable system: state 0 = both units up,
 // state 1 = one unit up, state 2 = system down (reward 1 = "unavailable").
@@ -13,6 +13,10 @@ int main(int argc, char** argv) {
   const rrl::CliArgs args(argc, argv);
   const double t = args.get_double("t", 1000.0);
   const double eps = args.get_double("eps", 1e-12);
+  if (t <= 0.0 || eps <= 0.0) {
+    std::fprintf(stderr, "error: --t and --eps must be positive\n");
+    return 1;
+  }
 
   // Two redundant units, failure rate 1e-3 each, one repairman with rate 1,
   // a failed system is restored with rate 0.5.
@@ -26,55 +30,42 @@ int main(int argc, char** argv) {
   });
   const std::vector<double> rewards = {0.0, 0.0, 1.0};  // unavailability
   const std::vector<double> alpha = {1.0, 0.0, 0.0};    // start perfect
-  const rrl::index_t regenerative = 0;                  // the "all up" state
 
-  std::printf("3-state repairable system, t = %g h, eps = %g\n", t, eps);
-  std::printf("%-42s %-22s %s\n", "method", "UA(t)", "work");
+  rrl::SolverConfig config;
+  config.epsilon = eps;
+  config.regenerative = 0;  // the "all up" state
 
-  {
-    rrl::SrOptions opt;
-    opt.epsilon = eps;
-    const rrl::StandardRandomization sr(chain, rewards, alpha, opt);
-    const auto r = sr.trr(t);
-    std::printf("%-42s %.15e steps=%lld\n", "standard randomization (SR)",
-                r.value, static_cast<long long>(r.stats.dtmc_steps));
+  std::printf("3-state repairable system, t = %g h, eps = %g\n\n", t, eps);
+  std::printf("single point UA(t) via every registered method:\n");
+  std::printf("  %-6s %-60s %-22s %s\n", "name", "method", "UA(t)", "steps");
+  for (const std::string& name : rrl::registered_solvers()) {
+    const auto solver = rrl::make_solver(name, chain, rewards, alpha, config);
+    const auto r = solver->solve_point(t, rrl::MeasureKind::kTrr);
+    std::printf("  %-6s %-60s %.15e %lld\n", name.c_str(),
+                std::string(solver->description()).c_str(), r.value,
+                static_cast<long long>(r.stats.dtmc_steps));
   }
-  {
-    rrl::RsdOptions opt;
-    opt.epsilon = eps;
-    const rrl::RandomizationSteadyStateDetection rsd(chain, rewards, alpha,
-                                                     opt);
-    const auto r = rsd.trr(t);
-    std::printf("%-42s %.15e steps=%lld (detected at %lld)\n",
-                "randomization + steady-state detection", r.value,
-                static_cast<long long>(r.stats.dtmc_steps),
-                static_cast<long long>(r.stats.detection_step));
-  }
-  {
-    rrl::RrOptions opt;
-    opt.epsilon = eps;
-    const rrl::RegenerativeRandomization rr(chain, rewards, alpha,
-                                            regenerative, opt);
-    const auto r = rr.trr(t);
-    std::printf("%-42s %.15e K=%lld, V-steps=%lld\n",
-                "regenerative randomization (RR)", r.value,
-                static_cast<long long>(r.stats.dtmc_steps),
-                static_cast<long long>(r.stats.vmodel_steps));
-  }
-  {
-    rrl::RrlOptions opt;
-    opt.epsilon = eps;
-    const rrl::RegenerativeRandomizationLaplace rrl_solver(
-        chain, rewards, alpha, regenerative, opt);
-    const auto r = rrl_solver.trr(t);
-    std::printf("%-42s %.15e K=%lld, abscissae=%d\n",
-                "regenerative randomization + Laplace (RRL)", r.value,
-                static_cast<long long>(r.stats.dtmc_steps),
-                r.stats.abscissae);
 
-    const auto m = rrl_solver.mrr(t);
-    std::printf("%-42s %.15e (interval unavailability)\n", "RRL MRR(t)",
-                m.value);
+  // A whole mission-time sweep costs barely more than the largest single
+  // point: solve_grid() amortizes the randomization pass / schema across
+  // the grid (compare `sweep steps` with the single-point column above).
+  const std::vector<double> grid = rrl::log_time_grid(t / 100.0, t, 9);
+  std::printf("\n9-point UA sweep over [%g, %g] h (amortized):\n",
+              grid.front(), grid.back());
+  std::printf("  %-6s %-14s %-14s %s\n", "name", "UA(t_min)", "UA(t_max)",
+              "sweep steps");
+  for (const std::string& name : rrl::registered_solvers()) {
+    const auto solver = rrl::make_solver(name, chain, rewards, alpha, config);
+    const auto report = solver->solve_grid(rrl::SolveRequest::trr(grid));
+    std::printf("  %-6s %.6e   %.6e   %lld\n", name.c_str(),
+                report.points.front().value, report.points.back().value,
+                static_cast<long long>(report.total.dtmc_steps));
   }
+
+  // Interval (mean) unavailability over [0, t] with the paper's method.
+  const auto rrl_solver = rrl::make_solver("rrl", chain, rewards, alpha,
+                                           config);
+  std::printf("\ninterval unavailability MRR(%g) = %.15e\n", t,
+              rrl_solver->solve_point(t, rrl::MeasureKind::kMrr).value);
   return 0;
 }

@@ -1,0 +1,172 @@
+#include "core/registry.hpp"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "core/regenerative.hpp"
+#include "core/rr_solver.hpp"
+#include "core/rrl_solver.hpp"
+#include "core/standard_randomization.hpp"
+#include "core/steady_state_detection.hpp"
+#include "io/model_format.hpp"
+
+namespace rrl {
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SolverFactory> factories;
+  std::map<std::string, std::string> descriptions;
+  std::vector<std::string> order;  // registration order
+
+  void add(const std::string& name, std::string description,
+           SolverFactory factory) {
+    if (factories.insert_or_assign(name, std::move(factory)).second) {
+      order.push_back(name);
+    }
+    // An empty description keeps whatever the name already had (so a
+    // replacement factory inherits the original text unless it brings its
+    // own).
+    if (!description.empty() || descriptions.count(name) == 0) {
+      descriptions[name] = std::move(description);
+    }
+  }
+};
+
+// Caller must hold reg.mutex.
+std::string joined_names(const Registry& reg) {
+  std::string known;
+  for (const std::string& n : reg.order) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return known;
+}
+
+index_t regenerative_or_suggest(const Ctmc& chain,
+                                const SolverConfig& config) {
+  return config.regenerative >= 0 ? config.regenerative
+                                  : suggest_regenerative_state(chain);
+}
+
+Registry& registry() {
+  static Registry reg;
+  static const bool initialized = [] {
+    Registry& r = reg;
+    r.add("sr", "standard randomization (uniformization)",
+          [](const Ctmc& chain, std::vector<double> rewards,
+             std::vector<double> initial, const SolverConfig& config)
+              -> std::unique_ptr<TransientSolver> {
+            SrOptions opt;
+            opt.epsilon = config.epsilon;
+            opt.rate_factor = config.rate_factor;
+            opt.step_cap = config.step_cap;
+            return std::make_unique<StandardRandomization>(
+                chain, std::move(rewards), std::move(initial), opt);
+          });
+    r.add("rsd", "randomization with steady-state detection",
+          [](const Ctmc& chain, std::vector<double> rewards,
+             std::vector<double> initial, const SolverConfig& config)
+              -> std::unique_ptr<TransientSolver> {
+            RsdOptions opt;
+            opt.epsilon = config.epsilon;
+            opt.rate_factor = config.rate_factor;
+            opt.step_cap = config.step_cap;
+            return std::make_unique<RandomizationSteadyStateDetection>(
+                chain, std::move(rewards), std::move(initial), opt);
+          });
+    r.add("rr", "regenerative randomization (explicit V_{K,L} model)",
+          [](const Ctmc& chain, std::vector<double> rewards,
+             std::vector<double> initial, const SolverConfig& config)
+              -> std::unique_ptr<TransientSolver> {
+            RrOptions opt;
+            opt.epsilon = config.epsilon;
+            opt.rate_factor = config.rate_factor;
+            opt.vmodel_step_cap = config.step_cap;
+            if (config.step_cap >= 0) opt.schema_step_cap = config.step_cap;
+            return std::make_unique<RegenerativeRandomization>(
+                chain, std::move(rewards), std::move(initial),
+                regenerative_or_suggest(chain, config), opt);
+          });
+    r.add("rrl", "regenerative randomization with Laplace transform inversion",
+          [](const Ctmc& chain, std::vector<double> rewards,
+             std::vector<double> initial, const SolverConfig& config)
+              -> std::unique_ptr<TransientSolver> {
+            RrlOptions opt;
+            opt.epsilon = config.epsilon;
+            opt.rate_factor = config.rate_factor;
+            if (config.step_cap >= 0) opt.schema_step_cap = config.step_cap;
+            return std::make_unique<RegenerativeRandomizationLaplace>(
+                chain, std::move(rewards), std::move(initial),
+                regenerative_or_suggest(chain, config), opt);
+          });
+    return true;
+  }();
+  (void)initialized;
+  return reg;
+}
+
+}  // namespace
+
+void register_solver(const std::string& name, SolverFactory factory,
+                     std::string description) {
+  RRL_EXPECTS(!name.empty());
+  RRL_EXPECTS(factory != nullptr);
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.add(name, std::move(description), std::move(factory));
+}
+
+bool solver_registered(const std::string& name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.factories.count(name) != 0;
+}
+
+std::vector<std::string> registered_solvers() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.order;
+}
+
+std::string registered_solver_list() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return joined_names(reg);
+}
+
+std::string solver_description(const std::string& name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.descriptions.find(name);
+  return it == reg.descriptions.end() ? std::string() : it->second;
+}
+
+std::unique_ptr<TransientSolver> make_solver(const std::string& name,
+                                             const Ctmc& chain,
+                                             std::vector<double> rewards,
+                                             std::vector<double> initial,
+                                             const SolverConfig& config) {
+  SolverFactory factory;
+  {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.factories.find(name);
+    if (it == reg.factories.end()) {
+      throw contract_error("unknown solver '" + name + "' (registered: " +
+                           joined_names(reg) + ")");
+    }
+    factory = it->second;
+  }
+  return factory(chain, std::move(rewards), std::move(initial), config);
+}
+
+std::unique_ptr<TransientSolver> make_solver(const std::string& name,
+                                             const ModelFile& model,
+                                             SolverConfig config) {
+  if (config.regenerative < 0) config.regenerative = model.regenerative;
+  return make_solver(name, model.chain, model.rewards, model.initial, config);
+}
+
+}  // namespace rrl

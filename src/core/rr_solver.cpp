@@ -1,5 +1,7 @@
 #include "core/rr_solver.hpp"
 
+#include <algorithm>
+
 #include "core/standard_randomization.hpp"
 #include "core/vmodel.hpp"
 #include "support/stopwatch.hpp"
@@ -21,8 +23,13 @@ RegenerativeRandomization::RegenerativeRandomization(
 }
 
 RegenerativeSchema RegenerativeRandomization::schema(double t) const {
+  return schema_with(t, options_.epsilon);
+}
+
+RegenerativeSchema RegenerativeRandomization::schema_with(double t,
+                                                          double eps) const {
   RegenerativeOptions opts;
-  opts.epsilon = options_.epsilon;
+  opts.epsilon = eps;
   opts.rate_factor = options_.rate_factor;
   opts.step_cap = options_.schema_step_cap;
   return compute_regenerative_schema(chain_, rewards_, initial_,
@@ -31,37 +38,58 @@ RegenerativeSchema RegenerativeRandomization::schema(double t) const {
 
 TransientValue RegenerativeRandomization::trr(double t) const {
   RRL_EXPECTS(t >= 0.0);
-  return solve(t, Kind::kTrr);
+  return solve_point(t, MeasureKind::kTrr);
 }
 
 TransientValue RegenerativeRandomization::mrr(double t) const {
   RRL_EXPECTS(t > 0.0);
-  return solve(t, Kind::kMrr);
+  return solve_point(t, MeasureKind::kMrr);
 }
 
-TransientValue RegenerativeRandomization::solve(double t, Kind kind) const {
+SolveReport RegenerativeRandomization::solve_grid(
+    const SolveRequest& request) const {
   const Stopwatch watch;
-  const RegenerativeSchema sch = schema(t);
+  const double eps = validated_epsilon(request, options_.epsilon);
+  const std::size_t m = request.times.size();
+
+  // One schema for the whole sweep, computed at the largest time: for
+  // t < t_max the truncation bound at K(t_max) is only smaller
+  // (E[(N(Lambda t) - K)^+] decreases in K), so the longer series stays
+  // within budget at every requested time.
+  const double t_max =
+      *std::max_element(request.times.begin(), request.times.end());
+  const RegenerativeSchema sch = schema_with(t_max, eps);
   const VModel vmodel = build_vmodel(sch);
 
-  // Solve V_{K,L} by standard randomization with the remaining eps/2.
+  // One standard-randomization pass of V_{K,L} serves every grid point,
+  // with the remaining eps/2 budget.
   SrOptions sr;
-  sr.epsilon = options_.epsilon / 2.0;
+  sr.epsilon = eps / 2.0;
   sr.rate_factor = 1.0;
   sr.step_cap = options_.vmodel_step_cap;
   const StandardRandomization inner(vmodel.chain, vmodel.rewards,
                                     vmodel.initial, sr);
-  const TransientValue v =
-      kind == Kind::kTrr ? inner.trr(t) : inner.mrr(t);
+  SolveRequest inner_request = request;
+  inner_request.epsilon = eps / 2.0;
+  const SolveReport inner_report = inner.solve_grid(inner_request);
 
-  TransientValue out;
-  out.value = v.value;
-  out.stats.dtmc_steps = sch.dtmc_steps();
-  out.stats.vmodel_steps = v.stats.dtmc_steps;
-  out.stats.lambda = sch.lambda;
-  out.stats.capped = sch.capped || v.stats.capped;
-  out.stats.seconds = watch.seconds();
-  return out;
+  SolveReport report;
+  report.points.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    TransientValue& p = report.points[i];
+    const TransientValue& v = inner_report.points[i];
+    p.value = v.value;
+    p.stats.dtmc_steps = sch.dtmc_steps();
+    p.stats.vmodel_steps = v.stats.dtmc_steps;
+    p.stats.lambda = sch.lambda;
+    p.stats.capped = sch.capped || v.stats.capped;
+  }
+  report.total.dtmc_steps = sch.dtmc_steps();
+  report.total.vmodel_steps = inner_report.total.dtmc_steps;
+  report.total.lambda = sch.lambda;
+  report.total.capped = sch.capped || inner_report.total.capped;
+  report.total.seconds = watch.seconds();
+  return report;
 }
 
 }  // namespace rrl

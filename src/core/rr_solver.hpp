@@ -10,6 +10,7 @@
 
 #include "core/regenerative.hpp"
 #include "core/solver.hpp"
+#include "core/transient_solver.hpp"
 #include "markov/ctmc.hpp"
 
 namespace rrl {
@@ -25,7 +26,7 @@ struct RrOptions {
 };
 
 /// Regenerative randomization solver bound to one model + measure.
-class RegenerativeRandomization {
+class RegenerativeRandomization : public TransientSolver {
  public:
   /// Preconditions: paper structure (S strongly connected, f_i absorbing);
   /// `regenerative_state` in S; rewards >= 0; `initial` a distribution with
@@ -34,6 +35,21 @@ class RegenerativeRandomization {
                             std::vector<double> initial,
                             index_t regenerative_state, RrOptions options = {});
 
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rr";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "regenerative randomization (explicit V_{K,L} model)";
+  }
+
+  /// Amortized sweep: ONE schema computed at the largest grid time (valid
+  /// for the smaller times because the truncation bound decreases in K for
+  /// every fixed t) and ONE standard-randomization pass of V_{K,L} feeding
+  /// all grid points — the dominant K model-sized DTMC steps and the
+  /// ~Lambda*t_max V-steps are both paid once for the whole grid.
+  [[nodiscard]] SolveReport solve_grid(
+      const SolveRequest& request) const override;
+
   [[nodiscard]] TransientValue trr(double t) const;
   [[nodiscard]] TransientValue mrr(double t) const;
 
@@ -41,8 +57,7 @@ class RegenerativeRandomization {
   [[nodiscard]] RegenerativeSchema schema(double t) const;
 
  private:
-  enum class Kind { kTrr, kMrr };
-  [[nodiscard]] TransientValue solve(double t, Kind kind) const;
+  [[nodiscard]] RegenerativeSchema schema_with(double t, double eps) const;
 
   const Ctmc& chain_;
   std::vector<double> rewards_;

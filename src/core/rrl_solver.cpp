@@ -25,8 +25,13 @@ RegenerativeRandomizationLaplace::RegenerativeRandomizationLaplace(
 }
 
 RegenerativeSchema RegenerativeRandomizationLaplace::schema(double t) const {
+  return schema_with(t, options_.epsilon);
+}
+
+RegenerativeSchema RegenerativeRandomizationLaplace::schema_with(
+    double t, double eps) const {
   RegenerativeOptions opts;
-  opts.epsilon = options_.epsilon;
+  opts.epsilon = eps;
   opts.rate_factor = options_.rate_factor;
   opts.step_cap = options_.schema_step_cap;
   return compute_regenerative_schema(chain_, rewards_, initial_,
@@ -35,18 +40,12 @@ RegenerativeSchema RegenerativeRandomizationLaplace::schema(double t) const {
 
 TransientValue RegenerativeRandomizationLaplace::trr(double t) const {
   RRL_EXPECTS(t >= 0.0);
-  if (t == 0.0) {
-    TransientValue out;
-    out.value = sparse_reward_dot(nonzero_reward_states(rewards_), rewards_,
-                                  initial_);
-    return out;
-  }
-  return solve(t, Kind::kTrr);
+  return solve_point(t, MeasureKind::kTrr);
 }
 
 TransientValue RegenerativeRandomizationLaplace::mrr(double t) const {
   RRL_EXPECTS(t > 0.0);
-  return solve(t, Kind::kMrr);
+  return solve_point(t, MeasureKind::kMrr);
 }
 
 double RegenerativeRandomizationLaplace::truncation_error_bound(
@@ -63,7 +62,8 @@ double RegenerativeRandomizationLaplace::truncation_error_bound(
 }
 
 TransientValue RegenerativeRandomizationLaplace::invert(
-    const TrrTransform& transform, double t, Kind kind) const {
+    const TrrTransform& transform, double t, MeasureKind kind,
+    double eps) const {
   TransientValue out;
   const double T = options_.t_multiplier * t;
   CrumpOptions crump;
@@ -72,9 +72,9 @@ TransientValue RegenerativeRandomizationLaplace::invert(
   crump.required_hits = options_.required_hits;
 
   const Stopwatch laplace_watch;
-  if (kind == Kind::kTrr) {
-    crump.damping = damping_for_bounded(r_max_, options_.epsilon, T);
-    crump.tolerance = options_.epsilon / 100.0;
+  if (kind == MeasureKind::kTrr) {
+    crump.damping = damping_for_bounded(r_max_, eps, T);
+    crump.tolerance = eps / 100.0;
     const CrumpResult res = crump_invert(
         [&](std::complex<double> s) { return transform.trr(s); }, t, crump);
     out.value = res.value;
@@ -83,8 +83,8 @@ TransientValue RegenerativeRandomizationLaplace::invert(
   } else {
     // Invert C~(s) = TRR~(s)/s with the Eq. (2) damping (|C(u)| <= r_max*u),
     // then MRR(t) = C(t)/t. Tolerance t*eps/100 per the paper.
-    crump.damping = damping_for_time_linear(r_max_, options_.epsilon, t, T);
-    crump.tolerance = t * options_.epsilon / 100.0;
+    crump.damping = damping_for_time_linear(r_max_, eps, t, T);
+    crump.tolerance = t * eps / 100.0;
     const CrumpResult res = crump_invert(
         [&](std::complex<double> s) { return transform.cumulative(s); }, t,
         crump);
@@ -96,25 +96,6 @@ TransientValue RegenerativeRandomizationLaplace::invert(
   return out;
 }
 
-TransientValue RegenerativeRandomizationLaplace::solve(double t,
-                                                       Kind kind) const {
-  const Stopwatch watch;
-  if (r_max_ == 0.0) {
-    TransientValue out;
-    out.stats.seconds = watch.seconds();
-    return out;  // all rewards zero => measure identically zero
-  }
-
-  const RegenerativeSchema sch = schema(t);
-  const TrrTransform transform(sch);
-  TransientValue out = invert(transform, t, kind);
-  out.stats.dtmc_steps = sch.dtmc_steps();
-  out.stats.lambda = sch.lambda;
-  out.stats.capped = sch.capped;
-  out.stats.seconds = watch.seconds();
-  return out;
-}
-
 RegenerativeRandomizationLaplace::Bounds
 RegenerativeRandomizationLaplace::trr_bounds(double t) const {
   RRL_EXPECTS(t > 0.0);
@@ -123,7 +104,8 @@ RegenerativeRandomizationLaplace::trr_bounds(double t) const {
   const Stopwatch watch;
   const RegenerativeSchema sch = schema(t);
   const TrrTransform transform(sch);
-  TransientValue v = invert(transform, t, Kind::kTrr);
+  TransientValue v = invert(transform, t, MeasureKind::kTrr,
+                            options_.epsilon);
   const double trunc = truncation_error_bound(sch, t);
   // The truncation is one-sided (reward is only lost). The inversion's
   // discretization error is rigorously below eps/4, but its series
@@ -149,7 +131,8 @@ RegenerativeRandomizationLaplace::mrr_bounds(double t) const {
   const Stopwatch watch;
   const RegenerativeSchema sch = schema(t);
   const TrrTransform transform(sch);
-  TransientValue v = invert(transform, t, Kind::kMrr);
+  TransientValue v = invert(transform, t, MeasureKind::kMrr,
+                            options_.epsilon);
   // MRR truncation error is a time average of TRR truncation errors, each
   // below the bound at the horizon (the bound is increasing in t).
   const double trunc = truncation_error_bound(sch, t);
@@ -165,49 +148,105 @@ RegenerativeRandomizationLaplace::mrr_bounds(double t) const {
   return b;
 }
 
-std::vector<TransientValue> RegenerativeRandomizationLaplace::solve_many(
-    std::span<const double> ts, Kind kind) const {
-  RRL_EXPECTS(!ts.empty());
-  for (const double t : ts) RRL_EXPECTS(t > 0.0);
+SolveReport RegenerativeRandomizationLaplace::solve_grid(
+    const SolveRequest& request) const {
   const Stopwatch watch;
-  std::vector<TransientValue> out(ts.size());
-  if (r_max_ == 0.0) return out;
+  const double eps = validated_epsilon(request, options_.epsilon);
+  const std::size_t m = request.times.size();
 
-  const double t_max = *std::max_element(ts.begin(), ts.end());
-  // One schema for the whole sweep: for t < t_max the truncation bound at
-  // K(t_max) is only smaller (E[(N(Lambda t) - K)^+] decreases in K), so
-  // the longer series remains within budget at every requested time.
-  const RegenerativeSchema sch = schema(t_max);
+  SolveReport report;
+  report.points.resize(m);
+  if (r_max_ == 0.0) {
+    report.total.seconds = watch.seconds();
+    return report;  // all rewards zero => measure identically zero
+  }
+
+  // TRR(0) needs no transform: it is the initial reward rate.
+  const auto reward_idx = nonzero_reward_states(rewards_);
+  const double t_max =
+      *std::max_element(request.times.begin(), request.times.end());
+  if (t_max == 0.0) {
+    for (TransientValue& p : report.points) {
+      p.value = sparse_reward_dot(reward_idx, rewards_, initial_);
+    }
+    report.total.seconds = watch.seconds();
+    return report;
+  }
+
+  // One schema for the whole sweep, computed at the largest time: for
+  // t < t_max the truncation bound at K(t_max) is only smaller
+  // (E[(N(Lambda t) - K)^+] decreases in K), so the longer series remains
+  // within budget at every requested time.
+  const RegenerativeSchema sch = schema_with(t_max, eps);
   const TrrTransform transform(sch);
-  const double schema_seconds = watch.seconds();
 
   // The inversions are independent per time point and read the transform
   // through const methods only — an embarrassingly parallel loop.
-  const auto n = static_cast<std::int64_t>(ts.size());
+  const auto n = static_cast<std::int64_t>(m);
 #pragma omp parallel for schedule(dynamic) if (n > 2)
-  for (std::int64_t i = 0; i < n; ++i) {
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::size_t i = static_cast<std::size_t>(j);
     const Stopwatch point_watch;
-    out[static_cast<std::size_t>(i)] =
-        invert(transform, ts[static_cast<std::size_t>(i)], kind);
-    out[static_cast<std::size_t>(i)].stats.lambda = sch.lambda;
-    out[static_cast<std::size_t>(i)].stats.capped = sch.capped;
-    out[static_cast<std::size_t>(i)].stats.seconds = point_watch.seconds();
+    const double t = request.times[i];
+    if (t == 0.0) {
+      report.points[i].value =
+          sparse_reward_dot(reward_idx, rewards_, initial_);
+    } else {
+      report.points[i] = invert(transform, t, request.measure, eps);
+    }
+    report.points[i].stats.dtmc_steps = sch.dtmc_steps();
+    report.points[i].stats.lambda = sch.lambda;
+    report.points[i].stats.capped = sch.capped;
+    report.points[i].stats.seconds = point_watch.seconds();
   }
-  // The shared schema cost is attributed to the first entry (the sweep's
-  // dominant cost; callers summing stats.seconds get the true total).
-  out.front().stats.dtmc_steps = sch.dtmc_steps();
-  out.front().stats.seconds += schema_seconds;
-  return out;
+
+  report.total.dtmc_steps = sch.dtmc_steps();
+  report.total.lambda = sch.lambda;
+  report.total.capped = sch.capped;
+  for (const TransientValue& p : report.points) {
+    report.total.abscissae += p.stats.abscissae;
+    report.total.laplace_seconds += p.stats.laplace_seconds;
+    report.total.inversion_converged =
+        report.total.inversion_converged && p.stats.inversion_converged;
+  }
+  report.total.seconds = watch.seconds();
+  return report;
+}
+
+std::vector<TransientValue> RegenerativeRandomizationLaplace::solve_many(
+    std::span<const double> ts, MeasureKind kind) const {
+  RRL_EXPECTS(!ts.empty());
+  for (const double t : ts) RRL_EXPECTS(t > 0.0);
+  SolveRequest request;
+  request.measure = kind;
+  request.times.assign(ts.begin(), ts.end());
+  SolveReport report = solve_grid(request);
+
+  // Legacy attribution: the shared schema cost is carried by the first
+  // entry only. The first entry's seconds are raised so the sum over
+  // entries reaches the sweep's wall-clock total; under OpenMP the
+  // per-point timers overlap and already exceed it, in which case the
+  // first entry keeps its own inversion time unchanged.
+  double other_seconds = 0.0;
+  for (std::size_t i = 1; i < report.points.size(); ++i) {
+    other_seconds += report.points[i].stats.seconds;
+    report.points[i].stats.dtmc_steps = 0;
+  }
+  TransientValue& front = report.points.front();
+  front.stats.dtmc_steps = report.total.dtmc_steps;
+  front.stats.seconds = std::max(front.stats.seconds,
+                                 report.total.seconds - other_seconds);
+  return std::move(report.points);
 }
 
 std::vector<TransientValue> RegenerativeRandomizationLaplace::trr_many(
     std::span<const double> ts) const {
-  return solve_many(ts, Kind::kTrr);
+  return solve_many(ts, MeasureKind::kTrr);
 }
 
 std::vector<TransientValue> RegenerativeRandomizationLaplace::mrr_many(
     std::span<const double> ts) const {
-  return solve_many(ts, Kind::kMrr);
+  return solve_many(ts, MeasureKind::kMrr);
 }
 
 }  // namespace rrl

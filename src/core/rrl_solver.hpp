@@ -20,6 +20,7 @@
 #include "core/regenerative.hpp"
 #include "core/rrl_transform.hpp"
 #include "core/solver.hpp"
+#include "core/transient_solver.hpp"
 #include "laplace/crump.hpp"
 #include "markov/ctmc.hpp"
 
@@ -41,7 +42,7 @@ struct RrlOptions {
 };
 
 /// RRL solver bound to one model + measure.
-class RegenerativeRandomizationLaplace {
+class RegenerativeRandomizationLaplace : public TransientSolver {
  public:
   /// Preconditions: same as RegenerativeRandomization.
   RegenerativeRandomizationLaplace(const Ctmc& chain,
@@ -49,6 +50,21 @@ class RegenerativeRandomizationLaplace {
                                    std::vector<double> initial,
                                    index_t regenerative_state,
                                    RrlOptions options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rrl";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "regenerative randomization with Laplace transform inversion";
+  }
+
+  /// Amortized sweep: ONE schema computed at the largest grid time plus one
+  /// numerical inversion per point (the dominant K model-sized DTMC steps
+  /// are paid once for the whole grid). Valid because the truncation bound
+  /// is decreasing in K for every fixed t, so the K(t_max) series
+  /// over-covers smaller t.
+  [[nodiscard]] SolveReport solve_grid(
+      const SolveRequest& request) const override;
 
   [[nodiscard]] TransientValue trr(double t) const;
   [[nodiscard]] TransientValue mrr(double t) const;
@@ -67,12 +83,13 @@ class RegenerativeRandomizationLaplace {
   [[nodiscard]] Bounds trr_bounds(double t) const;
   [[nodiscard]] Bounds mrr_bounds(double t) const;
 
-  /// Batch solve over a whole time sweep reusing ONE schema, computed for
-  /// the largest horizon. Valid because the truncation bound is decreasing
-  /// in K for every fixed t, so the K(t_max) series over-covers smaller t.
-  /// The schema cost (the dominant K model-sized DTMC steps) is paid once;
-  /// each additional time point costs only one numerical inversion.
-  /// Precondition: ts non-empty, all > 0.
+  /// Legacy batch entry points, now thin wrappers over solve_grid(). They
+  /// keep the historical stats attribution: the shared schema cost (steps
+  /// and seconds) is carried by the FIRST entry only, so callers summing
+  /// stats across entries get the true total. (When the inversions run
+  /// under OpenMP the per-point timers overlap, so the summed seconds may
+  /// overstate the sweep's wall-clock time; the first entry still absorbs
+  /// at least the schema share.) Precondition: ts non-empty, all > 0.
   [[nodiscard]] std::vector<TransientValue> trr_many(
       std::span<const double> ts) const;
   [[nodiscard]] std::vector<TransientValue> mrr_many(
@@ -83,12 +100,11 @@ class RegenerativeRandomizationLaplace {
   [[nodiscard]] RegenerativeSchema schema(double t) const;
 
  private:
-  enum class Kind { kTrr, kMrr };
-  [[nodiscard]] TransientValue solve(double t, Kind kind) const;
+  [[nodiscard]] RegenerativeSchema schema_with(double t, double eps) const;
   [[nodiscard]] TransientValue invert(const TrrTransform& transform, double t,
-                                      Kind kind) const;
+                                      MeasureKind kind, double eps) const;
   [[nodiscard]] std::vector<TransientValue> solve_many(
-      std::span<const double> ts, Kind kind) const;
+      std::span<const double> ts, MeasureKind kind) const;
   [[nodiscard]] double truncation_error_bound(const RegenerativeSchema& sch,
                                               double t) const;
 

@@ -8,6 +8,8 @@
 // auxiliary-solve steps, Laplace abscissae).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -60,6 +62,9 @@ struct TransientValue {
 }
 
 /// Validate that `dist` is a probability distribution over `n` states.
+/// The mass tolerance scales with n: a distribution assembled from many
+/// small entries accumulates ~n ulp-level rounding errors, so a fixed
+/// 1e-9 bound would reject valid initial distributions on large models.
 inline void check_distribution(std::span<const double> dist, index_t n) {
   RRL_EXPECTS(static_cast<index_t>(dist.size()) == n);
   double total = 0.0;
@@ -67,7 +72,8 @@ inline void check_distribution(std::span<const double> dist, index_t n) {
     RRL_EXPECTS(p >= 0.0 && p <= 1.0 + 1e-12);
     total += p;
   }
-  RRL_EXPECTS(std::abs(total - 1.0) <= 1e-9);
+  const double tol = std::max(1e-9, 1e-12 * static_cast<double>(n));
+  RRL_EXPECTS(std::abs(total - 1.0) <= tol);
 }
 
 /// Indices of states with non-zero reward (reward vectors of dependability

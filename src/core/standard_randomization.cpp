@@ -1,5 +1,6 @@
 #include "core/standard_randomization.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "markov/poisson.hpp"
@@ -7,6 +8,32 @@
 #include "support/stopwatch.hpp"
 
 namespace rrl {
+namespace {
+
+// Smallest n whose neglected-tail error bound is below eps:
+//   TRR: r_max * P[N > n]            <= eps
+//   MRR: r_max * E[(N - n)^+] / mean <= eps
+// (expected_excess is decreasing in n, hence the binary search).
+std::int64_t truncation_point(const PoissonDistribution& poisson,
+                              MeasureKind kind, double eps_over_rmax) {
+  if (kind == MeasureKind::kTrr) {
+    return poisson.right_truncation_point(eps_over_rmax);
+  }
+  const double target = eps_over_rmax * poisson.mean();
+  std::int64_t lo = 0;
+  std::int64_t hi = poisson.window_last() + 1;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (poisson.expected_excess(mid) <= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
 
 StandardRandomization::StandardRandomization(const Ctmc& chain,
                                              std::vector<double> rewards,
@@ -26,75 +53,89 @@ StandardRandomization::StandardRandomization(const Ctmc& chain,
 
 TransientValue StandardRandomization::trr(double t) const {
   RRL_EXPECTS(t >= 0.0);
-  return solve(t, Kind::kTrr);
+  return solve_point(t, MeasureKind::kTrr);
 }
 
 TransientValue StandardRandomization::mrr(double t) const {
   RRL_EXPECTS(t > 0.0);
-  return solve(t, Kind::kMrr);
+  return solve_point(t, MeasureKind::kMrr);
 }
 
-TransientValue StandardRandomization::solve(double t, Kind kind) const {
+SolveReport StandardRandomization::solve_grid(
+    const SolveRequest& request) const {
   const Stopwatch watch;
-  TransientValue out;
-  out.stats.lambda = dtmc_.lambda();
+  const double eps = validated_epsilon(request, options_.epsilon);
+  const std::size_t m = request.times.size();
 
-  if (r_max_ == 0.0 || t == 0.0) {
-    // Zero rewards give zero measures; t == 0 gives the initial reward rate.
-    out.value = t == 0.0 ? sparse_reward_dot(reward_idx_, rewards_, initial_)
-                         : 0.0;
-    out.stats.seconds = watch.seconds();
-    return out;
+  SolveReport report;
+  report.points.resize(m);
+  for (TransientValue& p : report.points) p.stats.lambda = dtmc_.lambda();
+  report.total.lambda = dtmc_.lambda();
+
+  if (r_max_ == 0.0) {
+    // All rewards zero: both measures are identically zero.
+    report.total.seconds = watch.seconds();
+    return report;
   }
 
-  const double mean = dtmc_.lambda() * t;
-  const PoissonDistribution poisson(mean);
-
-  // Truncation point: neglected mass times r_max must stay below eps.
-  std::int64_t n_max = 0;
-  if (kind == Kind::kTrr) {
-    // error <= r_max * P[N > n_max]
-    n_max = poisson.right_truncation_point(options_.epsilon / r_max_);
-  } else {
-    // error <= r_max * E[(N - n_max)^+] / (Lambda t); find the smallest
-    // n with the bound below eps (expected_excess is decreasing in n).
-    const double target = options_.epsilon * mean / r_max_;
-    std::int64_t lo = 0;
-    std::int64_t hi = poisson.window_last() + 1;
-    while (lo < hi) {
-      const std::int64_t mid = lo + (hi - lo) / 2;
-      if (poisson.expected_excess(mid) <= target) {
-        hi = mid;
-      } else {
-        lo = mid + 1;
-      }
+  // Per-point Poisson mixtures; the single pass runs to the largest
+  // truncation point, each point simply stops accumulating at its own.
+  std::vector<PoissonDistribution> poisson;
+  poisson.reserve(m);
+  std::vector<std::int64_t> n_max(m, 0);
+  std::int64_t pass_steps = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    poisson.emplace_back(dtmc_.lambda() * request.times[i]);
+    n_max[i] = truncation_point(poisson[i], request.measure, eps / r_max_);
+    if (options_.step_cap >= 0 && n_max[i] > options_.step_cap) {
+      n_max[i] = options_.step_cap;
+      report.points[i].stats.capped = true;
+      report.total.capped = true;
     }
-    n_max = lo;
-  }
-  if (options_.step_cap >= 0 && n_max > options_.step_cap) {
-    n_max = options_.step_cap;
-    out.stats.capped = true;
+    pass_steps = std::max(pass_steps, n_max[i]);
   }
 
   const std::size_t n_states = static_cast<std::size_t>(chain_.num_states());
   std::vector<double> pi = initial_;
   std::vector<double> next(n_states, 0.0);
-  CompensatedSum acc;
+  std::vector<CompensatedSum> acc(m);
+
+  // Points ordered by truncation point: once the pass moves beyond a
+  // point's n_max it is finished, so the active set shrinks from the front
+  // and the weight scan totals O(sum_i n_max_i) instead of O(m * pass).
+  std::vector<std::size_t> by_nmax(m);
+  for (std::size_t i = 0; i < m; ++i) by_nmax[i] = i;
+  std::sort(by_nmax.begin(), by_nmax.end(),
+            [&](std::size_t a, std::size_t b) { return n_max[a] < n_max[b]; });
+  std::size_t first_active = 0;
 
   for (std::int64_t n = 0;; ++n) {
     const double d = sparse_reward_dot(reward_idx_, rewards_, pi);
-    const double weight =
-        kind == Kind::kTrr ? poisson.pmf(n) : poisson.tail(n + 1);
-    if (weight != 0.0) acc.add(weight * d);
-    if (n == n_max) break;
+    while (first_active < m && n_max[by_nmax[first_active]] < n) {
+      ++first_active;
+    }
+    for (std::size_t k = first_active; k < m; ++k) {
+      const std::size_t i = by_nmax[k];
+      const double weight = request.measure == MeasureKind::kTrr
+                                ? poisson[i].pmf(n)
+                                : poisson[i].tail(n + 1);
+      if (weight != 0.0) acc[i].add(weight * d);
+    }
+    if (n == pass_steps) break;
     dtmc_.step(pi, next);
     pi.swap(next);
   }
 
-  out.stats.dtmc_steps = n_max;
-  out.value = kind == Kind::kTrr ? acc.value() : acc.value() / mean;
-  out.stats.seconds = watch.seconds();
-  return out;
+  for (std::size_t i = 0; i < m; ++i) {
+    TransientValue& p = report.points[i];
+    p.value = request.measure == MeasureKind::kTrr
+                  ? acc[i].value()
+                  : acc[i].value() / poisson[i].mean();
+    p.stats.dtmc_steps = n_max[i];  // what this point alone would need
+  }
+  report.total.dtmc_steps = pass_steps;
+  report.total.seconds = watch.seconds();
+  return report;
 }
 
 }  // namespace rrl

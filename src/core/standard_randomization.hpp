@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/solver.hpp"
+#include "core/transient_solver.hpp"
 #include "markov/ctmc.hpp"
 #include "markov/dtmc.hpp"
 
@@ -29,10 +30,24 @@ struct SrOptions {
 
 /// Standard randomization solver bound to one (chain, rewards, initial
 /// distribution) triple; trr/mrr may be called for many time points.
-class StandardRandomization {
+class StandardRandomization : public TransientSolver {
  public:
   StandardRandomization(const Ctmc& chain, std::vector<double> rewards,
                         std::vector<double> initial, SrOptions options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sr";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "standard randomization (uniformization)";
+  }
+
+  /// Amortized sweep: ONE randomization pass over the Pi-vector; at every
+  /// step the reward coefficient d(n) feeds each grid point's Poisson
+  /// mixture, so the whole grid costs the truncation point of the largest
+  /// time instead of the sum over points.
+  [[nodiscard]] SolveReport solve_grid(
+      const SolveRequest& request) const override;
 
   /// Transient reward rate at time t (t >= 0).
   [[nodiscard]] TransientValue trr(double t) const;
@@ -43,9 +58,6 @@ class StandardRandomization {
   [[nodiscard]] double lambda() const noexcept { return dtmc_.lambda(); }
 
  private:
-  enum class Kind { kTrr, kMrr };
-  [[nodiscard]] TransientValue solve(double t, Kind kind) const;
-
   const Ctmc& chain_;
   std::vector<double> rewards_;
   std::vector<double> initial_;

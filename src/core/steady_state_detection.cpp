@@ -26,66 +26,101 @@ RandomizationSteadyStateDetection::RandomizationSteadyStateDetection(
 
 TransientValue RandomizationSteadyStateDetection::trr(double t) const {
   RRL_EXPECTS(t >= 0.0);
-  return solve(t, Kind::kTrr);
+  return solve_point(t, MeasureKind::kTrr);
 }
 
 TransientValue RandomizationSteadyStateDetection::mrr(double t) const {
   RRL_EXPECTS(t > 0.0);
-  return solve(t, Kind::kMrr);
+  return solve_point(t, MeasureKind::kMrr);
 }
 
-TransientValue RandomizationSteadyStateDetection::solve(double t,
-                                                        Kind kind) const {
+SolveReport RandomizationSteadyStateDetection::solve_grid(
+    const SolveRequest& request) const {
   const Stopwatch watch;
-  TransientValue out;
-  out.stats.lambda = dtmc_.lambda();
-  if (r_max_ == 0.0 || t == 0.0) {
-    out.value = t == 0.0 ? dot(rewards_, initial_) : 0.0;
-    out.stats.seconds = watch.seconds();
-    return out;
+  const double eps = validated_epsilon(request, options_.epsilon);
+  const std::size_t m = request.times.size();
+  const double tol =
+      options_.detection_tol > 0.0 ? options_.detection_tol : eps / 2.0;
+
+  SolveReport report;
+  report.points.resize(m);
+  for (TransientValue& p : report.points) {
+    p.stats.lambda = dtmc_.lambda();
+    p.stats.detection_step = -1;
+  }
+  report.total.lambda = dtmc_.lambda();
+  report.total.detection_step = -1;
+
+  if (r_max_ == 0.0) {
+    report.total.seconds = watch.seconds();
+    return report;
   }
 
-  const double mean = dtmc_.lambda() * t;
-  const PoissonDistribution poisson(mean);
-  const double tol = options_.detection_tol > 0.0 ? options_.detection_tol
-                                                  : options_.epsilon / 2.0;
-
-  // Poisson truncation with eps/2 (the other eps/2 covers detection).
-  std::int64_t n_max =
-      poisson.right_truncation_point(options_.epsilon / (2.0 * r_max_));
-  if (options_.step_cap >= 0 && n_max > options_.step_cap) {
-    n_max = options_.step_cap;
-    out.stats.capped = true;
+  // Poisson truncation with eps/2 per point (the other eps/2 covers
+  // detection); the shared backward pass runs to the largest one.
+  std::vector<PoissonDistribution> poisson;
+  poisson.reserve(m);
+  std::vector<std::int64_t> n_max(m, 0);
+  std::int64_t pass_steps = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    poisson.emplace_back(dtmc_.lambda() * request.times[i]);
+    n_max[i] = poisson[i].right_truncation_point(eps / (2.0 * r_max_));
+    if (options_.step_cap >= 0 && n_max[i] > options_.step_cap) {
+      n_max[i] = options_.step_cap;
+      report.points[i].stats.capped = true;
+      report.total.capped = true;
+    }
+    pass_steps = std::max(pass_steps, n_max[i]);
   }
 
-  // Backward iteration: w_0 = r, w_{n+1} = P w_n, d(n) = alpha . w_n.
+  // Backward iteration: w_0 = r, w_{n+1} = P w_n, d(n) = alpha . w_n is the
+  // same coefficient for every grid point.
   const std::size_t n_states = static_cast<std::size_t>(chain_.num_states());
   std::vector<double> w = rewards_;
   std::vector<double> next(n_states, 0.0);
-  CompensatedSum acc;
+  std::vector<CompensatedSum> acc(m);
+
+  // Points ordered by truncation point: the active set shrinks from the
+  // front, keeping the weight scan at O(sum_i n_max_i) total.
+  std::vector<std::size_t> by_nmax(m);
+  for (std::size_t i = 0; i < m; ++i) by_nmax[i] = i;
+  std::sort(by_nmax.begin(), by_nmax.end(),
+            [&](std::size_t a, std::size_t b) { return n_max[a] < n_max[b]; });
+  std::size_t first_active = 0;
 
   std::int64_t n = 0;
   for (;; ++n) {
     const double d = dot(initial_, w);
-    const double weight =
-        kind == Kind::kTrr ? poisson.pmf(n) : poisson.tail(n + 1);
-    if (weight != 0.0) acc.add(weight * d);
-    if (n == n_max) break;
+    while (first_active < m && n_max[by_nmax[first_active]] < n) {
+      ++first_active;
+    }
+    for (std::size_t k = first_active; k < m; ++k) {
+      const std::size_t i = by_nmax[k];
+      const double weight = request.measure == MeasureKind::kTrr
+                                ? poisson[i].pmf(n)
+                                : poisson[i].tail(n + 1);
+      if (weight != 0.0) acc[i].add(weight * d);
+    }
+    if (n == pass_steps) break;
 
-    // span(w_n) brackets every future coefficient d(m), m >= n: detection.
+    // span(w_n) brackets every future coefficient d(m), m >= n: one
+    // detection finishes every point that still has Poisson mass left.
     const auto [mn, mx] = std::minmax_element(w.begin(), w.end());
     if (*mx - *mn <= tol) {
       const double d_ss = 0.5 * (*mx + *mn);
-      // Remaining terms m = n+1, n+2, ... folded into the midpoint:
-      //   TRR: sum_{m>n} pmf(m) d_ss = tail(n+1) d_ss
-      //   MRR: sum_{m>n} P[N>=m+1] d_ss = E[(N-n)^+ excess] via
-      //        sum_{j>=n+2} P[N>=j] = expected_excess(n+1).
-      if (kind == Kind::kTrr) {
-        acc.add(poisson.tail(n + 1) * d_ss);
-      } else {
-        acc.add(poisson.expected_excess(n + 1) * d_ss);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (n >= n_max[i]) continue;  // this point already completed
+        // Remaining terms k = n+1, n+2, ... folded into the midpoint:
+        //   TRR: sum_{k>n} pmf(k) d_ss = tail(n+1) d_ss
+        //   MRR: sum_{k>n} P[N>=k+1] d_ss = expected_excess(n+1) d_ss.
+        if (request.measure == MeasureKind::kTrr) {
+          acc[i].add(poisson[i].tail(n + 1) * d_ss);
+        } else {
+          acc[i].add(poisson[i].expected_excess(n + 1) * d_ss);
+        }
+        report.points[i].stats.detection_step = n;
       }
-      out.stats.detection_step = n;
+      report.total.detection_step = n;
       break;
     }
 
@@ -94,10 +129,18 @@ TransientValue RandomizationSteadyStateDetection::solve(double t,
     w.swap(next);
   }
 
-  out.stats.dtmc_steps = n;
-  out.value = kind == Kind::kTrr ? acc.value() : acc.value() / mean;
-  out.stats.seconds = watch.seconds();
-  return out;
+  for (std::size_t i = 0; i < m; ++i) {
+    TransientValue& p = report.points[i];
+    p.value = request.measure == MeasureKind::kTrr
+                  ? acc[i].value()
+                  : acc[i].value() / poisson[i].mean();
+    // What this point alone would have needed: its truncation point, or the
+    // detection step if that fired first.
+    p.stats.dtmc_steps = std::min(n, n_max[i]);
+  }
+  report.total.dtmc_steps = n;
+  report.total.seconds = watch.seconds();
+  return report;
 }
 
 }  // namespace rrl

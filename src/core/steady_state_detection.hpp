@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/solver.hpp"
+#include "core/transient_solver.hpp"
 #include "markov/ctmc.hpp"
 #include "markov/dtmc.hpp"
 
@@ -40,7 +41,7 @@ struct RsdOptions {
 };
 
 /// Steady-state-detecting randomization solver for irreducible models.
-class RandomizationSteadyStateDetection {
+class RandomizationSteadyStateDetection : public TransientSolver {
  public:
   /// Precondition: `chain` is irreducible (A = 0).
   RandomizationSteadyStateDetection(const Ctmc& chain,
@@ -48,15 +49,26 @@ class RandomizationSteadyStateDetection {
                                     std::vector<double> initial,
                                     RsdOptions options = {});
 
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rsd";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "randomization with steady-state detection";
+  }
+
+  /// Amortized sweep: ONE backward pass w_n = P^n r shared by every grid
+  /// point (the coefficients d(n) = alpha . w_n are time-independent), and
+  /// a single span-seminorm detection folds the remaining Poisson mass of
+  /// every still-active point at once.
+  [[nodiscard]] SolveReport solve_grid(
+      const SolveRequest& request) const override;
+
   [[nodiscard]] TransientValue trr(double t) const;
   [[nodiscard]] TransientValue mrr(double t) const;
 
   [[nodiscard]] double lambda() const noexcept { return dtmc_.lambda(); }
 
  private:
-  enum class Kind { kTrr, kMrr };
-  [[nodiscard]] TransientValue solve(double t, Kind kind) const;
-
   const Ctmc& chain_;
   std::vector<double> rewards_;
   std::vector<double> initial_;

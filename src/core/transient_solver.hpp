@@ -1,0 +1,155 @@
+// Uniform interface over the transient solvers (SR, RSD, RR, RRL).
+//
+// The paper's whole evaluation (Tables 1-2, Figures 3-4) runs the *same*
+// rewarded CTMC through every method over a *sweep* of time points. This
+// header gives that workload one contract: a SolveRequest (measure kind,
+// time grid, error bound) answered by a SolveReport (one value + per-point
+// stats per time, plus the aggregate work of the sweep), implemented by
+// every solver behind the abstract TransientSolver base.
+//
+// The grid entry point solve_grid() is a first-class *amortized* hot path,
+// not a loop over single solves:
+//   SR   one randomization pass; every step's d(n) = r . (alpha P^n) feeds
+//        the Poisson mixtures of all grid points at once;
+//   RSD  one backward pass w_n = P^n r shared by all points, with a single
+//        steady-state detection serving every remaining time;
+//   RR   one schema + one V_{K,L} randomization pass for the whole grid;
+//   RRL  one schema, one numerical inversion per point (the former
+//        trr_many/mrr_many).
+// For SR/RSD/RR this makes an m-point sweep cost essentially one solve at
+// the largest time instead of m solves.
+#pragma once
+
+#include <cmath>
+#include <string_view>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace rrl {
+
+/// The paper's two measures for a rewarded CTMC.
+enum class MeasureKind {
+  kTrr,  ///< transient reward rate  TRR(t) = E[r_{X(t)}]
+  kMrr,  ///< mean reward rate       MRR(t) = (1/t) Int_0^t TRR
+};
+
+/// A method-agnostic solve request.
+struct SolveRequest {
+  MeasureKind measure = MeasureKind::kTrr;
+  /// Time grid; need not be sorted or distinct. Every t must be >= 0 for
+  /// TRR and > 0 for MRR.
+  std::vector<double> times;
+  /// Total error bound applied to EVERY point of the grid individually
+  /// (each returned value is within epsilon of the true measure; the bound
+  /// is not split across points). <= 0 selects the epsilon the solver was
+  /// constructed with.
+  double epsilon = -1.0;
+
+  [[nodiscard]] static SolveRequest trr(std::vector<double> ts,
+                                        double eps = -1.0) {
+    return {MeasureKind::kTrr, std::move(ts), eps};
+  }
+  [[nodiscard]] static SolveRequest mrr(std::vector<double> ts,
+                                        double eps = -1.0) {
+    return {MeasureKind::kMrr, std::move(ts), eps};
+  }
+};
+
+/// The answer to a SolveRequest.
+///
+/// `points[i]` matches `request.times[i]`. In the amortized grid paths the
+/// aggregate `total` is NOT the sum of the per-point stats: work shared by
+/// the sweep (the single randomization pass of SR/RSD, the single schema and
+/// V-pass of RR/RRL) is counted once in `total`, while each point's stats
+/// report what that point alone would have needed (SR/RSD: its own
+/// truncation/detection step; RR/RRL: the shared schema plus its own
+/// V-steps/abscissae). total.dtmc_steps <~ the cost of one solve at the
+/// largest time is exactly the amortization guarantee. Per-point `seconds`
+/// are populated only where a point has separable work of its own (RRL's
+/// inversions); for the single-pass methods only `total.seconds` is
+/// meaningful.
+struct SolveReport {
+  std::vector<TransientValue> points;
+  SolverStats total;
+
+  /// The bare values, in request order.
+  [[nodiscard]] std::vector<double> values() const {
+    std::vector<double> v;
+    v.reserve(points.size());
+    for (const TransientValue& p : points) v.push_back(p.value);
+    return v;
+  }
+};
+
+/// Abstract transient solver: one rewarded CTMC + initial distribution,
+/// many (measure, time grid, epsilon) queries. Implementations are bound to
+/// their model at construction (see the registry for by-name construction).
+class TransientSolver {
+ public:
+  virtual ~TransientSolver() = default;
+
+  /// Registry name of the method ("sr", "rsd", "rr", "rrl").
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// One-line human-readable description of the method.
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  /// Solve the whole request with the method's amortized sweep.
+  [[nodiscard]] virtual SolveReport solve_grid(
+      const SolveRequest& request) const = 0;
+
+  /// Single-point convenience on top of solve_grid; the returned stats are
+  /// the full solve cost (the report's aggregate).
+  [[nodiscard]] TransientValue solve_point(double t, MeasureKind kind,
+                                           double epsilon = -1.0) const {
+    SolveRequest request;
+    request.measure = kind;
+    request.times = {t};
+    request.epsilon = epsilon;
+    SolveReport report = solve_grid(request);
+    TransientValue out = report.points.front();
+    out.stats = report.total;
+    return out;
+  }
+
+ protected:
+  /// Shared solve_grid() entry validation: non-empty grid, per-point time
+  /// sign per measure (t >= 0 for TRR, t > 0 for MRR), and resolution of
+  /// the request epsilon against the solver's constructed one. Returns the
+  /// effective epsilon.
+  [[nodiscard]] static double validated_epsilon(const SolveRequest& request,
+                                                double constructed_epsilon) {
+    RRL_EXPECTS(!request.times.empty());
+    for (const double t : request.times) {
+      RRL_EXPECTS(request.measure == MeasureKind::kTrr ? t >= 0.0 : t > 0.0);
+    }
+    const double eps =
+        request.epsilon > 0.0 ? request.epsilon : constructed_epsilon;
+    RRL_EXPECTS(eps > 0.0);
+    return eps;
+  }
+};
+
+/// `count` log-spaced time points covering [lo, hi] inclusive (count >= 1;
+/// count == 1 returns {hi}). Preconditions: 0 < lo <= hi.
+[[nodiscard]] inline std::vector<double> log_time_grid(double lo, double hi,
+                                                       int count) {
+  RRL_EXPECTS(lo > 0.0 && hi >= lo && count >= 1);
+  std::vector<double> ts;
+  ts.reserve(static_cast<std::size_t>(count));
+  if (count == 1) {
+    ts.push_back(hi);
+    return ts;
+  }
+  const double step = (std::log(hi) - std::log(lo)) /
+                      static_cast<double>(count - 1);
+  for (int i = 0; i < count; ++i) {
+    ts.push_back(std::exp(std::log(lo) + step * static_cast<double>(i)));
+  }
+  ts.front() = lo;
+  ts.back() = hi;
+  return ts;
+}
+
+}  // namespace rrl

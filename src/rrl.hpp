@@ -9,23 +9,29 @@
 // uniformization, Laplace inversion) and the paper's RAID-5 evaluation
 // models.
 //
-// Quick start (see examples/quickstart.cpp):
+// Quick start (see examples/quickstart.cpp and README.md):
 //   rrl::Ctmc chain = ...;                      // your model
 //   std::vector<double> rewards = ...;          // r_i >= 0
 //   std::vector<double> alpha = ...;            // initial distribution
-//   rrl::RegenerativeRandomizationLaplace solver(chain, rewards, alpha,
-//                                                /*regenerative_state=*/0);
-//   double ua = solver.trr(t).value;            // TRR(t)
-//   double mu = solver.mrr(t).value;            // MRR(t)
+//   rrl::SolverConfig config;                   // eps, regenerative state
+//   auto solver = rrl::make_solver("rrl", chain, rewards, alpha, config);
+//   double ua = solver->solve_point(t, rrl::MeasureKind::kTrr).value;
+//   // whole time grids amortize the schema / randomization pass:
+//   auto report = solver->solve_grid(
+//       rrl::SolveRequest::trr(rrl::log_time_grid(1.0, 1e5, 20)));
+// The concrete classes (RegenerativeRandomizationLaplace, ...) remain
+// available for method-specific tuning and rigorous bounds.
 #pragma once
 
 #include "core/regenerative.hpp"       // IWYU pragma: export
+#include "core/registry.hpp"           // IWYU pragma: export
 #include "core/rr_solver.hpp"          // IWYU pragma: export
 #include "core/rrl_solver.hpp"         // IWYU pragma: export
 #include "core/rrl_transform.hpp"      // IWYU pragma: export
 #include "core/solver.hpp"             // IWYU pragma: export
 #include "core/standard_randomization.hpp"   // IWYU pragma: export
 #include "core/steady_state_detection.hpp"   // IWYU pragma: export
+#include "core/transient_solver.hpp"   // IWYU pragma: export
 #include "core/vmodel.hpp"             // IWYU pragma: export
 #include "laplace/crump.hpp"           // IWYU pragma: export
 #include "laplace/epsilon.hpp"         // IWYU pragma: export

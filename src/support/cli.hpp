@@ -71,6 +71,29 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// Parses a separated list of doubles ("1,10,100" or "1:1e5:20"). Empty
+/// tokens are skipped; a token that is not entirely numeric ("10;100",
+/// "20x") is skipped too rather than silently truncated at the first bad
+/// character, so malformed input surfaces as a missing value.
+[[nodiscard]] inline std::vector<double> parse_double_list(
+    const std::string& spec, char separator = ',') {
+  std::vector<double> values;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(separator, begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(begin, end - begin);
+    if (!token.empty()) {
+      const char* str = token.c_str();
+      char* parsed_end = nullptr;
+      const double v = std::strtod(str, &parsed_end);
+      if (parsed_end != str && *parsed_end == '\0') values.push_back(v);
+    }
+    begin = end + 1;
+  }
+  return values;
+}
+
 /// Reads an environment variable as bool ("1", "true", "yes" => true).
 [[nodiscard]] inline bool env_flag(const char* name, bool fallback = false) {
   const char* v = std::getenv(name);

@@ -109,10 +109,12 @@ TEST(ErrorControl, MoreAccuracyMeansMoreDamping) {
 }
 
 TEST(ErrorControl, RejectsInvalidArguments) {
-  EXPECT_THROW(damping_for_bounded(-1.0, 1e-6, 1.0), contract_error);
-  EXPECT_THROW(damping_for_bounded(1.0, 0.0, 1.0), contract_error);
-  EXPECT_THROW(damping_for_time_linear(0.0, 1e-6, 1.0, 1.0), contract_error);
-  EXPECT_THROW(damping_for_time_linear(1.0, 1e-6, -1.0, 1.0), contract_error);
+  EXPECT_THROW((void)damping_for_bounded(-1.0, 1e-6, 1.0), contract_error);
+  EXPECT_THROW((void)damping_for_bounded(1.0, 0.0, 1.0), contract_error);
+  EXPECT_THROW((void)damping_for_time_linear(0.0, 1e-6, 1.0, 1.0),
+               contract_error);
+  EXPECT_THROW((void)damping_for_time_linear(1.0, 1e-6, -1.0, 1.0),
+               contract_error);
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+// Solver registry/factory: the four built-in methods are constructible by
+// name, unknown names are rejected with a helpful message, user-supplied
+// factories can be added, and the ModelFile overload honours the file's
+// regenerative-state hint.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/registry.hpp"
+#include "io/model_format.hpp"
+#include "models/multiproc.hpp"
+#include "models/simple.hpp"
+#include "rrl.hpp"
+
+namespace rrl {
+namespace {
+
+struct Fixture {
+  Ctmc chain;
+  std::vector<double> rewards;
+  std::vector<double> alpha;
+
+  Fixture() {
+    const auto m = make_two_state(1e-3, 1.0);
+    chain = m.chain;
+    rewards = {0.0, 1.0};
+    alpha = {1.0, 0.0};
+  }
+};
+
+TEST(Registry, BuiltinsAreRegisteredInOrder) {
+  const auto names = registered_solvers();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names[0], "sr");
+  EXPECT_EQ(names[1], "rsd");
+  EXPECT_EQ(names[2], "rr");
+  EXPECT_EQ(names[3], "rrl");
+  for (const auto& name : {"sr", "rsd", "rr", "rrl"}) {
+    EXPECT_TRUE(solver_registered(name));
+    EXPECT_FALSE(solver_description(name).empty());
+  }
+  EXPECT_FALSE(solver_registered("no-such-method"));
+}
+
+TEST(Registry, ConstructsEveryBuiltinAndNamesMatch) {
+  const Fixture f;
+  SolverConfig config;
+  config.epsilon = 1e-10;
+  config.regenerative = 0;
+  for (const std::string name : {"sr", "rsd", "rr", "rrl"}) {
+    const auto solver = make_solver(name, f.chain, f.rewards, f.alpha,
+                                    config);
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->name(), name);
+    const auto r = solver->solve_point(100.0, MeasureKind::kTrr);
+    EXPECT_NEAR(r.value, make_two_state(1e-3, 1.0).unavailability(100.0),
+                1e-9);
+  }
+}
+
+TEST(Registry, UnknownNameThrowsListingRegistered) {
+  const Fixture f;
+  try {
+    (void)make_solver("nope", f.chain, f.rewards, f.alpha);
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nope"), std::string::npos);
+    EXPECT_NE(what.find("rrl"), std::string::npos);
+  }
+}
+
+TEST(Registry, EpsilonAndStepCapAreForwarded) {
+  const Fixture f;
+  SolverConfig loose;
+  loose.epsilon = 1e-6;
+  SolverConfig tight;
+  tight.epsilon = 1e-12;
+  const auto srl = make_solver("sr", f.chain, f.rewards, f.alpha, loose);
+  const auto srt = make_solver("sr", f.chain, f.rewards, f.alpha, tight);
+  EXPECT_LT(srl->solve_point(1000.0, MeasureKind::kTrr).stats.dtmc_steps,
+            srt->solve_point(1000.0, MeasureKind::kTrr).stats.dtmc_steps);
+
+  SolverConfig capped = tight;
+  capped.step_cap = 10;
+  const auto src = make_solver("sr", f.chain, f.rewards, f.alpha, capped);
+  const auto r = src->solve_point(1000.0, MeasureKind::kTrr);
+  EXPECT_TRUE(r.stats.capped);
+  EXPECT_LE(r.stats.dtmc_steps, 10);
+}
+
+TEST(Registry, StepCapReachesTheSchemaOfRrAndRrl) {
+  // The documented contract: config.step_cap also bounds the regenerative
+  // schema, so a by-name solve on a huge model cannot run away.
+  const MultiprocModel m = build_multiproc_availability({});
+  SolverConfig config;
+  config.epsilon = 1e-12;
+  config.regenerative = m.initial_state;
+  config.step_cap = 3;
+  for (const std::string name : {"rr", "rrl"}) {
+    const auto solver =
+        make_solver(name, m.chain, m.failure_rewards(),
+                    m.initial_distribution(), config);
+    const auto r = solver->solve_point(1000.0, MeasureKind::kTrr);
+    EXPECT_TRUE(r.stats.capped) << name;
+    EXPECT_LE(r.stats.dtmc_steps, 2 * 3) << name;  // K (+ L) each capped
+  }
+}
+
+TEST(Registry, AutoRegenerativeStateWorks) {
+  // config.regenerative < 0 must select a state automatically for rr/rrl.
+  const Fixture f;
+  SolverConfig config;
+  config.epsilon = 1e-10;
+  config.regenerative = -1;
+  for (const std::string name : {"rr", "rrl"}) {
+    const auto solver = make_solver(name, f.chain, f.rewards, f.alpha,
+                                    config);
+    EXPECT_NEAR(solver->solve_point(50.0, MeasureKind::kTrr).value,
+                make_two_state(1e-3, 1.0).unavailability(50.0), 1e-9);
+  }
+}
+
+TEST(Registry, UserFactoriesCanBeRegistered) {
+  ASSERT_FALSE(solver_registered("custom-sr"));
+  register_solver("custom-sr",
+                  [](const Ctmc& chain, std::vector<double> rewards,
+                     std::vector<double> initial, const SolverConfig& config)
+                      -> std::unique_ptr<TransientSolver> {
+                    SrOptions opt;
+                    opt.epsilon = config.epsilon;
+                    return std::make_unique<StandardRandomization>(
+                        chain, std::move(rewards), std::move(initial), opt);
+                  },
+                  "SR behind a custom name");
+  EXPECT_TRUE(solver_registered("custom-sr"));
+  EXPECT_EQ(solver_description("custom-sr"), "SR behind a custom name");
+  const auto names = registered_solvers();
+  EXPECT_NE(std::find(names.begin(), names.end(), "custom-sr"), names.end());
+
+  const Fixture f;
+  const auto solver = make_solver("custom-sr", f.chain, f.rewards, f.alpha);
+  EXPECT_EQ(solver->name(), "sr");  // the wrapped method's own name
+
+  // Re-registering the same name replaces the factory; registering with no
+  // description keeps the previous text.
+  register_solver("custom-sr",
+                  [](const Ctmc& chain, std::vector<double> rewards,
+                     std::vector<double> initial, const SolverConfig&)
+                      -> std::unique_ptr<TransientSolver> {
+                    SrOptions opt;
+                    opt.epsilon = 1e-6;
+                    return std::make_unique<StandardRandomization>(
+                        chain, std::move(rewards), std::move(initial), opt);
+                  });
+  EXPECT_EQ(solver_description("custom-sr"), "SR behind a custom name");
+  const auto replaced =
+      make_solver("custom-sr", f.chain, f.rewards, f.alpha);
+  ASSERT_NE(replaced, nullptr);  // replacement factory actually callable
+  EXPECT_EQ(std::count(names.begin(), names.end(), "custom-sr"), 1);
+}
+
+TEST(Registry, ModelFileOverloadUsesHint) {
+  // A model file carrying `regenerative 0` constructs rr/rrl without an
+  // explicit state in the config.
+  std::istringstream in(
+      "states 2\n"
+      "transition 0 1 0.001\n"
+      "transition 1 0 1.0\n"
+      "reward 1 1\n"
+      "initial 0 1\n"
+      "regenerative 0\n");
+  const ModelFile model = read_model(in);
+  const auto solver = make_solver("rrl", model);
+  EXPECT_NEAR(solver->solve_point(100.0, MeasureKind::kTrr).value,
+              make_two_state(1e-3, 1.0).unavailability(100.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace rrl

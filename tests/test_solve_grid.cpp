@@ -1,0 +1,190 @@
+// Amortized time-grid sweeps through the uniform TransientSolver interface:
+// (1) the four methods agree within 2*eps on shared log-spaced grids over
+// the RAID-5 and multiprocessor models, (2) solve_grid's aggregate stats
+// show the amortization (a whole grid costs <= 1.5x one solve at the
+// largest time, far below the sum of per-point solves), and (3) grid
+// results match single-point solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "models/multiproc.hpp"
+#include "models/raid5.hpp"
+#include "rrl.hpp"
+
+namespace rrl {
+namespace {
+
+constexpr double kEps = 1e-10;
+
+struct GridCase {
+  std::string label;
+  Ctmc chain;
+  std::vector<double> rewards;
+  std::vector<double> initial;
+  index_t regenerative = 0;
+};
+
+GridCase raid_case() {
+  Raid5Params p;
+  p.groups = 20;
+  const Raid5Model m = build_raid5_availability(p);
+  return {"raid5-g20", m.chain, m.failure_rewards(),
+          m.initial_distribution(), m.initial_state};
+}
+
+GridCase multiproc_case() {
+  const MultiprocModel m = build_multiproc_availability({});
+  return {"multiproc", m.chain, m.failure_rewards(),
+          m.initial_distribution(), m.initial_state};
+}
+
+std::unique_ptr<TransientSolver> solver_for(const GridCase& c,
+                                            const std::string& name,
+                                            double eps = kEps) {
+  SolverConfig config;
+  config.epsilon = eps;
+  config.regenerative = c.regenerative;
+  return make_solver(name, c.chain, c.rewards, c.initial, config);
+}
+
+TEST(SolveGridAgreement, AllFourMethodsAgreeWithin2Eps) {
+  // Both availability models are irreducible, so every method applies.
+  const std::vector<double> grid = log_time_grid(1.0, 1e3, 10);
+  for (const GridCase& c : {raid_case(), multiproc_case()}) {
+    for (const MeasureKind kind : {MeasureKind::kTrr, MeasureKind::kMrr}) {
+      SolveRequest request;
+      request.measure = kind;
+      request.times = grid;
+      const SolveReport reference =
+          solver_for(c, "sr")->solve_grid(request);
+      for (const std::string name : {"rsd", "rr", "rrl"}) {
+        const SolveReport report = solver_for(c, name)->solve_grid(request);
+        ASSERT_EQ(report.points.size(), grid.size());
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+          EXPECT_NEAR(report.points[i].value, reference.points[i].value,
+                      2.0 * kEps)
+              << c.label << " " << name << " t=" << grid[i]
+              << (kind == MeasureKind::kTrr ? " trr" : " mrr");
+        }
+      }
+    }
+  }
+}
+
+TEST(SolveGridAmortization, GridCostsAtMost1p5xSingleLargestSolve) {
+  // The acceptance bar of the interface refactor: on a 20-point grid, the
+  // sweep's aggregate work is <= 1.5x ONE solve at the largest time, for
+  // every method (SR/RR are the paper's expensive ones).
+  const GridCase c = raid_case();
+  const std::vector<double> grid = log_time_grid(1.0, 1e3, 20);
+  const double t_max = grid.back();
+  for (const std::string name : {"sr", "rsd", "rr", "rrl"}) {
+    const auto solver = solver_for(c, name, 1e-12);
+    const SolveReport report =
+        solver->solve_grid(SolveRequest::trr(grid, 1e-12));
+    const TransientValue single =
+        solver->solve_point(t_max, MeasureKind::kTrr, 1e-12);
+    EXPECT_LE(static_cast<double>(report.total.dtmc_steps),
+              1.5 * static_cast<double>(single.stats.dtmc_steps))
+        << name;
+    if (name == "rr") {
+      EXPECT_LE(static_cast<double>(report.total.vmodel_steps),
+                1.5 * static_cast<double>(single.stats.vmodel_steps));
+    }
+  }
+}
+
+TEST(SolveGridAmortization, StepGrowthIsSublinearVsPerPointSolves) {
+  // Summing what each point alone would need (the per-point stats) must be
+  // far above what the shared pass actually performed (the aggregate).
+  const GridCase c = multiproc_case();
+  const std::vector<double> grid = log_time_grid(1.0, 1e4, 20);
+  for (const std::string name : {"sr", "rsd"}) {
+    const SolveReport report =
+        solver_for(c, name)->solve_grid(SolveRequest::trr(grid));
+    std::int64_t per_point_sum = 0;
+    for (const TransientValue& p : report.points) {
+      per_point_sum += p.stats.dtmc_steps;
+    }
+    EXPECT_GE(per_point_sum, 2 * report.total.dtmc_steps) << name;
+  }
+}
+
+TEST(SolveGrid, MatchesSinglePointSolves) {
+  const GridCase c = multiproc_case();
+  const std::vector<double> grid = log_time_grid(0.5, 200.0, 6);
+  for (const std::string name : {"sr", "rsd", "rr", "rrl"}) {
+    const auto solver = solver_for(c, name);
+    for (const MeasureKind kind : {MeasureKind::kTrr, MeasureKind::kMrr}) {
+      SolveRequest request;
+      request.measure = kind;
+      request.times = grid;
+      const SolveReport report = solver->solve_grid(request);
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        const TransientValue single = solver->solve_point(grid[i], kind);
+        EXPECT_NEAR(report.points[i].value, single.value, 2.0 * kEps)
+            << name << " t=" << grid[i];
+      }
+    }
+  }
+}
+
+TEST(SolveGrid, HandlesUnsortedDuplicateAndZeroTimes) {
+  const GridCase c = multiproc_case();
+  const std::vector<double> times = {100.0, 1.0, 100.0, 0.0, 10.0};
+  for (const std::string name : {"sr", "rsd", "rr", "rrl"}) {
+    const auto solver = solver_for(c, name);
+    const SolveReport report =
+        solver->solve_grid(SolveRequest::trr(times));
+    ASSERT_EQ(report.points.size(), times.size());
+    EXPECT_NEAR(report.points[0].value, report.points[2].value, 1e-14)
+        << name;
+    // TRR(0) is the initial reward rate (zero mass on the failed state).
+    EXPECT_NEAR(report.points[3].value, 0.0, 1e-14) << name;
+    EXPECT_NEAR(report.points[1].value,
+                solver->solve_point(1.0, MeasureKind::kTrr).value, 2.0 * kEps)
+        << name;
+  }
+}
+
+TEST(SolveGrid, RequestEpsilonOverridesConstructionEpsilon) {
+  const GridCase c = multiproc_case();
+  const auto solver = solver_for(c, "sr", 1e-12);
+  const SolveReport tight =
+      solver->solve_grid(SolveRequest::trr({1e3}));
+  const SolveReport loose =
+      solver->solve_grid(SolveRequest::trr({1e3}, 1e-4));
+  EXPECT_LT(loose.total.dtmc_steps, tight.total.dtmc_steps);
+  EXPECT_NEAR(loose.points[0].value, tight.points[0].value, 2e-4);
+}
+
+TEST(SolveGrid, RejectsEmptyAndNegativeTimes) {
+  const GridCase c = multiproc_case();
+  const auto solver = solver_for(c, "sr");
+  EXPECT_THROW((void)solver->solve_grid(SolveRequest::trr({})),
+               contract_error);
+  EXPECT_THROW((void)solver->solve_grid(SolveRequest::trr({-1.0})),
+               contract_error);
+  // MRR needs strictly positive times.
+  EXPECT_THROW((void)solver->solve_grid(SolveRequest::mrr({0.0})),
+               contract_error);
+}
+
+TEST(SolveGrid, LogTimeGridCoversRangeInclusive) {
+  const auto grid = log_time_grid(2.0, 2000.0, 7);
+  ASSERT_EQ(grid.size(), 7u);
+  EXPECT_DOUBLE_EQ(grid.front(), 2.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 2000.0);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+  }
+  EXPECT_EQ(log_time_grid(5.0, 50.0, 1), std::vector<double>{50.0});
+}
+
+}  // namespace
+}  // namespace rrl

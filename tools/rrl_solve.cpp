@@ -1,15 +1,20 @@
 // rrl_solve — command-line front end to the library.
 //
 //   rrl_solve --model m.rrlm --t 10,100,1000 [--measure trr|mrr]
-//             [--solver rrl|rr|sr|rsd] [--eps 1e-12]
+//             [--solver sr|rsd|rr|rrl] [--eps 1e-12]
 //             [--regenerative auto|<index>] [--bounds]
+//   rrl_solve --model m.rrlm --t-grid 1:1e5:20        # 20 log-spaced points
 //   rrl_solve --export raid20|raid40|multiproc --output m.rrlm
+//   rrl_solve --list-solvers
 //
-// The model file format is documented in src/io/model_format.hpp. With
-// --export the built-in generators are serialized so they can be edited or
-// fed to other tools.
+// Solvers are selected by registry name (see src/core/registry.hpp), and a
+// whole time grid is answered by one amortized solve_grid() sweep — for
+// SR/RSD/RR the grid costs about as much as a single solve at the largest
+// time. The model file format is documented in src/io/model_format.hpp.
+// With --export the built-in generators are serialized so they can be
+// edited or fed to other tools.
+#include <cmath>
 #include <cstdio>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -23,17 +28,6 @@
 namespace {
 
 using namespace rrl;
-
-std::vector<double> parse_times(const std::string& spec) {
-  std::vector<double> ts;
-  std::istringstream in(spec);
-  std::string token;
-  while (std::getline(in, token, ',')) {
-    const double t = std::strtod(token.c_str(), nullptr);
-    if (t > 0.0) ts.push_back(t);
-  }
-  return ts;
-}
 
 int export_model(const std::string& which, const std::string& output) {
   if (which == "raid20" || which == "raid40") {
@@ -55,23 +49,85 @@ int export_model(const std::string& which, const std::string& output) {
   return 0;
 }
 
+int list_solvers() {
+  std::printf("registered solvers:\n");
+  for (const std::string& name : registered_solvers()) {
+    std::printf("  %-6s %s\n", name.c_str(),
+                solver_description(name).c_str());
+  }
+  return 0;
+}
+
+std::vector<double> requested_times(const CliArgs& args) {
+  if (args.has("t-grid")) {
+    // lo:hi:count, log-spaced inclusive.
+    // Each grid point precomputes a Poisson window (~MBs at the paper's
+    // largest Lambda*t), so the count is bounded to keep memory sane.
+    constexpr double kMaxGridPoints = 10000.0;
+    const auto spec = parse_double_list(args.get_string("t-grid", ""), ':');
+    if (spec.size() != 3 || spec[0] <= 0.0 || spec[1] < spec[0] ||
+        spec[2] < 1.0 || spec[2] > kMaxGridPoints ||
+        spec[2] != std::floor(spec[2])) {
+      std::fprintf(stderr,
+                   "error: --t-grid expects lo:hi:count with 0 < lo <= hi "
+                   "and an integer 1 <= count <= %g\n",
+                   kMaxGridPoints);
+      return {};
+    }
+    return log_time_grid(spec[0], spec[1], static_cast<int>(spec[2]));
+  }
+  std::vector<double> ts;
+  for (const double t : parse_double_list(args.get_string("t", ""))) {
+    if (t > 0.0) ts.push_back(t);
+  }
+  if (ts.empty()) {
+    std::fprintf(stderr, "error: no valid time points in --t\n");
+  }
+  return ts;
+}
+
+int solve_with_bounds(const ModelFile& model, index_t regenerative,
+                      const std::vector<double>& ts, double eps,
+                      bool want_mrr) {
+  // Rigorous bracketing is an RRL-only capability, so --bounds bypasses the
+  // registry interface and talks to the concrete class.
+  RrlOptions opt;
+  opt.epsilon = eps;
+  const RegenerativeRandomizationLaplace solver(
+      model.chain, model.rewards, model.initial, regenerative, opt);
+  TextTable table({"t", "value", "lower", "upper", "steps"});
+  for (const double t : ts) {
+    const auto b = want_mrr ? solver.mrr_bounds(t) : solver.trr_bounds(t);
+    table.add_row({fmt_sig(t, 6), fmt_sci(b.value, 9), fmt_sci(b.lower, 9),
+                   fmt_sci(b.upper, 9), std::to_string(b.stats.dtmc_steps)});
+  }
+  std::printf("%s(t) bounds, solver=rrl, eps=%g:\n", want_mrr ? "MRR" : "TRR",
+              eps);
+  table.print();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   try {
+    if (args.has("list-solvers")) return list_solvers();
     if (args.has("export")) {
       return export_model(args.get_string("export", ""),
                           args.get_string("output", "model.rrlm"));
     }
-    if (!args.has("model") || !args.has("t")) {
+    if (!args.has("model") || (!args.has("t") && !args.has("t-grid"))) {
       std::fprintf(
           stderr,
-          "usage: rrl_solve --model <file> --t <t1,t2,...> "
-          "[--measure trr|mrr] [--solver rrl|rr|sr|rsd] [--eps 1e-12] "
-          "[--regenerative auto|<idx>] [--bounds]\n"
+          "usage: rrl_solve --model <file> (--t <t1,t2,...> | "
+          "--t-grid <lo:hi:count>)\n"
+          "                 [--measure trr|mrr] [--solver sr|rsd|rr|rrl] "
+          "[--eps 1e-12]\n"
+          "                 [--regenerative auto|<idx>] [--bounds]\n"
           "       rrl_solve --export raid20|raid40|multiproc "
-          "[--output m.rrlm]\n");
+          "[--output m.rrlm]\n"
+          "       rrl_solve --list-solvers\n");
       return 2;
     }
 
@@ -91,16 +147,13 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    const std::vector<double> ts = parse_times(args.get_string("t", ""));
-    if (ts.empty()) {
-      std::fprintf(stderr, "error: no valid time points in --t\n");
-      return 2;
-    }
+    // requested_times already reported the specific problem.
+    const std::vector<double> ts = requested_times(args);
+    if (ts.empty()) return 2;
     const double eps = args.get_double("eps", 1e-12);
     const std::string measure = args.get_string("measure", "trr");
-    const std::string solver = args.get_string("solver", "rrl");
+    const std::string solver_name = args.get_string("solver", "rrl");
     const bool want_mrr = measure == "mrr";
-    const bool want_bounds = args.get_bool("bounds", false);
 
     index_t regenerative = model.regenerative;
     const std::string regen_arg = args.get_string("regenerative", "");
@@ -112,63 +165,47 @@ int main(int argc, char** argv) {
           std::strtol(regen_arg.c_str(), nullptr, 10));
     }
 
-    TextTable table(want_bounds
-                        ? std::vector<std::string>{"t", "value", "lower",
-                                                   "upper", "steps"}
-                        : std::vector<std::string>{"t", "value", "steps",
-                                                   "seconds"});
-    for (const double t : ts) {
-      if (solver == "rrl") {
-        RrlOptions opt;
-        opt.epsilon = eps;
-        const RegenerativeRandomizationLaplace s(
-            model.chain, model.rewards, model.initial, regenerative, opt);
-        if (want_bounds) {
-          const auto b = want_mrr ? s.mrr_bounds(t) : s.trr_bounds(t);
-          table.add_row({fmt_sig(t, 6), fmt_sci(b.value, 9),
-                         fmt_sci(b.lower, 9), fmt_sci(b.upper, 9),
-                         std::to_string(b.stats.dtmc_steps)});
-        } else {
-          const auto r = want_mrr ? s.mrr(t) : s.trr(t);
-          table.add_row({fmt_sig(t, 6), fmt_sci(r.value, 9),
-                         std::to_string(r.stats.dtmc_steps),
-                         fmt_sig(r.stats.seconds, 3)});
-        }
-      } else if (solver == "rr") {
-        RrOptions opt;
-        opt.epsilon = eps;
-        const RegenerativeRandomization s(model.chain, model.rewards,
-                                          model.initial, regenerative, opt);
-        const auto r = want_mrr ? s.mrr(t) : s.trr(t);
-        table.add_row({fmt_sig(t, 6), fmt_sci(r.value, 9),
-                       std::to_string(r.stats.dtmc_steps),
-                       fmt_sig(r.stats.seconds, 3)});
-      } else if (solver == "sr") {
-        SrOptions opt;
-        opt.epsilon = eps;
-        const StandardRandomization s(model.chain, model.rewards,
-                                      model.initial, opt);
-        const auto r = want_mrr ? s.mrr(t) : s.trr(t);
-        table.add_row({fmt_sig(t, 6), fmt_sci(r.value, 9),
-                       std::to_string(r.stats.dtmc_steps),
-                       fmt_sig(r.stats.seconds, 3)});
-      } else if (solver == "rsd") {
-        RsdOptions opt;
-        opt.epsilon = eps;
-        const RandomizationSteadyStateDetection s(
-            model.chain, model.rewards, model.initial, opt);
-        const auto r = want_mrr ? s.mrr(t) : s.trr(t);
-        table.add_row({fmt_sig(t, 6), fmt_sci(r.value, 9),
-                       std::to_string(r.stats.dtmc_steps),
-                       fmt_sig(r.stats.seconds, 3)});
-      } else {
-        std::fprintf(stderr, "unknown --solver '%s'\n", solver.c_str());
+    if (args.get_bool("bounds", false)) {
+      if (args.has("solver") && solver_name != "rrl") {
+        std::fprintf(stderr,
+                     "error: --bounds is an rrl-only capability; drop "
+                     "--solver %s or use --solver rrl\n",
+                     solver_name.c_str());
         return 2;
       }
+      return solve_with_bounds(model, regenerative, ts, eps, want_mrr);
     }
-    std::printf("%s(t), solver=%s, eps=%g:\n", want_mrr ? "MRR" : "TRR",
-                solver.c_str(), eps);
+
+    SolverConfig config;
+    config.epsilon = eps;
+    config.regenerative = regenerative;
+    const auto solver = make_solver(solver_name, model.chain, model.rewards,
+                                    model.initial, config);
+
+    const SolveRequest request{
+        want_mrr ? MeasureKind::kMrr : MeasureKind::kTrr, ts, eps};
+    const SolveReport report = solver->solve_grid(request);
+
+    TextTable table({"t", "value", "steps", "V-steps", "abscissae"});
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const TransientValue& p = report.points[i];
+      table.add_row({fmt_sig(ts[i], 6), fmt_sci(p.value, 9),
+                     std::to_string(p.stats.dtmc_steps),
+                     std::to_string(p.stats.vmodel_steps),
+                     std::to_string(p.stats.abscissae)});
+    }
+    std::printf("%s(t), solver=%s (%s), eps=%g:\n", want_mrr ? "MRR" : "TRR",
+                solver_name.c_str(),
+                std::string(solver->description()).c_str(), eps);
     table.print();
+    std::printf(
+        "sweep total: %lld model DTMC steps, %lld V-model steps, "
+        "%d abscissae, %.3gs%s\n",
+        static_cast<long long>(report.total.dtmc_steps),
+        static_cast<long long>(report.total.vmodel_steps),
+        report.total.abscissae, report.total.seconds,
+        report.total.capped ? " (step cap hit; accuracy not guaranteed)"
+                            : "");
     return 0;
   } catch (const rrl::contract_error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
