@@ -1,0 +1,132 @@
+// Scenario-sweep throughput: scenarios/sec vs worker threads.
+//
+// The batch is the paper's own evaluation shape scaled out: RAID-5 (G=20)
+// and multiprocessor availability models, each pushed through all four
+// registered solvers for both measures (TRR and MRR) over a shared
+// log-spaced time grid — 16 scenarios by default. The sweep engine fans
+// them over a worker pool; this harness reruns the identical batch at
+// increasing thread counts and reports throughput, speedup, and a
+// determinism check (every value bit-identical to the 1-thread run).
+//
+// Usage:
+//   sweep_throughput [--jobs-list 1,2,4,8] [--reps 3] [--eps 1e-10]
+//                    [--points 8] [--tmax 1e3]
+// Environment: RRL_BENCH_QUICK=1 shrinks reps for CI.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "models/multiproc.hpp"
+#include "models/raid5.hpp"
+#include "rrl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rrl;
+  const CliArgs args(argc, argv);
+  const double eps = args.get_double("eps", 1e-10);
+  const double tmax = args.get_double("tmax", 1e3);
+  const int points = static_cast<int>(args.get_long("points", 8));
+  const int reps = static_cast<int>(
+      args.get_long("reps", env_flag("RRL_BENCH_QUICK") ? 1 : 3));
+  std::vector<int> jobs_list;
+  for (const double j :
+       parse_double_list(args.get_string("jobs-list", "1,2,4,8"))) {
+    if (j >= 1.0) jobs_list.push_back(static_cast<int>(j));
+  }
+  if (jobs_list.empty() || jobs_list.front() != 1) {
+    jobs_list.insert(jobs_list.begin(), 1);  // the speedup baseline
+  }
+
+  // The models outlive the batch; scenarios borrow the chains.
+  const Raid5Model raid = build_raid5_availability(bench::paper_params(20));
+  const MultiprocModel multi = build_multiproc_availability({});
+  const std::vector<double> grid = log_time_grid(1.0, tmax, points);
+
+  BatchRequest batch;
+  for (const std::string& solver : registered_solvers()) {
+    for (const MeasureKind measure :
+         {MeasureKind::kTrr, MeasureKind::kMrr}) {
+      const char* suffix = measure == MeasureKind::kTrr ? "trr" : "mrr";
+      SweepScenario scenario;
+      scenario.solver = solver;
+      scenario.config.epsilon = eps;
+      scenario.request.measure = measure;
+      scenario.request.times = grid;
+      scenario.request.epsilon = eps;
+
+      scenario.model = std::string("raid5-g20/") + suffix;
+      scenario.chain = &raid.chain;
+      scenario.rewards = raid.failure_rewards();
+      scenario.initial = raid.initial_distribution();
+      scenario.config.regenerative = raid.initial_state;
+      batch.scenarios.push_back(scenario);
+
+      scenario.model = std::string("multiproc/") + suffix;
+      scenario.chain = &multi.chain;
+      scenario.rewards = multi.failure_rewards();
+      scenario.initial = multi.initial_distribution();
+      scenario.config.regenerative = multi.initial_state;
+      batch.scenarios.push_back(std::move(scenario));
+    }
+  }
+
+  std::printf(
+      "scenario-sweep throughput: %zu scenarios "
+      "(raid5-g20 + multiproc x %zu solvers x trr/mrr), %d-point grid to "
+      "t=%g, eps=%g, best of %d reps (hardware threads: %d)\n\n",
+      batch.scenarios.size(), registered_solvers().size(), points, tmax,
+      eps, reps, ThreadPool::hardware_threads());
+
+  TextTable table(
+      {"jobs", "seconds", "scenarios/sec", "speedup", "deterministic"});
+  std::vector<std::vector<double>> baseline;  // per-scenario values, jobs=1
+  double baseline_rate = 0.0;
+  for (const int jobs : jobs_list) {
+    ThreadPool pool(jobs);
+    SweepReport best;
+    for (int rep = 0; rep < reps; ++rep) {
+      SweepReport report = run_sweep(batch, pool);
+      if (rep == 0 || report.seconds < best.seconds) {
+        best = std::move(report);
+      }
+    }
+    if (best.failed() != 0) {
+      std::fprintf(stderr, "error: %zu scenarios failed\n", best.failed());
+      return 1;
+    }
+
+    bool deterministic = true;
+    std::vector<std::vector<double>> values;
+    values.reserve(best.results.size());
+    for (const ScenarioResult& r : best.results) {
+      values.push_back(r.report.values());
+    }
+    if (baseline.empty()) {
+      baseline = values;
+      baseline_rate = best.scenarios_per_second();
+    } else {
+      deterministic = values == baseline;  // bitwise, the engine's contract
+    }
+
+    table.add_row({std::to_string(jobs), fmt_sig(best.seconds, 4),
+                   fmt_sig(best.scenarios_per_second(), 4),
+                   fmt_sig(best.scenarios_per_second() /
+                               std::max(baseline_rate, 1e-300), 3),
+                   deterministic ? "yes" : "NO"});
+    if (!deterministic) {
+      std::fprintf(stderr,
+                   "error: values at %d jobs differ from the 1-job run\n",
+                   jobs);
+      return 1;
+    }
+  }
+  table.print();
+  std::printf(
+      "\nScenarios are scheduled dynamically (one shared cursor), so the\n"
+      "expensive SR passes and cheap RRL inversions load-balance; values\n"
+      "are reduced by scenario index and bit-identical at every job count.\n"
+      "Speedup saturates at min(#scenarios, hardware threads).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared front-matter of the example programs.
+//
+// Every example used to duplicate the same two fragments: the --solver
+// guard against unknown registry names, and the try/catch that turns a
+// contract_error (library misuse, bad CLI input) into a readable one-line
+// diagnostic instead of std::terminate. Both live here once.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/registry.hpp"
+#include "support/cli.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl::examples {
+
+/// Reads --solver (default `fallback`) and validates it against the solver
+/// registry. On an unknown name prints the registered list to stderr and
+/// returns an empty string — callers treat that as "exit 1".
+[[nodiscard]] inline std::string selected_solver(
+    const CliArgs& args, const std::string& fallback = "rrl") {
+  const std::string name = args.get_string("solver", fallback);
+  if (!solver_registered(name)) {
+    std::fprintf(stderr, "unknown --solver '%s' (registered: %s)\n",
+                 name.c_str(), registered_solver_list().c_str());
+    return std::string();
+  }
+  return name;
+}
+
+/// Runs an example body, reporting contract violations uniformly: the body
+/// returns the exit code, a thrown contract_error becomes `error: ...` on
+/// stderr and exit code 1.
+template <typename Body>
+[[nodiscard]] int run_example(Body&& body) {
+  try {
+    return body();
+  } catch (const contract_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace rrl::examples

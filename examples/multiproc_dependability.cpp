@@ -12,12 +12,14 @@
 #include <cstdio>
 #include <string>
 
+#include "example_common.hpp"
 #include "rrl.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rrl;
+  return examples::run_example([&]() -> int {
   const CliArgs args(argc, argv);
 
   MultiprocParams base;
@@ -37,12 +39,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(m.chain.num_transitions()));
   }
 
-  const std::string solver_name = args.get_string("solver", "rrl");
-  if (!solver_registered(solver_name)) {
-    std::fprintf(stderr, "unknown --solver '%s' (registered: %s)\n",
-                 solver_name.c_str(), registered_solver_list().c_str());
-    return 1;
-  }
+  const std::string solver_name = examples::selected_solver(args);
+  if (solver_name.empty()) return 1;
   if (solver_name == "rsd") {
     std::printf(
         "note: rsd requires an irreducible chain, so the UR column (an\n"
@@ -88,4 +86,5 @@ int main(int argc, char** argv) {
       "failure path dominates, the classic lesson of coverage modeling.\n"
       "With coverage = 1 only resource exhaustion remains.\n");
   return 0;
+  });
 }

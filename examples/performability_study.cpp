@@ -9,12 +9,14 @@
 //                        [--tmax 1e5] [--solver rrl|rr|rsd|sr]
 #include <cstdio>
 
+#include "example_common.hpp"
 #include "rrl.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rrl;
+  return examples::run_example([&]() -> int {
   const CliArgs args(argc, argv);
 
   Raid5Params params;
@@ -32,12 +34,8 @@ int main(int argc, char** argv) {
       "G=%d groups, degraded groups serve %.0f%% of nominal\n\n",
       params.groups, 100.0 * degraded);
 
-  const std::string solver_name = args.get_string("solver", "rrl");
-  if (!solver_registered(solver_name)) {
-    std::fprintf(stderr, "unknown --solver '%s' (registered: %s)\n",
-                 solver_name.c_str(), registered_solver_list().c_str());
-    return 1;
-  }
+  const std::string solver_name = examples::selected_solver(args);
+  if (solver_name.empty()) return 1;
   SolverConfig config;
   config.epsilon = eps;
   config.regenerative = model.initial_state;
@@ -93,4 +91,5 @@ int main(int argc, char** argv) {
       "availability study — the point of the paper's general TRR/MRR\n"
       "measures.\n");
   return 0;
+  });
 }

@@ -6,10 +6,12 @@
 // Usage: quickstart [--t 1000] [--eps 1e-12]
 #include <cstdio>
 
+#include "example_common.hpp"
 #include "rrl.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
+  return rrl::examples::run_example([&]() -> int {
   const rrl::CliArgs args(argc, argv);
   const double t = args.get_double("t", 1000.0);
   const double eps = args.get_double("eps", 1e-12);
@@ -68,4 +70,5 @@ int main(int argc, char** argv) {
   std::printf("\ninterval unavailability MRR(%g) = %.15e\n", t,
               rrl_solver->solve_point(t, rrl::MeasureKind::kMrr).value);
   return 0;
+  });
 }

@@ -12,12 +12,14 @@
 #include <cstdio>
 #include <string>
 
+#include "example_common.hpp"
 #include "rrl.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rrl;
+  return examples::run_example([&]() -> int {
   const CliArgs args(argc, argv);
 
   Raid5Params params;
@@ -26,12 +28,8 @@ int main(int argc, char** argv) {
   params.disk_spares = static_cast<int>(args.get_long("disk-spares", 3));
   const double eps = args.get_double("eps", 1e-12);
   const double tmax = args.get_double("tmax", 1e5);
-  const std::string solver_name = args.get_string("solver", "rrl");
-  if (!solver_registered(solver_name)) {
-    std::fprintf(stderr, "unknown --solver '%s' (registered: %s)\n",
-                 solver_name.c_str(), registered_solver_list().c_str());
-    return 1;
-  }
+  const std::string solver_name = examples::selected_solver(args);
+  if (solver_name.empty()) return 1;
 
   const Raid5Model model = build_raid5_availability(params);
   std::printf(
@@ -78,4 +76,5 @@ int main(int argc, char** argv) {
       "feel the Lambda*t cost the RRL method avoids — even amortized, the\n"
       "sweep then needs the full ~Lambda*t_max randomization pass.\n");
   return 0;
+  });
 }

@@ -9,12 +9,14 @@
 #include <cstdio>
 #include <sstream>
 
+#include "example_common.hpp"
 #include "rrl.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rrl;
+  return examples::run_example([&]() -> int {
   const CliArgs args(argc, argv);
 
   Raid5Params params;
@@ -71,4 +73,5 @@ int main(int argc, char** argv) {
       "\nNote how the RR/RRL step count barely grows across six decades of\n"
       "t — the property that makes the bisection above practical at all.\n");
   return 0;
+  });
 }

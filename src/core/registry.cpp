@@ -9,7 +9,6 @@
 #include "core/rrl_solver.hpp"
 #include "core/standard_randomization.hpp"
 #include "core/steady_state_detection.hpp"
-#include "io/model_format.hpp"
 
 namespace rrl {
 namespace {
@@ -54,7 +53,10 @@ Registry& registry() {
   static Registry reg;
   static const bool initialized = [] {
     Registry& r = reg;
-    r.add("sr", "standard randomization (uniformization)",
+    // Built-in descriptions come from the classes' own description()
+    // constants, so registry listings and solver->description() can never
+    // drift apart.
+    r.add("sr", std::string(StandardRandomization::kDescription),
           [](const Ctmc& chain, std::vector<double> rewards,
              std::vector<double> initial, const SolverConfig& config)
               -> std::unique_ptr<TransientSolver> {
@@ -65,7 +67,7 @@ Registry& registry() {
             return std::make_unique<StandardRandomization>(
                 chain, std::move(rewards), std::move(initial), opt);
           });
-    r.add("rsd", "randomization with steady-state detection",
+    r.add("rsd", std::string(RandomizationSteadyStateDetection::kDescription),
           [](const Ctmc& chain, std::vector<double> rewards,
              std::vector<double> initial, const SolverConfig& config)
               -> std::unique_ptr<TransientSolver> {
@@ -76,7 +78,7 @@ Registry& registry() {
             return std::make_unique<RandomizationSteadyStateDetection>(
                 chain, std::move(rewards), std::move(initial), opt);
           });
-    r.add("rr", "regenerative randomization (explicit V_{K,L} model)",
+    r.add("rr", std::string(RegenerativeRandomization::kDescription),
           [](const Ctmc& chain, std::vector<double> rewards,
              std::vector<double> initial, const SolverConfig& config)
               -> std::unique_ptr<TransientSolver> {
@@ -89,7 +91,7 @@ Registry& registry() {
                 chain, std::move(rewards), std::move(initial),
                 regenerative_or_suggest(chain, config), opt);
           });
-    r.add("rrl", "regenerative randomization with Laplace transform inversion",
+    r.add("rrl", std::string(RegenerativeRandomizationLaplace::kDescription),
           [](const Ctmc& chain, std::vector<double> rewards,
              std::vector<double> initial, const SolverConfig& config)
               -> std::unique_ptr<TransientSolver> {
@@ -160,13 +162,6 @@ std::unique_ptr<TransientSolver> make_solver(const std::string& name,
     factory = it->second;
   }
   return factory(chain, std::move(rewards), std::move(initial), config);
-}
-
-std::unique_ptr<TransientSolver> make_solver(const std::string& name,
-                                             const ModelFile& model,
-                                             SolverConfig config) {
-  if (config.regenerative < 0) config.regenerative = model.regenerative;
-  return make_solver(name, model.chain, model.rewards, model.initial, config);
 }
 
 }  // namespace rrl

@@ -22,8 +22,6 @@
 
 namespace rrl {
 
-struct ModelFile;  // io/model_format.hpp
-
 /// Method-agnostic construction parameters. Method-specific tuning beyond
 /// these (Durbin period multiplier, detection tolerance, ...) still goes
 /// through the concrete solver classes.
@@ -74,10 +72,7 @@ void register_solver(const std::string& name, SolverFactory factory,
     const std::string& name, const Ctmc& chain, std::vector<double> rewards,
     std::vector<double> initial, const SolverConfig& config = {});
 
-/// Convenience overload for parsed model files: uses the file's rewards,
-/// initial distribution and regenerative-state hint (when the config does
-/// not specify one). The ModelFile must outlive the returned solver.
-[[nodiscard]] std::unique_ptr<TransientSolver> make_solver(
-    const std::string& name, const ModelFile& model, SolverConfig config = {});
+// The convenience overload for parsed model files lives in
+// io/model_solver.hpp, keeping this core layer independent of io.
 
 }  // namespace rrl

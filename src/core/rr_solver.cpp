@@ -47,7 +47,7 @@ TransientValue RegenerativeRandomization::mrr(double t) const {
 }
 
 SolveReport RegenerativeRandomization::solve_grid(
-    const SolveRequest& request) const {
+    const SolveRequest& request, SolveWorkspace& workspace) const {
   const Stopwatch watch;
   const double eps = validated_epsilon(request, options_.epsilon);
   const std::size_t m = request.times.size();
@@ -71,7 +71,9 @@ SolveReport RegenerativeRandomization::solve_grid(
                                     vmodel.initial, sr);
   SolveRequest inner_request = request;
   inner_request.epsilon = eps / 2.0;
-  const SolveReport inner_report = inner.solve_grid(inner_request);
+  // The V-model is (much) smaller than X, so reusing the caller's buffers
+  // just resizes them down for the inner pass.
+  const SolveReport inner_report = inner.solve_grid(inner_request, workspace);
 
   SolveReport report;
   report.points.resize(m);

@@ -35,20 +35,27 @@ class RegenerativeRandomization : public TransientSolver {
                             std::vector<double> initial,
                             index_t regenerative_state, RrOptions options = {});
 
+  /// Single-sourced method description (the registry registers built-ins
+  /// with this exact text).
+  static constexpr std::string_view kDescription =
+      "regenerative randomization (explicit V_{K,L} model)";
+
   [[nodiscard]] std::string_view name() const noexcept override {
     return "rr";
   }
   [[nodiscard]] std::string_view description() const noexcept override {
-    return "regenerative randomization (explicit V_{K,L} model)";
+    return kDescription;
   }
 
   /// Amortized sweep: ONE schema computed at the largest grid time (valid
   /// for the smaller times because the truncation bound decreases in K for
   /// every fixed t) and ONE standard-randomization pass of V_{K,L} feeding
   /// all grid points — the dominant K model-sized DTMC steps and the
-  /// ~Lambda*t_max V-steps are both paid once for the whole grid.
+  /// ~Lambda*t_max V-steps are both paid once for the whole grid. The
+  /// workspace buffers carry the V-model solve's vector iterates.
+  using TransientSolver::solve_grid;
   [[nodiscard]] SolveReport solve_grid(
-      const SolveRequest& request) const override;
+      const SolveRequest& request, SolveWorkspace& workspace) const override;
 
   [[nodiscard]] TransientValue trr(double t) const;
   [[nodiscard]] TransientValue mrr(double t) const;

@@ -5,6 +5,7 @@
 #include "laplace/error_control.hpp"
 #include "markov/poisson.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rrl {
 
@@ -149,7 +150,7 @@ RegenerativeRandomizationLaplace::mrr_bounds(double t) const {
 }
 
 SolveReport RegenerativeRandomizationLaplace::solve_grid(
-    const SolveRequest& request) const {
+    const SolveRequest& request, SolveWorkspace& /*workspace*/) const {
   const Stopwatch watch;
   const double eps = validated_epsilon(request, options_.epsilon);
   const std::size_t m = request.times.size();
@@ -181,9 +182,12 @@ SolveReport RegenerativeRandomizationLaplace::solve_grid(
   const TrrTransform transform(sch);
 
   // The inversions are independent per time point and read the transform
-  // through const methods only — an embarrassingly parallel loop.
+  // through const methods only — an embarrassingly parallel loop. Inside a
+  // sweep-engine worker the scenario level already owns the cores, so the
+  // loop stays serial there instead of oversubscribing.
   const auto n = static_cast<std::int64_t>(m);
-#pragma omp parallel for schedule(dynamic) if (n > 2)
+  const bool nested = ThreadPool::in_parallel_region();
+#pragma omp parallel for schedule(dynamic) if (n > 2 && !nested)
   for (std::int64_t j = 0; j < n; ++j) {
     const std::size_t i = static_cast<std::size_t>(j);
     const Stopwatch point_watch;

@@ -51,20 +51,28 @@ class RegenerativeRandomizationLaplace : public TransientSolver {
                                    index_t regenerative_state,
                                    RrlOptions options = {});
 
+  /// Single-sourced method description (the registry registers built-ins
+  /// with this exact text).
+  static constexpr std::string_view kDescription =
+      "regenerative randomization with Laplace transform inversion";
+
   [[nodiscard]] std::string_view name() const noexcept override {
     return "rrl";
   }
   [[nodiscard]] std::string_view description() const noexcept override {
-    return "regenerative randomization with Laplace transform inversion";
+    return kDescription;
   }
 
   /// Amortized sweep: ONE schema computed at the largest grid time plus one
   /// numerical inversion per point (the dominant K model-sized DTMC steps
   /// are paid once for the whole grid). Valid because the truncation bound
   /// is decreasing in K for every fixed t, so the K(t_max) series
-  /// over-covers smaller t.
+  /// over-covers smaller t. (The inversions work on schema-sized series,
+  /// not model-sized vectors, so RRL has no use for the workspace buffers;
+  /// the parameter exists for the uniform concurrent-sweep contract.)
+  using TransientSolver::solve_grid;
   [[nodiscard]] SolveReport solve_grid(
-      const SolveRequest& request) const override;
+      const SolveRequest& request, SolveWorkspace& workspace) const override;
 
   [[nodiscard]] TransientValue trr(double t) const;
   [[nodiscard]] TransientValue mrr(double t) const;

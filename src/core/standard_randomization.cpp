@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/grid_sweep.hpp"
 #include "markov/poisson.hpp"
 #include "sparse/vector_ops.hpp"
 #include "support/stopwatch.hpp"
@@ -62,7 +63,7 @@ TransientValue StandardRandomization::mrr(double t) const {
 }
 
 SolveReport StandardRandomization::solve_grid(
-    const SolveRequest& request) const {
+    const SolveRequest& request, SolveWorkspace& workspace) const {
   const Stopwatch watch;
   const double eps = validated_epsilon(request, options_.epsilon);
   const std::size_t m = request.times.size();
@@ -78,62 +79,38 @@ SolveReport StandardRandomization::solve_grid(
     return report;
   }
 
-  // Per-point Poisson mixtures; the single pass runs to the largest
-  // truncation point, each point simply stops accumulating at its own.
-  std::vector<PoissonDistribution> poisson;
-  poisson.reserve(m);
-  std::vector<std::int64_t> n_max(m, 0);
-  std::int64_t pass_steps = 0;
+  // Per-point Poisson mixtures with active-set retirement (shared with
+  // RSD); the single pass runs to the largest truncation point, each point
+  // simply stops accumulating at its own.
+  GridSweep sweep(
+      dtmc_.lambda(), request.times, request.measure,
+      [&](const PoissonDistribution& poisson) {
+        return truncation_point(poisson, request.measure, eps / r_max_);
+      },
+      options_.step_cap);
   for (std::size_t i = 0; i < m; ++i) {
-    poisson.emplace_back(dtmc_.lambda() * request.times[i]);
-    n_max[i] = truncation_point(poisson[i], request.measure, eps / r_max_);
-    if (options_.step_cap >= 0 && n_max[i] > options_.step_cap) {
-      n_max[i] = options_.step_cap;
-      report.points[i].stats.capped = true;
-      report.total.capped = true;
-    }
-    pass_steps = std::max(pass_steps, n_max[i]);
+    report.points[i].stats.capped = sweep.point_capped(i);
   }
+  report.total.capped = sweep.any_capped();
 
   const std::size_t n_states = static_cast<std::size_t>(chain_.num_states());
-  std::vector<double> pi = initial_;
-  std::vector<double> next(n_states, 0.0);
-  std::vector<CompensatedSum> acc(m);
-
-  // Points ordered by truncation point: once the pass moves beyond a
-  // point's n_max it is finished, so the active set shrinks from the front
-  // and the weight scan totals O(sum_i n_max_i) instead of O(m * pass).
-  std::vector<std::size_t> by_nmax(m);
-  for (std::size_t i = 0; i < m; ++i) by_nmax[i] = i;
-  std::sort(by_nmax.begin(), by_nmax.end(),
-            [&](std::size_t a, std::size_t b) { return n_max[a] < n_max[b]; });
-  std::size_t first_active = 0;
+  std::vector<double>& pi = workspace.pi(n_states);
+  std::vector<double>& next = workspace.next(n_states);
+  std::copy(initial_.begin(), initial_.end(), pi.begin());
 
   for (std::int64_t n = 0;; ++n) {
-    const double d = sparse_reward_dot(reward_idx_, rewards_, pi);
-    while (first_active < m && n_max[by_nmax[first_active]] < n) {
-      ++first_active;
-    }
-    for (std::size_t k = first_active; k < m; ++k) {
-      const std::size_t i = by_nmax[k];
-      const double weight = request.measure == MeasureKind::kTrr
-                                ? poisson[i].pmf(n)
-                                : poisson[i].tail(n + 1);
-      if (weight != 0.0) acc[i].add(weight * d);
-    }
-    if (n == pass_steps) break;
+    sweep.accumulate(n, sparse_reward_dot(reward_idx_, rewards_, pi));
+    if (n == sweep.pass_steps()) break;
     dtmc_.step(pi, next);
     pi.swap(next);
   }
 
   for (std::size_t i = 0; i < m; ++i) {
     TransientValue& p = report.points[i];
-    p.value = request.measure == MeasureKind::kTrr
-                  ? acc[i].value()
-                  : acc[i].value() / poisson[i].mean();
-    p.stats.dtmc_steps = n_max[i];  // what this point alone would need
+    p.value = sweep.value(i);
+    p.stats.dtmc_steps = sweep.n_max(i);  // what this point alone would need
   }
-  report.total.dtmc_steps = pass_steps;
+  report.total.dtmc_steps = sweep.pass_steps();
   report.total.seconds = watch.seconds();
   return report;
 }

@@ -35,19 +35,25 @@ class StandardRandomization : public TransientSolver {
   StandardRandomization(const Ctmc& chain, std::vector<double> rewards,
                         std::vector<double> initial, SrOptions options = {});
 
+  /// Single-sourced method description (the registry registers built-ins
+  /// with this exact text).
+  static constexpr std::string_view kDescription =
+      "standard randomization (uniformization)";
+
   [[nodiscard]] std::string_view name() const noexcept override {
     return "sr";
   }
   [[nodiscard]] std::string_view description() const noexcept override {
-    return "standard randomization (uniformization)";
+    return kDescription;
   }
 
   /// Amortized sweep: ONE randomization pass over the Pi-vector; at every
   /// step the reward coefficient d(n) feeds each grid point's Poisson
   /// mixture, so the whole grid costs the truncation point of the largest
   /// time instead of the sum over points.
+  using TransientSolver::solve_grid;
   [[nodiscard]] SolveReport solve_grid(
-      const SolveRequest& request) const override;
+      const SolveRequest& request, SolveWorkspace& workspace) const override;
 
   /// Transient reward rate at time t (t >= 0).
   [[nodiscard]] TransientValue trr(double t) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/grid_sweep.hpp"
 #include "markov/poisson.hpp"
 #include "sparse/vector_ops.hpp"
 #include "support/stopwatch.hpp"
@@ -35,7 +36,7 @@ TransientValue RandomizationSteadyStateDetection::mrr(double t) const {
 }
 
 SolveReport RandomizationSteadyStateDetection::solve_grid(
-    const SolveRequest& request) const {
+    const SolveRequest& request, SolveWorkspace& workspace) const {
   const Stopwatch watch;
   const double eps = validated_epsilon(request, options_.epsilon);
   const std::size_t m = request.times.size();
@@ -57,69 +58,38 @@ SolveReport RandomizationSteadyStateDetection::solve_grid(
   }
 
   // Poisson truncation with eps/2 per point (the other eps/2 covers
-  // detection); the shared backward pass runs to the largest one.
-  std::vector<PoissonDistribution> poisson;
-  poisson.reserve(m);
-  std::vector<std::int64_t> n_max(m, 0);
-  std::int64_t pass_steps = 0;
+  // detection); the shared backward pass runs to the largest truncation
+  // point, with the active-set retirement scan shared with SR.
+  GridSweep sweep(
+      dtmc_.lambda(), request.times, request.measure,
+      [&](const PoissonDistribution& poisson) {
+        return poisson.right_truncation_point(eps / (2.0 * r_max_));
+      },
+      options_.step_cap);
   for (std::size_t i = 0; i < m; ++i) {
-    poisson.emplace_back(dtmc_.lambda() * request.times[i]);
-    n_max[i] = poisson[i].right_truncation_point(eps / (2.0 * r_max_));
-    if (options_.step_cap >= 0 && n_max[i] > options_.step_cap) {
-      n_max[i] = options_.step_cap;
-      report.points[i].stats.capped = true;
-      report.total.capped = true;
-    }
-    pass_steps = std::max(pass_steps, n_max[i]);
+    report.points[i].stats.capped = sweep.point_capped(i);
   }
+  report.total.capped = sweep.any_capped();
 
   // Backward iteration: w_0 = r, w_{n+1} = P w_n, d(n) = alpha . w_n is the
   // same coefficient for every grid point.
   const std::size_t n_states = static_cast<std::size_t>(chain_.num_states());
-  std::vector<double> w = rewards_;
-  std::vector<double> next(n_states, 0.0);
-  std::vector<CompensatedSum> acc(m);
-
-  // Points ordered by truncation point: the active set shrinks from the
-  // front, keeping the weight scan at O(sum_i n_max_i) total.
-  std::vector<std::size_t> by_nmax(m);
-  for (std::size_t i = 0; i < m; ++i) by_nmax[i] = i;
-  std::sort(by_nmax.begin(), by_nmax.end(),
-            [&](std::size_t a, std::size_t b) { return n_max[a] < n_max[b]; });
-  std::size_t first_active = 0;
+  std::vector<double>& w = workspace.pi(n_states);
+  std::vector<double>& next = workspace.next(n_states);
+  std::copy(rewards_.begin(), rewards_.end(), w.begin());
 
   std::int64_t n = 0;
   for (;; ++n) {
-    const double d = dot(initial_, w);
-    while (first_active < m && n_max[by_nmax[first_active]] < n) {
-      ++first_active;
-    }
-    for (std::size_t k = first_active; k < m; ++k) {
-      const std::size_t i = by_nmax[k];
-      const double weight = request.measure == MeasureKind::kTrr
-                                ? poisson[i].pmf(n)
-                                : poisson[i].tail(n + 1);
-      if (weight != 0.0) acc[i].add(weight * d);
-    }
-    if (n == pass_steps) break;
+    sweep.accumulate(n, dot(initial_, w));
+    if (n == sweep.pass_steps()) break;
 
     // span(w_n) brackets every future coefficient d(m), m >= n: one
     // detection finishes every point that still has Poisson mass left.
     const auto [mn, mx] = std::minmax_element(w.begin(), w.end());
     if (*mx - *mn <= tol) {
-      const double d_ss = 0.5 * (*mx + *mn);
-      for (std::size_t i = 0; i < m; ++i) {
-        if (n >= n_max[i]) continue;  // this point already completed
-        // Remaining terms k = n+1, n+2, ... folded into the midpoint:
-        //   TRR: sum_{k>n} pmf(k) d_ss = tail(n+1) d_ss
-        //   MRR: sum_{k>n} P[N>=k+1] d_ss = expected_excess(n+1) d_ss.
-        if (request.measure == MeasureKind::kTrr) {
-          acc[i].add(poisson[i].tail(n + 1) * d_ss);
-        } else {
-          acc[i].add(poisson[i].expected_excess(n + 1) * d_ss);
-        }
+      sweep.fold_steady_state(n, 0.5 * (*mx + *mn), [&](std::size_t i) {
         report.points[i].stats.detection_step = n;
-      }
+      });
       report.total.detection_step = n;
       break;
     }
@@ -131,12 +101,10 @@ SolveReport RandomizationSteadyStateDetection::solve_grid(
 
   for (std::size_t i = 0; i < m; ++i) {
     TransientValue& p = report.points[i];
-    p.value = request.measure == MeasureKind::kTrr
-                  ? acc[i].value()
-                  : acc[i].value() / poisson[i].mean();
+    p.value = sweep.value(i);
     // What this point alone would have needed: its truncation point, or the
     // detection step if that fired first.
-    p.stats.dtmc_steps = std::min(n, n_max[i]);
+    p.stats.dtmc_steps = std::min(n, sweep.n_max(i));
   }
   report.total.dtmc_steps = n;
   report.total.seconds = watch.seconds();

@@ -49,19 +49,25 @@ class RandomizationSteadyStateDetection : public TransientSolver {
                                     std::vector<double> initial,
                                     RsdOptions options = {});
 
+  /// Single-sourced method description (the registry registers built-ins
+  /// with this exact text).
+  static constexpr std::string_view kDescription =
+      "randomization with steady-state detection";
+
   [[nodiscard]] std::string_view name() const noexcept override {
     return "rsd";
   }
   [[nodiscard]] std::string_view description() const noexcept override {
-    return "randomization with steady-state detection";
+    return kDescription;
   }
 
   /// Amortized sweep: ONE backward pass w_n = P^n r shared by every grid
   /// point (the coefficients d(n) = alpha . w_n are time-independent), and
   /// a single span-seminorm detection folds the remaining Poisson mass of
   /// every still-active point at once.
+  using TransientSolver::solve_grid;
   [[nodiscard]] SolveReport solve_grid(
-      const SolveRequest& request) const override;
+      const SolveRequest& request, SolveWorkspace& workspace) const override;
 
   [[nodiscard]] TransientValue trr(double t) const;
   [[nodiscard]] TransientValue mrr(double t) const;

@@ -1,0 +1,47 @@
+#include "core/sweep_engine.hpp"
+
+#include <exception>
+
+#include "support/stopwatch.hpp"
+
+namespace rrl {
+
+SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool) {
+  const Stopwatch watch;
+  SweepReport out;
+  out.jobs = pool.num_threads();
+  out.results.resize(batch.scenarios.size());
+
+  // One workspace per worker slot: the solvers' mutable per-solve state.
+  // Everything else a worker touches is either immutable shared input
+  // (scenarios, chains) or its own result slot.
+  std::vector<SolveWorkspace> workspaces(
+      static_cast<std::size_t>(pool.num_threads()));
+
+  pool.parallel_for(
+      batch.scenarios.size(), [&](std::size_t i, std::size_t worker) {
+        const SweepScenario& scenario = batch.scenarios[i];
+        ScenarioResult& slot = out.results[i];
+        try {
+          RRL_EXPECTS(scenario.chain != nullptr);
+          const auto solver =
+              make_solver(scenario.solver, *scenario.chain, scenario.rewards,
+                          scenario.initial, scenario.config);
+          slot.report = solver->solve_grid(scenario.request,
+                                           workspaces[worker]);
+        } catch (const std::exception& e) {
+          slot.error = e.what();
+          if (slot.error.empty()) slot.error = "unknown error";
+        }
+      });
+
+  out.seconds = watch.seconds();
+  return out;
+}
+
+SweepReport run_sweep(const BatchRequest& batch) {
+  ThreadPool pool(batch.jobs);
+  return run_sweep(batch, pool);
+}
+
+}  // namespace rrl

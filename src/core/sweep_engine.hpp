@@ -1,0 +1,84 @@
+// Parallel scenario-sweep engine: many (model x solver x measure x grid x
+// epsilon) jobs fanned across a worker pool, reduced into one deterministic
+// report.
+//
+// The paper's whole evaluation is a sweep — the same rewarded CTMC pushed
+// through SR/RSD/RR/RRL over grids of times and error targets — and batch
+// performability studies multiply that by families of parameterized models.
+// The engine turns such a batch into data-parallel work: each scenario is
+// solved entirely by one worker (solvers are immutable after construction;
+// each worker owns a SolveWorkspace for the mutable vector iterates), and
+// scenarios are scheduled dynamically so an expensive SR pass next to a
+// cheap RRL inversion still load-balances.
+//
+// Determinism: results[i] always corresponds to scenarios[i] — workers
+// write only their own slot and the reduction is by index, so the report's
+// VALUES are identical for every worker count (only the timing fields
+// vary). A scenario that throws (unknown solver, precondition violation
+// such as RSD on an absorbing chain) records its error string in its slot
+// and the rest of the batch completes normally.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/transient_solver.hpp"
+#include "markov/ctmc.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rrl {
+
+/// One scenario: a rewarded CTMC pushed through one registered solver for
+/// one (measure, time grid, epsilon) request.
+struct SweepScenario {
+  std::string model;   ///< model label for reporting (file name, generator)
+  std::string solver;  ///< registry name ("sr", "rsd", "rr", "rrl", ...)
+  const Ctmc* chain = nullptr;  ///< borrowed; must outlive the sweep
+  std::vector<double> rewards;
+  std::vector<double> initial;
+  SolverConfig config;
+  SolveRequest request;
+};
+
+/// A batch of scenarios plus the worker budget.
+struct BatchRequest {
+  std::vector<SweepScenario> scenarios;
+  /// Worker threads INCLUDING the calling thread; <= 0 selects the
+  /// hardware concurrency. Ignored by the pool-taking overload.
+  int jobs = 1;
+};
+
+/// Outcome of one scenario: either a report or an error message.
+struct ScenarioResult {
+  SolveReport report;  ///< valid iff error is empty
+  std::string error;   ///< non-empty if the scenario failed
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// The deterministic reduction of a batch: results[i] <-> scenarios[i].
+struct SweepReport {
+  std::vector<ScenarioResult> results;
+  int jobs = 1;          ///< worker count actually used
+  double seconds = 0.0;  ///< wall-clock of the whole batch
+
+  [[nodiscard]] std::size_t failed() const noexcept {
+    std::size_t n = 0;
+    for (const ScenarioResult& r : results) n += r.ok() ? 0 : 1;
+    return n;
+  }
+  [[nodiscard]] double scenarios_per_second() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(results.size()) / seconds
+                         : 0.0;
+  }
+};
+
+/// Run the batch on a caller-provided pool (reusable across batches).
+[[nodiscard]] SweepReport run_sweep(const BatchRequest& batch,
+                                    ThreadPool& pool);
+
+/// Run the batch on a fresh pool of batch.jobs workers.
+[[nodiscard]] SweepReport run_sweep(const BatchRequest& batch);
+
+}  // namespace rrl

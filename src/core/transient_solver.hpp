@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/solver.hpp"
+#include "sparse/workspace.hpp"
 
 namespace rrl {
 
@@ -85,6 +86,11 @@ struct SolveReport {
 /// Abstract transient solver: one rewarded CTMC + initial distribution,
 /// many (measure, time grid, epsilon) queries. Implementations are bound to
 /// their model at construction (see the registry for by-name construction).
+///
+/// Threading contract: solvers are immutable after construction, so ONE
+/// solver instance may serve concurrent solve_grid() calls — provided every
+/// calling thread brings its own SolveWorkspace (the per-solve mutable
+/// state). The sweep engine relies on exactly this.
 class TransientSolver {
  public:
   virtual ~TransientSolver() = default;
@@ -95,9 +101,18 @@ class TransientSolver {
   /// One-line human-readable description of the method.
   [[nodiscard]] virtual std::string_view description() const noexcept = 0;
 
-  /// Solve the whole request with the method's amortized sweep.
+  /// Solve the whole request with the method's amortized sweep, using the
+  /// caller's reusable buffers for the model-sized vector iterates. Safe to
+  /// call concurrently on one solver with distinct workspaces.
   [[nodiscard]] virtual SolveReport solve_grid(
-      const SolveRequest& request) const = 0;
+      const SolveRequest& request, SolveWorkspace& workspace) const = 0;
+
+  /// Convenience overload with a throwaway workspace. (Derived classes
+  /// re-expose it with `using TransientSolver::solve_grid;`.)
+  [[nodiscard]] SolveReport solve_grid(const SolveRequest& request) const {
+    SolveWorkspace workspace;
+    return solve_grid(request, workspace);
+  }
 
   /// Single-point convenience on top of solve_grid; the returned stats are
   /// the full solve cost (the report's aggregate).

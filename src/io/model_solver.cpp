@@ -1,0 +1,12 @@
+#include "io/model_solver.hpp"
+
+namespace rrl {
+
+std::unique_ptr<TransientSolver> make_solver(const std::string& name,
+                                             const ModelFile& model,
+                                             SolverConfig config) {
+  if (config.regenerative < 0) config.regenerative = model.regenerative;
+  return make_solver(name, model.chain, model.rewards, model.initial, config);
+}
+
+}  // namespace rrl

@@ -1,0 +1,23 @@
+// Solver construction from parsed model files.
+//
+// This is the io-layer face of the solver registry: the overload lives here
+// (not in core/registry.hpp) so the core solver layer carries no dependency
+// on the io layer — core knows nothing about ModelFile, and io composes the
+// two.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/registry.hpp"
+#include "io/model_format.hpp"
+
+namespace rrl {
+
+/// Convenience overload for parsed model files: uses the file's rewards,
+/// initial distribution and regenerative-state hint (when the config does
+/// not specify one). The ModelFile must outlive the returned solver.
+[[nodiscard]] std::unique_ptr<TransientSolver> make_solver(
+    const std::string& name, const ModelFile& model, SolverConfig config = {});
+
+}  // namespace rrl

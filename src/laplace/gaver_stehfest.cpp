@@ -17,7 +17,15 @@ double stehfest_weight(int k, int order) {
   const int j_lo = (k + 1) / 2;
   const int j_hi = std::min(k, half);
   auto lfact = [](int m) {
+    // lgammal_r, not std::lgamma: the latter stores the gamma sign in the
+    // global signgam (a data race under concurrent sweep workers). Not on
+    // Darwin: its libm ships lgamma_r but no long double variant.
+#if defined(_GNU_SOURCE) || defined(__USE_MISC)
+    int sign = 0;
+    return lgammal_r(static_cast<long double>(m) + 1.0L, &sign);
+#else
     return std::lgamma(static_cast<long double>(m) + 1.0L);
+#endif
   };
   for (int j = j_lo; j <= j_hi; ++j) {
     const long double log_term =

@@ -16,7 +16,16 @@ constexpr double kRelativeFloor = 1e-30;
 }  // namespace
 
 double log_factorial(std::int64_t n) noexcept {
+  // Not std::lgamma: that one stores the gamma sign in the GLOBAL signgam
+  // variable (POSIX), a data race when Poisson windows are built on
+  // concurrent sweep workers. lgamma_r takes the sign slot explicitly and
+  // is thread-safe; the argument n + 1 >= 1 makes the sign always +1.
+#if defined(_GNU_SOURCE) || defined(__USE_MISC) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(static_cast<double>(n) + 1.0, &sign);
+#else
   return std::lgamma(static_cast<double>(n) + 1.0);
+#endif
 }
 
 double poisson_log_pmf(std::int64_t n, double mean) noexcept {

@@ -23,6 +23,7 @@
 // available for method-specific tuning and rigorous bounds.
 #pragma once
 
+#include "core/grid_sweep.hpp"         // IWYU pragma: export
 #include "core/regenerative.hpp"       // IWYU pragma: export
 #include "core/registry.hpp"           // IWYU pragma: export
 #include "core/rr_solver.hpp"          // IWYU pragma: export
@@ -31,6 +32,7 @@
 #include "core/solver.hpp"             // IWYU pragma: export
 #include "core/standard_randomization.hpp"   // IWYU pragma: export
 #include "core/steady_state_detection.hpp"   // IWYU pragma: export
+#include "core/sweep_engine.hpp"       // IWYU pragma: export
 #include "core/transient_solver.hpp"   // IWYU pragma: export
 #include "core/vmodel.hpp"             // IWYU pragma: export
 #include "laplace/crump.hpp"           // IWYU pragma: export
@@ -44,8 +46,11 @@
 #include "markov/scc.hpp"              // IWYU pragma: export
 #include "markov/steady_state.hpp"     // IWYU pragma: export
 #include "io/model_format.hpp"         // IWYU pragma: export
+#include "io/model_solver.hpp"         // IWYU pragma: export
 #include "models/multiproc.hpp"        // IWYU pragma: export
 #include "models/raid5.hpp"            // IWYU pragma: export
 #include "models/simple.hpp"           // IWYU pragma: export
 #include "sparse/csr.hpp"              // IWYU pragma: export
 #include "sparse/vector_ops.hpp"       // IWYU pragma: export
+#include "sparse/workspace.hpp"        // IWYU pragma: export
+#include "support/thread_pool.hpp"     // IWYU pragma: export

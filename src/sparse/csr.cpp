@@ -3,8 +3,31 @@
 #include <algorithm>
 
 #include "support/contracts.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rrl {
+namespace {
+
+// Serial gather kernel over the half-open row range [r_begin, r_end): the
+// single shared implementation of the serial and the row-partitioned paths
+// (identical per-row accumulation order keeps them bit-identical).
+void mul_rows(std::span<const std::int64_t> row_ptr,
+              std::span<const index_t> col_idx,
+              std::span<const double> values, std::span<const double> x,
+              std::span<double> y, index_t r_begin, index_t r_end) {
+  for (index_t r = r_begin; r < r_end; ++r) {
+    double acc = 0.0;
+    const std::int64_t lo = row_ptr[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
+    for (std::int64_t k = lo; k < hi; ++k) {
+      acc += values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+}  // namespace
 
 CsrMatrix CsrMatrix::from_triplets(index_t rows, index_t cols,
                                    std::vector<Triplet> entries) {
@@ -49,16 +72,41 @@ void CsrMatrix::mul_vec(std::span<const double> x, std::span<double> y) const {
   RRL_EXPECTS(static_cast<index_t>(x.size()) == cols_);
   RRL_EXPECTS(static_cast<index_t>(y.size()) == rows_);
   RRL_EXPECTS(x.data() != y.data());
-  for (index_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    const std::int64_t lo = row_ptr_[static_cast<std::size_t>(r)];
-    const std::int64_t hi = row_ptr_[static_cast<std::size_t>(r) + 1];
-    for (std::int64_t k = lo; k < hi; ++k) {
-      acc += values_[static_cast<std::size_t>(k)] *
-             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
-    }
-    y[static_cast<std::size_t>(r)] = acc;
+  mul_rows(row_ptr_, col_idx_, values_, x, y, 0, rows_);
+}
+
+void CsrMatrix::mul_vec(std::span<const double> x, std::span<double> y,
+                        ThreadPool& pool) const {
+  RRL_EXPECTS(static_cast<index_t>(x.size()) == cols_);
+  RRL_EXPECTS(static_cast<index_t>(y.size()) == rows_);
+  RRL_EXPECTS(x.data() != y.data());
+  const int workers = pool.num_threads();
+  if (workers <= 1 || rows_ < 2 * workers) {
+    mul_rows(row_ptr_, col_idx_, values_, x, y, 0, rows_);
+    return;
   }
+  // Contiguous row chunks balanced by stored-entry count: chunk boundary c
+  // is the first row whose cumulative nnz (row_ptr_) reaches c/workers of
+  // the total. Each worker derives its own [begin, end) with two binary
+  // searches on the prefix-sum array — boundaries of monotone targets are
+  // monotone, so chunks tile the rows disjointly, and the call allocates
+  // nothing (this path is meant for hot loops on large models).
+  const std::int64_t total = nnz();
+  const auto boundary = [&](int c) {
+    if (c <= 0) return index_t{0};
+    if (c >= workers) return rows_;
+    const std::int64_t target =
+        total * static_cast<std::int64_t>(c) / workers;
+    const auto it =
+        std::lower_bound(row_ptr_.begin(), row_ptr_.end(), target);
+    return static_cast<index_t>(it - row_ptr_.begin());
+  };
+  pool.parallel_for(
+      static_cast<std::size_t>(workers), [&](std::size_t chunk, std::size_t) {
+        const int c = static_cast<int>(chunk);
+        mul_rows(row_ptr_, col_idx_, values_, x, y, boundary(c),
+                 boundary(c + 1));
+      });
 }
 
 void CsrMatrix::mul_vec_transposed(std::span<const double> x,

@@ -13,6 +13,8 @@
 
 namespace rrl {
 
+class ThreadPool;  // support/thread_pool.hpp
+
 /// Index type for matrix dimensions / state indices. 32-bit indices keep the
 /// CSR arrays compact; models in this library are well below 2^31 states.
 using index_t = std::int32_t;
@@ -57,6 +59,14 @@ class CsrMatrix {
   /// y = A x (gather kernel: one pass per row, sequential writes).
   /// Preconditions: x.size() == cols(), y.size() == rows(); x and y distinct.
   void mul_vec(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A x with the rows partitioned across `pool` (chunks balanced by
+  /// stored-entry count, one contiguous row range per worker). Each row is
+  /// accumulated in the same order as the serial kernel and every worker
+  /// writes a disjoint slice of y, so the result is bit-identical to
+  /// mul_vec() regardless of thread count. Preconditions as mul_vec().
+  void mul_vec(std::span<const double> x, std::span<double> y,
+               ThreadPool& pool) const;
 
   /// y = A^T x (scatter kernel). Preconditions mirror mul_vec.
   void mul_vec_transposed(std::span<const double> x, std::span<double> y) const;

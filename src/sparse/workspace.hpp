@@ -1,0 +1,51 @@
+// Reusable solve buffers for the randomization hot loops.
+//
+// Every randomization pass needs the same model-sized vectors: the current
+// distribution (or backward reward vector) `pi`, the stepping target `next`,
+// and occasional scratch. Allocating them per solve_grid() call is wasted
+// work in sweep workloads that push hundreds of scenarios through the same
+// process, so the solvers take an explicit SolveWorkspace whose buffers are
+// resized (never shrunk below capacity) across calls — after warm-up, the
+// vector iterates stepped in the hot loop allocate nothing. (Per-solve
+// bookkeeping — Poisson weight windows, per-point accumulators — is sized
+// by the request, not the model, and still allocates once per solve.)
+//
+// Threading contract: a workspace is mutable per-solve state. Solvers are
+// immutable after construction and safe to share across threads, but each
+// concurrent solve_grid() call must bring its OWN workspace (the sweep
+// engine keeps one per worker).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rrl {
+
+class SolveWorkspace {
+ public:
+  /// Current-iterate buffer (forward pi or backward w), resized to n;
+  /// contents unspecified on return.
+  [[nodiscard]] std::vector<double>& pi(std::size_t n) {
+    return sized(pi_, n);
+  }
+  /// Stepping target buffer, resized to n; contents unspecified on return.
+  [[nodiscard]] std::vector<double>& next(std::size_t n) {
+    return sized(next_, n);
+  }
+  /// General scratch buffer, resized to n; contents unspecified on return.
+  [[nodiscard]] std::vector<double>& scratch(std::size_t n) {
+    return sized(scratch_, n);
+  }
+
+ private:
+  static std::vector<double>& sized(std::vector<double>& v, std::size_t n) {
+    v.resize(n);  // capacity is retained across calls
+    return v;
+  }
+
+  std::vector<double> pi_;
+  std::vector<double> next_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace rrl

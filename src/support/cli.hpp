@@ -71,6 +71,20 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// Splits `spec` at `separator`, dropping empty tokens ("a,,b" -> a, b).
+[[nodiscard]] inline std::vector<std::string> parse_string_list(
+    const std::string& spec, char separator = ',') {
+  std::vector<std::string> tokens;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(separator, begin);
+    if (end == std::string::npos) end = spec.size();
+    if (end > begin) tokens.push_back(spec.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return tokens;
+}
+
 /// Parses a separated list of doubles ("1,10,100" or "1:1e5:20"). Empty
 /// tokens are skipped; a token that is not entirely numeric ("10;100",
 /// "20x") is skipped too rather than silently truncated at the first bad
@@ -78,18 +92,11 @@ class CliArgs {
 [[nodiscard]] inline std::vector<double> parse_double_list(
     const std::string& spec, char separator = ',') {
   std::vector<double> values;
-  std::size_t begin = 0;
-  while (begin <= spec.size()) {
-    std::size_t end = spec.find(separator, begin);
-    if (end == std::string::npos) end = spec.size();
-    const std::string token = spec.substr(begin, end - begin);
-    if (!token.empty()) {
-      const char* str = token.c_str();
-      char* parsed_end = nullptr;
-      const double v = std::strtod(str, &parsed_end);
-      if (parsed_end != str && *parsed_end == '\0') values.push_back(v);
-    }
-    begin = end + 1;
+  for (const std::string& token : parse_string_list(spec, separator)) {
+    const char* str = token.c_str();
+    char* parsed_end = nullptr;
+    const double v = std::strtod(str, &parsed_end);
+    if (parsed_end != str && *parsed_end == '\0') values.push_back(v);
   }
   return values;
 }

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "support/contracts.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rrl {
 namespace {
@@ -141,6 +144,48 @@ TEST(Csr, RectangularMatrix) {
   EXPECT_EQ(mt.rows(), 4);
   EXPECT_EQ(mt.cols(), 2);
   EXPECT_DOUBLE_EQ(mt.coeff(3, 0), 1.0);
+}
+
+TEST(Csr, ParallelMulVecMatchesSerialBitwise) {
+  // The row-partitioned path accumulates each row in the same order as the
+  // serial kernel, so results must be bit-identical at every pool size —
+  // including degenerate patterns (empty rows, one dense row).
+  std::vector<Triplet> entries;
+  const index_t n = 257;
+  for (index_t r = 0; r < n; ++r) {
+    if (r % 7 == 3) continue;  // leave some rows empty
+    for (index_t k = 0; k < (r % 11) + 1; ++k) {
+      const index_t c = (r * 31 + k * 17) % n;
+      entries.push_back({r, c, 1.0 / (1.0 + r + 3.0 * k)});
+    }
+  }
+  for (index_t c = 0; c < n; ++c) entries.push_back({5, c, 0.25});  // dense
+  const CsrMatrix m = CsrMatrix::from_triplets(n, n, entries);
+
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = std::sin(static_cast<double>(i));
+  }
+  std::vector<double> serial(static_cast<std::size_t>(n), 0.0);
+  m.mul_vec(x, serial);
+
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    std::vector<double> parallel(static_cast<std::size_t>(n), -1.0);
+    m.mul_vec(x, parallel, pool);
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(Csr, ParallelMulVecTinyMatrixFallsBackToSerial) {
+  const CsrMatrix m = small();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> serial(3, 0.0);
+  std::vector<double> parallel(3, 0.0);
+  m.mul_vec(x, serial);
+  ThreadPool pool(8);  // more workers than rows
+  m.mul_vec(x, parallel, pool);
+  EXPECT_EQ(parallel, serial);
 }
 
 }  // namespace

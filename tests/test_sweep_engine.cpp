@@ -1,0 +1,238 @@
+// Sweep engine + workspace reuse: (1) a 16-scenario batch (RAID-5 +
+// multiproc x all four solvers x both measures) produces bit-identical
+// SweepReport values at 1, 2 and 8 worker threads (deterministic ordered
+// reduction); (2) repeated solve_grid() calls reusing one SolveWorkspace —
+// including across models of different sizes — agree exactly with a fresh
+// solver using a fresh workspace; (3) a failing scenario reports its error
+// without sinking the batch; (4) one shared solver instance is safe to
+// drive from concurrent workers with per-worker workspaces.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sweep_engine.hpp"
+#include "models/multiproc.hpp"
+#include "models/raid5.hpp"
+#include "rrl.hpp"
+
+namespace rrl {
+namespace {
+
+constexpr double kEps = 1e-10;
+
+struct Model {
+  std::string label;
+  Ctmc chain;
+  std::vector<double> rewards;
+  std::vector<double> initial;
+  index_t regenerative = 0;
+};
+
+Model raid_model() {
+  Raid5Params p;
+  p.groups = 20;
+  const Raid5Model m = build_raid5_availability(p);
+  return {"raid5-g20", m.chain, m.failure_rewards(),
+          m.initial_distribution(), m.initial_state};
+}
+
+Model multiproc_model() {
+  const MultiprocModel m = build_multiproc_availability({});
+  return {"multiproc", m.chain, m.failure_rewards(),
+          m.initial_distribution(), m.initial_state};
+}
+
+// The acceptance batch: 2 models x 4 solvers x 2 measures = 16 scenarios.
+std::vector<SweepScenario> make_scenarios(const Model& a, const Model& b) {
+  std::vector<SweepScenario> scenarios;
+  const std::vector<double> grid = log_time_grid(1.0, 1e3, 6);
+  for (const Model* model : {&a, &b}) {
+    for (const std::string solver : {"sr", "rsd", "rr", "rrl"}) {
+      for (const MeasureKind measure :
+           {MeasureKind::kTrr, MeasureKind::kMrr}) {
+        SweepScenario scenario;
+        scenario.model = model->label;
+        scenario.solver = solver;
+        scenario.chain = &model->chain;
+        scenario.rewards = model->rewards;
+        scenario.initial = model->initial;
+        scenario.config.epsilon = kEps;
+        scenario.config.regenerative = model->regenerative;
+        scenario.request.measure = measure;
+        scenario.request.times = grid;
+        scenarios.push_back(std::move(scenario));
+      }
+    }
+  }
+  return scenarios;
+}
+
+TEST(SweepEngine, DeterministicAcrossWorkerCounts) {
+  const Model raid = raid_model();
+  const Model multi = multiproc_model();
+  BatchRequest batch;
+  batch.scenarios = make_scenarios(raid, multi);
+  ASSERT_EQ(batch.scenarios.size(), 16u);
+
+  batch.jobs = 1;
+  const SweepReport reference = run_sweep(batch);
+  ASSERT_EQ(reference.results.size(), 16u);
+  EXPECT_EQ(reference.failed(), 0u);
+  EXPECT_EQ(reference.jobs, 1);
+
+  for (const int jobs : {2, 8}) {
+    batch.jobs = jobs;
+    const SweepReport report = run_sweep(batch);
+    ASSERT_EQ(report.results.size(), reference.results.size());
+    EXPECT_EQ(report.failed(), 0u);
+    EXPECT_EQ(report.jobs, jobs);
+    for (std::size_t s = 0; s < report.results.size(); ++s) {
+      const SolveReport& got = report.results[s].report;
+      const SolveReport& want = reference.results[s].report;
+      ASSERT_EQ(got.points.size(), want.points.size()) << "scenario " << s;
+      for (std::size_t i = 0; i < got.points.size(); ++i) {
+        // Bit-identical, not merely close: the engine's contract.
+        EXPECT_EQ(got.points[i].value, want.points[i].value)
+            << batch.scenarios[s].model << "/" << batch.scenarios[s].solver
+            << " jobs=" << jobs << " point " << i;
+        EXPECT_EQ(got.points[i].stats.dtmc_steps,
+                  want.points[i].stats.dtmc_steps);
+      }
+      EXPECT_EQ(got.total.dtmc_steps, want.total.dtmc_steps);
+    }
+  }
+}
+
+TEST(SweepEngine, ReusedPoolAndThroughputAccounting) {
+  const Model multi = multiproc_model();
+  BatchRequest batch;
+  for (const std::string solver : {"sr", "rrl"}) {
+    SweepScenario scenario;
+    scenario.model = multi.label;
+    scenario.solver = solver;
+    scenario.chain = &multi.chain;
+    scenario.rewards = multi.rewards;
+    scenario.initial = multi.initial;
+    scenario.config.epsilon = kEps;
+    scenario.config.regenerative = multi.regenerative;
+    scenario.request.times = {10.0, 100.0};
+    batch.scenarios.push_back(std::move(scenario));
+  }
+  ThreadPool pool(2);
+  const SweepReport first = run_sweep(batch, pool);
+  const SweepReport second = run_sweep(batch, pool);  // pool is reusable
+  EXPECT_EQ(first.failed(), 0u);
+  EXPECT_EQ(second.failed(), 0u);
+  EXPECT_GT(first.seconds, 0.0);
+  EXPECT_GT(first.scenarios_per_second(), 0.0);
+  for (std::size_t s = 0; s < first.results.size(); ++s) {
+    EXPECT_EQ(first.results[s].report.values(),
+              second.results[s].report.values());
+  }
+}
+
+TEST(SweepEngine, FailingScenarioDoesNotSinkTheBatch) {
+  const Model multi = multiproc_model();
+  const MultiprocModel reliability = build_multiproc_reliability({});
+
+  BatchRequest batch;
+  batch.jobs = 2;
+  SweepScenario good;
+  good.model = multi.label;
+  good.solver = "rrl";
+  good.chain = &multi.chain;
+  good.rewards = multi.rewards;
+  good.initial = multi.initial;
+  good.config.epsilon = kEps;
+  good.config.regenerative = multi.regenerative;
+  good.request.times = {100.0};
+  batch.scenarios.push_back(good);
+
+  // rsd requires an irreducible chain; the reliability model is absorbing.
+  SweepScenario bad = good;
+  bad.model = "multiproc-rel";
+  bad.solver = "rsd";
+  bad.chain = &reliability.chain;
+  bad.rewards = reliability.failure_rewards();
+  bad.initial = reliability.initial_distribution();
+  batch.scenarios.push_back(bad);
+
+  // And an unknown solver name.
+  SweepScenario unknown = good;
+  unknown.solver = "no-such-method";
+  batch.scenarios.push_back(unknown);
+
+  const SweepReport report = run_sweep(batch);
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_TRUE(report.results[0].ok());
+  EXPECT_FALSE(report.results[1].ok());
+  EXPECT_FALSE(report.results[2].ok());
+  EXPECT_EQ(report.failed(), 2u);
+  EXPECT_NE(report.results[2].error.find("no-such-method"),
+            std::string::npos);
+  const auto fresh = make_solver("rrl", multi.chain, multi.rewards,
+                                 multi.initial, good.config);
+  EXPECT_EQ(report.results[0].report.points[0].value,
+            fresh->solve_grid(good.request).points[0].value);
+}
+
+TEST(Workspace, RepeatedSolveGridReuseAgreesWithFreshSolver) {
+  const Model raid = raid_model();
+  const Model multi = multiproc_model();
+  const std::vector<double> grid = log_time_grid(1.0, 500.0, 5);
+
+  for (const std::string name : {"sr", "rsd", "rr", "rrl"}) {
+    SolverConfig config;
+    config.epsilon = kEps;
+    SolveWorkspace reused;
+    for (const Model* model : {&raid, &multi, &raid}) {  // sizes alternate
+      config.regenerative = model->regenerative;
+      const auto solver = make_solver(name, model->chain, model->rewards,
+                                      model->initial, config);
+      for (const MeasureKind measure :
+           {MeasureKind::kTrr, MeasureKind::kMrr}) {
+        SolveRequest request;
+        request.measure = measure;
+        request.times = grid;
+        const SolveReport warm = solver->solve_grid(request, reused);
+        SolveWorkspace fresh;
+        const SolveReport cold = solver->solve_grid(request, fresh);
+        ASSERT_EQ(warm.points.size(), cold.points.size());
+        for (std::size_t i = 0; i < warm.points.size(); ++i) {
+          EXPECT_EQ(warm.points[i].value, cold.points[i].value)
+              << name << " " << model->label << " point " << i;
+        }
+        EXPECT_EQ(warm.total.dtmc_steps, cold.total.dtmc_steps) << name;
+      }
+    }
+  }
+}
+
+TEST(Workspace, SharedSolverConcurrentWorkspaces) {
+  // One solver instance, many concurrent solve_grid calls with per-worker
+  // workspaces: the documented threading contract.
+  const Model multi = multiproc_model();
+  SolverConfig config;
+  config.epsilon = kEps;
+  config.regenerative = multi.regenerative;
+  const auto solver = make_solver("sr", multi.chain, multi.rewards,
+                                  multi.initial, config);
+  const std::vector<double> grid = log_time_grid(1.0, 200.0, 4);
+  const SolveReport reference = solver->solve_grid(SolveRequest::trr(grid));
+
+  ThreadPool pool(4);
+  std::vector<SolveWorkspace> workspaces(4);
+  std::vector<SolveReport> reports(16);
+  pool.parallel_for(reports.size(), [&](std::size_t i, std::size_t worker) {
+    reports[i] = solver->solve_grid(SolveRequest::trr(grid),
+                                    workspaces[worker]);
+  });
+  for (const SolveReport& report : reports) {
+    EXPECT_EQ(report.values(), reference.values());
+  }
+}
+
+}  // namespace
+}  // namespace rrl

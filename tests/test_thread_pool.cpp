@@ -1,0 +1,137 @@
+// ThreadPool: every index runs exactly once, worker slots stay in range,
+// slot-indexed writes make results independent of scheduling, exceptions
+// propagate, and a pool survives many parallel_for rounds (the sweep
+// engine's usage pattern).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace rrl {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{7}, std::size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(count);
+      pool.parallel_for(count, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, WorkerSlotsAreInRangeAndCallerIsWorkerZero) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> by_worker(4);
+  pool.parallel_for(512, [&](std::size_t, std::size_t worker) {
+    ASSERT_LT(worker, 4u);
+    by_worker[worker].fetch_add(1, std::memory_order_relaxed);
+  });
+  int total = 0;
+  for (auto& w : by_worker) total += w.load();
+  EXPECT_EQ(total, 512);
+
+  // A 1-thread pool runs everything inline as worker 0.
+  ThreadPool serial(1);
+  serial.parallel_for(16, [&](std::size_t, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+  });
+}
+
+TEST(ThreadPool, SlotIndexedWritesAreDeterministic) {
+  // The determinism contract: each index writes its own slot, so results
+  // are identical at every thread count.
+  const std::size_t n = 2048;
+  std::vector<double> expected(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = static_cast<double>(i * i) + 0.5;
+  }
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<double> got(n, -1.0);
+    pool.parallel_for(n, [&](std::size_t i) {
+      got[i] = static_cast<double>(i * i) + 0.5;
+    });
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndLoopDrains) {
+  // The inline (1-thread) and threaded paths share the contract: the loop
+  // drains before the first exception is rethrown.
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [&](std::size_t i) {
+                            executed.fetch_add(1, std::memory_order_relaxed);
+                            if (i == 13) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error)
+        << "threads=" << threads;
+    // Every index still executed, and the pool remains usable afterwards.
+    EXPECT_EQ(executed.load(), 100) << "threads=" << threads;
+    std::atomic<int> after{0};
+    pool.parallel_for(10, [&](std::size_t) {
+      after.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(after.load(), 10) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, SurvivesManyRounds) {
+  ThreadPool pool(3);
+  std::int64_t sum = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::int64_t> slot(17, 0);
+    pool.parallel_for(slot.size(), [&](std::size_t i) {
+      slot[i] = static_cast<std::int64_t>(i) + round;
+    });
+    sum += std::accumulate(slot.begin(), slot.end(), std::int64_t{0});
+  }
+  // sum_{round} sum_i (i + round) = 200*136 + 17*sum(rounds).
+  EXPECT_EQ(sum, 200 * 136 + 17 * (199 * 200 / 2));
+}
+
+TEST(ThreadPool, NestedLoopsKeepWorkerSlotsWithinTheDrivenPool) {
+  // A parallel_for issued from inside another parallel_for runs inline;
+  // the slot its body sees must be valid for the pool being driven: the
+  // ambient slot for same-pool nesting (it belongs to this thread there),
+  // slot 0 for a different (smaller) pool — slot-indexed scratch like the
+  // sweep engine's per-worker workspaces must never be indexed out of
+  // bounds.
+  ThreadPool outer(8);
+  outer.parallel_for(64, [&](std::size_t, std::size_t outer_worker) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    ThreadPool inner(2);  // smaller than the outer slot range
+    inner.parallel_for(4, [&](std::size_t, std::size_t inner_worker) {
+      EXPECT_EQ(inner_worker, 0u);  // inner pool's own contract
+    });
+    outer.parallel_for(3, [&](std::size_t, std::size_t same_pool_worker) {
+      EXPECT_EQ(same_pool_worker, outer_worker);  // this thread's own slot
+    });
+  });
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+  ThreadPool defaulted(0);
+  EXPECT_EQ(defaulted.num_threads(), ThreadPool::hardware_threads());
+}
+
+}  // namespace
+}  // namespace rrl

@@ -4,6 +4,7 @@
 //             [--solver sr|rsd|rr|rrl] [--eps 1e-12]
 //             [--regenerative auto|<index>] [--bounds]
 //   rrl_solve --model m.rrlm --t-grid 1:1e5:20        # 20 log-spaced points
+//   rrl_solve --model a.rrlm,b.rrlm --solvers all --jobs 4 --t 1,10,100
 //   rrl_solve --export raid20|raid40|multiproc --output m.rrlm
 //   rrl_solve --list-solvers
 //
@@ -13,12 +14,20 @@
 // time. The model file format is documented in src/io/model_format.hpp.
 // With --export the built-in generators are serialized so they can be
 // edited or fed to other tools.
+//
+// Batch mode (--solvers and/or --jobs, or a comma-separated --model list)
+// fans every model x solver scenario across a worker pool through the
+// sweep engine (src/core/sweep_engine.hpp) and prints one deterministic
+// result table: values are identical for every --jobs count, and a
+// scenario that fails (e.g. rsd on an absorbing chain) reports its error
+// without sinking the rest of the batch.
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "io/model_format.hpp"
+#include "io/model_solver.hpp"
 #include "models/multiproc.hpp"
 #include "models/raid5.hpp"
 #include "rrl.hpp"
@@ -107,6 +116,119 @@ int solve_with_bounds(const ModelFile& model, index_t regenerative,
   return 0;
 }
 
+// Batch mode: every model x solver scenario through the sweep engine.
+int run_batch(const CliArgs& args,
+              const std::vector<std::string>& model_paths,
+              const std::vector<double>& ts, double eps, bool want_mrr) {
+  // --solvers wins; a bare --solver narrows the batch to that one method;
+  // neither means every registered solver.
+  std::string solvers_arg = args.get_string("solvers", "");
+  if (solvers_arg.empty()) solvers_arg = args.get_string("solver", "all");
+  std::vector<std::string> solver_names;
+  if (solvers_arg == "all") {
+    solver_names = registered_solvers();
+  } else {
+    solver_names = parse_string_list(solvers_arg);
+    for (const std::string& name : solver_names) {
+      if (!solver_registered(name)) {
+        std::fprintf(stderr,
+                     "error: unknown solver '%s' in --solvers "
+                     "(registered: %s)\n",
+                     name.c_str(), registered_solver_list().c_str());
+        return 2;
+      }
+    }
+  }
+  if (solver_names.empty()) {
+    std::fprintf(stderr, "error: --solvers selected no solver\n");
+    return 2;
+  }
+
+  // Parsed models live here for the whole sweep; scenarios borrow the
+  // chains.
+  std::vector<ModelFile> models;
+  models.reserve(model_paths.size());
+  for (const std::string& path : model_paths) {
+    models.push_back(read_model_file(path));
+    if (!classify_structure(models.back().chain).valid) {
+      std::fprintf(stderr,
+                   "error: %s: the non-absorbing states are not strongly "
+                   "connected (the paper's structural assumption)\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+
+  // --regenerative (an index for every model, or "auto") overrides each
+  // file's hint; otherwise the hint, or auto-selection inside the registry
+  // for rr/rrl when the file has none (the sentinel -2 below).
+  const std::string regen_arg = args.get_string("regenerative", "");
+  constexpr index_t kUseFileHint = -2;
+  const index_t regen_override =
+      regen_arg.empty()
+          ? kUseFileHint
+          : (regen_arg == "auto"
+                 ? index_t{-1}
+                 : static_cast<index_t>(
+                       std::strtol(regen_arg.c_str(), nullptr, 10)));
+
+  BatchRequest batch;
+  batch.jobs = static_cast<int>(args.get_long("jobs", 1));
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    for (const std::string& name : solver_names) {
+      SweepScenario scenario;
+      scenario.model = model_paths[m];
+      scenario.solver = name;
+      scenario.chain = &models[m].chain;
+      scenario.rewards = models[m].rewards;
+      scenario.initial = models[m].initial;
+      scenario.config.epsilon = eps;
+      scenario.config.regenerative = regen_override == kUseFileHint
+                                         ? models[m].regenerative
+                                         : regen_override;
+      scenario.request = SolveRequest{
+          want_mrr ? MeasureKind::kMrr : MeasureKind::kTrr, ts, eps};
+      batch.scenarios.push_back(std::move(scenario));
+    }
+  }
+
+  const SweepReport sweep = run_sweep(batch);
+
+  std::printf("%s(t) batch sweep: %zu scenarios (%zu models x %zu solvers), "
+              "eps=%g, jobs=%d\n",
+              want_mrr ? "MRR" : "TRR", batch.scenarios.size(),
+              models.size(), solver_names.size(), eps, sweep.jobs);
+  TextTable table({"model", "solver", "t", "value", "steps"});
+  for (std::size_t s = 0; s < batch.scenarios.size(); ++s) {
+    const SweepScenario& scenario = batch.scenarios[s];
+    const ScenarioResult& result = sweep.results[s];
+    if (!result.ok()) {
+      table.add_row({scenario.model, scenario.solver, "-", "FAILED", "-"});
+      continue;
+    }
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const TransientValue& p = result.report.points[i];
+      table.add_row({scenario.model, scenario.solver, fmt_sig(ts[i], 6),
+                     fmt_sci(p.value, 9),
+                     std::to_string(p.stats.dtmc_steps)});
+    }
+  }
+  table.print();
+  for (std::size_t s = 0; s < sweep.results.size(); ++s) {
+    if (!sweep.results[s].ok()) {
+      std::fprintf(stderr, "scenario %s/%s failed: %s\n",
+                   batch.scenarios[s].model.c_str(),
+                   batch.scenarios[s].solver.c_str(),
+                   sweep.results[s].error.c_str());
+    }
+  }
+  std::printf("batch total: %zu scenarios (%zu failed), %.3gs, "
+              "%.3g scenarios/sec\n",
+              sweep.results.size(), sweep.failed(), sweep.seconds,
+              sweep.scenarios_per_second());
+  return sweep.failed() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,18 +242,51 @@ int main(int argc, char** argv) {
     if (!args.has("model") || (!args.has("t") && !args.has("t-grid"))) {
       std::fprintf(
           stderr,
-          "usage: rrl_solve --model <file> (--t <t1,t2,...> | "
+          "usage: rrl_solve --model <file>[,<file>...] (--t <t1,t2,...> | "
           "--t-grid <lo:hi:count>)\n"
           "                 [--measure trr|mrr] [--solver sr|rsd|rr|rrl] "
           "[--eps 1e-12]\n"
           "                 [--regenerative auto|<idx>] [--bounds]\n"
+          "                 [--solvers all|<s1,s2,...>] [--jobs N]   "
+          "# batch mode\n"
           "       rrl_solve --export raid20|raid40|multiproc "
           "[--output m.rrlm]\n"
           "       rrl_solve --list-solvers\n");
       return 2;
     }
 
-    const ModelFile model = read_model_file(args.get_string("model", ""));
+    const std::string measure = args.get_string("measure", "trr");
+    if (measure != "trr" && measure != "mrr") {
+      std::fprintf(stderr, "error: --measure must be trr or mrr (got '%s')\n",
+                   measure.c_str());
+      return 2;
+    }
+    const bool want_mrr = measure == "mrr";
+
+    // Several models, a --solvers list or a --jobs count select the batch
+    // path through the sweep engine.
+    const std::vector<std::string> model_paths =
+        parse_string_list(args.get_string("model", ""));
+    if (model_paths.empty()) {
+      std::fprintf(stderr, "error: --model named no file\n");
+      return 2;
+    }
+    const bool batch_mode =
+        args.has("solvers") || args.has("jobs") || model_paths.size() > 1;
+    if (batch_mode) {
+      if (args.get_bool("bounds", false)) {
+        std::fprintf(stderr,
+                     "error: --bounds is a single-model rrl capability; "
+                     "drop --solvers/--jobs\n");
+        return 2;
+      }
+      const std::vector<double> batch_ts = requested_times(args);
+      if (batch_ts.empty()) return 2;
+      return run_batch(args, model_paths, batch_ts,
+                       args.get_double("eps", 1e-12), want_mrr);
+    }
+
+    const ModelFile model = read_model_file(model_paths.front());
     const auto structure = classify_structure(model.chain);
     std::printf("model: %d states, %lld transitions, %zu absorbing, %s\n",
                 model.chain.num_states(),
@@ -151,9 +306,7 @@ int main(int argc, char** argv) {
     const std::vector<double> ts = requested_times(args);
     if (ts.empty()) return 2;
     const double eps = args.get_double("eps", 1e-12);
-    const std::string measure = args.get_string("measure", "trr");
     const std::string solver_name = args.get_string("solver", "rrl");
-    const bool want_mrr = measure == "mrr";
 
     index_t regenerative = model.regenerative;
     const std::string regen_arg = args.get_string("regenerative", "");
