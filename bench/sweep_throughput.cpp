@@ -10,10 +10,15 @@
 //
 // Usage:
 //   sweep_throughput [--jobs-list 1,2,4,8] [--reps 3] [--eps 1e-10]
-//                    [--points 8] [--tmax 1e3]
+//                    [--points 8] [--tmax 1e3] [--json-out BENCH_sweep.json]
 // Environment: RRL_BENCH_QUICK=1 shrinks reps for CI.
+//
+// Besides the human-readable table, the run is emitted as machine-readable
+// JSON (default BENCH_sweep.json, --json-out "" disables) — scenarios/sec
+// per thread count — so the perf trajectory is tracked across PRs.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -83,6 +88,13 @@ int main(int argc, char** argv) {
       {"jobs", "seconds", "scenarios/sec", "speedup", "deterministic"});
   std::vector<std::vector<double>> baseline;  // per-scenario values, jobs=1
   double baseline_rate = 0.0;
+  struct JobsResult {
+    int jobs = 0;
+    double seconds = 0.0;
+    double rate = 0.0;
+    double speedup = 0.0;
+  };
+  std::vector<JobsResult> json_rows;
   for (const int jobs : jobs_list) {
     ThreadPool pool(jobs);
     SweepReport best;
@@ -110,11 +122,13 @@ int main(int argc, char** argv) {
       deterministic = values == baseline;  // bitwise, the engine's contract
     }
 
+    const double speedup =
+        best.scenarios_per_second() / std::max(baseline_rate, 1e-300);
     table.add_row({std::to_string(jobs), fmt_sig(best.seconds, 4),
                    fmt_sig(best.scenarios_per_second(), 4),
-                   fmt_sig(best.scenarios_per_second() /
-                               std::max(baseline_rate, 1e-300), 3),
-                   deterministic ? "yes" : "NO"});
+                   fmt_sig(speedup, 3), deterministic ? "yes" : "NO"});
+    json_rows.push_back(
+        {jobs, best.seconds, best.scenarios_per_second(), speedup});
     if (!deterministic) {
       std::fprintf(stderr,
                    "error: values at %d jobs differ from the 1-job run\n",
@@ -128,5 +142,30 @@ int main(int argc, char** argv) {
       "expensive SR passes and cheap RRL inversions load-balance; values\n"
       "are reduced by scenario index and bit-identical at every job count.\n"
       "Speedup saturates at min(#scenarios, hardware threads).\n");
+
+  const std::string json_path =
+      args.get_string("json-out", "BENCH_sweep.json");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    json << "{\n  \"bench\": \"sweep_throughput\",\n"
+         << "  \"scenarios\": " << batch.scenarios.size() << ",\n"
+         << "  \"points\": " << points << ",\n  \"tmax\": " << tmax
+         << ",\n  \"eps\": " << eps << ",\n  \"reps\": " << reps
+         << ",\n  \"hardware_threads\": " << ThreadPool::hardware_threads()
+         << ",\n  \"results\": [";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const JobsResult& r = json_rows[i];
+      json << (i == 0 ? "\n" : ",\n")
+           << "    {\"jobs\": " << r.jobs << ", \"seconds\": " << r.seconds
+           << ", \"scenarios_per_sec\": " << r.rate
+           << ", \"speedup\": " << r.speedup << "}";
+    }
+    json << "\n  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

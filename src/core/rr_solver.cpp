@@ -55,10 +55,16 @@ SolveReport RegenerativeRandomization::solve_grid(
   // One schema for the whole sweep, computed at the largest time: for
   // t < t_max the truncation bound at K(t_max) is only smaller
   // (E[(N(Lambda t) - K)^+] decreases in K), so the longer series stays
-  // within budget at every requested time.
+  // within budget at every requested time. The schema is memoized per
+  // exact (t_max, eps) — repeated sweeps over the same horizon (the other
+  // measure, another grid resolution, the study subsystem's shared
+  // solvers) pay the K model-sized steps once.
   const double t_max =
       *std::max_element(request.times.begin(), request.times.end());
-  const RegenerativeSchema sch = schema_with(t_max, eps);
+  const auto compiled = schema_cache_.get(
+      t_max, eps, /*want_transform=*/false,
+      [&] { return schema_with(t_max, eps); });
+  const RegenerativeSchema& sch = compiled->schema;
   const VModel vmodel = build_vmodel(sch);
 
   // One standard-randomization pass of V_{K,L} serves every grid point,

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/regenerative.hpp"
+#include "core/schema_cache.hpp"
 #include "core/solver.hpp"
 #include "core/transient_solver.hpp"
 #include "markov/ctmc.hpp"
@@ -63,6 +64,12 @@ class RegenerativeRandomization : public TransientSolver {
   /// The schema computed for time horizon t (exposed for analysis).
   [[nodiscard]] RegenerativeSchema schema(double t) const;
 
+  /// Hit/miss accounting of the memoized schema artifact (see
+  /// core/schema_cache.hpp).
+  [[nodiscard]] SchemaCacheStats schema_cache_stats() const {
+    return schema_cache_.stats();
+  }
+
  private:
   [[nodiscard]] RegenerativeSchema schema_with(double t, double eps) const;
 
@@ -71,6 +78,9 @@ class RegenerativeRandomization : public TransientSolver {
   std::vector<double> initial_;
   index_t regenerative_;
   RrOptions options_;
+  // Memoized compiled artifact; internally synchronized, so the solver
+  // remains shareable across concurrent solve_grid() calls.
+  SchemaCache schema_cache_;
 };
 
 }  // namespace rrl

@@ -39,6 +39,12 @@ RegenerativeSchema RegenerativeRandomizationLaplace::schema_with(
                                      regenerative_, t, opts);
 }
 
+std::shared_ptr<const CompiledSchema>
+RegenerativeRandomizationLaplace::compiled_schema(double t, double eps) const {
+  return schema_cache_.get(t, eps, /*want_transform=*/true,
+                           [&] { return schema_with(t, eps); });
+}
+
 TransientValue RegenerativeRandomizationLaplace::trr(double t) const {
   RRL_EXPECTS(t >= 0.0);
   return solve_point(t, MeasureKind::kTrr);
@@ -103,8 +109,9 @@ RegenerativeRandomizationLaplace::trr_bounds(double t) const {
   Bounds b;
   if (r_max_ == 0.0) return b;
   const Stopwatch watch;
-  const RegenerativeSchema sch = schema(t);
-  const TrrTransform transform(sch);
+  const auto compiled = compiled_schema(t, options_.epsilon);
+  const RegenerativeSchema& sch = compiled->schema;
+  const TrrTransform& transform = *compiled->transform;
   TransientValue v = invert(transform, t, MeasureKind::kTrr,
                             options_.epsilon);
   const double trunc = truncation_error_bound(sch, t);
@@ -130,8 +137,9 @@ RegenerativeRandomizationLaplace::mrr_bounds(double t) const {
   Bounds b;
   if (r_max_ == 0.0) return b;
   const Stopwatch watch;
-  const RegenerativeSchema sch = schema(t);
-  const TrrTransform transform(sch);
+  const auto compiled = compiled_schema(t, options_.epsilon);
+  const RegenerativeSchema& sch = compiled->schema;
+  const TrrTransform& transform = *compiled->transform;
   TransientValue v = invert(transform, t, MeasureKind::kMrr,
                             options_.epsilon);
   // MRR truncation error is a time average of TRR truncation errors, each
@@ -177,9 +185,14 @@ SolveReport RegenerativeRandomizationLaplace::solve_grid(
   // One schema for the whole sweep, computed at the largest time: for
   // t < t_max the truncation bound at K(t_max) is only smaller
   // (E[(N(Lambda t) - K)^+] decreases in K), so the longer series remains
-  // within budget at every requested time.
-  const RegenerativeSchema sch = schema_with(t_max, eps);
-  const TrrTransform transform(sch);
+  // within budget at every requested time. The compiled artifact (schema +
+  // transform evaluator) is memoized per exact (t_max, eps), so repeated
+  // sweeps over the same horizon — the other measure, a different grid
+  // resolution, the study subsystem's shared solvers — pay the K model
+  // steps once.
+  const auto compiled = compiled_schema(t_max, eps);
+  const RegenerativeSchema& sch = compiled->schema;
+  const TrrTransform& transform = *compiled->transform;
 
   // The inversions are independent per time point and read the transform
   // through const methods only — an embarrassingly parallel loop. Inside a
@@ -187,6 +200,7 @@ SolveReport RegenerativeRandomizationLaplace::solve_grid(
   // loop stays serial there instead of oversubscribing.
   const auto n = static_cast<std::int64_t>(m);
   const bool nested = ThreadPool::in_parallel_region();
+  (void)nested;  // only read by the pragma; unused when OpenMP is off
 #pragma omp parallel for schedule(dynamic) if (n > 2 && !nested)
   for (std::int64_t j = 0; j < n; ++j) {
     const std::size_t i = static_cast<std::size_t>(j);

@@ -19,6 +19,7 @@
 
 #include "core/regenerative.hpp"
 #include "core/rrl_transform.hpp"
+#include "core/schema_cache.hpp"
 #include "core/solver.hpp"
 #include "core/transient_solver.hpp"
 #include "laplace/crump.hpp"
@@ -107,8 +108,17 @@ class RegenerativeRandomizationLaplace : public TransientSolver {
   /// the ablation benches).
   [[nodiscard]] RegenerativeSchema schema(double t) const;
 
+  /// Hit/miss accounting of the memoized schema+transform artifact (one
+  /// compilation is shared by every solve over the same (t_max, eps); see
+  /// core/schema_cache.hpp).
+  [[nodiscard]] SchemaCacheStats schema_cache_stats() const {
+    return schema_cache_.stats();
+  }
+
  private:
   [[nodiscard]] RegenerativeSchema schema_with(double t, double eps) const;
+  [[nodiscard]] std::shared_ptr<const CompiledSchema> compiled_schema(
+      double t, double eps) const;
   [[nodiscard]] TransientValue invert(const TrrTransform& transform, double t,
                                       MeasureKind kind, double eps) const;
   [[nodiscard]] std::vector<TransientValue> solve_many(
@@ -122,6 +132,9 @@ class RegenerativeRandomizationLaplace : public TransientSolver {
   index_t regenerative_;
   double r_max_ = 0.0;
   RrlOptions options_;
+  // Memoized compiled artifact; internally synchronized, so the solver
+  // remains shareable across concurrent solve_grid() calls.
+  SchemaCache schema_cache_;
 };
 
 }  // namespace rrl

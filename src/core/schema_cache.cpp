@@ -1,0 +1,65 @@
+#include "core/schema_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rrl {
+
+std::shared_ptr<const CompiledSchema> SchemaCache::get(
+    double t, double eps, bool want_transform,
+    const std::function<RegenerativeSchema()>& build) const {
+  // Every caller of one cache passes the same want_transform (RR never
+  // wants one, RRL always does), so a hit's transform presence matches
+  // the request; the guard below merely rebuilds if that ever changed.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (Entry& e : entries_) {
+      if (e.t == t && e.eps == eps &&
+          (!want_transform || e.compiled->transform != nullptr)) {
+        ++stats_.hits;
+        e.last_used = ++clock_;
+        return e.compiled;
+      }
+    }
+  }
+
+  // Miss: compute outside the lock so concurrent misses on different keys
+  // proceed in parallel.
+  auto fresh = std::make_shared<CompiledSchema>();
+  fresh->schema = build();
+  if (want_transform) {
+    fresh->transform = std::make_shared<const TrrTransform>(fresh->schema);
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  for (Entry& e : entries_) {
+    if (e.t == t && e.eps == eps) {
+      // A racing worker inserted the same key first; both artifacts are
+      // bit-identical by determinism of the builder, so adopt whichever
+      // satisfies the request.
+      if (!want_transform || e.compiled->transform != nullptr) {
+        e.last_used = ++clock_;
+        return e.compiled;
+      }
+      e.compiled = fresh;
+      e.last_used = ++clock_;
+      return fresh;
+    }
+  }
+  if (entries_.size() >= kCapacity) {
+    const auto oldest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+    entries_.erase(oldest);
+  }
+  entries_.push_back(Entry{t, eps, fresh, ++clock_});
+  return fresh;
+}
+
+SchemaCacheStats SchemaCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace rrl

@@ -1,0 +1,81 @@
+// Memo for the compiled regenerative artifact of RR/RRL.
+//
+// The dominant one-time cost of the regenerative methods is the schema —
+// K (+ L) model-sized DTMC steps — plus, for RRL, the transform evaluator
+// assembled from it. Both depend only on (time horizon, epsilon) for a
+// fixed (chain, rewards, initial, regenerative state, options), so a solver
+// answering many requests over the same horizon (a batch varying measure or
+// grid resolution, the study subsystem's shared solvers) recomputes an
+// identical artifact per request. SchemaCache memoizes it.
+//
+// Correctness contract: entries are keyed by the EXACT (t, eps) pair the
+// schema was computed for, never by dominance (a schema for a larger t
+// over-covers smaller horizons but is not the artifact a fresh solve would
+// build, and results must stay bit-identical to fresh-solver runs). The
+// builder is deterministic, so a hit returns bit-identical series.
+//
+// Threading: the cache is the only mutable state inside RR/RRL solvers and
+// is internally synchronized, preserving the solver layer's share-one-
+// instance-across-workers contract. A miss computes OUTSIDE the lock (two
+// workers missing the same key may both compute; the first insert wins and
+// the loser adopts it — identical by determinism), so concurrent misses on
+// different keys never serialize. The store is a small clock-stamped pool
+// (kCapacity entries, oldest evicted) to bound memory: schemas are O(K)
+// series and only a handful of horizons are live in any real sweep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/regenerative.hpp"
+#include "core/rrl_transform.hpp"
+
+namespace rrl {
+
+/// The compiled artifact: the schema plus (for RRL) its transform
+/// evaluator. `transform` is null for solvers that never asked for one.
+struct CompiledSchema {
+  RegenerativeSchema schema;
+  std::shared_ptr<const TrrTransform> transform;
+};
+
+/// Hit/miss accounting (monotone; read under the cache's own lock).
+struct SchemaCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+class SchemaCache {
+ public:
+  /// Entries retained; the oldest (by last use) is evicted beyond this.
+  static constexpr std::size_t kCapacity = 8;
+
+  /// The artifact for exactly (t, eps): a memoized copy when one exists,
+  /// otherwise build(t, eps) — invoked without the lock held — inserted
+  /// under the key. `want_transform` additionally guarantees a non-null
+  /// transform on the returned artifact (callers of one cache always pass
+  /// the same value: RR never wants one, RRL always does).
+  [[nodiscard]] std::shared_ptr<const CompiledSchema> get(
+      double t, double eps, bool want_transform,
+      const std::function<RegenerativeSchema()>& build) const;
+
+  [[nodiscard]] SchemaCacheStats stats() const;
+
+ private:
+  struct Entry {
+    double t = 0.0;
+    double eps = 0.0;
+    std::shared_ptr<const CompiledSchema> compiled;
+    std::uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mutex_;
+  mutable std::vector<Entry> entries_;
+  mutable std::uint64_t clock_ = 0;
+  mutable SchemaCacheStats stats_;
+};
+
+}  // namespace rrl

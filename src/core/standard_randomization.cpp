@@ -98,10 +98,18 @@ SolveReport StandardRandomization::solve_grid(
   std::vector<double>& next = workspace.next(n_states);
   std::copy(initial_.begin(), initial_.end(), pi.begin());
 
+  // Row-partitioned stepping when the caller lent us a pool (small batches
+  // on big models; bit-identical to the serial kernel).
+  ThreadPool* const pool =
+      workspace.pooled_spmv(dtmc_.transition_transposed().nnz());
   for (std::int64_t n = 0;; ++n) {
     sweep.accumulate(n, sparse_reward_dot(reward_idx_, rewards_, pi));
     if (n == sweep.pass_steps()) break;
-    dtmc_.step(pi, next);
+    if (pool != nullptr) {
+      dtmc_.step(pi, next, *pool);
+    } else {
+      dtmc_.step(pi, next);
+    }
     pi.swap(next);
   }
 

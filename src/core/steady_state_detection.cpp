@@ -17,7 +17,8 @@ RandomizationSteadyStateDetection::RandomizationSteadyStateDetection(
       rewards_(std::move(rewards)),
       initial_(std::move(initial)),
       options_(options),
-      dtmc_(chain, options.rate_factor) {
+      dtmc_(chain, options.rate_factor),
+      p_(dtmc_.transition_transposed().transposed()) {
   RRL_EXPECTS(options_.epsilon > 0.0);
   RRL_EXPECTS(static_cast<index_t>(rewards_.size()) == chain.num_states());
   RRL_EXPECTS(chain.absorbing_states().empty());  // irreducible models only
@@ -78,6 +79,9 @@ SolveReport RandomizationSteadyStateDetection::solve_grid(
   std::vector<double>& next = workspace.next(n_states);
   std::copy(rewards_.begin(), rewards_.end(), w.begin());
 
+  // Row-partitioned stepping when the caller lent us a pool (small batches
+  // on big models; bit-identical to the serial kernel).
+  ThreadPool* const pool = workspace.pooled_spmv(p_.nnz());
   std::int64_t n = 0;
   for (;; ++n) {
     sweep.accumulate(n, dot(initial_, w));
@@ -94,8 +98,12 @@ SolveReport RandomizationSteadyStateDetection::solve_grid(
       break;
     }
 
-    // w <- P w: gather product with the stored P^T's transpose.
-    dtmc_.transition_transposed().mul_vec_transposed(w, next);
+    // w <- P w: gather product over the materialized row-form P.
+    if (pool != nullptr) {
+      p_.mul_vec(w, next, *pool);
+    } else {
+      p_.mul_vec(w, next);
+    }
     w.swap(next);
   }
 

@@ -81,6 +81,14 @@ class RandomizationSteadyStateDetection : public TransientSolver {
   double r_max_ = 0.0;
   RsdOptions options_;
   RandomizedDtmc dtmc_;
+  /// P in gather (row) form for the backward product w <- P w. The
+  /// randomized DTMC stores P transposed (the forward-stepping layout);
+  /// the backward pass used to run the scatter kernel over it, which
+  /// cannot be row-partitioned without write conflicts. Materializing P
+  /// once per solver (doubling the matrix memory) turns every backward
+  /// step into a gather product — the same kernel serial and pooled, so
+  /// results are identical for every worker count.
+  CsrMatrix p_;
 };
 
 }  // namespace rrl

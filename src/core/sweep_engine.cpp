@@ -1,10 +1,35 @@
 #include "core/sweep_engine.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <string_view>
 
 #include "support/stopwatch.hpp"
 
 namespace rrl {
+
+namespace {
+
+void solve_one(const SweepScenario& scenario, ScenarioResult& slot,
+               SolveWorkspace& workspace) {
+  try {
+    if (scenario.shared_solver != nullptr) {
+      slot.report =
+          scenario.shared_solver->solve_grid(scenario.request, workspace);
+      return;
+    }
+    RRL_EXPECTS(scenario.chain != nullptr);
+    const auto solver =
+        make_solver(scenario.solver, *scenario.chain, scenario.rewards,
+                    scenario.initial, scenario.config);
+    slot.report = solver->solve_grid(scenario.request, workspace);
+  } catch (const std::exception& e) {
+    slot.error = e.what();
+    if (slot.error.empty()) slot.error = "unknown error";
+  }
+}
+
+}  // namespace
 
 SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool) {
   const Stopwatch watch;
@@ -12,27 +37,55 @@ SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool) {
   out.jobs = pool.num_threads();
   out.results.resize(batch.scenarios.size());
 
+  // A batch too small to occupy the pool on the scenario axis (fewer
+  // scenarios than workers, with at least 2x slack so the switch is
+  // clearly a win) runs the scenarios serially and lends the pool to the
+  // solvers' SpMV layer instead: the idle workers go to row-partitioned
+  // model-sized products (SolveWorkspace::pooled_spmv applies the
+  // nested-parallelism guard and a matrix-size floor). Only worth it when
+  // some scenario would actually drive the pooled kernel — a model above
+  // the size floor AND a solver whose hot loop steps the full model (the
+  // single-pass randomization methods; rr's V-solve and rrl's inversions
+  // never touch model-sized SpMVs) — otherwise serializing the scenarios
+  // loses parallelism for nothing. Scenarios advertise their chain for
+  // this check (a shared_solver scenario without one counts as small).
+  // The pooled kernel is bit-identical to the serial one, so the report's
+  // values stay independent of the worker count either way.
+  const auto drives_pooled_spmv = [](const SweepScenario& scenario) {
+    if (scenario.chain == nullptr ||
+        scenario.chain->num_transitions() < SolveWorkspace::kMinPooledNnz) {
+      return false;
+    }
+    const std::string_view name = scenario.shared_solver != nullptr
+                                      ? scenario.shared_solver->name()
+                                      : std::string_view(scenario.solver);
+    return name == "sr" || name == "rsd";
+  };
+  const bool model_parallel =
+      pool.num_threads() > 1 &&
+      batch.scenarios.size() * 2 <=
+          static_cast<std::size_t>(pool.num_threads()) &&
+      std::any_of(batch.scenarios.begin(), batch.scenarios.end(),
+                  drives_pooled_spmv);
+  if (model_parallel) {
+    SolveWorkspace workspace;
+    workspace.spmv_pool = &pool;
+    for (std::size_t i = 0; i < batch.scenarios.size(); ++i) {
+      solve_one(batch.scenarios[i], out.results[i], workspace);
+    }
+    out.seconds = watch.seconds();
+    return out;
+  }
+
   // One workspace per worker slot: the solvers' mutable per-solve state.
   // Everything else a worker touches is either immutable shared input
-  // (scenarios, chains) or its own result slot.
+  // (scenarios, chains, shared solvers) or its own result slot.
   std::vector<SolveWorkspace> workspaces(
       static_cast<std::size_t>(pool.num_threads()));
 
   pool.parallel_for(
       batch.scenarios.size(), [&](std::size_t i, std::size_t worker) {
-        const SweepScenario& scenario = batch.scenarios[i];
-        ScenarioResult& slot = out.results[i];
-        try {
-          RRL_EXPECTS(scenario.chain != nullptr);
-          const auto solver =
-              make_solver(scenario.solver, *scenario.chain, scenario.rewards,
-                          scenario.initial, scenario.config);
-          slot.report = solver->solve_grid(scenario.request,
-                                           workspaces[worker]);
-        } catch (const std::exception& e) {
-          slot.error = e.what();
-          if (slot.error.empty()) slot.error = "unknown error";
-        }
+        solve_one(batch.scenarios[i], out.results[i], workspaces[worker]);
       });
 
   out.seconds = watch.seconds();

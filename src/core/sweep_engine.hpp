@@ -9,7 +9,13 @@
 // solved entirely by one worker (solvers are immutable after construction;
 // each worker owns a SolveWorkspace for the mutable vector iterates), and
 // scenarios are scheduled dynamically so an expensive SR pass next to a
-// cheap RRL inversion still load-balances.
+// cheap RRL inversion still load-balances. A batch with (2x) fewer
+// scenarios than workers flips to the orthogonal axis instead: scenarios
+// run serially and the pool row-partitions the solvers' model-sized SpMVs
+// (see SolveWorkspace::pooled_spmv) — both paths produce identical values.
+// Scenarios may carry pre-built solvers (shared_solver) so one compiled
+// solver serves every scenario with the same (model, solver, config); the
+// study subsystem's solver cache builds on exactly this.
 //
 // Determinism: results[i] always corresponds to scenarios[i] — workers
 // write only their own slot and the reduction is by index, so the report's
@@ -20,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +39,14 @@ namespace rrl {
 
 /// One scenario: a rewarded CTMC pushed through one registered solver for
 /// one (measure, time grid, epsilon) request.
+///
+/// Two ways to name the solver: by registry name (`solver` + the model
+/// fields, constructed fresh inside the sweep — the default), or by
+/// handing a pre-built instance in `shared_solver`. The latter is how the
+/// study subsystem's solver cache shares ONE immutable compiled solver
+/// across every scenario keyed to the same (model, solver, config):
+/// solvers are safe to drive from concurrent workers as long as each
+/// worker brings its own workspace, which the engine already guarantees.
 struct SweepScenario {
   std::string model;   ///< model label for reporting (file name, generator)
   std::string solver;  ///< registry name ("sr", "rsd", "rr", "rrl", ...)
@@ -40,6 +55,12 @@ struct SweepScenario {
   std::vector<double> initial;
   SolverConfig config;
   SolveRequest request;
+  /// Pre-built solver shared with other scenarios (and with the caller,
+  /// who keeps whatever the solver borrows — e.g. its chain — alive).
+  /// When set, no solver is constructed; `solver`/`rewards`/`initial`/
+  /// `config` are reporting metadata only, and `chain` (recommended even
+  /// here) feeds the engine's model-size scheduling heuristic.
+  std::shared_ptr<const TransientSolver> shared_solver;
 };
 
 /// A batch of scenarios plus the worker budget.

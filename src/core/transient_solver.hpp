@@ -35,6 +35,12 @@ enum class MeasureKind {
   kMrr,  ///< mean reward rate       MRR(t) = (1/t) Int_0^t TRR
 };
 
+/// Canonical short name ("trr" / "mrr") — the spelling used by CLI flags,
+/// .study files and report rows alike.
+[[nodiscard]] constexpr const char* measure_name(MeasureKind kind) noexcept {
+  return kind == MeasureKind::kTrr ? "trr" : "mrr";
+}
+
 /// A method-agnostic solve request.
 struct SolveRequest {
   MeasureKind measure = MeasureKind::kTrr;

@@ -2,10 +2,15 @@
 
 namespace rrl {
 
+SolverConfig resolved_config(const ModelFile& model, SolverConfig config) {
+  if (config.regenerative < 0) config.regenerative = model.regenerative;
+  return config;
+}
+
 std::unique_ptr<TransientSolver> make_solver(const std::string& name,
                                              const ModelFile& model,
                                              SolverConfig config) {
-  if (config.regenerative < 0) config.regenerative = model.regenerative;
+  config = resolved_config(model, config);
   return make_solver(name, model.chain, model.rewards, model.initial, config);
 }
 

@@ -14,6 +14,15 @@
 
 namespace rrl {
 
+/// The construction config actually used for `model`: a negative
+/// regenerative index falls back to the file's hint (a still-negative
+/// result means auto-selection inside the registry). Exposed so callers
+/// that pre-resolve configs — e.g. before keying the study subsystem's
+/// solver cache, which deliberately keys configs exactly as given — apply
+/// the same rule as make_solver(ModelFile).
+[[nodiscard]] SolverConfig resolved_config(const ModelFile& model,
+                                           SolverConfig config);
+
 /// Convenience overload for parsed model files: uses the file's rewards,
 /// initial distribution and regenerative-state hint (when the config does
 /// not specify one). The ModelFile must outlive the returned solver.

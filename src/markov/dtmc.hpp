@@ -33,6 +33,13 @@ class RandomizedDtmc {
     pt_.mul_vec(in, out);
   }
 
+  /// out = in * P with the gather rows partitioned across `pool`
+  /// (bit-identical to the serial step — see CsrMatrix::mul_vec).
+  void step(std::span<const double> in, std::span<double> out,
+            ThreadPool& pool) const {
+    pt_.mul_vec(in, out, pool);
+  }
+
   /// P transposed, row j = incoming probabilities of state j.
   [[nodiscard]] const CsrMatrix& transition_transposed() const noexcept {
     return pt_;

@@ -53,4 +53,9 @@
 #include "sparse/csr.hpp"              // IWYU pragma: export
 #include "sparse/vector_ops.hpp"       // IWYU pragma: export
 #include "sparse/workspace.hpp"        // IWYU pragma: export
+#include "study/model_repository.hpp"  // IWYU pragma: export
+#include "study/solver_cache.hpp"      // IWYU pragma: export
+#include "study/study_format.hpp"      // IWYU pragma: export
+#include "study/study_report.hpp"      // IWYU pragma: export
+#include "study/study_runner.hpp"      // IWYU pragma: export
 #include "support/thread_pool.hpp"     // IWYU pragma: export

@@ -14,10 +14,23 @@
 // immutable after construction and safe to share across threads, but each
 // concurrent solve_grid() call must bring its OWN workspace (the sweep
 // engine keeps one per worker).
+//
+// The workspace also carries the OPTIONAL worker pool for row-partitioned
+// SpMV inside the solvers' hot loops (spmv_pool): when a batch has fewer
+// scenarios than workers, the sweep engine runs the scenarios serially and
+// points the workspace at the pool instead, so the idle workers go to the
+// model-sized matrix-vector products. Solvers consult pooled_spmv(), which
+// applies the nested-parallelism guard (never partition from inside a
+// parallel region — the scenario axis already owns the cores) and a
+// matrix-size floor (the per-step pool synchronization only pays for
+// itself on large models).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
+
+#include "support/thread_pool.hpp"
 
 namespace rrl {
 
@@ -35,6 +48,31 @@ class SolveWorkspace {
   /// General scratch buffer, resized to n; contents unspecified on return.
   [[nodiscard]] std::vector<double>& scratch(std::size_t n) {
     return sized(scratch_, n);
+  }
+
+  /// Stored-entry floor below which the pooled SpMV path is skipped: one
+  /// pooled product costs a pool wake-up + join (microseconds), which only
+  /// amortizes against models whose serial SpMV is at least comparable.
+  static constexpr std::int64_t kMinPooledNnz = 32768;
+
+  /// Borrowed pool for row-partitioned SpMV in solver hot loops; nullptr
+  /// (the default) keeps every product serial. Set by the sweep engine's
+  /// small-batch path; callers driving solve_grid() directly may set it
+  /// too. The pool must outlive the solve.
+  ThreadPool* spmv_pool = nullptr;
+
+  /// The pool to row-partition a product over, or nullptr to stay serial:
+  /// requires a pool with real workers, a matrix of at least kMinPooledNnz
+  /// stored entries, and — the nested-parallelism guard — a calling thread
+  /// that is not already inside a parallel_for region (there the cores
+  /// belong to the scenario axis, and a nested pooled call would run
+  /// inline anyway). The pooled kernel is bit-identical to the serial one,
+  /// so consulting this is purely a scheduling decision.
+  [[nodiscard]] ThreadPool* pooled_spmv(std::int64_t nnz) const noexcept {
+    return (spmv_pool != nullptr && spmv_pool->num_threads() > 1 &&
+            nnz >= kMinPooledNnz && !ThreadPool::in_parallel_region())
+               ? spmv_pool
+               : nullptr;
   }
 
  private:

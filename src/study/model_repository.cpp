@@ -1,0 +1,83 @@
+#include "study/model_repository.hpp"
+
+#include <span>
+#include <utility>
+
+namespace rrl {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void mix_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void mix_span(std::uint64_t& h, std::span<const T> values) {
+  const std::uint64_t count = values.size();
+  mix_bytes(h, &count, sizeof(count));
+  if (!values.empty()) {
+    mix_bytes(h, values.data(), values.size() * sizeof(T));
+  }
+}
+
+}  // namespace
+
+std::uint64_t hash_model(const ModelFile& model) {
+  std::uint64_t h = kFnvOffset;
+  const CsrMatrix& rates = model.chain.rates();
+  const index_t states = model.chain.num_states();
+  mix_bytes(h, &states, sizeof(states));
+  mix_span(h, rates.row_ptr());
+  mix_span(h, rates.col_idx());
+  mix_span(h, rates.values());
+  mix_span(h, std::span<const double>(model.rewards));
+  mix_span(h, std::span<const double>(model.initial));
+  mix_bytes(h, &model.regenerative, sizeof(model.regenerative));
+  return h;
+}
+
+std::shared_ptr<const StudyModel> ModelRepository::load(
+    const std::string& path) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_path_.find(path);
+    if (it != by_path_.end()) return it->second;
+  }
+  // Parse outside the lock (file I/O); a concurrent load of the same path
+  // parses twice but interns once.
+  ModelFile parsed = read_model_file(path);
+  std::shared_ptr<const StudyModel> model = intern(path, std::move(parsed));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_path_.emplace(path, std::move(model)).first->second;
+}
+
+std::shared_ptr<const StudyModel> ModelRepository::adopt(
+    const std::string& label, ModelFile file) {
+  return intern(label, std::move(file));
+}
+
+std::shared_ptr<const StudyModel> ModelRepository::intern(
+    const std::string& label, ModelFile file) {
+  const std::uint64_t hash = hash_model(file);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_hash_.find(hash);
+  if (it != by_hash_.end()) return it->second;
+  auto model = std::make_shared<StudyModel>();
+  model->label = label;
+  model->file = std::move(file);
+  model->hash = hash;
+  return by_hash_.emplace(hash, std::move(model)).first->second;
+}
+
+std::size_t ModelRepository::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_hash_.size();
+}
+
+}  // namespace rrl

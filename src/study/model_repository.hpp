@@ -1,0 +1,72 @@
+// Content-addressed model repository (the study subsystem's model store).
+//
+// A parametric study names the same model file in many scenarios — often
+// the same file under several paths (shards started in different working
+// directories, symlinked model libraries). The repository parses each
+// model once, content-hashes it (chain structure + rates + rewards +
+// initial distribution + regenerative hint, all by exact bit pattern), and
+// interns it: two paths whose contents hash identically share one
+// immutable StudyModel, and everything downstream — most importantly the
+// solver cache, which keys compiled solvers by this hash — deduplicates
+// for free.
+//
+// Lifetime: models are handed out as shared_ptr<const StudyModel>; the
+// repository retains its own reference, so a model stays alive as long as
+// either the repository or any scenario/cache entry uses it.
+//
+// Threading: all members are internally synchronized; load() may be called
+// from concurrent workers (each path is parsed at most once per
+// repository, barring a benign race that parses twice and interns once).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "io/model_format.hpp"
+
+namespace rrl {
+
+/// An interned model: the parsed file plus its identity.
+struct StudyModel {
+  std::string label;   ///< display label (the path as first given)
+  ModelFile file;
+  std::uint64_t hash = 0;  ///< content hash (see hash_model)
+};
+
+/// Order-sensitive 64-bit content hash (FNV-1a over the exact bit patterns
+/// of the chain's CSR arrays, rewards, initial distribution and
+/// regenerative hint). Equal models — however they were read or built —
+/// hash equal; the reverse holds up to the usual 64-bit collision odds,
+/// which is the standard content-address trade.
+[[nodiscard]] std::uint64_t hash_model(const ModelFile& model);
+
+class ModelRepository {
+ public:
+  /// The model at `path`, parsed at most once: repeated loads of the same
+  /// path — or of a different path with identical contents — return the
+  /// same interned instance. Throws (contract_error) on unreadable or
+  /// malformed files.
+  [[nodiscard]] std::shared_ptr<const StudyModel> load(
+      const std::string& path);
+
+  /// Intern an in-memory model under `label` (generators, tests, benches).
+  /// Content-deduplicates exactly like load().
+  [[nodiscard]] std::shared_ptr<const StudyModel> adopt(
+      const std::string& label, ModelFile file);
+
+  /// Number of DISTINCT models interned (by content).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  [[nodiscard]] std::shared_ptr<const StudyModel> intern(
+      const std::string& label, ModelFile file);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const StudyModel>> by_path_;
+  std::map<std::uint64_t, std::shared_ptr<const StudyModel>> by_hash_;
+};
+
+}  // namespace rrl

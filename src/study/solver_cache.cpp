@@ -1,0 +1,54 @@
+#include "study/solver_cache.hpp"
+
+#include <utility>
+
+namespace rrl {
+
+std::shared_ptr<const TransientSolver> SolverCache::get_or_build(
+    const std::shared_ptr<const StudyModel>& model,
+    const std::string& solver_name, SolverConfig config) {
+  RRL_EXPECTS(model != nullptr);
+  // The config is keyed EXACTLY as given — in particular regenerative = -1
+  // (auto) stays -1, constructing through the registry's deterministic
+  // auto-selection just like the uncached per-scenario path, so cached and
+  // fresh results cannot diverge. Callers that mean "use the model file's
+  // hint" resolve that sentinel themselves (the study runner and the CLI
+  // both do, via the file's hint / io-layer resolved_config), which also
+  // makes "hint spelled out" and "hint from the file" key identically.
+
+  SolverCacheKey key;
+  key.model_hash = model->hash;
+  key.solver = solver_name;
+  key.epsilon = config.epsilon;
+  key.rate_factor = config.rate_factor;
+  key.regenerative = config.regenerative;
+  key.step_cap = config.step_cap;
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    return it->second.solver;
+  }
+  // Build under the lock: construction either throws (nothing cached) or
+  // yields the immutable shared instance. The solver borrows the model's
+  // chain, which the entry pins alongside it.
+  std::shared_ptr<const TransientSolver> solver =
+      make_solver(solver_name, model->file.chain, model->file.rewards,
+                  model->file.initial, config);
+  ++stats_.misses;
+  entries_.emplace(std::move(key), Entry{model, solver});
+  return solver;
+}
+
+SolverCacheStats SolverCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SolverCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace rrl

@@ -1,0 +1,94 @@
+// Model-keyed solver cache (the heart of the study subsystem).
+//
+// The regenerative methods pay a substantial one-time cost per model —
+// regenerative-state selection, randomized-DTMC construction, and (per
+// horizon, memoized inside RR/RRL) the schema — that the single-shot sweep
+// engine rebuilt for every scenario. The cache shares ONE immutable
+// compiled solver across all scenarios keyed to the same
+// (model content hash, solver name, SolverConfig): solvers are safe to
+// drive from concurrent workers as long as each worker brings its own
+// SolveWorkspace, which the sweep engine guarantees, so sharing the
+// instance is free — and because solver construction and solve_grid() are
+// deterministic, batch results through cached solvers are bit-identical to
+// per-scenario fresh-solver runs.
+//
+// Epsilon note: scenarios that differ only in their error target SHOULD
+// share a solver — SolveRequest::epsilon overrides the constructed default
+// in every method — so callers maximize sharing by constructing with one
+// canonical config.epsilon (the study runner uses the study's tightest)
+// and carrying the per-scenario epsilon in the request.
+//
+// Each cache entry pins the StudyModel it was compiled from, so a cached
+// solver's borrowed chain stays alive as long as the entry does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "core/registry.hpp"
+#include "study/model_repository.hpp"
+
+namespace rrl {
+
+/// Cache identity: model content + method + construction parameters
+/// (every SolverConfig field participates).
+struct SolverCacheKey {
+  std::uint64_t model_hash = 0;
+  std::string solver;
+  double epsilon = 0.0;
+  double rate_factor = 0.0;
+  index_t regenerative = -1;
+  std::int64_t step_cap = -1;
+
+  [[nodiscard]] auto tie() const {
+    return std::tie(model_hash, solver, epsilon, rate_factor, regenerative,
+                    step_cap);
+  }
+  [[nodiscard]] bool operator<(const SolverCacheKey& o) const {
+    return tie() < o.tie();
+  }
+};
+
+/// Hit/miss accounting (monotone).
+struct SolverCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+class SolverCache {
+ public:
+  /// The shared solver for (model, solver_name, config), built on first
+  /// use. The config participates in the key exactly as given —
+  /// regenerative = -1 (auto) is its own key and constructs through the
+  /// registry's deterministic auto-selection, identically to the uncached
+  /// path; callers meaning "the model file's hint" resolve that
+  /// themselves first (see io/model_solver.hpp's resolved_config).
+  /// Construction errors (unknown solver, structural precondition) are
+  /// thrown to the caller and nothing is cached. Thread-safe; a miss
+  /// builds under the lock (the study runner resolves scenarios serially
+  /// before fanning out, so misses are never on a hot concurrent path).
+  [[nodiscard]] std::shared_ptr<const TransientSolver> get_or_build(
+      const std::shared_ptr<const StudyModel>& model,
+      const std::string& solver_name, SolverConfig config);
+
+  [[nodiscard]] SolverCacheStats stats() const;
+
+  /// Number of compiled solvers held.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const StudyModel> model;  ///< keeps the chain alive
+    std::shared_ptr<const TransientSolver> solver;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<SolverCacheKey, Entry> entries_;
+  SolverCacheStats stats_;
+};
+
+}  // namespace rrl

@@ -1,0 +1,176 @@
+#include "study/study_format.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+[[noreturn]] void parse_fail(int line, const std::string& message) {
+  throw contract_error("study file, line " + std::to_string(line) + ": " +
+                       message);
+}
+
+// Resolve `path` against `base_dir` unless it is absolute.
+std::string resolved(const std::string& base_dir, const std::string& path) {
+  if (base_dir.empty() || path.empty() || path.front() == '/') return path;
+  return base_dir + "/" + path;
+}
+
+}  // namespace
+
+StudySpec read_study(std::istream& in, const std::string& base_dir) {
+  StudySpec spec;
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) continue;  // blank / comment-only line
+
+    // Single-operand keywords reject trailing tokens so that list-style
+    // input ("grid a:b:c d:e:f") fails loudly instead of silently
+    // shrinking the expansion; use one line per grid.
+    const auto reject_extras = [&] {
+      std::string extra;
+      if (line >> extra) {
+        parse_fail(line_no, "'" + keyword + "' takes exactly one operand "
+                                "(got '" + extra + "' after it)");
+      }
+    };
+
+    if (keyword == "model") {
+      std::string path;
+      if (!(line >> path)) parse_fail(line_no, "'model' needs a path");
+      reject_extras();
+      spec.model_labels.push_back(path);
+      spec.models.push_back(resolved(base_dir, path));
+    } else if (keyword == "solvers") {
+      std::string name;
+      std::vector<std::string> names;
+      while (line >> name) names.push_back(name);
+      if (names.empty()) {
+        parse_fail(line_no, "'solvers' needs 'all' or solver names");
+      }
+      if (names.size() == 1 && names.front() == "all") {
+        spec.solvers.clear();  // resolved against the registry at run time
+      } else {
+        spec.solvers = std::move(names);
+      }
+    } else if (keyword == "measures") {
+      std::vector<MeasureKind> measures;
+      std::string token;
+      while (line >> token) {
+        if (token == "trr") {
+          measures.push_back(MeasureKind::kTrr);
+        } else if (token == "mrr") {
+          measures.push_back(MeasureKind::kMrr);
+        } else if (token == "both") {
+          measures.push_back(MeasureKind::kTrr);
+          measures.push_back(MeasureKind::kMrr);
+        } else {
+          parse_fail(line_no, "'measures' accepts trr, mrr or both (got '" +
+                                  token + "')");
+        }
+      }
+      if (measures.empty()) {
+        parse_fail(line_no, "'measures' needs trr, mrr or both");
+      }
+      spec.measures = std::move(measures);
+    } else if (keyword == "epsilons" || keyword == "epsilon") {
+      std::vector<double> epsilons;
+      double eps = 0.0;
+      while (line >> eps) {
+        if (!(eps > 0.0)) {
+          parse_fail(line_no, "epsilons must be positive");
+        }
+        epsilons.push_back(eps);
+      }
+      if (!line.eof()) parse_fail(line_no, "malformed epsilon value");
+      if (epsilons.empty()) {
+        parse_fail(line_no, "'epsilons' needs at least one value");
+      }
+      spec.epsilons = std::move(epsilons);
+    } else if (keyword == "grid") {
+      std::string body;
+      if (!(line >> body)) {
+        parse_fail(line_no, "'grid' needs <lo>:<hi>:<count>");
+      }
+      double lo = 0.0, hi = 0.0, count = 0.0;
+      char c1 = 0, c2 = 0;
+      std::istringstream grid(body);
+      if (!(grid >> lo >> c1 >> hi >> c2 >> count) || c1 != ':' ||
+          c2 != ':' || !grid.eof() || lo <= 0.0 || hi < lo || count < 1.0 ||
+          count > 100000.0 || count != std::floor(count)) {
+        parse_fail(line_no,
+                   "'grid' expects lo:hi:count with 0 < lo <= hi and an "
+                   "integer 1 <= count <= 100000");
+      }
+      reject_extras();
+      spec.grids.push_back(
+          log_time_grid(lo, hi, static_cast<int>(count)));
+    } else if (keyword == "times") {
+      std::vector<double> ts;
+      double t = 0.0;
+      while (line >> t) {
+        if (!(t > 0.0)) parse_fail(line_no, "times must be positive");
+        ts.push_back(t);
+      }
+      if (!line.eof()) parse_fail(line_no, "malformed time value");
+      if (ts.empty()) parse_fail(line_no, "'times' needs at least one value");
+      spec.grids.push_back(std::move(ts));
+    } else if (keyword == "regenerative") {
+      std::string token;
+      if (!(line >> token)) {
+        parse_fail(line_no, "'regenerative' needs auto or a state index");
+      }
+      if (token == "auto") {
+        spec.regenerative = -1;
+      } else {
+        std::istringstream idx(token);
+        long s = -1;
+        if (!(idx >> s) || !idx.eof() || s < 0) {
+          parse_fail(line_no,
+                     "'regenerative' needs auto or a non-negative index");
+        }
+        spec.regenerative = static_cast<index_t>(s);
+      }
+      reject_extras();
+    } else if (keyword == "jobs") {
+      long n = 0;
+      if (!(line >> n) || n < 1) {
+        parse_fail(line_no, "'jobs' needs a positive count");
+      }
+      reject_extras();
+      spec.jobs = static_cast<int>(n);
+    } else {
+      parse_fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (spec.models.empty()) {
+    throw contract_error("study file: no 'model' line");
+  }
+  if (spec.grids.empty()) {
+    throw contract_error("study file: no 'grid' or 'times' line");
+  }
+  return spec;
+}
+
+StudySpec read_study_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw contract_error("cannot open study file: " + path);
+  const auto slash = path.rfind('/');
+  const std::string base_dir =
+      slash == std::string::npos ? std::string() : path.substr(0, slash);
+  return read_study(in, base_dir);
+}
+
+}  // namespace rrl

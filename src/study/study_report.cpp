@@ -1,0 +1,222 @@
+#include "study/study_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+constexpr const char* kMetaPrefix = "# rrl-study v1 scenarios=";
+constexpr const char* kHeader =
+    "scenario,point,model,solver,measure,epsilon,t,value,dtmc_steps,error";
+
+std::string csv_escape(const std::string& field) {
+  // Newlines are flattened to spaces first: the reader is line-oriented
+  // (multi-line quoted fields are not supported), and the only free-text
+  // fields are labels and error messages where a space is faithful enough.
+  std::string flat = field;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  if (flat.find_first_of(",\"") == std::string::npos) return flat;
+  std::string out = "\"";
+  for (const char c : flat) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Split one CSV line into fields, honoring double-quote escaping.
+std::vector<std::string> split_csv(const std::string& line, int line_no) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (quoted) {
+    throw contract_error("report, line " + std::to_string(line_no) +
+                         ": unterminated quoted field");
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+double parse_double(const std::string& field, int line_no) {
+  if (field.empty()) return 0.0;
+  std::istringstream ss(field);
+  double v = 0.0;
+  if (!(ss >> v) || !ss.eof()) {
+    throw contract_error("report, line " + std::to_string(line_no) +
+                         ": bad number '" + field + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& field, int line_no) {
+  std::istringstream ss(field);
+  std::uint64_t v = 0;
+  if (!(ss >> v) || !ss.eof()) {
+    throw contract_error("report, line " + std::to_string(line_no) +
+                         ": bad index '" + field + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_report_csv(std::ostream& out, std::uint64_t total_scenarios,
+                      const std::vector<ReportRow>& rows) {
+  out << kMetaPrefix << total_scenarios << "\n" << kHeader << "\n";
+  for (const ReportRow& r : rows) {
+    out << r.scenario << ',' << r.point << ',' << csv_escape(r.model) << ','
+        << csv_escape(r.solver) << ',' << r.measure << ','
+        << fmt_double(r.epsilon) << ',';
+    if (r.failed()) {
+      out << ",,," << csv_escape(r.error) << "\n";
+    } else {
+      out << fmt_double(r.t) << ',' << fmt_double(r.value) << ','
+          << r.dtmc_steps << ",\n";
+    }
+  }
+}
+
+std::vector<ReportRow> read_report_csv(std::istream& in,
+                                       std::uint64_t& total_scenarios) {
+  std::string line;
+  int line_no = 0;
+
+  if (!std::getline(in, line)) {
+    throw contract_error("report: empty input");
+  }
+  ++line_no;
+  if (line.rfind(kMetaPrefix, 0) != 0) {
+    throw contract_error("report: missing '# rrl-study v1' metadata line");
+  }
+  total_scenarios = parse_u64(line.substr(std::string(kMetaPrefix).size()),
+                              line_no);
+
+  if (!std::getline(in, line) || line != kHeader) {
+    throw contract_error("report: missing or unexpected header line");
+  }
+  ++line_no;
+
+  std::vector<ReportRow> rows;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_csv(line, line_no);
+    if (f.size() != 10) {
+      throw contract_error("report, line " + std::to_string(line_no) +
+                           ": expected 10 fields, got " +
+                           std::to_string(f.size()));
+    }
+    ReportRow row;
+    row.scenario = parse_u64(f[0], line_no);
+    row.point = parse_u64(f[1], line_no);
+    row.model = f[2];
+    row.solver = f[3];
+    row.measure = f[4];
+    row.epsilon = parse_double(f[5], line_no);
+    row.t = parse_double(f[6], line_no);
+    row.value = parse_double(f[7], line_no);
+    row.dtmc_steps =
+        f[8].empty() ? 0
+                     : static_cast<std::int64_t>(parse_u64(f[8], line_no));
+    row.error = f[9];
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<ReportRow> merge_report_rows(
+    const std::vector<std::vector<ReportRow>>& shards,
+    const std::vector<std::uint64_t>& shard_totals,
+    std::uint64_t& total_scenarios) {
+  RRL_EXPECTS(!shards.empty());
+  RRL_EXPECTS(shards.size() == shard_totals.size());
+  total_scenarios = shard_totals.front();
+  for (const std::uint64_t t : shard_totals) {
+    if (t != total_scenarios) {
+      throw contract_error(
+          "merge: shard reports disagree on the study size (" +
+          std::to_string(t) + " vs " + std::to_string(total_scenarios) +
+          " scenarios) — were they produced by the same study?");
+    }
+  }
+
+  std::vector<ReportRow> merged;
+  for (const auto& shard : shards) {
+    merged.insert(merged.end(), shard.begin(), shard.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const ReportRow& a, const ReportRow& b) {
+                     return a.scenario != b.scenario ? a.scenario < b.scenario
+                                                     : a.point < b.point;
+                   });
+
+  // Coverage: every scenario 0..total-1 present, no (scenario, point) twice.
+  std::uint64_t next_expected = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const ReportRow& row = merged[i];
+    if (row.scenario >= total_scenarios) {
+      throw contract_error("merge: row for scenario " +
+                           std::to_string(row.scenario) +
+                           " outside the study (" +
+                           std::to_string(total_scenarios) + " scenarios)");
+    }
+    if (i > 0 && merged[i - 1].scenario == row.scenario &&
+        merged[i - 1].point == row.point) {
+      throw contract_error(
+          "merge: duplicate row for scenario " +
+          std::to_string(row.scenario) + ", point " +
+          std::to_string(row.point) + " — overlapping shards?");
+    }
+    if (row.scenario > next_expected) {
+      throw contract_error("merge: no rows for scenario " +
+                           std::to_string(next_expected) +
+                           " — missing shard?");
+    }
+    if (row.scenario == next_expected) ++next_expected;
+  }
+  if (next_expected != total_scenarios) {
+    throw contract_error("merge: no rows for scenario " +
+                         std::to_string(next_expected) +
+                         " — missing shard?");
+  }
+  return merged;
+}
+
+}  // namespace rrl

@@ -1,0 +1,103 @@
+// Study execution: expand a StudySpec into scenarios, slice off one shard,
+// solve it through the sweep engine with cache-shared solvers, and reduce
+// to mergeable report rows.
+//
+// Expansion order (the contract that makes sharding and merging work):
+// scenario indices enumerate the cartesian product in fixed nested order —
+//
+//   for model in models:            # outermost
+//     for solver in solvers:
+//       for measure in measures:
+//         for epsilon in epsilons:
+//           for grid in grids:      # innermost
+//
+// — so index i is stable across runs, machines and shard counts.
+//
+// Sharding is round-robin: shard k of N (1-based) owns every scenario with
+// index % N == k-1. Round-robin (rather than contiguous blocks) spreads a
+// study's expensive axis — usually one model or one solver — evenly across
+// shards, and the report rows carry global indices so --merge restores the
+// unsharded order exactly.
+//
+// Solver sharing: scenarios are resolved through the SolverCache serially
+// before the sweep, so all scenarios keyed to the same (model, solver,
+// config) drive ONE immutable solver (per-worker SolveWorkspaces carry the
+// mutable state). The per-scenario epsilon travels in the SolveRequest —
+// every method honors the request epsilon over its constructed default —
+// so the cache is keyed with one canonical construction epsilon (the
+// study's tightest) and epsilon variation costs no extra solvers. Results
+// are bit-identical to per-scenario fresh construction (use_cache=false),
+// which the tests assert.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sweep_engine.hpp"
+#include "study/model_repository.hpp"
+#include "study/solver_cache.hpp"
+#include "study/study_format.hpp"
+#include "study/study_report.hpp"
+
+namespace rrl {
+
+/// One shard of N (1-based index in [1, count]); {1, 1} = the whole study.
+struct ShardSpec {
+  int index = 1;
+  int count = 1;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return count >= 1 && index >= 1 && index <= count;
+  }
+};
+
+/// Execution knobs beyond the spec.
+struct StudyOptions {
+  ShardSpec shard;
+  /// Worker threads; <= 0 uses the spec's `jobs` line.
+  int jobs = 0;
+  /// false = per-scenario fresh solver construction (the pre-cache
+  /// behavior; kept for equivalence testing and benchmarking).
+  bool use_cache = true;
+};
+
+/// Identity of one expanded scenario (parallel to the batch's scenarios).
+struct StudyScenario {
+  std::uint64_t index = 0;  ///< GLOBAL index in the full expansion
+  std::string model;        ///< model label (path as written in the study)
+  std::string solver;
+  MeasureKind measure = MeasureKind::kTrr;
+  double epsilon = 0.0;
+  std::size_t grid = 0;  ///< index into StudySpec::grids
+};
+
+/// A solved shard: metadata + results, index-aligned.
+struct StudyRun {
+  std::vector<StudyScenario> scenarios;  ///< this shard, global order
+  SweepReport sweep;                     ///< results[i] <-> scenarios[i]
+  std::vector<std::vector<double>> grids;  ///< the spec's grids (for rows)
+  std::uint64_t total_scenarios = 0;     ///< full expansion size
+  ShardSpec shard;
+  SolverCacheStats cache;  ///< this run's delta of the cache's counters
+  int jobs = 1;
+
+  /// Report rows in canonical order (one per grid point, or one per
+  /// failed scenario).
+  [[nodiscard]] std::vector<ReportRow> rows() const;
+};
+
+/// Expand, slice, resolve solvers through the cache, and solve. Models are
+/// loaded through `repository` (each distinct content parsed once) and
+/// solvers through `cache`; both outlive the returned run and may be
+/// shared across runs — a second study over the same models starts warm.
+/// Throws contract_error for an invalid shard, an unknown solver name, or
+/// an unloadable model; per-scenario solver failures (e.g. rsd on an
+/// absorbing chain) are recorded in the results instead.
+[[nodiscard]] StudyRun run_study(const StudySpec& spec,
+                                 ModelRepository& repository,
+                                 SolverCache& cache,
+                                 const StudyOptions& options = {});
+
+}  // namespace rrl

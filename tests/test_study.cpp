@@ -1,0 +1,458 @@
+// Study subsystem: (1) .study parsing — axes, defaults, base-dir
+// resolution, line-numbered errors; (2) content-addressed model interning;
+// (3) solver-cache hit/miss accounting and regenerative-hint key
+// resolution; (4) the schema memo inside RR/RRL; (5) cached-solver batch
+// results bit-identical to fresh-solver results across all four solvers
+// and both measures; (6) deterministic round-robin sharding whose merged
+// 3/3-shard report reproduces the unsharded report byte-for-byte,
+// including CSV-escaped error rows; (7) merge validation (overlap, gaps,
+// size mismatch).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "models/multiproc.hpp"
+#include "models/raid5.hpp"
+#include "rrl.hpp"
+
+namespace rrl {
+namespace {
+
+ModelFile multiproc_file() {
+  const MultiprocModel m = build_multiproc_availability({});
+  ModelFile f;
+  f.chain = m.chain;
+  f.rewards = m.failure_rewards();
+  f.initial = m.initial_distribution();
+  f.regenerative = m.initial_state;
+  return f;
+}
+
+ModelFile raid_file(int groups = 10) {
+  Raid5Params p;
+  p.groups = groups;
+  const Raid5Model m = build_raid5_availability(p);
+  ModelFile f;
+  f.chain = m.chain;
+  f.rewards = m.failure_rewards();
+  f.initial = m.initial_distribution();
+  f.regenerative = m.initial_state;
+  return f;
+}
+
+ModelFile absorbing_file() {
+  const MultiprocModel m = build_multiproc_reliability({});
+  ModelFile f;
+  f.chain = m.chain;
+  f.rewards = m.failure_rewards();
+  f.initial = m.initial_distribution();
+  f.regenerative = m.initial_state;
+  return f;
+}
+
+// Serialize a model into the test's working directory and return the path.
+std::string write_temp_model(const std::string& name, const ModelFile& f) {
+  const std::string path = "test_study_" + name + ".rrlm";
+  write_model_file(path, f.chain, f.rewards, f.initial, f.regenerative);
+  return path;
+}
+
+TEST(StudyFormat, ParsesAxesAndDefaults) {
+  std::istringstream in(
+      "# a comment\n"
+      "model a.rrlm   # trailing comment\n"
+      "model sub/b.rrlm\n"
+      "solvers rr rrl\n"
+      "measures both\n"
+      "epsilons 1e-8 1e-10\n"
+      "grid 1:1e3:4\n"
+      "times 5 50\n"
+      "regenerative auto\n"
+      "jobs 3\n");
+  const StudySpec spec = read_study(in, "/base");
+  ASSERT_EQ(spec.models.size(), 2u);
+  EXPECT_EQ(spec.models[0], "/base/a.rrlm");
+  EXPECT_EQ(spec.models[1], "/base/sub/b.rrlm");
+  EXPECT_EQ(spec.model_labels[0], "a.rrlm");
+  ASSERT_EQ(spec.solvers.size(), 2u);
+  EXPECT_EQ(spec.solvers[0], "rr");
+  ASSERT_EQ(spec.measures.size(), 2u);
+  EXPECT_EQ(spec.measures[0], MeasureKind::kTrr);
+  EXPECT_EQ(spec.measures[1], MeasureKind::kMrr);
+  ASSERT_EQ(spec.epsilons.size(), 2u);
+  EXPECT_EQ(spec.epsilons[1], 1e-10);
+  ASSERT_EQ(spec.grids.size(), 2u);
+  EXPECT_EQ(spec.grids[0].size(), 4u);
+  EXPECT_EQ(spec.grids[0].front(), 1.0);
+  EXPECT_EQ(spec.grids[0].back(), 1e3);
+  EXPECT_EQ(spec.grids[1], (std::vector<double>{5.0, 50.0}));
+  EXPECT_EQ(spec.regenerative, -1);
+  EXPECT_EQ(spec.jobs, 3);
+  EXPECT_EQ(spec.scenario_count(2), 2u * 2u * 2u * 2u * 2u);
+
+  std::istringstream defaults("model a.rrlm\ntimes 1\n");
+  const StudySpec d = read_study(defaults);
+  EXPECT_TRUE(d.solvers.empty());  // "all": resolved at run time
+  EXPECT_EQ(d.measures, (std::vector<MeasureKind>{MeasureKind::kTrr}));
+  EXPECT_EQ(d.epsilons, (std::vector<double>{1e-12}));
+  EXPECT_EQ(d.regenerative, kRegenerativeFromModel);
+  EXPECT_EQ(d.jobs, 1);
+  EXPECT_EQ(d.models[0], "a.rrlm");  // empty base dir: path unchanged
+}
+
+TEST(StudyFormat, RejectsMalformedInput) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return read_study(in);
+  };
+  EXPECT_THROW(parse("frobnicate 1\n"), contract_error);
+  EXPECT_THROW(parse("model a\ngrid 5:1:3\n"), contract_error);   // hi < lo
+  EXPECT_THROW(parse("model a\ngrid 1:10:2.5\n"), contract_error);
+  EXPECT_THROW(parse("model a\nepsilons -1\ntimes 1\n"), contract_error);
+  EXPECT_THROW(parse("model a\nmeasures sometimes\ntimes 1\n"),
+               contract_error);
+  EXPECT_THROW(parse("times 1\n"), contract_error);  // no model
+  EXPECT_THROW(parse("model a\n"), contract_error);  // no grid
+  EXPECT_THROW(parse("model a b\ntimes 1\n"), contract_error);
+  // Trailing tokens on single-operand keywords fail loudly instead of
+  // silently shrinking the expansion.
+  EXPECT_THROW(parse("model a\ngrid 1:10:2 1:100:3\n"), contract_error);
+  EXPECT_THROW(parse("model a\ntimes 1\njobs 2 3\n"), contract_error);
+  EXPECT_THROW(parse("model a\ntimes 1\nregenerative auto 4\n"),
+               contract_error);
+  try {
+    parse("model a.rrlm\nbogus 1\n");
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ModelRepository, InternsByContent) {
+  ModelRepository repo;
+  const auto a = repo.adopt("multiproc", multiproc_file());
+  const auto b = repo.adopt("same-content", multiproc_file());
+  EXPECT_EQ(a.get(), b.get());  // identical contents intern to one model
+  EXPECT_EQ(repo.size(), 1u);
+  EXPECT_EQ(a->label, "multiproc");  // first label wins
+
+  ModelFile tweaked = multiproc_file();
+  tweaked.rewards[0] += 1.0;
+  const auto c = repo.adopt("tweaked", std::move(tweaked));
+  EXPECT_NE(c.get(), a.get());
+  EXPECT_NE(c->hash, a->hash);
+  EXPECT_EQ(repo.size(), 2u);
+
+  // Loading the same path twice parses once and returns the same instance;
+  // a second path with identical contents interns to it as well.
+  const std::string path = write_temp_model("repo_a", multiproc_file());
+  const std::string copy = write_temp_model("repo_b", multiproc_file());
+  const auto l1 = repo.load(path);
+  const auto l2 = repo.load(path);
+  const auto l3 = repo.load(copy);
+  EXPECT_EQ(l1.get(), l2.get());
+  EXPECT_EQ(l1.get(), l3.get());
+  EXPECT_EQ(l1.get(), a.get());  // same content as the adopted generator
+  std::remove(path.c_str());
+  std::remove(copy.c_str());
+}
+
+TEST(SolverCache, HitMissAccountingAndKeyResolution) {
+  ModelRepository repo;
+  const auto multi = repo.adopt("multiproc", multiproc_file());
+  const auto raid = repo.adopt("raid", raid_file());
+
+  SolverCache cache;
+  SolverConfig config;
+  config.epsilon = 1e-10;
+  std::vector<std::shared_ptr<const TransientSolver>> first;
+  for (const auto& model : {multi, raid}) {
+    for (const std::string name : {"sr", "rsd", "rr", "rrl"}) {
+      first.push_back(cache.get_or_build(model, name, config));
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, 8u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 8u);
+
+  std::size_t i = 0;
+  for (const auto& model : {multi, raid}) {
+    for (const std::string name : {"sr", "rsd", "rr", "rrl"}) {
+      EXPECT_EQ(cache.get_or_build(model, name, config).get(),
+                first[i++].get());
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, 8u);
+  EXPECT_EQ(cache.stats().hits, 8u);
+
+  // The config keys exactly as given: auto (-1, the default above) and an
+  // explicit regenerative index are distinct entries — auto must construct
+  // through the registry's own selection, identically to the uncached
+  // path — and each shares with itself.
+  SolverConfig hinted = config;
+  hinted.regenerative = multi->file.regenerative;
+  const auto hinted_solver = cache.get_or_build(multi, "rrl", hinted);
+  EXPECT_NE(hinted_solver.get(), first[3].get());
+  EXPECT_EQ(cache.get_or_build(multi, "rrl", hinted).get(),
+            hinted_solver.get());
+  EXPECT_EQ(cache.get_or_build(multi, "rrl", config).get(), first[3].get());
+  // A different construction epsilon is a different solver too.
+  SolverConfig other_eps = config;
+  other_eps.epsilon = 1e-8;
+  EXPECT_NE(cache.get_or_build(multi, "rrl", other_eps).get(),
+            first[3].get());
+  EXPECT_EQ(cache.size(), 10u);
+}
+
+TEST(SchemaCache, MemoizesPerHorizonAndEpsilon) {
+  const ModelFile f = multiproc_file();
+  RrlOptions opt;
+  opt.epsilon = 1e-10;
+  const RegenerativeRandomizationLaplace solver(f.chain, f.rewards,
+                                                f.initial, f.regenerative,
+                                                opt);
+  const SolveRequest trr = SolveRequest::trr({10.0, 100.0});
+  const SolveReport a = solver.solve_grid(trr);
+  EXPECT_EQ(solver.schema_cache_stats().misses, 1u);
+  EXPECT_EQ(solver.schema_cache_stats().hits, 0u);
+
+  // Same horizon: the other measure and a grid sharing t_max both hit.
+  const SolveReport b = solver.solve_grid(SolveRequest::mrr({100.0}));
+  const SolveReport c = solver.solve_grid(SolveRequest::trr({5.0, 100.0}));
+  EXPECT_EQ(solver.schema_cache_stats().misses, 1u);
+  EXPECT_EQ(solver.schema_cache_stats().hits, 2u);
+
+  // A different epsilon or horizon compiles a new artifact.
+  (void)solver.solve_grid(SolveRequest::trr({100.0}, 1e-6));
+  (void)solver.solve_grid(SolveRequest::trr({200.0}));
+  EXPECT_EQ(solver.schema_cache_stats().misses, 3u);
+
+  // Memoized answers are bit-identical to a fresh solver's.
+  const RegenerativeRandomizationLaplace fresh(f.chain, f.rewards, f.initial,
+                                               f.regenerative, opt);
+  EXPECT_EQ(a.values(), fresh.solve_grid(trr).values());
+  EXPECT_EQ(b.values(),
+            fresh.solve_grid(SolveRequest::mrr({100.0})).values());
+  EXPECT_EQ(c.values(),
+            fresh.solve_grid(SolveRequest::trr({5.0, 100.0})).values());
+}
+
+// The study used by the end-to-end tests: 3 models (one absorbing, so rsd
+// scenarios fail and exercise the error rows) x all four solvers x both
+// measures x 2 epsilons x 2 grids = 96 scenarios.
+StudySpec end_to_end_spec(const std::string& multi_path,
+                          const std::string& raid_path,
+                          const std::string& absorbing_path) {
+  std::istringstream in(
+      "model " + multi_path + "\n" +
+      "model " + raid_path + "\n" +
+      "model " + absorbing_path + "\n" +
+      "solvers all\n"
+      "measures both\n"
+      "epsilons 1e-8 1e-10\n"
+      "grid 1:100:3\n"
+      "times 7 70\n"
+      "jobs 4\n");
+  return read_study(in);
+}
+
+TEST(StudyRunner, CachedBitIdenticalToFreshAcrossSolversAndMeasures) {
+  const std::string multi_path = write_temp_model("multi", multiproc_file());
+  const std::string raid_path = write_temp_model("raid", raid_file());
+  const std::string abs_path = write_temp_model("abs", absorbing_file());
+  const StudySpec spec = end_to_end_spec(multi_path, raid_path, abs_path);
+
+  ModelRepository repo;
+  SolverCache cache;
+  StudyOptions cached_options;
+  const StudyRun cached = run_study(spec, repo, cache, cached_options);
+
+  StudyOptions fresh_options;
+  fresh_options.use_cache = false;
+  SolverCache unused;
+  const StudyRun fresh = run_study(spec, repo, unused, fresh_options);
+
+  ASSERT_EQ(cached.total_scenarios, 96u);
+  ASSERT_EQ(cached.scenarios.size(), 96u);
+  ASSERT_EQ(fresh.scenarios.size(), 96u);
+  // rsd on the absorbing model fails per scenario: 2 measures x 2 eps x 2
+  // grids = 8 failures, identically in both modes.
+  EXPECT_EQ(cached.sweep.failed(), 8u);
+  EXPECT_EQ(fresh.sweep.failed(), 8u);
+
+  for (std::size_t s = 0; s < cached.scenarios.size(); ++s) {
+    const ScenarioResult& a = cached.sweep.results[s];
+    const ScenarioResult& b = fresh.sweep.results[s];
+    ASSERT_EQ(a.ok(), b.ok()) << "scenario " << s;
+    if (!a.ok()) {
+      EXPECT_EQ(a.error, b.error);
+      continue;
+    }
+    ASSERT_EQ(a.report.points.size(), b.report.points.size());
+    for (std::size_t p = 0; p < a.report.points.size(); ++p) {
+      // Bit-identical, not merely close: the cache contract.
+      EXPECT_EQ(a.report.points[p].value, b.report.points[p].value)
+          << cached.scenarios[s].model << "/" << cached.scenarios[s].solver
+          << " scenario " << s << " point " << p;
+      EXPECT_EQ(a.report.points[p].stats.dtmc_steps,
+                b.report.points[p].stats.dtmc_steps);
+    }
+  }
+
+  // Accounting: one compiled solver per (model, solver) — rsd on the
+  // absorbing model never constructs — and every other scenario shares.
+  // 3 models x 4 solvers - 1 failing combination = 11 compiled; of the 88
+  // successful-construction scenarios (11 keys x 8 scenarios each), the
+  // rest were cache hits. The fresh run must not have touched the cache.
+  EXPECT_EQ(cached.cache.misses, 11u);
+  EXPECT_EQ(cached.cache.hits, 77u);
+  EXPECT_EQ(unused.stats().hits + unused.stats().misses, 0u);
+
+  // With 'regenerative auto' the cache keys auto as auto (the registry's
+  // own deterministic selection), so cached results still match fresh
+  // per-scenario construction bit-for-bit.
+  std::istringstream auto_in("model " + multi_path + "\nmodel " + raid_path +
+                             "\nsolvers rr rrl\nmeasures both\n"
+                             "grid 1:50:2\nregenerative auto\n");
+  const StudySpec auto_spec = read_study(auto_in);
+  const StudyRun auto_cached = run_study(auto_spec, repo, cache);
+  const StudyRun auto_fresh = run_study(auto_spec, repo, unused,
+                                        fresh_options);
+  ASSERT_EQ(auto_cached.scenarios.size(), 8u);
+  EXPECT_EQ(auto_cached.sweep.failed(), 0u);
+  for (std::size_t s = 0; s < auto_cached.scenarios.size(); ++s) {
+    EXPECT_EQ(auto_cached.sweep.results[s].report.values(),
+              auto_fresh.sweep.results[s].report.values())
+        << "auto scenario " << s;
+  }
+
+  std::remove(multi_path.c_str());
+  std::remove(raid_path.c_str());
+  std::remove(abs_path.c_str());
+}
+
+TEST(StudyRunner, ShardsPartitionDeterministicallyAndMergeByteIdentical) {
+  const std::string multi_path = write_temp_model("multi2", multiproc_file());
+  const std::string raid_path = write_temp_model("raid2", raid_file());
+  const std::string abs_path = write_temp_model("abs2", absorbing_file());
+  const StudySpec spec = end_to_end_spec(multi_path, raid_path, abs_path);
+
+  ModelRepository repo;
+  SolverCache cache;
+  const StudyRun whole = run_study(spec, repo, cache);
+  std::ostringstream unsharded;
+  write_report_csv(unsharded, whole.total_scenarios, whole.rows());
+
+  std::vector<std::vector<ReportRow>> shard_rows;
+  std::vector<std::uint64_t> shard_totals;
+  std::vector<std::uint64_t> seen_indices;
+  for (int k = 1; k <= 3; ++k) {
+    StudyOptions options;
+    options.shard = ShardSpec{k, 3};
+    const StudyRun shard = run_study(spec, repo, cache, options);
+    EXPECT_EQ(shard.total_scenarios, whole.total_scenarios);
+    EXPECT_EQ(shard.scenarios.size(), whole.total_scenarios / 3);
+    for (const StudyScenario& s : shard.scenarios) {
+      // Round-robin: shard k of N owns index % N == k-1.
+      EXPECT_EQ(s.index % 3, static_cast<std::uint64_t>(k - 1));
+      seen_indices.push_back(s.index);
+    }
+    shard_rows.push_back(shard.rows());
+    shard_totals.push_back(shard.total_scenarios);
+
+    // Shard reports round-trip through CSV parsing losslessly (including
+    // the quoted rsd error rows).
+    std::ostringstream csv;
+    write_report_csv(csv, shard.total_scenarios, shard_rows.back());
+    std::istringstream parse_back(csv.str());
+    std::uint64_t parsed_total = 0;
+    const std::vector<ReportRow> parsed =
+        read_report_csv(parse_back, parsed_total);
+    EXPECT_EQ(parsed_total, shard.total_scenarios);
+    std::ostringstream rewritten;
+    write_report_csv(rewritten, parsed_total, parsed);
+    EXPECT_EQ(rewritten.str(), csv.str());
+  }
+
+  // The three shards tile 0..95 exactly.
+  std::sort(seen_indices.begin(), seen_indices.end());
+  ASSERT_EQ(seen_indices.size(), whole.total_scenarios);
+  for (std::uint64_t i = 0; i < seen_indices.size(); ++i) {
+    EXPECT_EQ(seen_indices[i], i);
+  }
+
+  // Merging the shards reproduces the unsharded report byte-for-byte.
+  std::uint64_t merged_total = 0;
+  const std::vector<ReportRow> merged =
+      merge_report_rows(shard_rows, shard_totals, merged_total);
+  std::ostringstream merged_csv;
+  write_report_csv(merged_csv, merged_total, merged);
+  EXPECT_EQ(merged_csv.str(), unsharded.str());
+
+  std::remove(multi_path.c_str());
+  std::remove(raid_path.c_str());
+  std::remove(abs_path.c_str());
+}
+
+TEST(StudyReport, MergeValidatesCoverage) {
+  const auto row = [](std::uint64_t scenario, std::uint64_t point) {
+    ReportRow r;
+    r.scenario = scenario;
+    r.point = point;
+    r.model = "m";
+    r.solver = "rrl";
+    r.measure = "trr";
+    return r;
+  };
+  std::uint64_t total = 0;
+
+  // Overlapping shards: duplicate (scenario, point).
+  EXPECT_THROW(merge_report_rows({{row(0, 0)}, {row(0, 0)}}, {2, 2}, total),
+               contract_error);
+  // Gap: scenario 1 of 3 missing.
+  EXPECT_THROW(merge_report_rows({{row(0, 0)}, {row(2, 0)}}, {3, 3}, total),
+               contract_error);
+  // Shards from different studies.
+  EXPECT_THROW(merge_report_rows({{row(0, 0)}, {row(1, 0)}}, {2, 3}, total),
+               contract_error);
+  // Row outside the study.
+  EXPECT_THROW(merge_report_rows({{row(0, 0), row(5, 0)}}, {1}, total),
+               contract_error);
+  // A valid 2-shard merge sorts by (scenario, point).
+  const std::vector<ReportRow> merged = merge_report_rows(
+      {{row(1, 0), row(1, 1)}, {row(0, 0)}}, {2, 2}, total);
+  EXPECT_EQ(total, 2u);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].scenario, 0u);
+  EXPECT_EQ(merged[2].point, 1u);
+}
+
+TEST(StudyReport, CsvEscapesSeparatorsAndQuotes) {
+  ReportRow bad;
+  bad.scenario = 0;
+  bad.model = "model, with \"quotes\"\nand newline";
+  bad.solver = "rsd";
+  bad.measure = "trr";
+  bad.epsilon = 1e-8;
+  bad.error = "failed: expected a, got b";
+  std::ostringstream out;
+  write_report_csv(out, 1, {bad});
+  std::istringstream in(out.str());
+  std::uint64_t total = 0;
+  const std::vector<ReportRow> parsed = read_report_csv(in, total);
+  ASSERT_EQ(parsed.size(), 1u);
+  // Newlines flatten to spaces (the reader is line-oriented); everything
+  // else round-trips exactly.
+  EXPECT_EQ(parsed[0].model, "model, with \"quotes\" and newline");
+  EXPECT_EQ(parsed[0].error, "failed: expected a, got b");
+  EXPECT_TRUE(parsed[0].failed());
+  EXPECT_EQ(total, 1u);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -178,6 +178,116 @@ TEST(SweepEngine, FailingScenarioDoesNotSinkTheBatch) {
             fresh->solve_grid(good.request).points[0].value);
 }
 
+TEST(SweepEngine, SharedSolverScenariosMatchConstructedOnes) {
+  // One pre-built solver drives many scenarios (the study subsystem's
+  // cache path); results must be bit-identical to engine-side
+  // construction, at 1 worker and at many.
+  const Model multi = multiproc_model();
+  SolverConfig config;
+  config.epsilon = kEps;
+  config.regenerative = multi.regenerative;
+  const std::shared_ptr<const TransientSolver> shared =
+      make_solver("rrl", multi.chain, multi.rewards, multi.initial, config);
+
+  BatchRequest constructed;
+  BatchRequest cached;
+  for (int i = 0; i < 6; ++i) {
+    SweepScenario scenario;
+    scenario.model = multi.label;
+    scenario.solver = "rrl";
+    scenario.chain = &multi.chain;
+    scenario.rewards = multi.rewards;
+    scenario.initial = multi.initial;
+    scenario.config = config;
+    scenario.request.measure =
+        i % 2 == 0 ? MeasureKind::kTrr : MeasureKind::kMrr;
+    scenario.request.times = log_time_grid(1.0, 100.0 + 50.0 * i, 3);
+    constructed.scenarios.push_back(scenario);
+    scenario.shared_solver = shared;
+    scenario.rewards.clear();  // metadata only on the shared path
+    scenario.initial.clear();
+    cached.scenarios.push_back(std::move(scenario));
+  }
+
+  for (const int jobs : {1, 4}) {
+    constructed.jobs = jobs;
+    cached.jobs = jobs;
+    const SweepReport a = run_sweep(constructed);
+    const SweepReport b = run_sweep(cached);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    EXPECT_EQ(a.failed(), 0u);
+    EXPECT_EQ(b.failed(), 0u);
+    for (std::size_t s = 0; s < a.results.size(); ++s) {
+      EXPECT_EQ(a.results[s].report.values(), b.results[s].report.values())
+          << "jobs=" << jobs << " scenario " << s;
+    }
+  }
+}
+
+TEST(SweepEngine, SmallBatchModelParallelPathIsBitIdentical) {
+  // A batch with (2x) fewer scenarios than workers on a large model takes
+  // the model-parallel path: scenarios run serially and the pool
+  // row-partitions the SpMVs. Values must be bit-identical to the
+  // 1-worker scenario-parallel run.
+  Raid5Params params;
+  params.groups = 40;  // 8161 states, 45520 transitions: above the floor
+  const Raid5Model raid = build_raid5_availability(params);
+  ASSERT_GE(raid.chain.num_transitions(), SolveWorkspace::kMinPooledNnz);
+
+  BatchRequest batch;
+  for (const std::string solver : {"sr", "rsd"}) {
+    SweepScenario scenario;
+    scenario.model = "raid5-g40";
+    scenario.solver = solver;
+    scenario.chain = &raid.chain;
+    scenario.rewards = raid.failure_rewards();
+    scenario.initial = raid.initial_distribution();
+    scenario.config.epsilon = 1e-8;
+    scenario.config.regenerative = raid.initial_state;
+    scenario.request.times = {1.0, 10.0};
+    batch.scenarios.push_back(std::move(scenario));
+  }
+
+  batch.jobs = 1;
+  const SweepReport reference = run_sweep(batch);
+  ASSERT_EQ(reference.failed(), 0u);
+
+  batch.jobs = 8;  // 2 scenarios * 2 <= 8 workers: model-parallel path
+  const SweepReport pooled = run_sweep(batch);
+  ASSERT_EQ(pooled.failed(), 0u);
+  for (std::size_t s = 0; s < reference.results.size(); ++s) {
+    EXPECT_EQ(pooled.results[s].report.values(),
+              reference.results[s].report.values())
+        << "scenario " << s;
+  }
+}
+
+TEST(Workspace, PooledSpmvGuards) {
+  // pooled_spmv: needs a pool with real workers, a big enough matrix, and
+  // no enclosing parallel region.
+  SolveWorkspace workspace;
+  EXPECT_EQ(workspace.pooled_spmv(1 << 20), nullptr);  // no pool
+
+  ThreadPool single(1);
+  workspace.spmv_pool = &single;
+  EXPECT_EQ(workspace.pooled_spmv(1 << 20), nullptr);  // no real workers
+
+  ThreadPool pool(2);
+  workspace.spmv_pool = &pool;
+  EXPECT_EQ(workspace.pooled_spmv(SolveWorkspace::kMinPooledNnz - 1),
+            nullptr);  // below the size floor
+  EXPECT_EQ(workspace.pooled_spmv(SolveWorkspace::kMinPooledNnz), &pool);
+
+  // Inside a multi-threaded parallel region the guard wins.
+  ThreadPool outer(2);
+  std::vector<ThreadPool*> seen(2, &pool);
+  outer.parallel_for(2, [&](std::size_t i, std::size_t) {
+    seen[i] = workspace.pooled_spmv(1 << 20);
+  });
+  EXPECT_EQ(seen[0], nullptr);
+  EXPECT_EQ(seen[1], nullptr);
+}
+
 TEST(Workspace, RepeatedSolveGridReuseAgreesWithFreshSolver) {
   const Model raid = raid_model();
   const Model multi = multiproc_model();

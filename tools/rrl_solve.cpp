@@ -1,10 +1,13 @@
 // rrl_solve — command-line front end to the library.
 //
-//   rrl_solve --model m.rrlm --t 10,100,1000 [--measure trr|mrr]
+//   rrl_solve --model m.rrlm --t 10,100,1000 [--measure trr|mrr|both]
 //             [--solver sr|rsd|rr|rrl] [--eps 1e-12]
 //             [--regenerative auto|<index>] [--bounds]
 //   rrl_solve --model m.rrlm --t-grid 1:1e5:20        # 20 log-spaced points
 //   rrl_solve --model a.rrlm,b.rrlm --solvers all --jobs 4 --t 1,10,100
+//   rrl_solve --model m.rrlm --measure both --eps 1e-8,1e-12 --t 1,100
+//   rrl_solve --study s.study [--shard 2/3] [--jobs 4] [--out shard2.csv]
+//   rrl_solve --merge s1.csv,s2.csv,s3.csv [--out report.csv]
 //   rrl_solve --export raid20|raid40|multiproc --output m.rrlm
 //   rrl_solve --list-solvers
 //
@@ -15,14 +18,28 @@
 // With --export the built-in generators are serialized so they can be
 // edited or fed to other tools.
 //
-// Batch mode (--solvers and/or --jobs, or a comma-separated --model list)
-// fans every model x solver scenario across a worker pool through the
-// sweep engine (src/core/sweep_engine.hpp) and prints one deterministic
-// result table: values are identical for every --jobs count, and a
-// scenario that fails (e.g. rsd on an absorbing chain) reports its error
-// without sinking the rest of the batch.
+// Batch mode (--solvers/--jobs, a comma-separated --model list, --measure
+// both, or an --eps list) fans every model x solver x measure x epsilon
+// scenario across a worker pool through the sweep engine
+// (src/core/sweep_engine.hpp), sharing one compiled solver per (model,
+// solver) via the solver cache, and prints one deterministic result table:
+// values are identical for every --jobs count and bit-identical to fresh
+// per-scenario construction, and a scenario that fails (e.g. rsd on an
+// absorbing chain) reports its error without sinking the rest of the
+// batch.
+//
+// Study mode (--study, src/study/) expands a cartesian .study declaration
+// (models x solvers x measures x epsilons x grids), optionally slices one
+// deterministic round-robin shard (--shard k/N), and emits a mergeable
+// CSV report; --merge order-restores shard outputs into byte-for-byte the
+// unsharded report. See README.md for the grammar and a 2-process
+// example.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -116,10 +133,14 @@ int solve_with_bounds(const ModelFile& model, index_t regenerative,
   return 0;
 }
 
-// Batch mode: every model x solver scenario through the sweep engine.
+// Batch mode: every model x solver x measure x epsilon scenario through
+// the sweep engine, sharing one compiled solver per (model, solver, config)
+// via the solver cache.
 int run_batch(const CliArgs& args,
               const std::vector<std::string>& model_paths,
-              const std::vector<double>& ts, double eps, bool want_mrr) {
+              const std::vector<double>& ts,
+              const std::vector<double>& eps_list,
+              const std::vector<MeasureKind>& measures) {
   // --solvers wins; a bare --solver narrows the batch to that one method;
   // neither means every registered solver.
   std::string solvers_arg = args.get_string("solvers", "");
@@ -144,13 +165,37 @@ int run_batch(const CliArgs& args,
     return 2;
   }
 
-  // Parsed models live here for the whole sweep; scenarios borrow the
-  // chains.
-  std::vector<ModelFile> models;
-  models.reserve(model_paths.size());
+  // The batch is a one-grid study: the expansion, solver-cache
+  // resolution protocol (canonical construction epsilon, file-hint
+  // handling, per-scenario fallback on construction failure) and the
+  // deterministic ordering all live in run_study — batch mode and study
+  // mode can never drift apart.
+  StudySpec spec;
+  spec.models = model_paths;
+  spec.model_labels = model_paths;
+  spec.solvers = solver_names;
+  spec.measures = measures;
+  spec.epsilons = eps_list;
+  spec.grids = {ts};
+  spec.jobs = static_cast<int>(args.get_long("jobs", 1));
+  // --regenerative (an index for every model, or "auto") overrides each
+  // file's hint; otherwise the hint, or auto-selection inside the
+  // registry when the file has none.
+  const std::string regen_arg = args.get_string("regenerative", "");
+  spec.regenerative =
+      regen_arg.empty()
+          ? kRegenerativeFromModel
+          : (regen_arg == "auto"
+                 ? index_t{-1}
+                 : static_cast<index_t>(
+                       std::strtol(regen_arg.c_str(), nullptr, 10)));
+
+  // Pre-validate the models with a friendlier message than the per-
+  // scenario solver errors; the repository interns the parses, so
+  // run_study reuses them.
+  ModelRepository repository;
   for (const std::string& path : model_paths) {
-    models.push_back(read_model_file(path));
-    if (!classify_structure(models.back().chain).valid) {
+    if (!classify_structure(repository.load(path)->file.chain).valid) {
       std::fprintf(stderr,
                    "error: %s: the non-absorbing states are not strongly "
                    "connected (the paper's structural assumption)\n",
@@ -159,74 +204,183 @@ int run_batch(const CliArgs& args,
     }
   }
 
-  // --regenerative (an index for every model, or "auto") overrides each
-  // file's hint; otherwise the hint, or auto-selection inside the registry
-  // for rr/rrl when the file has none (the sentinel -2 below).
-  const std::string regen_arg = args.get_string("regenerative", "");
-  constexpr index_t kUseFileHint = -2;
-  const index_t regen_override =
-      regen_arg.empty()
-          ? kUseFileHint
-          : (regen_arg == "auto"
-                 ? index_t{-1}
-                 : static_cast<index_t>(
-                       std::strtol(regen_arg.c_str(), nullptr, 10)));
+  SolverCache cache;
+  const StudyRun run = run_study(spec, repository, cache);
 
-  BatchRequest batch;
-  batch.jobs = static_cast<int>(args.get_long("jobs", 1));
-  for (std::size_t m = 0; m < models.size(); ++m) {
-    for (const std::string& name : solver_names) {
-      SweepScenario scenario;
-      scenario.model = model_paths[m];
-      scenario.solver = name;
-      scenario.chain = &models[m].chain;
-      scenario.rewards = models[m].rewards;
-      scenario.initial = models[m].initial;
-      scenario.config.epsilon = eps;
-      scenario.config.regenerative = regen_override == kUseFileHint
-                                         ? models[m].regenerative
-                                         : regen_override;
-      scenario.request = SolveRequest{
-          want_mrr ? MeasureKind::kMrr : MeasureKind::kTrr, ts, eps};
-      batch.scenarios.push_back(std::move(scenario));
-    }
-  }
-
-  const SweepReport sweep = run_sweep(batch);
-
-  std::printf("%s(t) batch sweep: %zu scenarios (%zu models x %zu solvers), "
-              "eps=%g, jobs=%d\n",
-              want_mrr ? "MRR" : "TRR", batch.scenarios.size(),
-              models.size(), solver_names.size(), eps, sweep.jobs);
-  TextTable table({"model", "solver", "t", "value", "steps"});
-  for (std::size_t s = 0; s < batch.scenarios.size(); ++s) {
-    const SweepScenario& scenario = batch.scenarios[s];
-    const ScenarioResult& result = sweep.results[s];
+  std::printf("batch sweep: %zu scenarios (%zu models x %zu solvers x "
+              "%zu measures x %zu epsilons), jobs=%d, solver cache: "
+              "%zu built, %zu shared\n",
+              run.scenarios.size(), model_paths.size(), solver_names.size(),
+              measures.size(), eps_list.size(), run.jobs, run.cache.misses,
+              run.cache.hits);
+  TextTable table({"model", "solver", "measure", "eps", "t", "value",
+                   "steps"});
+  for (std::size_t s = 0; s < run.scenarios.size(); ++s) {
+    const StudyScenario& scenario = run.scenarios[s];
+    const ScenarioResult& result = run.sweep.results[s];
+    const std::string measure = measure_name(scenario.measure);
+    const std::string eps = fmt_sig(scenario.epsilon, 3);
     if (!result.ok()) {
-      table.add_row({scenario.model, scenario.solver, "-", "FAILED", "-"});
+      table.add_row({scenario.model, scenario.solver, measure, eps, "-",
+                     "FAILED", "-"});
       continue;
     }
     for (std::size_t i = 0; i < ts.size(); ++i) {
       const TransientValue& p = result.report.points[i];
-      table.add_row({scenario.model, scenario.solver, fmt_sig(ts[i], 6),
-                     fmt_sci(p.value, 9),
+      table.add_row({scenario.model, scenario.solver, measure, eps,
+                     fmt_sig(ts[i], 6), fmt_sci(p.value, 9),
                      std::to_string(p.stats.dtmc_steps)});
     }
   }
   table.print();
-  for (std::size_t s = 0; s < sweep.results.size(); ++s) {
-    if (!sweep.results[s].ok()) {
-      std::fprintf(stderr, "scenario %s/%s failed: %s\n",
-                   batch.scenarios[s].model.c_str(),
-                   batch.scenarios[s].solver.c_str(),
-                   sweep.results[s].error.c_str());
+  for (std::size_t s = 0; s < run.sweep.results.size(); ++s) {
+    if (!run.sweep.results[s].ok()) {
+      std::fprintf(stderr, "scenario %s/%s/%s failed: %s\n",
+                   run.scenarios[s].model.c_str(),
+                   run.scenarios[s].solver.c_str(),
+                   measure_name(run.scenarios[s].measure),
+                   run.sweep.results[s].error.c_str());
     }
   }
   std::printf("batch total: %zu scenarios (%zu failed), %.3gs, "
               "%.3g scenarios/sec\n",
-              sweep.results.size(), sweep.failed(), sweep.seconds,
-              sweep.scenarios_per_second());
-  return sweep.failed() == 0 ? 0 : 1;
+              run.sweep.results.size(), run.sweep.failed(),
+              run.sweep.seconds, run.sweep.scenarios_per_second());
+  return run.sweep.failed() == 0 ? 0 : 1;
+}
+
+// Study mode: expand a .study declaration, solve one shard (or all of it),
+// and write the mergeable CSV report.
+int run_study_mode(const CliArgs& args) {
+  StudyOptions options;
+  const std::string shard_arg = args.get_string("shard", "");
+  if (!shard_arg.empty()) {
+    int k = 0, n = 0;
+    char slash = 0;
+    std::istringstream ss(shard_arg);
+    if (!(ss >> k >> slash >> n) || slash != '/' || !ss.eof() || n < 1 ||
+        k < 1 || k > n) {
+      std::fprintf(stderr,
+                   "error: --shard expects k/N with 1 <= k <= N (got "
+                   "'%s')\n",
+                   shard_arg.c_str());
+      return 2;
+    }
+    options.shard = ShardSpec{k, n};
+  }
+  options.jobs = static_cast<int>(args.get_long("jobs", 0));
+  options.use_cache = !args.get_bool("no-cache", false);
+
+  const StudySpec spec = read_study_file(args.get_string("study", ""));
+  ModelRepository repository;
+  SolverCache cache;
+  const StudyRun run = run_study(spec, repository, cache, options);
+
+  const std::string out_path = args.get_string("out", "");
+  const std::vector<ReportRow> rows = run.rows();
+  if (out_path.empty()) {
+    // CSV to stdout, human summary to stderr.
+    write_report_csv(std::cout, run.total_scenarios, rows);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open output file: %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    write_report_csv(out, run.total_scenarios, rows);
+  }
+
+  std::FILE* summary = out_path.empty() ? stderr : stdout;
+  std::fprintf(summary,
+               "study: %llu scenarios total, shard %d/%d ran %zu "
+               "(%zu failed), jobs=%d, %.3gs, %.3g scenarios/sec\n"
+               "solver cache: %zu compiled, %zu shared; %zu distinct "
+               "models\n",
+               static_cast<unsigned long long>(run.total_scenarios),
+               run.shard.index, run.shard.count, run.scenarios.size(),
+               run.sweep.failed(), run.jobs, run.sweep.seconds,
+               run.sweep.scenarios_per_second(), run.cache.misses,
+               run.cache.hits, repository.size());
+  for (std::size_t s = 0; s < run.sweep.results.size(); ++s) {
+    if (!run.sweep.results[s].ok()) {
+      std::fprintf(stderr, "scenario %llu (%s/%s/%s) failed: %s\n",
+                   static_cast<unsigned long long>(run.scenarios[s].index),
+                   run.scenarios[s].model.c_str(),
+                   run.scenarios[s].solver.c_str(),
+                   measure_name(run.scenarios[s].measure),
+                   run.sweep.results[s].error.c_str());
+    }
+  }
+
+  const std::string json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "error: cannot open json file: %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    json << "{\n"
+         << "  \"total_scenarios\": " << run.total_scenarios << ",\n"
+         << "  \"shard\": {\"index\": " << run.shard.index
+         << ", \"count\": " << run.shard.count << "},\n"
+         << "  \"scenarios_run\": " << run.scenarios.size() << ",\n"
+         << "  \"failed\": " << run.sweep.failed() << ",\n"
+         << "  \"jobs\": " << run.jobs << ",\n"
+         << "  \"seconds\": " << run.sweep.seconds << ",\n"
+         << "  \"scenarios_per_sec\": " << run.sweep.scenarios_per_second()
+         << ",\n"
+         << "  \"cache\": {\"compiled\": " << run.cache.misses
+         << ", \"shared\": " << run.cache.hits << "}\n"
+         << "}\n";
+  }
+  return run.sweep.failed() == 0 ? 0 : 1;
+}
+
+// Merge mode: order-restore shard reports into the unsharded report.
+int run_merge_mode(const CliArgs& args) {
+  const std::vector<std::string> paths =
+      parse_string_list(args.get_string("merge", ""));
+  if (paths.empty()) {
+    std::fprintf(stderr, "error: --merge needs a list of shard reports\n");
+    return 2;
+  }
+  std::vector<std::vector<ReportRow>> shards;
+  std::vector<std::uint64_t> totals;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open shard report: %s\n",
+                   path.c_str());
+      return 1;
+    }
+    std::uint64_t total = 0;
+    shards.push_back(read_report_csv(in, total));
+    totals.push_back(total);
+  }
+  std::uint64_t total_scenarios = 0;
+  const std::vector<ReportRow> merged =
+      merge_report_rows(shards, totals, total_scenarios);
+
+  const std::string out_path = args.get_string("out", "");
+  if (out_path.empty()) {
+    write_report_csv(std::cout, total_scenarios, merged);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open output file: %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    write_report_csv(out, total_scenarios, merged);
+  }
+  std::fprintf(out_path.empty() ? stderr : stdout,
+               "merged %zu shard reports: %llu scenarios, %zu rows\n",
+               shards.size(),
+               static_cast<unsigned long long>(total_scenarios),
+               merged.size());
+  return 0;
 }
 
 }  // namespace
@@ -239,16 +393,22 @@ int main(int argc, char** argv) {
       return export_model(args.get_string("export", ""),
                           args.get_string("output", "model.rrlm"));
     }
+    if (args.has("merge")) return run_merge_mode(args);
+    if (args.has("study")) return run_study_mode(args);
     if (!args.has("model") || (!args.has("t") && !args.has("t-grid"))) {
       std::fprintf(
           stderr,
           "usage: rrl_solve --model <file>[,<file>...] (--t <t1,t2,...> | "
           "--t-grid <lo:hi:count>)\n"
-          "                 [--measure trr|mrr] [--solver sr|rsd|rr|rrl] "
-          "[--eps 1e-12]\n"
+          "                 [--measure trr|mrr|both] [--solver "
+          "sr|rsd|rr|rrl] [--eps e1[,e2,...]]\n"
           "                 [--regenerative auto|<idx>] [--bounds]\n"
           "                 [--solvers all|<s1,s2,...>] [--jobs N]   "
           "# batch mode\n"
+          "       rrl_solve --study <file.study> [--shard k/N] [--jobs N] "
+          "[--out report.csv]\n"
+          "                 [--json summary.json] [--no-cache]\n"
+          "       rrl_solve --merge <r1.csv,r2.csv,...> [--out report.csv]\n"
           "       rrl_solve --export raid20|raid40|multiproc "
           "[--output m.rrlm]\n"
           "       rrl_solve --list-solvers\n");
@@ -256,34 +416,50 @@ int main(int argc, char** argv) {
     }
 
     const std::string measure = args.get_string("measure", "trr");
-    if (measure != "trr" && measure != "mrr") {
-      std::fprintf(stderr, "error: --measure must be trr or mrr (got '%s')\n",
+    if (measure != "trr" && measure != "mrr" && measure != "both") {
+      std::fprintf(stderr,
+                   "error: --measure must be trr, mrr or both (got '%s')\n",
                    measure.c_str());
       return 2;
     }
     const bool want_mrr = measure == "mrr";
+    std::vector<MeasureKind> measures;
+    if (measure != "mrr") measures.push_back(MeasureKind::kTrr);
+    if (measure != "trr") measures.push_back(MeasureKind::kMrr);
 
-    // Several models, a --solvers list or a --jobs count select the batch
-    // path through the sweep engine.
+    const std::vector<double> eps_list =
+        parse_double_list(args.get_string("eps", "1e-12"));
+    const bool eps_ok =
+        !eps_list.empty() &&
+        std::all_of(eps_list.begin(), eps_list.end(),
+                    [](double e) { return e > 0.0; });
+    if (!eps_ok) {
+      std::fprintf(stderr,
+                   "error: --eps needs positive values (e.g. 1e-8,1e-12)\n");
+      return 2;
+    }
+
+    // Several models, a --solvers list, a --jobs count, --measure both or
+    // an --eps list select the batch path through the sweep engine.
     const std::vector<std::string> model_paths =
         parse_string_list(args.get_string("model", ""));
     if (model_paths.empty()) {
       std::fprintf(stderr, "error: --model named no file\n");
       return 2;
     }
-    const bool batch_mode =
-        args.has("solvers") || args.has("jobs") || model_paths.size() > 1;
+    const bool batch_mode = args.has("solvers") || args.has("jobs") ||
+                            model_paths.size() > 1 || measures.size() > 1 ||
+                            eps_list.size() > 1;
     if (batch_mode) {
       if (args.get_bool("bounds", false)) {
         std::fprintf(stderr,
                      "error: --bounds is a single-model rrl capability; "
-                     "drop --solvers/--jobs\n");
+                     "drop --solvers/--jobs/--measure both/--eps lists\n");
         return 2;
       }
       const std::vector<double> batch_ts = requested_times(args);
       if (batch_ts.empty()) return 2;
-      return run_batch(args, model_paths, batch_ts,
-                       args.get_double("eps", 1e-12), want_mrr);
+      return run_batch(args, model_paths, batch_ts, eps_list, measures);
     }
 
     const ModelFile model = read_model_file(model_paths.front());
@@ -305,7 +481,7 @@ int main(int argc, char** argv) {
     // requested_times already reported the specific problem.
     const std::vector<double> ts = requested_times(args);
     if (ts.empty()) return 2;
-    const double eps = args.get_double("eps", 1e-12);
+    const double eps = eps_list.front();
     const std::string solver_name = args.get_string("solver", "rrl");
 
     index_t regenerative = model.regenerative;
