@@ -14,7 +14,7 @@
 //
 // Usage:
 //   study_cache [--jobs 1] [--eps 1e-12] [--tmax 1e4] [--reps 3]
-//               [--min-speedup 2] [--json-out BENCH_study_cache.json]
+//               [--min-speedup 2] [--json-out BENCH_study.json]
 // Environment: RRL_BENCH_QUICK=1 shrinks reps for CI.
 #include <algorithm>
 #include <cstdio>
@@ -156,7 +156,7 @@ int main(int argc, char** argv) {
   std::printf("\nvalues bit-identical to fresh construction: yes\n");
 
   const std::string json_path =
-      args.get_string("json-out", "BENCH_study_cache.json");
+      args.get_string("json-out", "BENCH_study.json");
   if (!json_path.empty()) {
     std::ofstream json(json_path);
     if (json) {

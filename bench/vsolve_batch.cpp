@@ -1,0 +1,154 @@
+// Batched V-solve throughput: many RR scenarios sharing ONE compiled
+// schema, solved by solve_rr_batch (one ~Lambda*t V-pass feeding every
+// scenario's Poisson mixtures) vs per-scenario stepping (each scenario its
+// own V-pass — the pre-batching behavior). The schema memo is warmed
+// before either mode, so the comparison isolates exactly the execute
+// phase the batching targets, and the harness ASSERTS the >= 1.5x
+// scenarios/sec bound (exit code 1 on violation, so CI tracks the
+// regression) after checking the values are bit-identical.
+//
+// Usage:
+//   vsolve_batch [--eps 1e-12] [--tmax 1e4] [--grids 8] [--reps 3]
+//                [--min-speedup 1.5] [--json-out BENCH_vsolve_batch.json]
+// Environment: RRL_BENCH_QUICK=1 shrinks reps for CI.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rrl.hpp"
+#include "support/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rrl;
+  const CliArgs args(argc, argv);
+  const bool quick = env_flag("RRL_BENCH_QUICK");
+  const double eps = args.get_double("eps", 1e-12);
+  const double tmax = args.get_double("tmax", quick ? 1e3 : 1e4);
+  const int grids = static_cast<int>(args.get_long("grids", 8));
+  const int reps = static_cast<int>(args.get_long("reps", quick ? 1 : 3));
+  const double min_speedup = args.get_double("min-speedup", 1.5);
+
+  const Raid5Model raid = build_raid5_availability(bench::paper_params(20));
+  SolverConfig config;
+  config.epsilon = eps;
+  config.regenerative = raid.initial_state;
+  const std::shared_ptr<const TransientSolver> shared =
+      make_solver("rr", raid.chain, raid.failure_rewards(),
+                  raid.initial_distribution(), config);
+  const auto* solver =
+      dynamic_cast<const RegenerativeRandomization*>(shared.get());
+  if (solver == nullptr) {
+    std::fprintf(stderr, "error: 'rr' is not the built-in RR solver\n");
+    return 1;
+  }
+
+  // The single-schema batch: every grid tops out at tmax (different
+  // windows and resolutions below it) x both measures, so all scenarios
+  // key to ONE (t_max, eps) compiled schema.
+  std::vector<SolveRequest> requests;
+  for (int g = 0; g < grids; ++g) {
+    const double lo = 1.0 + static_cast<double>(g);
+    for (const MeasureKind measure :
+         {MeasureKind::kTrr, MeasureKind::kMrr}) {
+      SolveRequest request;
+      request.measure = measure;
+      request.times = log_time_grid(lo, tmax, 2 + g % 3);
+      requests.push_back(std::move(request));
+    }
+  }
+
+  std::printf(
+      "batched V-solve: %zu RR scenarios on raid5-g20 sharing one compiled "
+      "schema (t_max=%g, eps=%g), best of %d reps\n\n",
+      requests.size(), tmax, eps, reps);
+
+  // Warm the schema memo so both modes measure only the V-pass phase.
+  (void)shared->solve_grid(requests.front());
+
+  double serial_seconds = 0.0;
+  std::vector<SolveReport> serial_reports(requests.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    const Stopwatch watch;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      serial_reports[i] = shared->solve_grid(requests[i]);
+    }
+    const double seconds = watch.seconds();
+    if (rep == 0 || seconds < serial_seconds) serial_seconds = seconds;
+  }
+
+  double batched_seconds = 0.0;
+  std::vector<SolveReport> batched_reports(requests.size());
+  std::vector<std::string> errors(requests.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<RrBatchItem> items;
+    items.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      errors[i].clear();
+      items.push_back(RrBatchItem{solver, &requests[i],
+                                  &batched_reports[i], &errors[i]});
+    }
+    const Stopwatch watch;
+    solve_rr_batch(items, /*pool=*/nullptr);
+    const double seconds = watch.seconds();
+    if (rep == 0 || seconds < batched_seconds) batched_seconds = seconds;
+  }
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!errors[i].empty()) {
+      std::fprintf(stderr, "error: scenario %zu failed: %s\n", i,
+                   errors[i].c_str());
+      return 1;
+    }
+    if (batched_reports[i].values() != serial_reports[i].values()) {
+      std::fprintf(stderr,
+                   "error: scenario %zu differs between batched and "
+                   "per-scenario stepping\n",
+                   i);
+      return 1;
+    }
+  }
+
+  const auto n = static_cast<double>(requests.size());
+  const double serial_rate = n / serial_seconds;
+  const double batched_rate = n / batched_seconds;
+  const double speedup = batched_rate / serial_rate;
+
+  TextTable table({"mode", "seconds", "scenarios/sec", "speedup"});
+  table.add_row({"per-scenario V-pass", fmt_sig(serial_seconds, 4),
+                 fmt_sig(serial_rate, 4), "1"});
+  table.add_row({"batched V-solve", fmt_sig(batched_seconds, 4),
+                 fmt_sig(batched_rate, 4), fmt_sig(speedup, 3)});
+  table.print();
+  std::printf("\nvalues bit-identical to per-scenario stepping: yes\n");
+
+  const std::string json_path =
+      args.get_string("json-out", "BENCH_vsolve_batch.json");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (json) {
+      json << "{\n  \"bench\": \"vsolve_batch\",\n"
+           << "  \"scenarios\": " << requests.size() << ",\n"
+           << "  \"eps\": " << eps << ",\n  \"tmax\": " << tmax << ",\n"
+           << "  \"serial_seconds\": " << serial_seconds << ",\n"
+           << "  \"batched_seconds\": " << batched_seconds << ",\n"
+           << "  \"serial_scenarios_per_sec\": " << serial_rate << ",\n"
+           << "  \"batched_scenarios_per_sec\": " << batched_rate << ",\n"
+           << "  \"speedup\": " << speedup << ",\n"
+           << "  \"min_speedup\": " << min_speedup << "\n}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: batched V-solve speedup %.3g < required %.3g\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  std::printf("PASS: batched V-solve speedup %.3g >= %.3g\n", speedup,
+              min_speedup);
+  return 0;
+}

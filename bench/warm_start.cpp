@@ -1,0 +1,169 @@
+// Warm-vs-cold startup: the disk artifact tier's acceptance benchmark.
+//
+// The workload is the shape the store exists for: a study (2 RAID-5
+// models x RRL x both measures x 2 error targets x 2 grids sharing one
+// horizon) run twice from COLD in-process caches — once against an empty
+// store directory (the cold start: every schema compiled from scratch,
+// then flushed to disk) and once against the directory the cold run just
+// populated (the warm start: solvers import the serialized schemas and
+// skip the compilation). Per-run time covers everything a fresh process
+// pays: model parsing, solver-cache resolution including disk I/O, the
+// sweep, and the flush. The harness checks the two runs' reports are
+// byte-for-byte identical and ASSERTS the >= 2x startup speedup (exit
+// code 1 on violation, so CI tracks the regression).
+//
+// Usage:
+//   warm_start [--eps 1e-12] [--tmax 1e4] [--jobs 2] [--reps 3]
+//              [--min-speedup 2] [--json-out BENCH_warm_start.json]
+// Environment: RRL_BENCH_QUICK=1 shrinks reps for CI.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rrl.hpp"
+#include "support/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rrl;
+  namespace fs = std::filesystem;
+  const CliArgs args(argc, argv);
+  const double eps = args.get_double("eps", 1e-12);
+  const double tmax = args.get_double("tmax", 1e4);
+  const int jobs = static_cast<int>(args.get_long("jobs", 2));
+  const int reps = static_cast<int>(
+      args.get_long("reps", env_flag("RRL_BENCH_QUICK") ? 1 : 3));
+  const double min_speedup = args.get_double("min-speedup", 2.0);
+
+  // Scratch area: exported model files plus the store directory.
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("rrl-warm-start-" + std::to_string(::getpid()));
+  fs::create_directories(scratch);
+
+  StudySpec spec;
+  for (const int groups : {20, 40}) {
+    const Raid5Model m = build_raid5_availability(bench::paper_params(groups));
+    const std::string path =
+        (scratch / ("raid5-g" + std::to_string(groups) + ".rrlm")).string();
+    write_model_file(path, m.chain, m.failure_rewards(),
+                     m.initial_distribution(), m.initial_state);
+    spec.models.push_back(path);
+    spec.model_labels.push_back("raid5-g" + std::to_string(groups));
+  }
+  spec.solvers = {"rrl"};
+  spec.measures = {MeasureKind::kTrr, MeasureKind::kMrr};
+  spec.epsilons = {eps * 100.0, eps};  // two targets = two schemas/model
+  spec.grids = {log_time_grid(1.0, tmax, 6), log_time_grid(5.0, tmax, 3)};
+  spec.jobs = jobs;
+
+  std::printf(
+      "warm-vs-cold startup: %zu scenarios (2 raid5 models x rrl x trr/mrr "
+      "x 2 epsilons x 2 grids to t=%g), jobs=%d, best of %d reps\n\n",
+      std::size_t{16}, tmax, jobs, reps);
+
+  // One run = one simulated process: fresh repository + fresh cache, only
+  // the store directory persists. Returns the report CSV for the
+  // byte-identity check.
+  const auto run_once = [&](const std::string& store_dir, double& seconds,
+                            SolverCacheStats& stats) {
+    const Stopwatch watch;
+    ModelRepository repository;
+    SolverCache cache;
+    cache.attach_store(std::make_shared<const ArtifactStore>(store_dir));
+    const StudyRun run = run_study(spec, repository, cache);
+    cache.flush_to_store();
+    seconds = watch.seconds();
+    stats = cache.stats();
+    if (run.sweep.failed() != 0) {
+      std::fprintf(stderr, "error: %zu scenarios failed\n",
+                   run.sweep.failed());
+      std::exit(1);
+    }
+    std::ostringstream csv;
+    write_report_csv(csv, run.total_scenarios, run.rows());
+    return csv.str();
+  };
+
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  std::string cold_csv;
+  std::string warm_csv;
+  SolverCacheStats cold_stats;
+  SolverCacheStats warm_stats;
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::string store_dir =
+        (scratch / ("store-" + std::to_string(rep))).string();
+    double seconds = 0.0;
+    SolverCacheStats stats;
+    const std::string csv = run_once(store_dir, seconds, stats);
+    if (rep == 0 || seconds < cold_seconds) {
+      cold_seconds = seconds;
+      cold_csv = csv;
+      cold_stats = stats;
+    }
+    const std::string warm = run_once(store_dir, seconds, stats);
+    if (rep == 0 || seconds < warm_seconds) {
+      warm_seconds = seconds;
+      warm_csv = warm;
+      warm_stats = stats;
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+
+  if (warm_csv != cold_csv) {
+    std::fprintf(stderr,
+                 "error: warm report differs from cold report bytes\n");
+    return 1;
+  }
+  if (warm_stats.disk_hits == 0) {
+    std::fprintf(stderr, "error: warm run reported no disk-tier hits\n");
+    return 1;
+  }
+
+  const double speedup = cold_seconds / warm_seconds;
+  TextTable table({"mode", "seconds", "disk hits", "disk misses"});
+  table.add_row({"cold (empty store)", fmt_sig(cold_seconds, 4),
+                 std::to_string(cold_stats.disk_hits),
+                 std::to_string(cold_stats.disk_misses)});
+  table.add_row({"warm (populated store)", fmt_sig(warm_seconds, 4),
+                 std::to_string(warm_stats.disk_hits),
+                 std::to_string(warm_stats.disk_misses)});
+  table.print();
+  std::printf("\nreports byte-identical: yes; startup speedup %.3g\n",
+              speedup);
+
+  const std::string json_path =
+      args.get_string("json-out", "BENCH_warm_start.json");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (json) {
+      json << "{\n  \"bench\": \"warm_start\",\n"
+           << "  \"scenarios\": 16,\n  \"jobs\": " << jobs
+           << ",\n  \"eps\": " << eps << ",\n  \"tmax\": " << tmax << ",\n"
+           << "  \"cold_seconds\": " << cold_seconds << ",\n"
+           << "  \"warm_seconds\": " << warm_seconds << ",\n"
+           << "  \"disk_hits\": " << warm_stats.disk_hits << ",\n"
+           << "  \"speedup\": " << speedup << ",\n"
+           << "  \"min_speedup\": " << min_speedup << "\n}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: warm-start speedup %.3g < required %.3g\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  std::printf("PASS: warm-start speedup %.3g >= %.3g\n", speedup,
+              min_speedup);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// The serializable compiled artifact of one (model, solver, config) — the
+// compile half of the compile → execute split.
+//
+// Every solver in this library separates into a deterministic COMPILE step
+// (model-derived state that is expensive or repeated: the randomized DTMC
+// in CSR gather form for SR/RSD, the regenerative schema — and with it the
+// V-model and the TRR transform coefficients — for RR/RRL) and a cheap
+// EXECUTE step (the per-request sweep over the compiled state). The
+// artifact captures exactly the compile half in plain data, so it can be
+// handed across process boundaries: serialized by io/artifact_codec,
+// persisted by the study subsystem's disk tier (study/artifact_store), and
+// re-imported into a freshly constructed solver, which then answers every
+// request bit-identically to one that compiled from scratch.
+//
+// What is stored vs derived: for RR/RRL only the schemas are stored — the
+// V_{K,L} model and the transform coefficients are pure deterministic
+// functions of a schema (build_vmodel, TrrTransform), so import
+// re-materializes them and bit-identity is preserved without shipping the
+// redundant bytes. For SR/RSD the randomized DTMC (P transposed in CSR
+// gather form, self-loops, Lambda) IS the compiled state and is stored
+// whole; RSD's row-form P for the backward pass is re-derived by exact
+// transposition.
+//
+// Identity: `model_hash` (study/model_repository.hpp's content hash),
+// `solver` and `config` name the compilation inputs exactly — the disk
+// tier refuses artifacts whose identity does not match the requested key,
+// so a stale or foreign file degrades to a cache miss, never to a wrong
+// answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/regenerative.hpp"
+#include "core/registry.hpp"
+#include "sparse/csr.hpp"
+
+namespace rrl {
+
+/// One memoized (t, eps) schema of a regenerative solver.
+struct ArtifactSchemaEntry {
+  double t = 0.0;    ///< time horizon the truncation was chosen for
+  double eps = 0.0;  ///< total error budget the truncation met
+  RegenerativeSchema schema;
+};
+
+/// The compiled state of one solver instance, in plain serializable data.
+struct CompiledArtifact {
+  /// Registry name of the method the artifact was compiled by ("sr",
+  /// "rsd", "rr", "rrl", ...).
+  std::string solver;
+  /// Content hash of the source model (see hash_model); 0 when the
+  /// producer did not know it (direct export outside the study layer).
+  std::uint64_t model_hash = 0;
+  /// Construction config, exactly as the solver cache keys it.
+  SolverConfig config;
+
+  /// SR/RSD: randomization rate Lambda (0 when the artifact carries no
+  /// DTMC payload).
+  double lambda = 0.0;
+  /// SR/RSD: P transposed in CSR gather form (empty otherwise).
+  CsrMatrix dtmc_pt;
+  /// SR/RSD: per-state self-loop probabilities 1 - exit(i)/Lambda.
+  std::vector<double> self_loop;
+
+  /// RR/RRL: the memoized schemas, one per (t, eps) horizon solved.
+  std::vector<ArtifactSchemaEntry> schemas;
+
+  /// True if the artifact carries any compiled payload worth persisting.
+  [[nodiscard]] bool has_payload() const noexcept {
+    return lambda > 0.0 || !schemas.empty();
+  }
+};
+
+/// Export `solver`'s compiled state stamped with the given identity. The
+/// identity fields are carried verbatim; the payload is whatever the
+/// solver's export_compiled() fills in (possibly nothing — see
+/// CompiledArtifact::has_payload).
+[[nodiscard]] CompiledArtifact export_artifact(const TransientSolver& solver,
+                                               std::uint64_t model_hash,
+                                               const SolverConfig& config);
+
+/// True iff the artifact's identity matches the requested compilation
+/// exactly (solver name, model content hash, every config field). The disk
+/// tier treats a mismatch as a miss: a stale or foreign artifact is
+/// ignored, never adopted.
+[[nodiscard]] bool artifact_matches(const CompiledArtifact& artifact,
+                                    const std::string& solver,
+                                    std::uint64_t model_hash,
+                                    const SolverConfig& config);
+
+}  // namespace rrl

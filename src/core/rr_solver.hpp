@@ -6,6 +6,9 @@
 // the paper's new variant (RRL) eliminates.
 #pragma once
 
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/regenerative.hpp"
@@ -58,11 +61,27 @@ class RegenerativeRandomization : public TransientSolver {
   [[nodiscard]] SolveReport solve_grid(
       const SolveRequest& request, SolveWorkspace& workspace) const override;
 
+  /// Compile → execute split: RR's compiled state is the memoized
+  /// (t, eps)-keyed schemas; the V_{K,L} model is re-derived
+  /// deterministically on import.
+  void export_compiled(CompiledArtifact& artifact) const override;
+  void import_compiled(const CompiledArtifact& artifact) override;
+
   [[nodiscard]] TransientValue trr(double t) const;
   [[nodiscard]] TransientValue mrr(double t) const;
 
   /// The schema computed for time horizon t (exposed for analysis).
   [[nodiscard]] RegenerativeSchema schema(double t) const;
+
+  /// The compiled artifact (schema + materialized V-model) for horizon t
+  /// at error budget eps, through the memo — the compile step of both
+  /// solve_grid() and the batched V-solve below.
+  [[nodiscard]] std::shared_ptr<const CompiledSchema> compiled_for(
+      double t, double eps) const;
+
+  [[nodiscard]] const RrOptions& options() const noexcept {
+    return options_;
+  }
 
   /// Hit/miss accounting of the memoized schema artifact (see
   /// core/schema_cache.hpp).
@@ -82,5 +101,38 @@ class RegenerativeRandomization : public TransientSolver {
   // remains shareable across concurrent solve_grid() calls.
   SchemaCache schema_cache_;
 };
+
+/// One scenario of a batched RR execute: a solver (typically shared by
+/// many items), its request, and the output slots. On failure `*error` is
+/// set and `*report` is untouched — the sweep engine's per-scenario
+/// isolation.
+struct RrBatchItem {
+  const RegenerativeRandomization* solver = nullptr;
+  const SolveRequest* request = nullptr;
+  SolveReport* report = nullptr;
+  std::string* error = nullptr;
+};
+
+/// Batched V-solve (the execute half of many RR scenarios at once).
+///
+/// Items are grouped by compiled schema — (solver, largest grid time,
+/// effective epsilon) — and each distinct V_{K,L} is stepped through its
+/// ~Lambda*t randomization pass exactly ONCE: every item of a group feeds
+/// its Poisson mixtures from the group's single d(n) stream instead of
+/// re-running the pass per scenario (measure and grid resolution do not
+/// change the stream). When `pool` has idle workers, the distinct V-models
+/// are additionally advanced TOGETHER: their gather matrices are
+/// concatenated block-diagonally into one CSR whose combined stored-entry
+/// count clears the pooled-SpMV floor even though each V-model alone is
+/// far below it, and one row-partitioned stepping loop advances all the
+/// V-vectors jointly (groups retire from the block as their passes
+/// complete). Both layers are bit-identical to item-by-item
+/// solver->solve_grid(): the schema/V-model compile is shared through the
+/// same memo, the d(n) stream of a group is the stream each member would
+/// have computed, and the block rows accumulate in exactly the per-model
+/// kernel order.
+///
+/// `pool` may be null (serial per-group passes, still deduplicated).
+void solve_rr_batch(std::span<const RrBatchItem> items, ThreadPool* pool);
 
 }  // namespace rrl

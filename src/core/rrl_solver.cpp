@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/compiled_artifact.hpp"
 #include "laplace/error_control.hpp"
 #include "markov/poisson.hpp"
 #include "support/stopwatch.hpp"
@@ -42,7 +43,27 @@ RegenerativeSchema RegenerativeRandomizationLaplace::schema_with(
 std::shared_ptr<const CompiledSchema>
 RegenerativeRandomizationLaplace::compiled_schema(double t, double eps) const {
   return schema_cache_.get(t, eps, /*want_transform=*/true,
+                           /*want_vmodel=*/false,
                            [&] { return schema_with(t, eps); });
+}
+
+void RegenerativeRandomizationLaplace::export_compiled(
+    CompiledArtifact& artifact) const {
+  for (const SchemaCache::Entry& e : schema_cache_.snapshot()) {
+    artifact.schemas.push_back(
+        ArtifactSchemaEntry{e.t, e.eps, e.compiled->schema});
+  }
+}
+
+void RegenerativeRandomizationLaplace::import_compiled(
+    const CompiledArtifact& artifact) {
+  for (const ArtifactSchemaEntry& e : artifact.schemas) {
+    if (e.schema.regenerative != regenerative_ || e.schema.main.a.empty()) {
+      continue;
+    }
+    schema_cache_.seed(e.t, e.eps, e.schema, /*want_transform=*/true,
+                       /*want_vmodel=*/false);
+  }
 }
 
 TransientValue RegenerativeRandomizationLaplace::trr(double t) const {

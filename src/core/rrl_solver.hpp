@@ -75,6 +75,12 @@ class RegenerativeRandomizationLaplace : public TransientSolver {
   [[nodiscard]] SolveReport solve_grid(
       const SolveRequest& request, SolveWorkspace& workspace) const override;
 
+  /// Compile → execute split: RRL's compiled state is the memoized
+  /// (t, eps)-keyed schemas; the transform evaluator is re-derived
+  /// deterministically on import.
+  void export_compiled(CompiledArtifact& artifact) const override;
+  void import_compiled(const CompiledArtifact& artifact) override;
+
   [[nodiscard]] TransientValue trr(double t) const;
   [[nodiscard]] TransientValue mrr(double t) const;
 

@@ -5,61 +5,122 @@
 
 namespace rrl {
 
+std::shared_ptr<CompiledSchema> SchemaCache::compile(
+    RegenerativeSchema schema, bool want_transform, bool want_vmodel) {
+  auto compiled = std::make_shared<CompiledSchema>();
+  compiled->schema = std::move(schema);
+  if (want_transform) {
+    compiled->transform =
+        std::make_shared<const TrrTransform>(compiled->schema);
+  }
+  if (want_vmodel) {
+    compiled->vmodel =
+        std::make_shared<const VModel>(build_vmodel(compiled->schema));
+  }
+  return compiled;
+}
+
+bool SchemaCache::satisfies(const CompiledSchema& compiled,
+                            bool want_transform, bool want_vmodel) {
+  return (!want_transform || compiled.transform != nullptr) &&
+         (!want_vmodel || compiled.vmodel != nullptr);
+}
+
+void SchemaCache::insert(
+    double t, double eps,
+    std::shared_ptr<const CompiledSchema> compiled) const {
+  if (slots_.size() >= capacity_) {
+    const auto oldest = std::min_element(
+        slots_.begin(), slots_.end(),
+        [](const Slot& a, const Slot& b) { return a.last_used < b.last_used; });
+    slots_.erase(oldest);
+  }
+  slots_.push_back(Slot{t, eps, std::move(compiled), ++clock_});
+}
+
 std::shared_ptr<const CompiledSchema> SchemaCache::get(
-    double t, double eps, bool want_transform,
+    double t, double eps, bool want_transform, bool want_vmodel,
     const std::function<RegenerativeSchema()>& build) const {
-  // Every caller of one cache passes the same want_transform (RR never
-  // wants one, RRL always does), so a hit's transform presence matches
-  // the request; the guard below merely rebuilds if that ever changed.
+  // Every caller of one cache passes the same wants (RR wants the V-model,
+  // RRL wants the transform), so a hit's derived objects match the
+  // request; the satisfies() guard below merely rebuilds if that ever
+  // changed.
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    for (Entry& e : entries_) {
-      if (e.t == t && e.eps == eps &&
-          (!want_transform || e.compiled->transform != nullptr)) {
+    for (Slot& s : slots_) {
+      if (s.t == t && s.eps == eps &&
+          satisfies(*s.compiled, want_transform, want_vmodel)) {
         ++stats_.hits;
-        e.last_used = ++clock_;
-        return e.compiled;
+        s.last_used = ++clock_;
+        return s.compiled;
       }
     }
   }
 
   // Miss: compute outside the lock so concurrent misses on different keys
   // proceed in parallel.
-  auto fresh = std::make_shared<CompiledSchema>();
-  fresh->schema = build();
-  if (want_transform) {
-    fresh->transform = std::make_shared<const TrrTransform>(fresh->schema);
-  }
+  std::shared_ptr<CompiledSchema> fresh =
+      compile(build(), want_transform, want_vmodel);
 
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
-  for (Entry& e : entries_) {
-    if (e.t == t && e.eps == eps) {
+  for (Slot& s : slots_) {
+    if (s.t == t && s.eps == eps) {
       // A racing worker inserted the same key first; both artifacts are
       // bit-identical by determinism of the builder, so adopt whichever
       // satisfies the request.
-      if (!want_transform || e.compiled->transform != nullptr) {
-        e.last_used = ++clock_;
-        return e.compiled;
+      if (satisfies(*s.compiled, want_transform, want_vmodel)) {
+        s.last_used = ++clock_;
+        return s.compiled;
       }
-      e.compiled = fresh;
-      e.last_used = ++clock_;
+      s.compiled = fresh;
+      s.last_used = ++clock_;
       return fresh;
     }
   }
-  if (entries_.size() >= kCapacity) {
-    const auto oldest = std::min_element(
-        entries_.begin(), entries_.end(),
-        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
-    entries_.erase(oldest);
-  }
-  entries_.push_back(Entry{t, eps, fresh, ++clock_});
+  if (capacity_ == 0) return fresh;  // degenerate cache: never retain
+  insert(t, eps, fresh);
   return fresh;
+}
+
+void SchemaCache::seed(double t, double eps, RegenerativeSchema schema,
+                       bool want_transform, bool want_vmodel) const {
+  if (capacity_ == 0) return;
+  // Derive outside the lock, like a miss.
+  std::shared_ptr<CompiledSchema> compiled =
+      compile(std::move(schema), want_transform, want_vmodel);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (Slot& s : slots_) {
+    if (s.t == t && s.eps == eps) return;  // identical by determinism
+  }
+  ++stats_.seeded;
+  insert(t, eps, std::move(compiled));
+}
+
+std::vector<SchemaCache::Entry> SchemaCache::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Slot> ordered = slots_;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Slot& a, const Slot& b) {
+              return a.last_used < b.last_used;
+            });
+  std::vector<Entry> out;
+  out.reserve(ordered.size());
+  for (Slot& s : ordered) {
+    out.push_back(Entry{s.t, s.eps, std::move(s.compiled)});
+  }
+  return out;
 }
 
 SchemaCacheStats SchemaCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+std::size_t SchemaCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
 }
 
 }  // namespace rrl

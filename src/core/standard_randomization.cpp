@@ -3,20 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/compiled_artifact.hpp"
 #include "core/grid_sweep.hpp"
 #include "markov/poisson.hpp"
 #include "sparse/vector_ops.hpp"
 #include "support/stopwatch.hpp"
 
 namespace rrl {
-namespace {
 
-// Smallest n whose neglected-tail error bound is below eps:
-//   TRR: r_max * P[N > n]            <= eps
-//   MRR: r_max * E[(N - n)^+] / mean <= eps
-// (expected_excess is decreasing in n, hence the binary search).
-std::int64_t truncation_point(const PoissonDistribution& poisson,
-                              MeasureKind kind, double eps_over_rmax) {
+// (expected_excess is decreasing in n, hence the binary search.)
+std::int64_t sr_truncation_point(const PoissonDistribution& poisson,
+                                 MeasureKind kind, double eps_over_rmax) {
   if (kind == MeasureKind::kTrr) {
     return poisson.right_truncation_point(eps_over_rmax);
   }
@@ -34,8 +31,6 @@ std::int64_t truncation_point(const PoissonDistribution& poisson,
   return lo;
 }
 
-}  // namespace
-
 StandardRandomization::StandardRandomization(const Ctmc& chain,
                                              std::vector<double> rewards,
                                              std::vector<double> initial,
@@ -50,6 +45,28 @@ StandardRandomization::StandardRandomization(const Ctmc& chain,
   check_distribution(initial_, chain.num_states());
   reward_idx_ = nonzero_reward_states(rewards_);
   r_max_ = max_reward(rewards_);
+}
+
+void StandardRandomization::export_compiled(CompiledArtifact& artifact) const {
+  artifact.lambda = dtmc_.lambda();
+  artifact.dtmc_pt = dtmc_.transition_transposed();
+  const auto loops = dtmc_.self_loops();
+  artifact.self_loop.assign(loops.begin(), loops.end());
+}
+
+void StandardRandomization::import_compiled(const CompiledArtifact& artifact) {
+  // Only adopt a payload that is structurally ours (identity matching is
+  // the caller's job — see artifact_matches); anything else is ignored and
+  // the construction-time DTMC stands.
+  if (artifact.lambda <= 0.0 ||
+      artifact.dtmc_pt.rows() != chain_.num_states() ||
+      artifact.dtmc_pt.cols() != chain_.num_states() ||
+      artifact.self_loop.size() !=
+          static_cast<std::size_t>(chain_.num_states())) {
+    return;
+  }
+  dtmc_ = RandomizedDtmc::from_parts(artifact.dtmc_pt, artifact.self_loop,
+                                     artifact.lambda);
 }
 
 TransientValue StandardRandomization::trr(double t) const {
@@ -85,7 +102,7 @@ SolveReport StandardRandomization::solve_grid(
   GridSweep sweep(
       dtmc_.lambda(), request.times, request.measure,
       [&](const PoissonDistribution& poisson) {
-        return truncation_point(poisson, request.measure, eps / r_max_);
+        return sr_truncation_point(poisson, request.measure, eps / r_max_);
       },
       options_.step_cap);
   for (std::size_t i = 0; i < m; ++i) {

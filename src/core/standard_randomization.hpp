@@ -17,6 +17,19 @@
 
 namespace rrl {
 
+class PoissonDistribution;  // markov/poisson.hpp
+
+/// Smallest step count n whose neglected-tail error bound is below eps:
+///   TRR: r_max * P[N > n]            <= eps
+///   MRR: r_max * E[(N - n)^+] / mean <= eps
+/// (eps_over_rmax = eps / r_max). This is SR's truncation rule, exposed
+/// because the batched V-solve path (rr_solver.hpp's solve_rr_batch) must
+/// replicate the inner V-model pass truncation exactly to stay
+/// bit-identical to the per-scenario solve.
+[[nodiscard]] std::int64_t sr_truncation_point(
+    const PoissonDistribution& poisson, MeasureKind kind,
+    double eps_over_rmax);
+
 struct SrOptions {
   /// Total error bound (the paper's eps; its experiments use 1e-12).
   double epsilon = 1e-12;
@@ -54,6 +67,11 @@ class StandardRandomization : public TransientSolver {
   using TransientSolver::solve_grid;
   [[nodiscard]] SolveReport solve_grid(
       const SolveRequest& request, SolveWorkspace& workspace) const override;
+
+  /// Compile → execute split: SR's compiled state is the randomized DTMC
+  /// (P transposed in CSR gather form, self-loops, Lambda).
+  void export_compiled(CompiledArtifact& artifact) const override;
+  void import_compiled(const CompiledArtifact& artifact) override;
 
   /// Transient reward rate at time t (t >= 0).
   [[nodiscard]] TransientValue trr(double t) const;

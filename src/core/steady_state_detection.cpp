@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/compiled_artifact.hpp"
 #include "core/grid_sweep.hpp"
 #include "markov/poisson.hpp"
 #include "sparse/vector_ops.hpp"
@@ -24,6 +25,30 @@ RandomizationSteadyStateDetection::RandomizationSteadyStateDetection(
   RRL_EXPECTS(chain.absorbing_states().empty());  // irreducible models only
   check_distribution(initial_, chain.num_states());
   r_max_ = max_reward(rewards_);
+}
+
+void RandomizationSteadyStateDetection::export_compiled(
+    CompiledArtifact& artifact) const {
+  artifact.lambda = dtmc_.lambda();
+  artifact.dtmc_pt = dtmc_.transition_transposed();
+  const auto loops = dtmc_.self_loops();
+  artifact.self_loop.assign(loops.begin(), loops.end());
+}
+
+void RandomizationSteadyStateDetection::import_compiled(
+    const CompiledArtifact& artifact) {
+  if (artifact.lambda <= 0.0 ||
+      artifact.dtmc_pt.rows() != chain_.num_states() ||
+      artifact.dtmc_pt.cols() != chain_.num_states() ||
+      artifact.self_loop.size() !=
+          static_cast<std::size_t>(chain_.num_states())) {
+    return;
+  }
+  dtmc_ = RandomizedDtmc::from_parts(artifact.dtmc_pt, artifact.self_loop,
+                                     artifact.lambda);
+  // The backward-pass P is the exact transpose of the adopted gather form,
+  // same as at construction.
+  p_ = dtmc_.transition_transposed().transposed();
 }
 
 TransientValue RandomizationSteadyStateDetection::trr(double t) const {

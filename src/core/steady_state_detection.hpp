@@ -69,6 +69,12 @@ class RandomizationSteadyStateDetection : public TransientSolver {
   [[nodiscard]] SolveReport solve_grid(
       const SolveRequest& request, SolveWorkspace& workspace) const override;
 
+  /// Compile → execute split: RSD's compiled state is the randomized DTMC;
+  /// the row-form P for the backward pass is re-derived by exact
+  /// transposition on import.
+  void export_compiled(CompiledArtifact& artifact) const override;
+  void import_compiled(const CompiledArtifact& artifact) override;
+
   [[nodiscard]] TransientValue trr(double t) const;
   [[nodiscard]] TransientValue mrr(double t) const;
 

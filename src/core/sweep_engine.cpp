@@ -4,6 +4,7 @@
 #include <exception>
 #include <string_view>
 
+#include "core/rr_solver.hpp"
 #include "support/stopwatch.hpp"
 
 namespace rrl {
@@ -37,6 +38,57 @@ SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool) {
   out.jobs = pool.num_threads();
   out.results.resize(batch.scenarios.size());
 
+  // Batched V-solve routing: scenarios driving a SHARED RR solver go
+  // through solve_rr_batch together, so items with the same compiled
+  // schema share ONE ~Lambda*t V-pass (measure/grid variation reuses the
+  // d(n) stream) and the distinct V-models step jointly through a pooled
+  // block product — the only way the pool ever engages for the small
+  // V-models, see rr_solver.hpp. Bit-identical to per-scenario
+  // solve_grid(), so the routing is invisible in the report's values.
+  // Per-scenario construction (no shared_solver) stays on the scenario
+  // axis: those scenarios gain nothing from grouping (each would compile
+  // its own schema) and would lose their worker-level parallelism.
+  std::vector<std::size_t> batched;
+  for (std::size_t i = 0; i < batch.scenarios.size(); ++i) {
+    const SweepScenario& scenario = batch.scenarios[i];
+    if (scenario.shared_solver != nullptr &&
+        dynamic_cast<const RegenerativeRandomization*>(
+            scenario.shared_solver.get()) != nullptr) {
+      batched.push_back(i);
+    }
+  }
+  std::vector<std::size_t> rest;
+  if (batched.size() >= 2) {
+    std::vector<RrBatchItem> items;
+    items.reserve(batched.size());
+    for (const std::size_t i : batched) {
+      RrBatchItem item;
+      item.solver = static_cast<const RegenerativeRandomization*>(
+          batch.scenarios[i].shared_solver.get());
+      item.request = &batch.scenarios[i].request;
+      item.report = &out.results[i].report;
+      item.error = &out.results[i].error;
+      items.push_back(item);
+    }
+    solve_rr_batch(items, &pool);
+    rest.reserve(batch.scenarios.size() - batched.size());
+    std::size_t next_batched = 0;
+    for (std::size_t i = 0; i < batch.scenarios.size(); ++i) {
+      if (next_batched < batched.size() && batched[next_batched] == i) {
+        ++next_batched;
+      } else {
+        rest.push_back(i);
+      }
+    }
+  } else {
+    rest.resize(batch.scenarios.size());
+    for (std::size_t i = 0; i < rest.size(); ++i) rest[i] = i;
+  }
+  if (rest.empty()) {
+    out.seconds = watch.seconds();
+    return out;
+  }
+
   // A batch too small to occupy the pool on the scenario axis (fewer
   // scenarios than workers, with at least 2x slack so the switch is
   // clearly a win) runs the scenarios serially and lends the pool to the
@@ -63,14 +115,14 @@ SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool) {
   };
   const bool model_parallel =
       pool.num_threads() > 1 &&
-      batch.scenarios.size() * 2 <=
-          static_cast<std::size_t>(pool.num_threads()) &&
-      std::any_of(batch.scenarios.begin(), batch.scenarios.end(),
-                  drives_pooled_spmv);
+      rest.size() * 2 <= static_cast<std::size_t>(pool.num_threads()) &&
+      std::any_of(rest.begin(), rest.end(), [&](std::size_t i) {
+        return drives_pooled_spmv(batch.scenarios[i]);
+      });
   if (model_parallel) {
     SolveWorkspace workspace;
     workspace.spmv_pool = &pool;
-    for (std::size_t i = 0; i < batch.scenarios.size(); ++i) {
+    for (const std::size_t i : rest) {
       solve_one(batch.scenarios[i], out.results[i], workspace);
     }
     out.seconds = watch.seconds();
@@ -83,10 +135,10 @@ SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool) {
   std::vector<SolveWorkspace> workspaces(
       static_cast<std::size_t>(pool.num_threads()));
 
-  pool.parallel_for(
-      batch.scenarios.size(), [&](std::size_t i, std::size_t worker) {
-        solve_one(batch.scenarios[i], out.results[i], workspaces[worker]);
-      });
+  pool.parallel_for(rest.size(), [&](std::size_t k, std::size_t worker) {
+    const std::size_t i = rest[k];
+    solve_one(batch.scenarios[i], out.results[i], workspaces[worker]);
+  });
 
   out.seconds = watch.seconds();
   return out;

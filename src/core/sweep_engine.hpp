@@ -15,7 +15,12 @@
 // (see SolveWorkspace::pooled_spmv) — both paths produce identical values.
 // Scenarios may carry pre-built solvers (shared_solver) so one compiled
 // solver serves every scenario with the same (model, solver, config); the
-// study subsystem's solver cache builds on exactly this.
+// study subsystem's solver cache builds on exactly this. Scenarios sharing
+// RR solvers are additionally routed through the batched V-solve
+// (rr_solver.hpp's solve_rr_batch): items with the same compiled schema
+// share one ~Lambda*t V-pass, and the distinct small V-models advance
+// jointly through one pooled block-concatenated stepping loop — again
+// bit-identical to per-scenario solves.
 //
 // Determinism: results[i] always corresponds to scenarios[i] — workers
 // write only their own slot and the reduction is by index, so the report's

@@ -29,6 +29,8 @@
 
 namespace rrl {
 
+struct CompiledArtifact;  // core/compiled_artifact.hpp
+
 /// The paper's two measures for a rewarded CTMC.
 enum class MeasureKind {
   kTrr,  ///< transient reward rate  TRR(t) = E[r_{X(t)}]
@@ -120,6 +122,24 @@ class TransientSolver {
     return solve_grid(request, workspace);
   }
 
+  /// Compile → execute split (core/compiled_artifact.hpp). Append this
+  /// solver's compiled state — the deterministic model-derived part of the
+  /// work, re-usable across processes — to `artifact` (identity fields are
+  /// the caller's job; see export_artifact). The base default exports
+  /// nothing: a method without a separable compile step round-trips as an
+  /// empty artifact.
+  virtual void export_compiled(CompiledArtifact& /*artifact*/) const {}
+
+  /// Adopt compiled state previously exported from an identically
+  /// constructed solver (same model, method and config — callers verify
+  /// with artifact_matches; entries a solver cannot use are ignored).
+  /// Because compilation is deterministic, an imported solver answers
+  /// every request bit-identically to one that compiled from scratch.
+  /// Must be called before the solver is shared across threads: the
+  /// artifact handoff is part of construction, not of the (concurrent)
+  /// execute phase.
+  virtual void import_compiled(const CompiledArtifact& /*artifact*/) {}
+
   /// Single-point convenience on top of solve_grid; the returned stats are
   /// the full solve cost (the report's aggregate).
   [[nodiscard]] TransientValue solve_point(double t, MeasureKind kind,
@@ -134,11 +154,12 @@ class TransientSolver {
     return out;
   }
 
- protected:
   /// Shared solve_grid() entry validation: non-empty grid, per-point time
   /// sign per measure (t >= 0 for TRR, t > 0 for MRR), and resolution of
   /// the request epsilon against the solver's constructed one. Returns the
-  /// effective epsilon.
+  /// effective epsilon. Public so batch front ends (the batched V-solve)
+  /// validate requests through the SAME rule as the per-scenario path —
+  /// the two must never drift.
   [[nodiscard]] static double validated_epsilon(const SolveRequest& request,
                                                 double constructed_epsilon) {
     RRL_EXPECTS(!request.times.empty());

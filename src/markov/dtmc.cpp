@@ -34,4 +34,17 @@ RandomizedDtmc::RandomizedDtmc(const Ctmc& chain, double rate_factor) {
   pt_ = CsrMatrix::from_triplets(n, n, std::move(entries));
 }
 
+RandomizedDtmc RandomizedDtmc::from_parts(CsrMatrix pt,
+                                          std::vector<double> self_loop,
+                                          double lambda) {
+  RRL_EXPECTS(lambda > 0.0);
+  RRL_EXPECTS(pt.rows() == pt.cols());
+  RRL_EXPECTS(self_loop.size() == static_cast<std::size_t>(pt.rows()));
+  RandomizedDtmc dtmc;
+  dtmc.pt_ = std::move(pt);
+  dtmc.self_loop_ = std::move(self_loop);
+  dtmc.lambda_ = lambda;
+  return dtmc;
+}
+
 }  // namespace rrl

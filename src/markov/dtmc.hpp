@@ -22,6 +22,16 @@ class RandomizedDtmc {
   /// Precondition: chain.max_exit_rate() > 0 and rate_factor >= 1.
   explicit RandomizedDtmc(const Ctmc& chain, double rate_factor = 1.0);
 
+  /// Re-assemble a randomized DTMC from previously exported parts — the
+  /// compile → execute import path (core/compiled_artifact.hpp): `pt` is
+  /// P transposed in CSR gather form exactly as transition_transposed()
+  /// returns it, `self_loop` the per-state stay probabilities, `lambda`
+  /// the randomization rate. Preconditions: pt square, self_loop sized to
+  /// its rows, lambda > 0.
+  static RandomizedDtmc from_parts(CsrMatrix pt,
+                                   std::vector<double> self_loop,
+                                   double lambda);
+
   [[nodiscard]] double lambda() const noexcept { return lambda_; }
   [[nodiscard]] index_t num_states() const noexcept {
     return pt_.rows();
@@ -50,7 +60,14 @@ class RandomizedDtmc {
     return self_loop_[static_cast<std::size_t>(i)];
   }
 
+  /// All self-loop probabilities (the from_parts export counterpart).
+  [[nodiscard]] std::span<const double> self_loops() const noexcept {
+    return self_loop_;
+  }
+
  private:
+  RandomizedDtmc() = default;  // for from_parts
+
   CsrMatrix pt_;
   std::vector<double> self_loop_;
   double lambda_ = 0.0;

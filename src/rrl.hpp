@@ -21,8 +21,22 @@
 //       rrl::SolveRequest::trr(rrl::log_time_grid(1.0, 1e5, 20)));
 // The concrete classes (RegenerativeRandomizationLaplace, ...) remain
 // available for method-specific tuning and rigorous bounds.
+//
+// Compile → execute split (core/compiled_artifact.hpp): the expensive
+// model-derived state of a solver can be exported, serialized and
+// re-imported, so a later process skips the compilation and still answers
+// bit-identically:
+//   auto artifact = rrl::export_artifact(*solver, model_hash, config);
+//   rrl::write_artifact_file("m.rrla", artifact);        // io/artifact_codec
+//   ...
+//   auto warm = rrl::make_solver("rrl", chain, rewards, alpha, config);
+//   warm->import_compiled(rrl::read_artifact_file("m.rrla"));
+// The study subsystem automates this: give the SolverCache an
+// ArtifactStore (study/artifact_store.hpp) — or `rrl_solve --cache-dir` —
+// and repeated studies and all shards of a --shard k/N run start warm.
 #pragma once
 
+#include "core/compiled_artifact.hpp"  // IWYU pragma: export
 #include "core/grid_sweep.hpp"         // IWYU pragma: export
 #include "core/regenerative.hpp"       // IWYU pragma: export
 #include "core/registry.hpp"           // IWYU pragma: export
@@ -45,6 +59,7 @@
 #include "markov/poisson.hpp"          // IWYU pragma: export
 #include "markov/scc.hpp"              // IWYU pragma: export
 #include "markov/steady_state.hpp"     // IWYU pragma: export
+#include "io/artifact_codec.hpp"       // IWYU pragma: export
 #include "io/model_format.hpp"         // IWYU pragma: export
 #include "io/model_solver.hpp"         // IWYU pragma: export
 #include "models/multiproc.hpp"        // IWYU pragma: export
@@ -53,6 +68,7 @@
 #include "sparse/csr.hpp"              // IWYU pragma: export
 #include "sparse/vector_ops.hpp"       // IWYU pragma: export
 #include "sparse/workspace.hpp"        // IWYU pragma: export
+#include "study/artifact_store.hpp"    // IWYU pragma: export
 #include "study/model_repository.hpp"  // IWYU pragma: export
 #include "study/solver_cache.hpp"      // IWYU pragma: export
 #include "study/study_format.hpp"      // IWYU pragma: export

@@ -29,6 +29,36 @@ void mul_rows(std::span<const std::int64_t> row_ptr,
 
 }  // namespace
 
+CsrMatrix CsrMatrix::from_parts(index_t rows, index_t cols,
+                                std::vector<std::int64_t> row_ptr,
+                                std::vector<index_t> col_idx,
+                                std::vector<double> values) {
+  RRL_EXPECTS(rows >= 0 && cols >= 0);
+  RRL_EXPECTS(row_ptr.size() == static_cast<std::size_t>(rows) + 1);
+  RRL_EXPECTS(row_ptr.front() == 0);
+  RRL_EXPECTS(row_ptr.back() == static_cast<std::int64_t>(col_idx.size()));
+  RRL_EXPECTS(col_idx.size() == values.size());
+  for (index_t r = 0; r < rows; ++r) {
+    const std::int64_t lo = row_ptr[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
+    RRL_EXPECTS(lo <= hi);
+    for (std::int64_t k = lo; k < hi; ++k) {
+      const index_t c = col_idx[static_cast<std::size_t>(k)];
+      RRL_EXPECTS(c >= 0 && c < cols);
+      // Strictly increasing within a row: the canonical form every
+      // constructor of this class produces.
+      RRL_EXPECTS(k == lo || col_idx[static_cast<std::size_t>(k) - 1] < c);
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
 CsrMatrix CsrMatrix::from_triplets(index_t rows, index_t cols,
                                    std::vector<Triplet> entries) {
   RRL_EXPECTS(rows >= 0 && cols >= 0);
@@ -77,28 +107,45 @@ void CsrMatrix::mul_vec(std::span<const double> x, std::span<double> y) const {
 
 void CsrMatrix::mul_vec(std::span<const double> x, std::span<double> y,
                         ThreadPool& pool) const {
-  RRL_EXPECTS(static_cast<index_t>(x.size()) == cols_);
   RRL_EXPECTS(static_cast<index_t>(y.size()) == rows_);
+  mul_vec_leading(x, y, rows_, pool);
+}
+
+void CsrMatrix::mul_vec_leading(std::span<const double> x,
+                                std::span<double> y, index_t leading) const {
+  RRL_EXPECTS(static_cast<index_t>(x.size()) == cols_);
+  RRL_EXPECTS(static_cast<index_t>(y.size()) >= leading);
+  RRL_EXPECTS(leading >= 0 && leading <= rows_);
+  RRL_EXPECTS(x.data() != y.data());
+  mul_rows(row_ptr_, col_idx_, values_, x, y, 0, leading);
+}
+
+void CsrMatrix::mul_vec_leading(std::span<const double> x,
+                                std::span<double> y, index_t leading,
+                                ThreadPool& pool) const {
+  RRL_EXPECTS(static_cast<index_t>(x.size()) == cols_);
+  RRL_EXPECTS(static_cast<index_t>(y.size()) >= leading);
+  RRL_EXPECTS(leading >= 0 && leading <= rows_);
   RRL_EXPECTS(x.data() != y.data());
   const int workers = pool.num_threads();
-  if (workers <= 1 || rows_ < 2 * workers) {
-    mul_rows(row_ptr_, col_idx_, values_, x, y, 0, rows_);
+  if (workers <= 1 || leading < 2 * workers) {
+    mul_rows(row_ptr_, col_idx_, values_, x, y, 0, leading);
     return;
   }
   // Contiguous row chunks balanced by stored-entry count: chunk boundary c
   // is the first row whose cumulative nnz (row_ptr_) reaches c/workers of
-  // the total. Each worker derives its own [begin, end) with two binary
-  // searches on the prefix-sum array — boundaries of monotone targets are
-  // monotone, so chunks tile the rows disjointly, and the call allocates
-  // nothing (this path is meant for hot loops on large models).
-  const std::int64_t total = nnz();
+  // the leading rows' total. Each worker derives its own [begin, end) with
+  // two binary searches on the prefix-sum array — boundaries of monotone
+  // targets are monotone, so chunks tile the rows disjointly, and the call
+  // allocates nothing (this path is meant for hot loops on large models).
+  const std::int64_t total = row_ptr_[static_cast<std::size_t>(leading)];
+  const auto last = row_ptr_.begin() + leading + 1;
   const auto boundary = [&](int c) {
     if (c <= 0) return index_t{0};
-    if (c >= workers) return rows_;
+    if (c >= workers) return leading;
     const std::int64_t target =
         total * static_cast<std::int64_t>(c) / workers;
-    const auto it =
-        std::lower_bound(row_ptr_.begin(), row_ptr_.end(), target);
+    const auto it = std::lower_bound(row_ptr_.begin(), last, target);
     return static_cast<index_t>(it - row_ptr_.begin());
   };
   pool.parallel_for(

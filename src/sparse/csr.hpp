@@ -37,6 +37,20 @@ class CsrMatrix {
   static CsrMatrix from_triplets(index_t rows, index_t cols,
                                  std::vector<Triplet> entries);
 
+  /// Re-assemble a matrix from raw CSR arrays — the exact inverse of
+  /// reading row_ptr()/col_idx()/values(), used by the artifact codec to
+  /// reconstruct a serialized matrix bit-identically (from_triplets would
+  /// re-sort and re-sum, an O(nnz log nnz) detour for data that is already
+  /// in canonical form). Validates the CSR invariants (monotone row
+  /// pointers starting at 0, matching array lengths, column indices in
+  /// range and strictly increasing within each row) and throws
+  /// contract_error on violation, so a corrupt artifact is rejected rather
+  /// than adopted.
+  static CsrMatrix from_parts(index_t rows, index_t cols,
+                              std::vector<std::int64_t> row_ptr,
+                              std::vector<index_t> col_idx,
+                              std::vector<double> values);
+
   [[nodiscard]] index_t rows() const noexcept { return rows_; }
   [[nodiscard]] index_t cols() const noexcept { return cols_; }
   [[nodiscard]] std::int64_t nnz() const noexcept {
@@ -67,6 +81,22 @@ class CsrMatrix {
   /// mul_vec() regardless of thread count. Preconditions as mul_vec().
   void mul_vec(std::span<const double> x, std::span<double> y,
                ThreadPool& pool) const;
+
+  /// y[0..leading) = (A x)[0..leading): the product restricted to the
+  /// leading `leading` rows, each accumulated exactly as in mul_vec (the
+  /// batched V-solve steps a block-concatenated matrix whose trailing
+  /// blocks retire as their passes complete; restricting the product to
+  /// the live prefix skips their work without touching the per-row
+  /// arithmetic). Preconditions: x.size() == cols(), y.size() >= leading,
+  /// 0 <= leading <= rows(); x and y distinct.
+  void mul_vec_leading(std::span<const double> x, std::span<double> y,
+                       index_t leading) const;
+
+  /// Leading-rows product with the rows partitioned across `pool`
+  /// (nnz-balanced contiguous chunks, bit-identical to the serial form —
+  /// same guarantees as the pooled mul_vec).
+  void mul_vec_leading(std::span<const double> x, std::span<double> y,
+                       index_t leading, ThreadPool& pool) const;
 
   /// y = A^T x (scatter kernel). Preconditions mirror mul_vec.
   void mul_vec_transposed(std::span<const double> x, std::span<double> y) const;

@@ -1,0 +1,123 @@
+#include "study/artifact_store.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "io/artifact_codec.hpp"
+#include "support/fnv.hpp"
+
+namespace rrl {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// FNV-1a over the exact bit patterns of every SolverConfig field — the
+/// file-name half of the key (the full key is re-verified from the
+/// artifact's embedded identity on load).
+std::uint64_t hash_config(const SolverConfig& config) {
+  std::uint64_t h = kFnv1aOffset;
+  fnv1a_mix(h, &config.epsilon, sizeof(config.epsilon));
+  fnv1a_mix(h, &config.rate_factor, sizeof(config.rate_factor));
+  fnv1a_mix(h, &config.regenerative, sizeof(config.regenerative));
+  fnv1a_mix(h, &config.step_cap, sizeof(config.step_cap));
+  return h;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// Solver names are registry identifiers; anything unexpected is escaped
+/// so the file name stays path-safe.
+std::string sanitized(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(safe ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(std::string root) : root_(std::move(root)) {}
+
+std::string ArtifactStore::entry_path(std::uint64_t model_hash,
+                                      const std::string& solver,
+                                      const SolverConfig& config) const {
+  return (fs::path(root_) / hex64(model_hash) /
+          (sanitized(solver) + "-" + hex64(hash_config(config)) + ".rrla"))
+      .string();
+}
+
+std::optional<CompiledArtifact> ArtifactStore::load(
+    std::uint64_t model_hash, const std::string& solver,
+    const SolverConfig& config) const {
+  const std::string path = entry_path(model_hash, solver, config);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  try {
+    CompiledArtifact artifact = read_artifact_file(path);
+    if (!artifact_matches(artifact, solver, model_hash, config)) {
+      throw contract_error("artifact identity mismatch (stale entry)");
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return artifact;
+  } catch (const std::exception&) {
+    // Corrupt, truncated, foreign or stale: a miss, never an error — the
+    // caller recompiles and a later store() replaces the bad file.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    ++stats_.invalid;
+    return std::nullopt;
+  }
+}
+
+bool ArtifactStore::store(const CompiledArtifact& artifact) const {
+  if (!artifact.has_payload()) return false;
+  const std::string path =
+      entry_path(artifact.model_hash, artifact.solver, artifact.config);
+  const fs::path target(path);
+  // Atomic publish: write a sibling temp file, then rename over the final
+  // name. Writers racing on one key each get their OWN temp — the pid
+  // separates processes (shards), the counter separates threads within
+  // one — and the last rename wins with a complete file either way.
+  static std::atomic<unsigned long> temp_serial{0};
+  fs::path temp = target;
+  temp += ".tmp" + std::to_string(static_cast<unsigned long>(::getpid())) +
+          "-" + std::to_string(temp_serial.fetch_add(1));
+  try {
+    fs::create_directories(target.parent_path());
+    write_artifact_file(temp.string(), artifact);
+    fs::rename(temp, target);
+  } catch (const std::exception&) {
+    std::error_code ec;
+    fs::remove(temp, ec);
+    return false;  // cache write lost; correctness unaffected
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+  return true;
+}
+
+ArtifactStoreStats ArtifactStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace rrl

@@ -1,0 +1,85 @@
+// Content-addressed on-disk artifact store — the solver cache's second
+// tier.
+//
+// The in-memory SolverCache shares compiled solvers within one process;
+// this store persists their compiled state (core/compiled_artifact.hpp,
+// serialized by io/artifact_codec) so the NEXT process starts warm:
+// repeated CI studies, every shard of a `--shard k/N` run, and re-runs
+// after a crash all skip the schema compilation entirely. Because compile
+// and import are deterministic and the codec is bit-exact, a warm run's
+// report is byte-for-byte the cold run's report.
+//
+// Layout: one file per cache key under the store root,
+//
+//   <root>/<model-hash-hex>/<solver>-<config-hash-hex>.rrla
+//
+// where the directory is the model's 64-bit content hash (so all
+// compilations of one model live together and invalidate together when
+// the model changes — a changed model is a NEW address, never an
+// overwritten one) and the file name carries the solver plus a hash of
+// the exact SolverConfig. The full key is ALSO stored inside the artifact
+// and re-verified on load (artifact_matches), so hash collisions and
+// hand-copied files degrade to misses.
+//
+// Write discipline: store() serializes to a sibling temp file and
+// atomically renames it over the final path — concurrent shards writing
+// the same key land one complete file, never a torn one. Load failures of
+// any kind (absent, truncated, corrupt, foreign endianness, stale
+// identity) are counted and reported as misses; the store never throws on
+// the read path and never lets a bad file produce a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/compiled_artifact.hpp"
+
+namespace rrl {
+
+/// Two-tier accounting of the disk side (monotone).
+struct ArtifactStoreStats {
+  std::size_t hits = 0;     ///< loads that returned a verified artifact
+  std::size_t misses = 0;   ///< loads that found no usable file
+  std::size_t invalid = 0;  ///< subset of misses: file present but
+                            ///< corrupt/stale/foreign
+  std::size_t stores = 0;   ///< artifacts written
+};
+
+class ArtifactStore {
+ public:
+  /// A store rooted at `root` (created on first write; a missing root
+  /// just means every load misses).
+  explicit ArtifactStore(std::string root);
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+  /// The verified artifact for (model_hash, solver, config), or nullopt.
+  /// Never throws: a file that is absent, unreadable, corrupt, of a
+  /// foreign format/endianness, or whose embedded identity does not match
+  /// the requested key exactly is a miss.
+  [[nodiscard]] std::optional<CompiledArtifact> load(
+      std::uint64_t model_hash, const std::string& solver,
+      const SolverConfig& config) const;
+
+  /// Persist `artifact` under its own identity (atomic rename-on-write).
+  /// Returns false (and counts nothing) if the artifact has no payload;
+  /// filesystem failures are swallowed — the store is a cache, losing a
+  /// write costs a future recompile, not correctness.
+  bool store(const CompiledArtifact& artifact) const;
+
+  /// The file path a key resolves to (exposed for tests and tooling).
+  [[nodiscard]] std::string entry_path(std::uint64_t model_hash,
+                                       const std::string& solver,
+                                       const SolverConfig& config) const;
+
+  [[nodiscard]] ArtifactStoreStats stats() const;
+
+ private:
+  std::string root_;
+  mutable std::mutex mutex_;
+  mutable ArtifactStoreStats stats_;
+};
+
+}  // namespace rrl

@@ -3,42 +3,33 @@
 #include <span>
 #include <utility>
 
+#include "support/fnv.hpp"
+
 namespace rrl {
 namespace {
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-void mix_bytes(std::uint64_t& h, const void* data, std::size_t n) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= bytes[i];
-    h *= kFnvPrime;
-  }
-}
 
 template <typename T>
 void mix_span(std::uint64_t& h, std::span<const T> values) {
   const std::uint64_t count = values.size();
-  mix_bytes(h, &count, sizeof(count));
+  fnv1a_mix(h, &count, sizeof(count));
   if (!values.empty()) {
-    mix_bytes(h, values.data(), values.size() * sizeof(T));
+    fnv1a_mix(h, values.data(), values.size() * sizeof(T));
   }
 }
 
 }  // namespace
 
 std::uint64_t hash_model(const ModelFile& model) {
-  std::uint64_t h = kFnvOffset;
+  std::uint64_t h = kFnv1aOffset;
   const CsrMatrix& rates = model.chain.rates();
   const index_t states = model.chain.num_states();
-  mix_bytes(h, &states, sizeof(states));
+  fnv1a_mix(h, &states, sizeof(states));
   mix_span(h, rates.row_ptr());
   mix_span(h, rates.col_idx());
   mix_span(h, rates.values());
   mix_span(h, std::span<const double>(model.rewards));
   mix_span(h, std::span<const double>(model.initial));
-  mix_bytes(h, &model.regenerative, sizeof(model.regenerative));
+  fnv1a_mix(h, &model.regenerative, sizeof(model.regenerative));
   return h;
 }
 

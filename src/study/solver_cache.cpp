@@ -1,8 +1,30 @@
 #include "study/solver_cache.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <utility>
 
+#include "core/compiled_artifact.hpp"
+
 namespace rrl {
+namespace {
+
+/// The artifact's (t, eps) schema keys, sorted — the flush-time "is the
+/// disk already current" comparison (sr/rsd artifacts compare as empty,
+/// which is correct: their DTMC payload is a pure function of the model
+/// and config, so an imported copy never needs rewriting).
+std::vector<std::pair<double, double>> schema_keys(
+    const CompiledArtifact& artifact) {
+  std::vector<std::pair<double, double>> keys;
+  keys.reserve(artifact.schemas.size());
+  for (const ArtifactSchemaEntry& e : artifact.schemas) {
+    keys.emplace_back(e.t, e.eps);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
 
 std::shared_ptr<const TransientSolver> SolverCache::get_or_build(
     const std::shared_ptr<const StudyModel>& model,
@@ -30,15 +52,99 @@ std::shared_ptr<const TransientSolver> SolverCache::get_or_build(
     ++stats_.hits;
     return it->second.solver;
   }
+  // Memory miss: consult the disk tier first (when attached and not in
+  // cold mode) so a verified artifact can warm-start the construction.
+  std::optional<CompiledArtifact> artifact;
+  if (store_ != nullptr && read_disk_) {
+    artifact = store_->load(key.model_hash, solver_name, config);
+  }
   // Build under the lock: construction either throws (nothing cached) or
   // yields the immutable shared instance. The solver borrows the model's
-  // chain, which the entry pins alongside it.
-  std::shared_ptr<const TransientSolver> solver =
+  // chain, which the entry pins alongside it. The artifact import is part
+  // of construction — it must precede any sharing across threads.
+  std::unique_ptr<TransientSolver> built =
       make_solver(solver_name, model->file.chain, model->file.rewards,
                   model->file.initial, config);
+  Entry entry{model, nullptr, false, {}};
+  if (artifact.has_value()) {
+    built->import_compiled(*artifact);
+    entry.imported = true;
+    entry.imported_keys = schema_keys(*artifact);
+    ++stats_.disk_hits;
+  } else if (store_ != nullptr && read_disk_) {
+    ++stats_.disk_misses;
+  }
+  std::shared_ptr<const TransientSolver> solver = std::move(built);
   ++stats_.misses;
-  entries_.emplace(std::move(key), Entry{model, solver});
+  entry.solver = solver;
+  entries_.emplace(std::move(key), std::move(entry));
   return solver;
+}
+
+void SolverCache::attach_store(std::shared_ptr<const ArtifactStore> store,
+                               bool read) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  store_ = std::move(store);
+  read_disk_ = read;
+}
+
+std::size_t SolverCache::flush_to_store() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (store_ == nullptr) return 0;
+  std::size_t written = 0;
+  for (const auto& [key, entry] : entries_) {
+    SolverConfig config;
+    config.epsilon = key.epsilon;
+    config.rate_factor = key.rate_factor;
+    config.regenerative = key.regenerative;
+    config.step_cap = key.step_cap;
+    // Identity under the REGISTRY name from the key (a custom-registered
+    // factory may wrap a class whose name() differs), so store and load
+    // address the same file.
+    CompiledArtifact artifact;
+    artifact.solver = key.solver;
+    artifact.model_hash = key.model_hash;
+    artifact.config = config;
+    entry.solver->export_compiled(artifact);
+    // A warm-started entry whose compiled state holds nothing beyond what
+    // the disk already has (schema keys a subset of the imported ones;
+    // the series under a key are deterministic) has nothing new to
+    // publish — a fully warm N-shard run rewrites nothing. Note subset,
+    // not equality: when a solver memoizes more horizons than its
+    // SchemaCache retains, each run holds a capacity-limited selection of
+    // the disk's keys, and equality would re-publish a shrunken artifact
+    // forever.
+    const std::vector<std::pair<double, double>> exported_keys =
+        schema_keys(artifact);
+    if (entry.imported &&
+        std::includes(entry.imported_keys.begin(),
+                      entry.imported_keys.end(), exported_keys.begin(),
+                      exported_keys.end())) {
+      continue;
+    }
+    // Publishing genuinely new schemas: keep the disk's horizons this
+    // run's capacity-limited memo no longer holds, so the stored artifact
+    // only ever grows toward the study's full horizon set instead of
+    // oscillating between subsets.
+    if (entry.imported) {
+      const auto on_disk =
+          store_->load(key.model_hash, key.solver, config);
+      if (on_disk.has_value()) {
+        for (const ArtifactSchemaEntry& e : on_disk->schemas) {
+          const std::pair<double, double> k{e.t, e.eps};
+          if (!std::binary_search(exported_keys.begin(),
+                                  exported_keys.end(), k)) {
+            artifact.schemas.push_back(e);
+          }
+        }
+      }
+    }
+    if (store_->store(artifact)) {
+      ++written;
+      ++stats_.disk_stores;
+    }
+  }
+  return written;
 }
 
 SolverCacheStats SolverCache::stats() const {

@@ -18,6 +18,15 @@
 // canonical config.epsilon (the study runner uses the study's tightest)
 // and carrying the per-scenario epsilon in the request.
 //
+// Disk tier: attach_store() adds a second, cross-process tier
+// (study/artifact_store.hpp). A memory miss then first consults the store
+// — a verified artifact warm-starts the freshly constructed solver via
+// import_compiled(), skipping the schema compilation — and
+// flush_to_store() persists every entry's compiled state after a run, so
+// the next process (a repeat study, the other shards of a --shard k/N
+// run) starts warm. Warm-started solvers answer bit-identically to cold
+// ones, so the tier is invisible in results.
+//
 // Each cache entry pins the StudyModel it was compiled from, so a cached
 // solver's borrowed chain stays alive as long as the entry does.
 #pragma once
@@ -28,8 +37,11 @@
 #include <mutex>
 #include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "core/registry.hpp"
+#include "study/artifact_store.hpp"
 #include "study/model_repository.hpp"
 
 namespace rrl {
@@ -53,10 +65,16 @@ struct SolverCacheKey {
   }
 };
 
-/// Hit/miss accounting (monotone).
+/// Two-tier hit/miss accounting (monotone). `misses` counts every memory
+/// miss; `disk_hits` the subset warm-started from the disk tier,
+/// `disk_misses` the subset that consulted the disk and compiled cold
+/// (both stay 0 without an attached store).
 struct SolverCacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
+  std::size_t disk_hits = 0;
+  std::size_t disk_misses = 0;
+  std::size_t disk_stores = 0;
 };
 
 class SolverCache {
@@ -75,6 +93,19 @@ class SolverCache {
       const std::shared_ptr<const StudyModel>& model,
       const std::string& solver_name, SolverConfig config);
 
+  /// Attach the cross-process disk tier. `read` = false ("cold" mode)
+  /// skips disk loads but keeps flush_to_store() writing, refreshing the
+  /// store from a from-scratch compile. Call before the first
+  /// get_or_build; the store must outlive the cache's use of it.
+  void attach_store(std::shared_ptr<const ArtifactStore> store,
+                    bool read = true);
+
+  /// Export every entry's compiled state to the attached store (no-op
+  /// without one). Called after a run so the artifacts include whatever
+  /// schemas the sweep actually computed. Returns the number of artifacts
+  /// written.
+  std::size_t flush_to_store();
+
   [[nodiscard]] SolverCacheStats stats() const;
 
   /// Number of compiled solvers held.
@@ -84,11 +115,20 @@ class SolverCache {
   struct Entry {
     std::shared_ptr<const StudyModel> model;  ///< keeps the chain alive
     std::shared_ptr<const TransientSolver> solver;
+    /// Disk-tier provenance: set when the entry was warm-started, with
+    /// the (t, eps) schema keys the imported artifact carried (sorted).
+    /// flush_to_store skips entries whose compiled state is still exactly
+    /// what the disk already holds — a fully warm N-shard run then
+    /// rewrites nothing.
+    bool imported = false;
+    std::vector<std::pair<double, double>> imported_keys;
   };
 
   mutable std::mutex mutex_;
   std::map<SolverCacheKey, Entry> entries_;
   SolverCacheStats stats_;
+  std::shared_ptr<const ArtifactStore> store_;
+  bool read_disk_ = true;
 };
 
 }  // namespace rrl

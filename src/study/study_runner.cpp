@@ -145,6 +145,11 @@ StudyRun run_study(const StudySpec& spec, ModelRepository& repository,
   const SolverCacheStats cache_after = cache.stats();
   run.cache.hits = cache_after.hits - cache_before.hits;
   run.cache.misses = cache_after.misses - cache_before.misses;
+  run.cache.disk_hits = cache_after.disk_hits - cache_before.disk_hits;
+  run.cache.disk_misses =
+      cache_after.disk_misses - cache_before.disk_misses;
+  run.cache.disk_stores =
+      cache_after.disk_stores - cache_before.disk_stores;
 
   // Models must outlive the sweep (scenarios borrow the chains); the
   // repository and the cache entries pin them, and `models` held them

@@ -1,0 +1,32 @@
+// FNV-1a 64-bit hashing, shared by every content-addressing site: the
+// model repository's content hash, the artifact codec's payload checksum,
+// and the artifact store's config-key file names. One implementation so
+// the three can never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rrl {
+
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Mix `n` raw bytes into a running FNV-1a state.
+inline void fnv1a_mix(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnv1aPrime;
+  }
+}
+
+/// One-shot hash of a byte span.
+[[nodiscard]] inline std::uint64_t fnv1a(std::span<const char> bytes) {
+  std::uint64_t h = kFnv1aOffset;
+  fnv1a_mix(h, bytes.data(), bytes.size());
+  return h;
+}
+
+}  // namespace rrl

@@ -1,0 +1,219 @@
+// Artifact codec round trip (the acceptance criterion of the compile →
+// execute split): for every solver on RAID-5 and multiproc, export the
+// compiled artifact, serialize, deserialize, import into a freshly
+// constructed solver — and the warm solver's answers are bit-identical to
+// the cold one's WITHOUT recompiling the schema. Plus rejection of every
+// corruption class: flipped payload bytes, truncation, bad magic, foreign
+// version, foreign endianness, trailing garbage.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compiled_artifact.hpp"
+#include "io/artifact_codec.hpp"
+#include "models/multiproc.hpp"
+#include "models/raid5.hpp"
+#include "rrl.hpp"
+
+namespace rrl {
+namespace {
+
+constexpr double kEps = 1e-8;
+
+struct Model {
+  std::string label;
+  Ctmc chain;
+  std::vector<double> rewards;
+  std::vector<double> initial;
+  index_t regenerative = 0;
+};
+
+Model raid_model() {
+  Raid5Params p;
+  p.groups = 20;
+  const Raid5Model m = build_raid5_availability(p);
+  return {"raid5-g20", m.chain, m.failure_rewards(),
+          m.initial_distribution(), m.initial_state};
+}
+
+Model multiproc_model() {
+  const MultiprocModel m = build_multiproc_availability({});
+  return {"multiproc", m.chain, m.failure_rewards(),
+          m.initial_distribution(), m.initial_state};
+}
+
+std::string serialized(const CompiledArtifact& artifact) {
+  std::ostringstream out(std::ios::binary);
+  write_artifact(out, artifact);
+  return out.str();
+}
+
+CompiledArtifact deserialized(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return read_artifact(in);
+}
+
+TEST(ArtifactCodec, RoundTripSolvesBitIdenticallyForAllSolvers) {
+  const std::vector<double> grid = log_time_grid(1.0, 300.0, 4);
+  for (const Model& model : {raid_model(), multiproc_model()}) {
+    for (const std::string name : {"sr", "rsd", "rr", "rrl"}) {
+      SolverConfig config;
+      config.epsilon = kEps;
+      config.regenerative = model.regenerative;
+      const auto cold = make_solver(name, model.chain, model.rewards,
+                                    model.initial, config);
+
+      // Drive the cold solver first so its compiled state (the rr/rrl
+      // schema memo) holds what a real run would persist.
+      SolveReport cold_trr = cold->solve_grid(SolveRequest::trr(grid));
+      SolveReport cold_mrr = cold->solve_grid(SolveRequest::mrr(grid));
+
+      const CompiledArtifact exported =
+          export_artifact(*cold, /*model_hash=*/1234, config);
+      EXPECT_TRUE(artifact_matches(exported, name, 1234, config));
+      const CompiledArtifact imported = deserialized(serialized(exported));
+      EXPECT_TRUE(artifact_matches(imported, name, 1234, config));
+
+      auto warm = make_solver(name, model.chain, model.rewards,
+                              model.initial, config);
+      warm->import_compiled(imported);
+      const SolveReport warm_trr = warm->solve_grid(SolveRequest::trr(grid));
+      const SolveReport warm_mrr = warm->solve_grid(SolveRequest::mrr(grid));
+
+      EXPECT_EQ(warm_trr.values(), cold_trr.values())
+          << model.label << "/" << name;
+      EXPECT_EQ(warm_mrr.values(), cold_mrr.values())
+          << model.label << "/" << name;
+      EXPECT_EQ(warm_trr.total.dtmc_steps, cold_trr.total.dtmc_steps);
+      EXPECT_EQ(warm_mrr.total.vmodel_steps, cold_mrr.total.vmodel_steps);
+
+      // The warm regenerative solvers must have answered from the seeded
+      // memo — zero schema compilations.
+      if (name == "rr") {
+        const auto* solver =
+            dynamic_cast<const RegenerativeRandomization*>(warm.get());
+        ASSERT_NE(solver, nullptr);
+        EXPECT_EQ(solver->schema_cache_stats().misses, 0u) << model.label;
+        EXPECT_GE(solver->schema_cache_stats().seeded, 1u) << model.label;
+      } else if (name == "rrl") {
+        const auto* solver =
+            dynamic_cast<const RegenerativeRandomizationLaplace*>(
+                warm.get());
+        ASSERT_NE(solver, nullptr);
+        EXPECT_EQ(solver->schema_cache_stats().misses, 0u) << model.label;
+        EXPECT_GE(solver->schema_cache_stats().seeded, 1u) << model.label;
+      }
+    }
+  }
+}
+
+TEST(ArtifactCodec, FieldsSurviveExactly) {
+  const Model model = multiproc_model();
+  SolverConfig config;
+  config.epsilon = kEps;
+  config.regenerative = model.regenerative;
+  config.step_cap = 123456789;
+  const auto solver = make_solver("rrl", model.chain, model.rewards,
+                                  model.initial, config);
+  (void)solver->solve_grid(SolveRequest::trr({10.0, 250.0}));
+
+  const CompiledArtifact a = export_artifact(*solver, 99, config);
+  ASSERT_FALSE(a.schemas.empty());
+  const CompiledArtifact b = deserialized(serialized(a));
+  EXPECT_EQ(b.solver, a.solver);
+  EXPECT_EQ(b.model_hash, a.model_hash);
+  EXPECT_EQ(b.config.epsilon, a.config.epsilon);
+  EXPECT_EQ(b.config.step_cap, a.config.step_cap);
+  ASSERT_EQ(b.schemas.size(), a.schemas.size());
+  for (std::size_t i = 0; i < a.schemas.size(); ++i) {
+    EXPECT_EQ(b.schemas[i].t, a.schemas[i].t);
+    EXPECT_EQ(b.schemas[i].eps, a.schemas[i].eps);
+    EXPECT_EQ(b.schemas[i].schema.main.a, a.schemas[i].schema.main.a);
+    EXPECT_EQ(b.schemas[i].schema.main.c, a.schemas[i].schema.main.c);
+    EXPECT_EQ(b.schemas[i].schema.main.qa, a.schemas[i].schema.main.qa);
+    EXPECT_EQ(b.schemas[i].schema.lambda, a.schemas[i].schema.lambda);
+    EXPECT_EQ(b.schemas[i].schema.capped, a.schemas[i].schema.capped);
+  }
+}
+
+TEST(ArtifactCodec, RejectsEveryCorruptionClass) {
+  const Model model = multiproc_model();
+  SolverConfig config;
+  config.epsilon = kEps;
+  config.regenerative = model.regenerative;
+  const auto solver = make_solver("sr", model.chain, model.rewards,
+                                  model.initial, config);
+  const std::string bytes =
+      serialized(export_artifact(*solver, 7, config));
+
+  // Control: the pristine bytes parse.
+  EXPECT_NO_THROW((void)deserialized(bytes));
+
+  // Flipped payload byte: checksum mismatch (or malformed structure).
+  for (const std::size_t offset : {bytes.size() / 2, bytes.size() - 12}) {
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x5a);
+    EXPECT_THROW((void)deserialized(corrupt), contract_error)
+        << "offset " << offset;
+  }
+
+  // Truncation at several depths (header, payload, checksum).
+  for (const std::size_t keep : {std::size_t{4}, std::size_t{16},
+                                 bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_THROW((void)deserialized(bytes.substr(0, keep)), contract_error)
+        << "keep " << keep;
+  }
+
+  // Bad magic: not an artifact file at all.
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW((void)deserialized(bad_magic), contract_error);
+
+  // Foreign format version.
+  std::string bad_version = bytes;
+  bad_version[8] = static_cast<char>(bad_version[8] + 1);
+  EXPECT_THROW((void)deserialized(bad_version), contract_error);
+
+  // Foreign endianness: the tag reads back byte-swapped.
+  std::string bad_endian = bytes;
+  std::swap(bad_endian[12], bad_endian[13]);
+  EXPECT_THROW((void)deserialized(bad_endian), contract_error);
+
+  // Trailing garbage after the checksum is silently ignored by streams,
+  // but garbage INSIDE the framed payload is not: growing the declared
+  // length without bytes to back it is a truncation.
+  std::string grown = bytes;
+  grown[14] = static_cast<char>(grown[14] + 1);  // payload length field
+  EXPECT_THROW((void)deserialized(grown), contract_error);
+}
+
+TEST(ArtifactCodec, ImportIgnoresForeignSchemas) {
+  // A schema for another regenerative state must not be adopted (the
+  // structural guard behind artifact_matches).
+  const Model model = multiproc_model();
+  SolverConfig config;
+  config.epsilon = kEps;
+  config.regenerative = model.regenerative;
+  const auto donor = make_solver("rrl", model.chain, model.rewards,
+                                 model.initial, config);
+  (void)donor->solve_grid(SolveRequest::trr({100.0}));
+  CompiledArtifact artifact = export_artifact(*donor, 1, config);
+  ASSERT_FALSE(artifact.schemas.empty());
+  for (ArtifactSchemaEntry& e : artifact.schemas) {
+    e.schema.regenerative = model.regenerative + 1;
+  }
+
+  auto warm = make_solver("rrl", model.chain, model.rewards, model.initial,
+                          config);
+  warm->import_compiled(artifact);
+  const auto* rrl_warm =
+      dynamic_cast<const RegenerativeRandomizationLaplace*>(warm.get());
+  ASSERT_NE(rrl_warm, nullptr);
+  EXPECT_EQ(rrl_warm->schema_cache_stats().seeded, 0u);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,228 @@
+// Disk artifact store: content-addressed store/load, corrupt and stale
+// entries degrading to misses, and the acceptance criterion — a
+// warm-started study (fresh in-process caches, shared store directory,
+// i.e. a second process) reproduces the cold run's report byte-for-byte
+// while reporting nonzero disk-tier hits.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/artifact_codec.hpp"
+#include "io/model_format.hpp"
+#include "models/multiproc.hpp"
+#include "rrl.hpp"
+#include "study/artifact_store.hpp"
+
+namespace rrl {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("rrl-store-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static int& counter() {
+    static int n = 0;
+    return n;
+  }
+};
+
+CompiledArtifact sample_artifact(const MultiprocModel& model,
+                                 const SolverConfig& config,
+                                 std::uint64_t model_hash) {
+  const auto solver =
+      make_solver("rrl", model.chain, model.failure_rewards(),
+                  model.initial_distribution(), config);
+  (void)solver->solve_grid(SolveRequest::trr({50.0, 500.0}));
+  return export_artifact(*solver, model_hash, config);
+}
+
+TEST(ArtifactStore, StoreThenLoadRoundTrips) {
+  const TempDir dir;
+  const ArtifactStore store(dir.path.string());
+  const MultiprocModel model = build_multiproc_availability({});
+  SolverConfig config;
+  config.epsilon = 1e-8;
+  config.regenerative = model.initial_state;
+  const CompiledArtifact artifact = sample_artifact(model, config, 42);
+
+  EXPECT_TRUE(store.store(artifact));
+  EXPECT_TRUE(fs::exists(store.entry_path(42, "rrl", config)));
+
+  const auto loaded = store.load(42, "rrl", config);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->schemas.size(), artifact.schemas.size());
+  EXPECT_EQ(loaded->schemas[0].schema.main.a,
+            artifact.schemas[0].schema.main.a);
+
+  const ArtifactStoreStats stats = store.stats();
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(ArtifactStore, MissStaleAndCorruptAllDegradeToMisses) {
+  const TempDir dir;
+  const ArtifactStore store(dir.path.string());
+  const MultiprocModel model = build_multiproc_availability({});
+  SolverConfig config;
+  config.epsilon = 1e-8;
+  config.regenerative = model.initial_state;
+
+  // Absent: plain miss.
+  EXPECT_FALSE(store.load(1, "rrl", config).has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().invalid, 0u);
+
+  const CompiledArtifact artifact = sample_artifact(model, config, 1);
+  ASSERT_TRUE(store.store(artifact));
+
+  // Different config: a different address, so a miss (never a near-match).
+  SolverConfig other = config;
+  other.epsilon = 1e-10;
+  EXPECT_FALSE(store.load(1, "rrl", other).has_value());
+
+  // A file whose EMBEDDED identity does not match its address (e.g.
+  // hand-copied between model directories) is rejected as stale.
+  const std::string alias_path = store.entry_path(2, "rrl", config);
+  fs::create_directories(fs::path(alias_path).parent_path());
+  fs::copy_file(store.entry_path(1, "rrl", config), alias_path);
+  EXPECT_FALSE(store.load(2, "rrl", config).has_value());
+  EXPECT_GE(store.stats().invalid, 1u);
+
+  // Corrupt bytes: rejected, and a later store() heals the entry.
+  {
+    std::ofstream out(store.entry_path(1, "rrl", config),
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  EXPECT_FALSE(store.load(1, "rrl", config).has_value());
+  ASSERT_TRUE(store.store(artifact));
+  EXPECT_TRUE(store.load(1, "rrl", config).has_value());
+}
+
+TEST(ArtifactStore, SolverCacheWarmStartSkipsCompilation) {
+  const TempDir dir;
+  const auto store =
+      std::make_shared<const ArtifactStore>(dir.path.string());
+  const MultiprocModel multi = build_multiproc_availability({});
+  ModelFile file;
+  file.chain = multi.chain;
+  file.rewards = multi.failure_rewards();
+  file.initial = multi.initial_distribution();
+  file.regenerative = multi.initial_state;
+
+  SolverConfig config;
+  config.epsilon = 1e-10;
+  config.regenerative = multi.initial_state;
+  const SolveRequest request = SolveRequest::trr({10.0, 1000.0});
+
+  // Cold "process": compile, solve, flush.
+  ModelRepository repo_cold;
+  const auto model_cold = repo_cold.adopt("multiproc", file);
+  SolverCache cold;
+  cold.attach_store(store);
+  const auto solver_cold = cold.get_or_build(model_cold, "rrl", config);
+  const SolveReport report_cold = solver_cold->solve_grid(request);
+  EXPECT_EQ(cold.stats().disk_hits, 0u);
+  EXPECT_EQ(cold.stats().disk_misses, 1u);
+  EXPECT_EQ(cold.flush_to_store(), 1u);
+
+  // Warm "process": fresh repository and cache, shared directory.
+  ModelRepository repo_warm;
+  const auto model_warm = repo_warm.adopt("multiproc", file);
+  SolverCache warm;
+  warm.attach_store(store);
+  const auto solver_warm = warm.get_or_build(model_warm, "rrl", config);
+  EXPECT_EQ(warm.stats().disk_hits, 1u);
+  const SolveReport report_warm = solver_warm->solve_grid(request);
+  EXPECT_EQ(report_warm.values(), report_cold.values());
+
+  // The warm solver answered from the seeded memo: no schema compile.
+  const auto* rrl_warm =
+      dynamic_cast<const RegenerativeRandomizationLaplace*>(
+          solver_warm.get());
+  ASSERT_NE(rrl_warm, nullptr);
+  EXPECT_EQ(rrl_warm->schema_cache_stats().misses, 0u);
+  EXPECT_GE(rrl_warm->schema_cache_stats().seeded, 1u);
+
+  // Cold mode: reads disabled, the compile runs again, the store is
+  // refreshed.
+  SolverCache refreshed;
+  refreshed.attach_store(store, /*read=*/false);
+  const auto solver_refreshed =
+      refreshed.get_or_build(model_warm, "rrl", config);
+  EXPECT_EQ(refreshed.stats().disk_hits, 0u);
+  EXPECT_EQ(refreshed.stats().disk_misses, 0u);  // never consulted
+  EXPECT_EQ(solver_refreshed->solve_grid(request).values(),
+            report_cold.values());
+}
+
+TEST(ArtifactStore, WarmStudyReproducesColdReportByteForByte) {
+  // The acceptance run: a full study cold, then the same study from a
+  // fresh cache over the shared store — the CSV reports must be
+  // byte-identical and the warm run must report nonzero disk hits.
+  const TempDir dir;
+  const MultiprocModel multi = build_multiproc_availability({});
+  const fs::path model_path = dir.path / "multiproc.rrlm";
+  write_model_file(model_path.string(), multi.chain,
+                   multi.failure_rewards(), multi.initial_distribution(),
+                   multi.initial_state);
+
+  StudySpec spec;
+  spec.models = {model_path.string()};
+  spec.model_labels = {"multiproc.rrlm"};
+  spec.solvers = {"sr", "rsd", "rr", "rrl"};
+  spec.measures = {MeasureKind::kTrr, MeasureKind::kMrr};
+  spec.epsilons = {1e-8, 1e-10};
+  spec.grids = {log_time_grid(1.0, 2000.0, 4), {5.0, 50.0}};
+  spec.jobs = 2;
+
+  const auto store =
+      std::make_shared<const ArtifactStore>((dir.path / "cache").string());
+  const auto run_csv = [&](SolverCache& cache, StudyRun& run) {
+    ModelRepository repository;  // fresh per "process"
+    run = run_study(spec, repository, cache);
+    std::ostringstream csv;
+    write_report_csv(csv, run.total_scenarios, run.rows());
+    return csv.str();
+  };
+
+  SolverCache cold_cache;
+  cold_cache.attach_store(store);
+  StudyRun cold_run;
+  const std::string cold_csv = run_csv(cold_cache, cold_run);
+  EXPECT_EQ(cold_run.sweep.failed(), 0u);
+  EXPECT_EQ(cold_run.cache.disk_hits, 0u);
+  EXPECT_GT(cold_cache.flush_to_store(), 0u);
+
+  SolverCache warm_cache;
+  warm_cache.attach_store(store);
+  StudyRun warm_run;
+  const std::string warm_csv = run_csv(warm_cache, warm_run);
+  EXPECT_EQ(warm_run.sweep.failed(), 0u);
+  EXPECT_GT(warm_run.cache.disk_hits, 0u);
+  EXPECT_EQ(warm_run.cache.disk_misses, 0u);
+  EXPECT_EQ(warm_csv, cold_csv);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -262,6 +262,179 @@ TEST(SweepEngine, SmallBatchModelParallelPathIsBitIdentical) {
   }
 }
 
+TEST(SweepEngine, BatchedVSolveMatchesPerScenarioStepping) {
+  // Scenarios sharing RR solvers route through solve_rr_batch: items with
+  // one compiled schema share a V-pass, distinct schemas step jointly.
+  // Values AND step accounting must be bit-identical to direct
+  // per-scenario solve_grid() calls, at every worker count.
+  const Model raid = raid_model();
+  const Model multi = multiproc_model();
+  SolverConfig config;
+  config.epsilon = kEps;
+
+  std::vector<std::shared_ptr<const TransientSolver>> solvers;
+  BatchRequest batch;
+  for (const Model* model : {&raid, &multi}) {
+    SolverConfig model_config = config;
+    model_config.regenerative = model->regenerative;
+    const std::shared_ptr<const TransientSolver> shared = make_solver(
+        "rr", model->chain, model->rewards, model->initial, model_config);
+    solvers.push_back(shared);
+    // Mix of shared and distinct schemas: same horizon at two grid
+    // resolutions (one V-pass), a different horizon, a different request
+    // epsilon (its own schema), and both measures throughout.
+    const std::vector<std::vector<double>> grids = {
+        log_time_grid(1.0, 400.0, 4), log_time_grid(2.0, 400.0, 2),
+        log_time_grid(1.0, 80.0, 3)};
+    for (const MeasureKind measure :
+         {MeasureKind::kTrr, MeasureKind::kMrr}) {
+      for (const auto& grid : grids) {
+        for (const double request_eps : {-1.0, 1e-6}) {
+          SweepScenario scenario;
+          scenario.model = model->label;
+          scenario.solver = "rr";
+          scenario.chain = &model->chain;
+          scenario.config = model_config;
+          scenario.request.measure = measure;
+          scenario.request.times = grid;
+          scenario.request.epsilon = request_eps;
+          scenario.shared_solver = shared;
+          batch.scenarios.push_back(std::move(scenario));
+        }
+      }
+    }
+  }
+  ASSERT_EQ(batch.scenarios.size(), 24u);
+
+  // Reference: the per-scenario stepping path, no engine involved.
+  std::vector<SolveReport> reference;
+  reference.reserve(batch.scenarios.size());
+  for (const SweepScenario& scenario : batch.scenarios) {
+    reference.push_back(scenario.shared_solver->solve_grid(scenario.request));
+  }
+
+  for (const int jobs : {1, 4}) {
+    batch.jobs = jobs;
+    const SweepReport report = run_sweep(batch);
+    ASSERT_EQ(report.failed(), 0u) << "jobs=" << jobs;
+    for (std::size_t s = 0; s < reference.size(); ++s) {
+      const SolveReport& got = report.results[s].report;
+      const SolveReport& want = reference[s];
+      ASSERT_EQ(got.points.size(), want.points.size());
+      for (std::size_t i = 0; i < got.points.size(); ++i) {
+        EXPECT_EQ(got.points[i].value, want.points[i].value)
+            << batch.scenarios[s].model << " jobs=" << jobs
+            << " scenario " << s << " point " << i;
+        EXPECT_EQ(got.points[i].stats.dtmc_steps,
+                  want.points[i].stats.dtmc_steps);
+        EXPECT_EQ(got.points[i].stats.vmodel_steps,
+                  want.points[i].stats.vmodel_steps);
+        EXPECT_EQ(got.points[i].stats.capped, want.points[i].stats.capped);
+      }
+      EXPECT_EQ(got.total.dtmc_steps, want.total.dtmc_steps);
+      EXPECT_EQ(got.total.vmodel_steps, want.total.vmodel_steps);
+    }
+  }
+}
+
+TEST(SweepEngine, BatchedVSolveFusedBlockIsBitIdentical) {
+  // Enough distinct schemas that the block-concatenated matrix clears the
+  // pooled floor: the fused stepping loop (with prefix retirement — the
+  // horizons differ deliberately) must match the pool-less path bitwise.
+  const Model raid = raid_model();
+  SolverConfig config;
+  config.epsilon = 1e-12;  // the paper's budget: K ~ thousands
+  config.regenerative = raid.regenerative;
+  const std::shared_ptr<const TransientSolver> shared = make_solver(
+      "rr", raid.chain, raid.rewards, raid.initial, config);
+  const auto* solver =
+      dynamic_cast<const RegenerativeRandomization*>(shared.get());
+  ASSERT_NE(solver, nullptr);
+
+  // Distinct horizons = distinct schemas = distinct blocks; short times
+  // keep the ~Lambda*t passes cheap while the eps-driven K keeps each
+  // V-model large enough that ten of them clear the pooled floor.
+  std::vector<SolveRequest> requests;
+  for (int g = 0; g < 10; ++g) {
+    SolveRequest request;
+    request.measure = MeasureKind::kTrr;
+    request.times = log_time_grid(1.0, 50.0 + 10.0 * g, 3);
+    requests.push_back(std::move(request));
+  }
+
+  // Reference first (also warms the schema memo, so the batched runs
+  // exercise only the execute phase).
+  std::vector<SolveReport> reference;
+  for (const SolveRequest& request : requests) {
+    reference.push_back(shared->solve_grid(request));
+  }
+
+  std::int64_t combined_nnz = 0;
+  for (const SolveRequest& request : requests) {
+    const double t_max =
+        *std::max_element(request.times.begin(), request.times.end());
+    combined_nnz +=
+        solver->compiled_for(t_max, 1e-12)->vmodel->chain.num_transitions();
+  }
+  ASSERT_GE(combined_nnz, SolveWorkspace::kMinPooledNnz)
+      << "test workload no longer exercises the fused block path";
+
+  const auto run_batched = [&](ThreadPool* pool) {
+    std::vector<SolveReport> reports(requests.size());
+    std::vector<std::string> errors(requests.size());
+    std::vector<RrBatchItem> items;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      items.push_back(
+          RrBatchItem{solver, &requests[i], &reports[i], &errors[i]});
+    }
+    solve_rr_batch(items, pool);
+    for (const std::string& error : errors) EXPECT_EQ(error, "");
+    return reports;
+  };
+
+  const std::vector<SolveReport> serial = run_batched(nullptr);
+  ThreadPool pool(4);
+  const std::vector<SolveReport> fused = run_batched(&pool);
+  for (std::size_t s = 0; s < requests.size(); ++s) {
+    EXPECT_EQ(serial[s].values(), reference[s].values()) << s;
+    EXPECT_EQ(fused[s].values(), reference[s].values()) << s;
+    EXPECT_EQ(fused[s].total.vmodel_steps, reference[s].total.vmodel_steps);
+  }
+}
+
+TEST(SweepEngine, BatchedVSolveIsolatesBadItems) {
+  const Model multi = multiproc_model();
+  SolverConfig config;
+  config.epsilon = kEps;
+  config.regenerative = multi.regenerative;
+  const std::shared_ptr<const TransientSolver> shared = make_solver(
+      "rr", multi.chain, multi.rewards, multi.initial, config);
+
+  BatchRequest batch;
+  SweepScenario good;
+  good.model = multi.label;
+  good.solver = "rr";
+  good.chain = &multi.chain;
+  good.config = config;
+  good.request.times = {10.0, 100.0};
+  good.shared_solver = shared;
+  batch.scenarios.push_back(good);
+
+  SweepScenario bad = good;  // MRR at t = 0 violates the request contract
+  bad.request.measure = MeasureKind::kMrr;
+  bad.request.times = {0.0};
+  batch.scenarios.push_back(bad);
+  batch.scenarios.push_back(good);
+
+  const SweepReport report = run_sweep(batch);
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_TRUE(report.results[0].ok());
+  EXPECT_FALSE(report.results[1].ok());
+  EXPECT_TRUE(report.results[2].ok());
+  EXPECT_EQ(report.results[0].report.values(),
+            shared->solve_grid(good.request).values());
+}
+
 TEST(Workspace, PooledSpmvGuards) {
   // pooled_spmv: needs a pool with real workers, a big enough matrix, and
   // no enclosing parallel region.

@@ -34,6 +34,15 @@
 // CSV report; --merge order-restores shard outputs into byte-for-byte the
 // unsharded report. See README.md for the grammar and a 2-process
 // example.
+//
+// Caching (batch and study modes): one in-memory compiled solver is
+// shared per (model, solver, config); --cache-dir DIR adds the
+// cross-process disk tier (study/artifact_store.hpp) so a repeated run —
+// or the other shards of a --shard k/N run — skips the schema
+// compilation and still reproduces the cold report byte-for-byte. --cold
+// skips disk reads but refreshes the store; --cache-stats prints
+// hit/miss/load/store counters for both tiers; --no-cache bypasses both
+// tiers entirely.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -54,6 +63,40 @@
 namespace {
 
 using namespace rrl;
+
+// Disk tier plumbing shared by study and batch modes: --cache-dir attaches
+// the on-disk artifact store to the solver cache (--cold keeps writing but
+// skips reads, refreshing the store from a from-scratch compile), and
+// --no-cache bypasses BOTH tiers — no memory sharing, no disk reads, no
+// disk writes (the pre-cache per-scenario behavior, kept for equivalence
+// testing).
+std::shared_ptr<ArtifactStore> attach_disk_tier(const CliArgs& args,
+                                                SolverCache& cache) {
+  const std::string dir = args.get_string("cache-dir", "");
+  if (dir.empty() || args.get_bool("no-cache", false)) return nullptr;
+  auto store = std::make_shared<ArtifactStore>(dir);
+  cache.attach_store(store, /*read=*/!args.get_bool("cold", false));
+  return store;
+}
+
+// --cache-stats: hit/miss/load/store counters for both tiers. The disk
+// numbers are the CACHE's view (solver warm-starts), matching the --json
+// output; the raw store counters additionally move on flush-time merge
+// reads, so only its corrupt-file count is reported from there.
+void print_cache_stats(std::FILE* out, const SolverCache& cache,
+                       const ArtifactStore* store) {
+  const SolverCacheStats mem = cache.stats();
+  std::fprintf(out, "cache stats: memory %zu hits / %zu misses", mem.hits,
+               mem.misses);
+  if (store == nullptr) {
+    std::fprintf(out, "; disk tier off\n");
+    return;
+  }
+  std::fprintf(out,
+               "; disk %zu hits / %zu misses, %zu stored (%zu invalid)\n",
+               mem.disk_hits, mem.disk_misses, mem.disk_stores,
+               store->stats().invalid);
+}
 
 int export_model(const std::string& which, const std::string& output) {
   if (which == "raid20" || which == "raid40") {
@@ -205,7 +248,15 @@ int run_batch(const CliArgs& args,
   }
 
   SolverCache cache;
-  const StudyRun run = run_study(spec, repository, cache);
+  const std::shared_ptr<ArtifactStore> store =
+      attach_disk_tier(args, cache);
+  StudyOptions options;
+  options.use_cache = !args.get_bool("no-cache", false);
+  const StudyRun run = run_study(spec, repository, cache, options);
+  if (store != nullptr) cache.flush_to_store();
+  if (args.get_bool("cache-stats", false)) {
+    print_cache_stats(stdout, cache, store.get());
+  }
 
   std::printf("batch sweep: %zu scenarios (%zu models x %zu solvers x "
               "%zu measures x %zu epsilons), jobs=%d, solver cache: "
@@ -274,7 +325,13 @@ int run_study_mode(const CliArgs& args) {
   const StudySpec spec = read_study_file(args.get_string("study", ""));
   ModelRepository repository;
   SolverCache cache;
+  const std::shared_ptr<ArtifactStore> store =
+      attach_disk_tier(args, cache);
   const StudyRun run = run_study(spec, repository, cache, options);
+  // Flush AFTER the sweep so the stored artifacts include the schemas the
+  // scenarios actually computed — that is what makes the next process's
+  // run skip the compilation.
+  if (store != nullptr) cache.flush_to_store();
 
   const std::string out_path = args.get_string("out", "");
   const std::vector<ReportRow> rows = run.rows();
@@ -302,6 +359,9 @@ int run_study_mode(const CliArgs& args) {
                run.sweep.failed(), run.jobs, run.sweep.seconds,
                run.sweep.scenarios_per_second(), run.cache.misses,
                run.cache.hits, repository.size());
+  if (args.get_bool("cache-stats", false)) {
+    print_cache_stats(summary, cache, store.get());
+  }
   for (std::size_t s = 0; s < run.sweep.results.size(); ++s) {
     if (!run.sweep.results[s].ok()) {
       std::fprintf(stderr, "scenario %llu (%s/%s/%s) failed: %s\n",
@@ -332,7 +392,10 @@ int run_study_mode(const CliArgs& args) {
          << "  \"scenarios_per_sec\": " << run.sweep.scenarios_per_second()
          << ",\n"
          << "  \"cache\": {\"compiled\": " << run.cache.misses
-         << ", \"shared\": " << run.cache.hits << "}\n"
+         << ", \"shared\": " << run.cache.hits << "},\n"
+         << "  \"disk\": {\"hits\": " << cache.stats().disk_hits
+         << ", \"misses\": " << cache.stats().disk_misses
+         << ", \"stores\": " << cache.stats().disk_stores << "}\n"
          << "}\n";
   }
   return run.sweep.failed() == 0 ? 0 : 1;
@@ -405,9 +468,13 @@ int main(int argc, char** argv) {
           "                 [--regenerative auto|<idx>] [--bounds]\n"
           "                 [--solvers all|<s1,s2,...>] [--jobs N]   "
           "# batch mode\n"
+          "                 [--cache-dir DIR] [--cold] [--cache-stats] "
+          "[--no-cache]\n"
           "       rrl_solve --study <file.study> [--shard k/N] [--jobs N] "
           "[--out report.csv]\n"
-          "                 [--json summary.json] [--no-cache]\n"
+          "                 [--json summary.json] [--cache-dir DIR] "
+          "[--cold] [--cache-stats]\n"
+          "                 [--no-cache]\n"
           "       rrl_solve --merge <r1.csv,r2.csv,...> [--out report.csv]\n"
           "       rrl_solve --export raid20|raid40|multiproc "
           "[--output m.rrlm]\n"
