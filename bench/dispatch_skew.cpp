@@ -1,0 +1,260 @@
+// Work-stealing vs static sharding on a skewed study: the dispatch
+// orchestrator's acceptance benchmark.
+//
+// The workload is the shape static `--shard k/N` slicing handles worst:
+// ONE big model (a heavy RR schema compile) next to several small ones.
+// Round-robin slicing spreads every model's scenarios over every shard,
+// so each of the N static processes compiles EVERY model — the big
+// compile is paid N times — and the shard that draws the most big-model
+// solves straggles while the others idle. The dispatcher hands out whole
+// (model, solver) units instead: each schema is compiled exactly once
+// across the fleet, the big unit starts first (longest-processing-time
+// order), and the small units back-fill the other workers.
+//
+// Both modes run N worker processes with the same per-process --jobs, so
+// the comparison isolates SCHEDULING: static = N concurrent
+// `rrl_solve --study --shard k/N` processes (wall-clock = the slowest
+// shard, exactly the CI-matrix deployment), stealing = `--serve`'s
+// dispatcher driving N `--worker` processes. The harness checks the two
+// reports are byte-for-byte identical (serve vs merged shards) and
+// ASSERTS the >= 1.5x scenarios/sec speedup (exit code 1 on violation,
+// so CI tracks the regression).
+//
+// Usage:
+//   dispatch_skew [--workers 3] [--jobs 1] [--reps 3] [--min-speedup 1.5]
+//                 [--json-out BENCH_dispatch_skew.json]
+// Environment: RRL_BENCH_QUICK=1 shrinks the models and reps for CI.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rrl.hpp"
+#include "support/self_exe.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace rrl;
+namespace fs = std::filesystem;
+
+/// fork/exec argv, return the pid (exits the bench on failure).
+pid_t spawn(const std::vector<std::string>& argv_strings) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "error: fork failed\n");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    // Quiet child: summaries to /dev/null, report to its --out file.
+    if (FILE* sink = std::fopen("/dev/null", "w")) {
+      ::dup2(fileno(sink), STDOUT_FILENO);
+      ::dup2(fileno(sink), STDERR_FILENO);
+    }
+    std::vector<char*> argv;
+    for (const std::string& arg : argv_strings) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool quick = env_flag("RRL_BENCH_QUICK");
+  const int workers = static_cast<int>(args.get_long("workers", 3));
+  const int jobs = static_cast<int>(args.get_long("jobs", 1));
+  const int reps =
+      static_cast<int>(args.get_long("reps", quick ? 1 : 3));
+  const double min_speedup = args.get_double("min-speedup", 1.5);
+  const std::string binary = self_sibling_path("rrl_solve");
+  if (binary.empty() || !fs::exists(binary)) {
+    std::fprintf(stderr, "error: rrl_solve not found next to the bench\n");
+    return 1;
+  }
+
+  // Scratch area: the models, the study and the shard reports.
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("rrl-dispatch-skew-" + std::to_string(::getpid()));
+  fs::create_directories(scratch);
+
+  // One big RAID-5 next to several small ones. `solvers rr` puts the
+  // weight on the schema compile + V-solve, the unit-level work the
+  // planner keeps together and static slicing duplicates.
+  const int big_groups = quick ? 16 : 24;
+  const std::vector<int> small_groups = {2, 3, 4, 5, 6, 7, 8, 9};
+  std::ostringstream study_text;
+  const auto emit_model = [&](const std::string& name, int groups) {
+    Raid5Params p;
+    p.groups = groups;
+    const Raid5Model m = build_raid5_availability(p);
+    write_model_file((scratch / name).string(), m.chain,
+                     m.failure_rewards(), m.initial_distribution(),
+                     m.initial_state);
+    study_text << "model " << name << "\n";
+  };
+  emit_model("big.rrlm", big_groups);
+  for (const int groups : small_groups) {
+    emit_model("small" + std::to_string(groups) + ".rrlm", groups);
+  }
+  const double tmax = quick ? 2e3 : 1e4;
+  study_text << "solvers rr\nmeasures both\nepsilons 1e-10 1e-12\n"
+             << "grid 1:" << tmax << ":4\ntimes 5 50 500\njobs " << jobs
+             << "\n";
+  const fs::path study = scratch / "skew.study";
+  std::ofstream(study) << study_text.str();
+
+  const StudySpec spec = read_study_file(study.string());
+  ModelRepository repository;
+  const StudyPlan plan = build_study_plan(spec, repository);
+
+  std::printf(
+      "dispatch skew: %llu scenarios in %zu units (1 big raid5 G=%d + %zu "
+      "small), %d workers x %d jobs, best of %d reps\n\n",
+      static_cast<unsigned long long>(plan.total_scenarios),
+      plan.units.size(), big_groups, small_groups.size(), workers, jobs,
+      reps);
+
+  // Static: N concurrent shard processes, wall = slowest shard. Merged
+  // in-process afterwards for the identity check.
+  std::string static_csv;
+  const auto run_static = [&](double& seconds) {
+    std::vector<fs::path> outs;
+    std::vector<pid_t> pids;
+    const Stopwatch watch;
+    for (int k = 1; k <= workers; ++k) {
+      const fs::path out =
+          scratch / ("shard" + std::to_string(k) + ".csv");
+      outs.push_back(out);
+      pids.push_back(spawn({binary, "--study", study.string(), "--shard",
+                            std::to_string(k) + "/" +
+                                std::to_string(workers),
+                            "--jobs", std::to_string(jobs), "--out",
+                            out.string()}));
+    }
+    bool ok = true;
+    for (const pid_t pid : pids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    }
+    seconds = watch.seconds();
+    if (!ok) {
+      std::fprintf(stderr, "error: a static shard process failed\n");
+      std::exit(1);
+    }
+    std::vector<std::vector<ReportRow>> shards;
+    std::vector<std::uint64_t> totals;
+    for (const fs::path& out : outs) {
+      std::ifstream in(out);
+      std::uint64_t total = 0;
+      shards.push_back(read_report_csv(in, total));
+      totals.push_back(total);
+    }
+    std::uint64_t total = 0;
+    const std::vector<ReportRow> merged =
+        merge_report_rows(shards, totals, total);
+    std::ostringstream csv;
+    write_report_csv(csv, total, merged);
+    return csv.str();
+  };
+
+  // Stealing: the dispatcher driving N worker processes.
+  const auto run_serve = [&](double& seconds) {
+    DispatchOptions options;
+    options.workers = workers;
+    options.worker_command = {binary,  "--worker", "--study",
+                              study.string(), "--jobs", std::to_string(jobs)};
+    std::ostringstream out;
+    StudyReducer reducer(out, plan.total_scenarios);
+    const Stopwatch watch;
+    const DispatchReport report =
+        dispatch_study(plan, options, reducer);
+    seconds = watch.seconds();
+    if (report.failed_scenarios != 0) {
+      std::fprintf(stderr, "error: %zu scenarios failed under --serve\n",
+                   report.failed_scenarios);
+      std::exit(1);
+    }
+    return out.str();
+  };
+
+  double static_seconds = 0.0;
+  double serve_seconds = 0.0;
+  std::string serve_csv;
+  for (int rep = 0; rep < reps; ++rep) {
+    double seconds = 0.0;
+    const std::string s = run_static(seconds);
+    if (rep == 0 || seconds < static_seconds) {
+      static_seconds = seconds;
+      static_csv = s;
+    }
+    const std::string d = run_serve(seconds);
+    if (rep == 0 || seconds < serve_seconds) {
+      serve_seconds = seconds;
+      serve_csv = d;
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+
+  if (serve_csv != static_csv) {
+    std::fprintf(stderr,
+                 "error: serve report differs from merged shard report\n");
+    return 1;
+  }
+
+  const double scenarios =
+      static_cast<double>(plan.total_scenarios);
+  const double speedup = static_seconds / serve_seconds;
+  TextTable table({"mode", "seconds", "scenarios/sec"});
+  table.add_row({"static --shard k/" + std::to_string(workers),
+                 fmt_sig(static_seconds, 4),
+                 fmt_sig(scenarios / static_seconds, 4)});
+  table.add_row({"work-stealing --serve", fmt_sig(serve_seconds, 4),
+                 fmt_sig(scenarios / serve_seconds, 4)});
+  table.print();
+  std::printf("\nreports byte-identical: yes; work-stealing speedup %.3g\n",
+              speedup);
+
+  const std::string json_path =
+      args.get_string("json-out", "BENCH_dispatch_skew.json");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (json) {
+      json << "{\n  \"bench\": \"dispatch_skew\",\n"
+           << "  \"scenarios\": " << plan.total_scenarios << ",\n"
+           << "  \"units\": " << plan.units.size() << ",\n"
+           << "  \"workers\": " << workers << ",\n"
+           << "  \"jobs\": " << jobs << ",\n"
+           << "  \"static_seconds\": " << static_seconds << ",\n"
+           << "  \"serve_seconds\": " << serve_seconds << ",\n"
+           << "  \"speedup\": " << speedup << ",\n"
+           << "  \"min_speedup\": " << min_speedup << "\n}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+
+  if (speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: work-stealing speedup %.3g < required %.3g\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  std::printf("PASS: work-stealing speedup %.3g >= %.3g\n", speedup,
+              min_speedup);
+  return 0;
+}

@@ -13,26 +13,29 @@ namespace {
 
 void solve_one(const SweepScenario& scenario, ScenarioResult& slot,
                SolveWorkspace& workspace) {
+  const Stopwatch watch;
   try {
     if (scenario.shared_solver != nullptr) {
       slot.report =
           scenario.shared_solver->solve_grid(scenario.request, workspace);
-      return;
+    } else {
+      RRL_EXPECTS(scenario.chain != nullptr);
+      const auto solver =
+          make_solver(scenario.solver, *scenario.chain, scenario.rewards,
+                      scenario.initial, scenario.config);
+      slot.report = solver->solve_grid(scenario.request, workspace);
     }
-    RRL_EXPECTS(scenario.chain != nullptr);
-    const auto solver =
-        make_solver(scenario.solver, *scenario.chain, scenario.rewards,
-                    scenario.initial, scenario.config);
-    slot.report = solver->solve_grid(scenario.request, workspace);
   } catch (const std::exception& e) {
     slot.error = e.what();
     if (slot.error.empty()) slot.error = "unknown error";
   }
+  slot.seconds = watch.seconds();
 }
 
 }  // namespace
 
-SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool) {
+SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool,
+                      std::vector<SolveWorkspace>& workspaces) {
   const Stopwatch watch;
   SweepReport out;
   out.jobs = pool.num_threads();
@@ -70,7 +73,12 @@ SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool) {
       item.error = &out.results[i].error;
       items.push_back(item);
     }
+    const Stopwatch batch_watch;
     solve_rr_batch(items, &pool);
+    // The members shared one pass; attribute its wall-clock evenly.
+    const double each =
+        batch_watch.seconds() / static_cast<double>(batched.size());
+    for (const std::size_t i : batched) out.results[i].seconds = each;
     rest.reserve(batch.scenarios.size() - batched.size());
     std::size_t next_batched = 0;
     for (std::size_t i = 0; i < batch.scenarios.size(); ++i) {
@@ -119,21 +127,26 @@ SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool) {
       std::any_of(rest.begin(), rest.end(), [&](std::size_t i) {
         return drives_pooled_spmv(batch.scenarios[i]);
       });
+  // One workspace per worker slot: the solvers' mutable per-solve state.
+  // Everything else a worker touches is either immutable shared input
+  // (scenarios, chains, shared solvers) or its own result slot. The
+  // caller's vector is grown (never shrunk) so a worker loop reuses its
+  // warmed-up buffers across units.
+  if (workspaces.size() < static_cast<std::size_t>(pool.num_threads())) {
+    workspaces.resize(static_cast<std::size_t>(pool.num_threads()));
+  }
+
   if (model_parallel) {
-    SolveWorkspace workspace;
+    SolveWorkspace& workspace = workspaces.front();
+    ThreadPool* const saved_pool = workspace.spmv_pool;
     workspace.spmv_pool = &pool;
     for (const std::size_t i : rest) {
       solve_one(batch.scenarios[i], out.results[i], workspace);
     }
+    workspace.spmv_pool = saved_pool;
     out.seconds = watch.seconds();
     return out;
   }
-
-  // One workspace per worker slot: the solvers' mutable per-solve state.
-  // Everything else a worker touches is either immutable shared input
-  // (scenarios, chains, shared solvers) or its own result slot.
-  std::vector<SolveWorkspace> workspaces(
-      static_cast<std::size_t>(pool.num_threads()));
 
   pool.parallel_for(rest.size(), [&](std::size_t k, std::size_t worker) {
     const std::size_t i = rest[k];
@@ -142,6 +155,11 @@ SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool) {
 
   out.seconds = watch.seconds();
   return out;
+}
+
+SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool) {
+  std::vector<SolveWorkspace> workspaces;
+  return run_sweep(batch, pool, workspaces);
 }
 
 SweepReport run_sweep(const BatchRequest& batch) {

@@ -80,6 +80,11 @@ struct BatchRequest {
 struct ScenarioResult {
   SolveReport report;  ///< valid iff error is empty
   std::string error;   ///< non-empty if the scenario failed
+  /// Wall-clock of THIS scenario's solve (diagnostic, non-deterministic —
+  /// never part of byte-compared report output). Scenarios solved jointly
+  /// by the batched V-solve share one pass, so each member reports the
+  /// pass's wall-clock divided evenly across the members.
+  double seconds = 0.0;
   [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };
 
@@ -103,6 +108,16 @@ struct SweepReport {
 /// Run the batch on a caller-provided pool (reusable across batches).
 [[nodiscard]] SweepReport run_sweep(const BatchRequest& batch,
                                     ThreadPool& pool);
+
+/// Unit-level entry point: run the batch on a caller-provided pool AND
+/// caller-owned per-worker workspaces (grown to pool.num_threads() if
+/// smaller, never shrunk). A worker loop executing many small work units
+/// back to back — the dispatch executor — keeps its warmed-up buffers
+/// across units this way, so after the first unit the model-sized vector
+/// iterates allocate nothing. Identical values to the other overloads.
+[[nodiscard]] SweepReport run_sweep(const BatchRequest& batch,
+                                    ThreadPool& pool,
+                                    std::vector<SolveWorkspace>& workspaces);
 
 /// Run the batch on a fresh pool of batch.jobs workers.
 [[nodiscard]] SweepReport run_sweep(const BatchRequest& batch);

@@ -1,0 +1,109 @@
+// Binary wire codec of the dispatch orchestrator (study_dispatch.hpp):
+// the framed messages a `rrl_solve --serve` parent and its `--worker`
+// processes exchange over stdio pipes.
+//
+// Frame layout reuses the artifact codec's discipline (io/artifact_codec):
+//
+//   magic     "RRLWIR\n\0"   8 bytes
+//   version   u32            protocol revision (kWireProtocolVersion)
+//   endian    u16 0x0102     foreign-endian peers are rejected, never
+//                            byte-swapped (parent and workers are the
+//                            same binary on the same machine — a mismatch
+//                            means the pipe is not what we think it is)
+//   type      u16            WireType discriminator
+//   length    u64            payload byte count
+//   payload   length bytes   message-specific (below)
+//   checksum  u64            FNV-1a over the payload
+//
+// Messages (parent -> worker: assign, shutdown; worker -> parent: hello,
+// result):
+//
+//   hello     protocol version + the worker's plan fingerprint, unit
+//             count and total scenario count — the handshake that proves
+//             parent and worker expanded the SAME study into the SAME
+//             units before any work is handed out
+//   assign    one work-unit id (echoed with its range for cross-checking)
+//   result    the unit's report rows (the full row set of its scenarios,
+//             including the diagnostic seconds / cache-tier fields) plus
+//             the worker-side wall-clock
+//   shutdown  no payload; the worker drains and exits cleanly
+//
+// decode_frame is incremental: pipes deliver byte streams, not messages,
+// so the caller accumulates reads in a buffer and asks after each read
+// whether a whole frame has arrived (nullopt = not yet). Corruption of a
+// COMPLETE frame — bad magic, foreign version/endianness, checksum
+// mismatch, malformed payload — throws contract_error: the dispatcher
+// treats the worker as lost rather than guessing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "study/study_report.hpp"
+
+namespace rrl {
+
+/// Bumped on any frame or payload layout change so mismatched binaries
+/// refuse to talk instead of misreading each other.
+inline constexpr std::uint32_t kWireProtocolVersion = 1;
+
+enum class WireType : std::uint16_t {
+  kHello = 1,     ///< worker -> parent: handshake
+  kAssign = 2,    ///< parent -> worker: one work unit
+  kResult = 3,    ///< worker -> parent: one finished unit
+  kShutdown = 4,  ///< parent -> worker: drain and exit
+};
+
+struct WireFrame {
+  WireType type = WireType::kHello;
+  std::string payload;
+};
+
+/// Serialize one frame (header + payload + checksum) to a byte string.
+[[nodiscard]] std::string encode_frame(WireType type,
+                                       std::string_view payload);
+
+/// Incremental decode: if `buffer` starts with a complete frame, return it
+/// and set `consumed` to its total byte length (the caller erases that
+/// prefix); an incomplete frame returns nullopt with consumed == 0. A
+/// malformed complete prefix throws contract_error.
+[[nodiscard]] std::optional<WireFrame> decode_frame(std::string_view buffer,
+                                                    std::size_t& consumed);
+
+/// Handshake: the worker's view of the plan. The parent verifies protocol
+/// and fingerprint agreement before assigning anything.
+struct WireHello {
+  std::uint32_t protocol = kWireProtocolVersion;
+  std::uint64_t plan_fingerprint = 0;
+  std::uint64_t unit_count = 0;
+  std::uint64_t total_scenarios = 0;
+};
+
+/// One work-unit assignment; the range rides along so a worker can verify
+/// the id means the same scenarios on its side.
+struct WireAssign {
+  std::uint64_t unit = 0;
+  std::uint64_t first_scenario = 0;
+  std::uint64_t scenario_count = 0;
+};
+
+/// One finished unit: the full row set of its scenarios plus the
+/// worker-side wall-clock of the solve.
+struct WireResult {
+  std::uint64_t unit = 0;
+  double seconds = 0.0;
+  std::vector<ReportRow> rows;
+};
+
+/// Payload codecs (decoders throw contract_error on malformed payloads).
+[[nodiscard]] std::string encode_hello(const WireHello& hello);
+[[nodiscard]] WireHello decode_hello(std::string_view payload);
+[[nodiscard]] std::string encode_assign(const WireAssign& assign);
+[[nodiscard]] WireAssign decode_assign(std::string_view payload);
+[[nodiscard]] std::string encode_result(const WireResult& result);
+[[nodiscard]] WireResult decode_result(std::string_view payload);
+
+}  // namespace rrl

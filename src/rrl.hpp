@@ -62,6 +62,7 @@
 #include "io/artifact_codec.hpp"       // IWYU pragma: export
 #include "io/model_format.hpp"         // IWYU pragma: export
 #include "io/model_solver.hpp"         // IWYU pragma: export
+#include "io/wire_codec.hpp"           // IWYU pragma: export
 #include "models/multiproc.hpp"        // IWYU pragma: export
 #include "models/raid5.hpp"            // IWYU pragma: export
 #include "models/simple.hpp"           // IWYU pragma: export
@@ -71,7 +72,12 @@
 #include "study/artifact_store.hpp"    // IWYU pragma: export
 #include "study/model_repository.hpp"  // IWYU pragma: export
 #include "study/solver_cache.hpp"      // IWYU pragma: export
+#include "study/study_dispatch.hpp"    // IWYU pragma: export
+#include "study/study_exec.hpp"        // IWYU pragma: export
 #include "study/study_format.hpp"      // IWYU pragma: export
+#include "study/study_plan.hpp"        // IWYU pragma: export
+#include "study/study_reduce.hpp"      // IWYU pragma: export
 #include "study/study_report.hpp"      // IWYU pragma: export
 #include "study/study_runner.hpp"      // IWYU pragma: export
+#include "support/self_exe.hpp"        // IWYU pragma: export
 #include "support/thread_pool.hpp"     // IWYU pragma: export

@@ -2,11 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <utility>
+#include <vector>
 
 #include "io/artifact_codec.hpp"
 #include "support/fnv.hpp"
@@ -75,6 +77,11 @@ std::optional<CompiledArtifact> ArtifactStore::load(
     if (!artifact_matches(artifact, solver, model_hash, config)) {
       throw contract_error("artifact identity mismatch (stale entry)");
     }
+    // Touch on use: gc()'s LRU eviction orders by mtime, so a verified
+    // hit refreshes the entry's recency. Best effort — a read-only store
+    // still serves hits, it just ages like nobody used it.
+    std::error_code touch_ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), touch_ec);
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.hits;
     return artifact;
@@ -113,6 +120,97 @@ bool ArtifactStore::store(const CompiledArtifact& artifact) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
   return true;
+}
+
+ArtifactGcStats ArtifactStore::gc(std::uint64_t cap_bytes) const {
+  ArtifactGcStats out;
+  std::error_code ec;
+  if (!fs::exists(root_, ec) || ec) return out;
+
+  struct Entry {
+    fs::file_time_type mtime;
+    std::uint64_t bytes = 0;
+    std::string path;
+  };
+  std::vector<Entry> entries;
+
+  for (fs::recursive_directory_iterator
+           it(root_, fs::directory_options::skip_permission_denied, ec),
+       end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec) || ec) {
+      ec.clear();
+      continue;
+    }
+    const fs::path& path = it->path();
+    const std::string name = path.filename().string();
+    if (name.find(".tmp") != std::string::npos) {
+      // A leftover writer temp (crashed before its atomic rename): by
+      // the write discipline nothing ever reads these, so removal is
+      // always safe. Note a LIVE writer's temp could race this; losing
+      // that write costs a recompile, never correctness (same contract
+      // as store()).
+      if (fs::remove(path, ec) && !ec) ++out.removed_temp;
+      ec.clear();
+      continue;
+    }
+    if (path.extension() != ".rrla") continue;
+    ++out.scanned;
+    try {
+      (void)read_artifact_file(path.string());
+    } catch (const std::exception&) {
+      // Unreadable (corrupt, truncated, foreign): every load would count
+      // it invalid and recompile anyway — reclaim the bytes.
+      if (fs::remove(path, ec) && !ec) ++out.removed_invalid;
+      ec.clear();
+      continue;
+    }
+    Entry entry;
+    entry.mtime = fs::last_write_time(path, ec);
+    if (ec) {
+      ec.clear();
+      continue;
+    }
+    entry.bytes = static_cast<std::uint64_t>(fs::file_size(path, ec));
+    if (ec) {
+      ec.clear();
+      continue;
+    }
+    entry.path = path.string();
+    out.bytes_before += entry.bytes;
+    entries.push_back(std::move(entry));
+  }
+
+  out.bytes_after = out.bytes_before;
+  if (cap_bytes > 0 && out.bytes_before > cap_bytes) {
+    // Least-recently-used first (oldest mtime; ties by path so repeated
+    // sweeps of identical stores evict identically).
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.mtime != b.mtime ? a.mtime < b.mtime
+                                          : a.path < b.path;
+              });
+    for (const Entry& entry : entries) {
+      if (out.bytes_after <= cap_bytes) break;
+      if (fs::remove(entry.path, ec) && !ec) {
+        out.bytes_after -= entry.bytes;
+        ++out.evicted;
+      }
+      ec.clear();
+    }
+  }
+
+  // Sweep now-empty model directories (best effort; a racing writer
+  // recreates its directory via create_directories).
+  for (fs::directory_iterator it(root_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_directory(ec) && !ec && fs::is_empty(it->path(), ec) &&
+        !ec) {
+      fs::remove(it->path(), ec);
+    }
+    ec.clear();
+  }
+  return out;
 }
 
 ArtifactStoreStats ArtifactStore::stats() const {

@@ -27,6 +27,17 @@
 // any kind (absent, truncated, corrupt, foreign endianness, stale
 // identity) are counted and reported as misses; the store never throws on
 // the read path and never lets a bad file produce a wrong answer.
+//
+// Retention: entries are content-addressed, so they never go stale — but
+// they also never expire on their own, and a large model fleet's store
+// grows without bound. gc() is the explicit sweep (`rrl_solve
+// --cache-gc`): it removes leftover temp files (crashed writers) and
+// unreadable/foreign entries, and with a byte cap (`--cache-cap`) evicts
+// least-recently-USED entries — load() touches an entry's mtime on every
+// verified hit, so recency tracks use, not creation — until the surviving
+// entries fit. Eviction can only ever cost a future recompile; gc is safe
+// to run while a fleet is using the store (a racing load of an evicted
+// entry degrades to a miss by design).
 #pragma once
 
 #include <cstdint>
@@ -45,6 +56,16 @@ struct ArtifactStoreStats {
   std::size_t invalid = 0;  ///< subset of misses: file present but
                             ///< corrupt/stale/foreign
   std::size_t stores = 0;   ///< artifacts written
+};
+
+/// Outcome of one gc() sweep.
+struct ArtifactGcStats {
+  std::size_t scanned = 0;          ///< entries (.rrla files) examined
+  std::size_t removed_temp = 0;     ///< leftover writer temp files removed
+  std::size_t removed_invalid = 0;  ///< unreadable entries removed
+  std::size_t evicted = 0;          ///< valid entries evicted under the cap
+  std::uint64_t bytes_before = 0;   ///< valid-entry bytes before eviction
+  std::uint64_t bytes_after = 0;    ///< valid-entry bytes after eviction
 };
 
 class ArtifactStore {
@@ -73,6 +94,16 @@ class ArtifactStore {
   [[nodiscard]] std::string entry_path(std::uint64_t model_hash,
                                        const std::string& solver,
                                        const SolverConfig& config) const;
+
+  /// Sweep the store: remove leftover `.tmp*` files and entries that fail
+  /// to parse (corrupt, truncated, foreign endianness). With cap_bytes >
+  /// 0, additionally evict valid entries in least-recently-used order
+  /// (oldest mtime first; load() touches entries on verified hits) until
+  /// the remaining bytes are <= cap_bytes — an exactly-full store evicts
+  /// nothing. A missing root is an empty sweep. Filesystem errors on
+  /// individual files are skipped (the entry is simply retained);
+  /// eviction order ties break by path so sweeps are deterministic.
+  ArtifactGcStats gc(std::uint64_t cap_bytes = 0) const;
 
   [[nodiscard]] ArtifactStoreStats stats() const;
 

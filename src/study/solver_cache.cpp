@@ -28,7 +28,7 @@ std::vector<std::pair<double, double>> schema_keys(
 
 std::shared_ptr<const TransientSolver> SolverCache::get_or_build(
     const std::shared_ptr<const StudyModel>& model,
-    const std::string& solver_name, SolverConfig config) {
+    const std::string& solver_name, SolverConfig config, CacheTier* tier) {
   RRL_EXPECTS(model != nullptr);
   // The config is keyed EXACTLY as given — in particular regenerative = -1
   // (auto) stays -1, constructing through the registry's deterministic
@@ -50,6 +50,7 @@ std::shared_ptr<const TransientSolver> SolverCache::get_or_build(
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++stats_.hits;
+    if (tier != nullptr) *tier = CacheTier::kMemory;
     return it->second.solver;
   }
   // Memory miss: consult the disk tier first (when attached and not in
@@ -76,6 +77,9 @@ std::shared_ptr<const TransientSolver> SolverCache::get_or_build(
   }
   std::shared_ptr<const TransientSolver> solver = std::move(built);
   ++stats_.misses;
+  if (tier != nullptr) {
+    *tier = entry.imported ? CacheTier::kDisk : CacheTier::kCompiled;
+  }
   entry.solver = solver;
   entries_.emplace(std::move(key), std::move(entry));
   return solver;

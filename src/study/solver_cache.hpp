@@ -65,6 +65,32 @@ struct SolverCacheKey {
   }
 };
 
+/// Where a resolved solver came from — the provenance get_or_build reports
+/// per lookup (and the study report's `cache_tier` column under
+/// --timings, where stragglers caused by cold compiles become visible).
+enum class CacheTier {
+  kNone,      ///< not resolved through the cache (no-cache mode, or the
+              ///< per-scenario fallback after a construction failure)
+  kMemory,    ///< shared an already-compiled in-memory solver
+  kDisk,      ///< memory miss warm-started from the disk artifact tier
+  kCompiled,  ///< memory miss compiled cold
+};
+
+/// Compact spelling for report rows: "none" | "mem" | "disk" | "cold".
+[[nodiscard]] constexpr const char* cache_tier_name(CacheTier tier) noexcept {
+  switch (tier) {
+    case CacheTier::kMemory:
+      return "mem";
+    case CacheTier::kDisk:
+      return "disk";
+    case CacheTier::kCompiled:
+      return "cold";
+    case CacheTier::kNone:
+    default:
+      return "none";
+  }
+}
+
 /// Two-tier hit/miss accounting (monotone). `misses` counts every memory
 /// miss; `disk_hits` the subset warm-started from the disk tier,
 /// `disk_misses` the subset that consulted the disk and compiled cold
@@ -89,9 +115,12 @@ class SolverCache {
   /// thrown to the caller and nothing is cached. Thread-safe; a miss
   /// builds under the lock (the study runner resolves scenarios serially
   /// before fanning out, so misses are never on a hot concurrent path).
+  /// When `tier` is non-null it receives the lookup's provenance (memory
+  /// share / disk warm-start / cold compile); untouched on throw.
   [[nodiscard]] std::shared_ptr<const TransientSolver> get_or_build(
       const std::shared_ptr<const StudyModel>& model,
-      const std::string& solver_name, SolverConfig config);
+      const std::string& solver_name, SolverConfig config,
+      CacheTier* tier = nullptr);
 
   /// Attach the cross-process disk tier. `read` = false ("cold" mode)
   /// skips disk loads but keeps flush_to_store() writing, refreshing the

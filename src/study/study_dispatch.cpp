@@ -1,0 +1,455 @@
+#include "study/study_dispatch.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/wire_codec.hpp"
+#include "study/study_exec.hpp"
+#include "support/stopwatch.hpp"
+
+namespace rrl {
+namespace {
+
+// ---- fd helpers shared by both sides of the pipe.
+
+/// write() the whole buffer, riding out EINTR and short writes. False on
+/// any hard error (EPIPE after a peer death included — callers treat the
+/// peer as lost).
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One read() into the end of `buffer`, riding out EINTR. Returns the
+/// byte count (0 = EOF, -1 = hard error).
+ssize_t read_chunk(int fd, std::string& buffer) {
+  char chunk[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n > 0) buffer.append(chunk, static_cast<std::size_t>(n));
+    return n;
+  }
+}
+
+/// Writing into a pipe whose reader died raises SIGPIPE, which would kill
+/// the parent instead of returning the EPIPE the dispatcher handles.
+/// Scoped-ignore around the dispatch (restoring the previous disposition)
+/// keeps the library from imposing a process-wide handler.
+class ScopedIgnoreSigpipe {
+ public:
+  ScopedIgnoreSigpipe() {
+    struct sigaction ignore = {};
+    ignore.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore, &saved_);
+  }
+  ~ScopedIgnoreSigpipe() { ::sigaction(SIGPIPE, &saved_, nullptr); }
+  ScopedIgnoreSigpipe(const ScopedIgnoreSigpipe&) = delete;
+  ScopedIgnoreSigpipe& operator=(const ScopedIgnoreSigpipe&) = delete;
+
+ private:
+  struct sigaction saved_ = {};
+};
+
+// ---- parent side.
+
+struct Worker {
+  pid_t pid = -1;
+  int to_fd = -1;        ///< parent -> worker (worker stdin)
+  int from_fd = -1;      ///< worker -> parent (worker stdout)
+  std::string buffer;    ///< partial-frame accumulation
+  bool greeted = false;  ///< hello received and verified
+  bool alive = false;
+  /// Index into plan.units of the in-flight unit; npos = idle.
+  std::size_t busy_unit = kIdle;
+
+  static constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
+};
+
+/// fork/exec one worker with stdio pipes. Parent-held ends are
+/// close-on-exec so later workers do not inherit earlier workers' pipes
+/// (which would defeat EOF-based death detection). Throws on fork/pipe
+/// failure; exec failure surfaces as an immediate EOF (exit 127).
+Worker spawn_worker(const std::vector<std::string>& argv_strings) {
+  RRL_EXPECTS(!argv_strings.empty());
+  int to_child[2];    // parent writes [1], child reads [0]
+  int from_child[2];  // child writes [1], parent reads [0]
+  if (::pipe2(to_child, O_CLOEXEC) != 0) {
+    throw contract_error("dispatch: pipe2 failed");
+  }
+  if (::pipe2(from_child, O_CLOEXEC) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    throw contract_error("dispatch: pipe2 failed");
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]}) {
+      ::close(fd);
+    }
+    throw contract_error("dispatch: fork failed");
+  }
+  if (pid == 0) {
+    // Child: wire the pipe ends to stdin/stdout (dup2 clears CLOEXEC on
+    // the duplicates) and exec the worker command.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    std::vector<char*> argv;
+    argv.reserve(argv_strings.size() + 1);
+    for (const std::string& arg : argv_strings) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    std::fprintf(stderr, "dispatch worker: exec failed: %s\n",
+                 argv_strings.front().c_str());
+    ::_exit(127);
+  }
+
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  Worker worker;
+  worker.pid = pid;
+  worker.to_fd = to_child[1];
+  worker.from_fd = from_child[0];
+  worker.alive = true;
+  return worker;
+}
+
+}  // namespace
+
+DispatchReport dispatch_study(const StudyPlan& plan,
+                              const DispatchOptions& options,
+                              StudyReducer& reducer) {
+  RRL_EXPECTS(options.workers >= 1);
+  if (options.worker_command.empty()) {
+    throw contract_error("dispatch: empty worker command");
+  }
+  const Stopwatch watch;
+  const ScopedIgnoreSigpipe sigpipe_guard;
+
+  // Longest-processing-time handout order: expensive units first, so the
+  // heaviest model starts immediately and the cheap tail back-fills the
+  // other workers. Ties break by id for determinism of the SCHEDULE
+  // (results are order-independent either way).
+  std::vector<std::size_t> order(plan.units.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return plan.units[a].cost > plan.units[b].cost;
+                   });
+  std::deque<std::size_t> queue(order.begin(), order.end());
+
+  std::vector<Worker> workers;
+  workers.reserve(static_cast<std::size_t>(options.workers));
+
+  DispatchReport report;
+  report.workers = options.workers;
+  std::size_t units_reduced = 0;
+
+  // Bury a worker: close its pipes, reap it, and put any in-flight unit
+  // back at the head of the queue (it is the oldest — and statistically
+  // the most expensive — outstanding work). The kill covers the one case
+  // where the worker is still running — a corrupt frame (something not
+  // ours on its stdout) — so the blocking reap below can never stall the
+  // fleet behind a live or wedged process; on the usual EOF path the
+  // process is already a zombie (its pid cannot be reused before the
+  // reap) and the kill is a no-op.
+  const auto lose_worker = [&](Worker& worker) {
+    if (!worker.alive) return;
+    worker.alive = false;
+    ::close(worker.to_fd);
+    ::close(worker.from_fd);
+    ::kill(worker.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    ++report.workers_lost;
+    if (worker.busy_unit != Worker::kIdle) {
+      queue.push_front(worker.busy_unit);
+      ++report.redispatched;
+      worker.busy_unit = Worker::kIdle;
+    }
+  };
+
+  // Hand the next queued unit to an idle, greeted worker. A failed write
+  // means the worker just died: bury it (re-queuing the unit) and report
+  // failure so the caller's loop re-examines the fleet.
+  const auto assign_next = [&](Worker& worker) -> bool {
+    if (queue.empty()) return true;
+    const std::size_t unit_index = queue.front();
+    const WorkUnit& unit = plan.units[unit_index];
+    WireAssign assign;
+    assign.unit = unit.id;
+    assign.first_scenario = unit.first;
+    assign.scenario_count = unit.count;
+    if (!write_all(worker.to_fd,
+                   encode_frame(WireType::kAssign, encode_assign(assign)))) {
+      lose_worker(worker);
+      return false;
+    }
+    queue.pop_front();
+    worker.busy_unit = unit_index;
+    return true;
+  };
+
+  // One worker's incoming frames (hello, results). Returns false when the
+  // fleet cannot continue (handshake mismatch — a fatal configuration
+  // error, not a recoverable death).
+  const auto handle_frames = [&](Worker& worker) {
+    std::size_t consumed = 0;
+    for (;;) {
+      std::optional<WireFrame> frame;
+      try {
+        frame = decode_frame(worker.buffer, consumed);
+      } catch (const std::exception& e) {
+        // A corrupt frame means the pipe carries something that is not
+        // our protocol (e.g. a worker that printed to stdout): that
+        // worker is unusable.
+        std::fprintf(stderr, "dispatch: dropping worker %d: %s\n",
+                     static_cast<int>(worker.pid), e.what());
+        lose_worker(worker);
+        return;
+      }
+      if (!frame.has_value()) return;
+      worker.buffer.erase(0, consumed);
+
+      if (frame->type == WireType::kHello) {
+        const WireHello hello = decode_hello(frame->payload);
+        if (hello.protocol != kWireProtocolVersion ||
+            hello.plan_fingerprint != plan.fingerprint ||
+            hello.unit_count != plan.units.size() ||
+            hello.total_scenarios != plan.total_scenarios) {
+          throw contract_error(
+              "dispatch: worker plan disagrees with the parent's (did the "
+              "study file change, or do the binaries differ?)");
+        }
+        worker.greeted = true;
+        (void)assign_next(worker);
+      } else if (frame->type == WireType::kResult) {
+        WireResult result = decode_result(frame->payload);
+        if (worker.busy_unit == Worker::kIdle ||
+            plan.units[worker.busy_unit].id != result.unit) {
+          throw contract_error(
+              "dispatch: worker returned a unit it was not assigned");
+        }
+        const WorkUnit& unit = plan.units[worker.busy_unit];
+        worker.busy_unit = Worker::kIdle;
+        report.worker_seconds += result.seconds;
+        reducer.add_unit(unit.first, unit.count, std::move(result.rows));
+        ++units_reduced;
+        report.scenarios += unit.count;
+        (void)assign_next(worker);
+      } else {
+        throw contract_error("dispatch: unexpected frame from worker");
+      }
+    }
+  };
+
+  try {
+    // Spawn INSIDE the teardown scope: a pipe/fork failure partway
+    // through a large fleet (EMFILE, EAGAIN) must bury the workers
+    // already running, not leak them blocked on their stdin forever.
+    for (int i = 0; i < options.workers; ++i) {
+      std::vector<std::string> argv = options.worker_command;
+      if (static_cast<std::size_t>(i) < options.worker_extra_args.size()) {
+        const std::vector<std::string>& extra =
+            options.worker_extra_args[i];
+        argv.insert(argv.end(), extra.begin(), extra.end());
+      }
+      workers.push_back(spawn_worker(argv));
+    }
+
+    while (units_reduced < plan.units.size()) {
+      // Re-arm idle workers BEFORE blocking: a unit re-queued by a worker
+      // death must reach a survivor that already went idle (its last
+      // frame is long processed, so no event will ever prompt it again) —
+      // without this, losing the holder of the final unit would leave the
+      // loop polling silent pipes forever.
+      for (Worker& worker : workers) {
+        if (queue.empty()) break;
+        if (worker.alive && worker.greeted &&
+            worker.busy_unit == Worker::kIdle) {
+          (void)assign_next(worker);
+        }
+      }
+
+      std::vector<pollfd> fds;
+      std::vector<std::size_t> fd_workers;
+      for (std::size_t i = 0; i < workers.size(); ++i) {
+        if (!workers[i].alive) continue;
+        fds.push_back({workers[i].from_fd, POLLIN, 0});
+        fd_workers.push_back(i);
+      }
+      if (fds.empty()) {
+        throw contract_error(
+            "dispatch: all workers lost with work remaining (" +
+            std::to_string(plan.units.size() - units_reduced) +
+            " units undone)");
+      }
+      const int ready = ::poll(fds.data(), fds.size(), -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw contract_error("dispatch: poll failed");
+      }
+      for (std::size_t f = 0; f < fds.size(); ++f) {
+        if (fds[f].revents == 0) continue;
+        Worker& worker = workers[fd_workers[f]];
+        if (!worker.alive) continue;  // lost while handling a sibling
+        if ((fds[f].revents & POLLIN) != 0) {
+          const ssize_t n = read_chunk(worker.from_fd, worker.buffer);
+          if (n > 0) {
+            handle_frames(worker);
+            continue;
+          }
+          lose_worker(worker);  // EOF or hard error
+        } else {
+          lose_worker(worker);  // POLLHUP/POLLERR with nothing to read
+        }
+      }
+    }
+  } catch (...) {
+    // Fatal dispatch error: tear the fleet down before propagating so no
+    // orphan worker outlives the parent.
+    for (Worker& worker : workers) {
+      if (!worker.alive) continue;
+      ::kill(worker.pid, SIGTERM);
+      lose_worker(worker);
+    }
+    throw;
+  }
+
+  // Every unit reduced: release the fleet.
+  const std::string shutdown = encode_frame(WireType::kShutdown, {});
+  for (Worker& worker : workers) {
+    if (!worker.alive) continue;
+    (void)write_all(worker.to_fd, shutdown);
+    ::close(worker.to_fd);
+    ::close(worker.from_fd);
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    worker.alive = false;
+  }
+
+  reducer.finish();
+  report.units = units_reduced;
+  report.failed_scenarios = reducer.failed_scenarios();
+  report.seconds = watch.seconds();
+  return report;
+}
+
+// ---- worker side.
+
+int run_worker_loop(const StudyPlan& plan, SolverCache& cache,
+                    const WorkerOptions& options, int in_fd, int out_fd) {
+  // Writing a hello/result after the PARENT died must surface as
+  // write_all's error return (clean exit 1), not a SIGPIPE kill that
+  // skips destructors — and must not take an in-process caller down.
+  const ScopedIgnoreSigpipe sigpipe_guard;
+  WireHello hello;
+  hello.plan_fingerprint = plan.fingerprint;
+  hello.unit_count = plan.units.size();
+  hello.total_scenarios = plan.total_scenarios;
+  if (!write_all(out_fd,
+                 encode_frame(WireType::kHello, encode_hello(hello)))) {
+    return 1;
+  }
+
+  ExecOptions exec;
+  exec.jobs = options.jobs;
+  exec.use_cache = options.use_cache;
+
+  // Pool and workspaces persist across units: thread and buffer warm-up
+  // is paid once per worker, not once per unit.
+  ThreadPool pool(options.jobs);
+  std::vector<SolveWorkspace> workspaces;
+
+  int executed = 0;
+  std::string buffer;
+  for (;;) {
+    std::size_t consumed = 0;
+    std::optional<WireFrame> frame;
+    try {
+      frame = decode_frame(buffer, consumed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "worker: corrupt frame from parent: %s\n",
+                   e.what());
+      return 1;
+    }
+    if (!frame.has_value()) {
+      const ssize_t n = read_chunk(in_fd, buffer);
+      if (n == 0) return 0;  // parent gone: clean exit, nothing in flight
+      if (n < 0) return 1;
+      continue;
+    }
+    buffer.erase(0, consumed);
+
+    if (frame->type == WireType::kShutdown) return 0;
+    if (frame->type != WireType::kAssign) {
+      std::fprintf(stderr, "worker: unexpected frame type\n");
+      return 1;
+    }
+    const WireAssign assign = decode_assign(frame->payload);
+    if (assign.unit >= plan.units.size()) {
+      std::fprintf(stderr, "worker: unit id out of range\n");
+      return 1;
+    }
+    const WorkUnit& unit = plan.units[assign.unit];
+    if (unit.first != assign.first_scenario ||
+        unit.count != assign.scenario_count) {
+      std::fprintf(stderr, "worker: unit range disagrees with parent\n");
+      return 1;
+    }
+    if (options.die_after_units >= 0 &&
+        executed >= options.die_after_units) {
+      // Test hook: die mid-unit, after accepting the assignment and
+      // before replying — exactly the window death recovery must cover.
+      // The optional delay lets the rest of the fleet go idle first.
+      if (options.die_delay_ms > 0) {
+        ::usleep(static_cast<useconds_t>(options.die_delay_ms) * 1000);
+      }
+      ::_exit(3);
+    }
+
+    const Stopwatch unit_watch;
+    const ExecutedSlice slice =
+        execute_unit(plan, unit, cache, exec, &pool, &workspaces);
+    // Publish freshly compiled artifacts before replying: a fleet peer
+    // pointed at the same cache-dir can then warm-start this model while
+    // the run is still in progress. No-op without an attached store.
+    cache.flush_to_store();
+
+    WireResult result;
+    result.unit = unit.id;
+    result.seconds = unit_watch.seconds();
+    result.rows = slice_rows(slice, plan.grids);
+    if (!write_all(out_fd,
+                   encode_frame(WireType::kResult,
+                                encode_result(result)))) {
+      return 1;
+    }
+    ++executed;
+  }
+}
+
+}  // namespace rrl

@@ -1,0 +1,115 @@
+// Work-stealing multi-process dispatch — the second stage of the plan /
+// dispatch / execute / reduce pipeline, and the distributed face of the
+// study subsystem.
+//
+// Static `--shard k/N` slicing is zero-coordination but fixed: one heavy
+// model (a large RR schema compile) straggles its shard while the others
+// sit idle, and every shard recompiles every model it touches. The
+// dispatcher replaces the fixed slices with dynamic unit handout: a parent
+// process (`rrl_solve --serve`) spawns N worker processes (`--worker`, the
+// same binary) connected over stdio pipes, hands each an initial work unit
+// (expensive units first — longest-processing-time order), and gives a
+// worker its next unit the moment it returns one — workers that finish
+// early keep pulling queued units off the straggler's plate, which is the
+// work-stealing property that matters at this granularity. Units are the
+// planner's (model, solver) groups, so every scenario of a unit shares one
+// compiled solver and the batched V-solve survives the re-chunking.
+//
+// Fault model: a worker that dies mid-unit (crash, OOM kill, lost machine)
+// is detected by pipe EOF; its in-flight unit is re-queued at the head and
+// re-dispatched to a surviving worker. The reducer receives every unit
+// exactly once, so the merged report stays byte-for-byte identical to the
+// single-process run under any worker count, any completion order and any
+// mid-run worker loss. Only when ALL workers are gone with work remaining
+// does dispatch fail (contract_error) — partial results remain in the
+// output stream.
+//
+// The handshake: each worker re-reads the study file and re-plans it, then
+// sends a hello carrying its plan fingerprint; the parent refuses to hand
+// work to a worker whose fingerprint disagrees (e.g. the study file
+// changed between spawns, or the binaries' protocols differ). Unit ids
+// therefore mean the same scenarios on both sides.
+//
+// Deployment note: point every worker at one shared --cache-dir (the
+// content-addressed artifact store) and the fleet shares a warm tier —
+// workers flush compiled artifacts after every unit, so even within one
+// run a schema compiled by worker A warm-starts worker B's next unit on
+// the same model. The same applies across machines over shared storage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "study/solver_cache.hpp"
+#include "study/study_plan.hpp"
+#include "study/study_reduce.hpp"
+
+namespace rrl {
+
+/// Parent-side knobs.
+struct DispatchOptions {
+  /// Worker processes to spawn (>= 1).
+  int workers = 2;
+  /// argv of a worker process (argv[0] = binary path; typically
+  /// {rrl_solve, "--worker", "--study", <file>, ...}).
+  std::vector<std::string> worker_command;
+  /// Extra argv appended to worker i's command (test hooks, per-worker
+  /// tuning); may be shorter than `workers`.
+  std::vector<std::vector<std::string>> worker_extra_args;
+};
+
+/// Parent-side outcome accounting.
+struct DispatchReport {
+  int workers = 0;               ///< workers spawned
+  std::size_t units = 0;         ///< units reduced (== plan.units.size())
+  std::uint64_t scenarios = 0;   ///< scenarios reduced
+  std::size_t failed_scenarios = 0;  ///< error rows among them
+  std::size_t redispatched = 0;  ///< units re-queued after a worker loss
+  std::size_t workers_lost = 0;  ///< workers that died mid-run
+  double seconds = 0.0;          ///< wall-clock of the whole dispatch
+  /// Sum of the workers' per-unit solve wall-clocks: the fleet's total
+  /// compute. worker_seconds / (seconds * workers) is the fleet's
+  /// parallel efficiency — low values mean spawn/handshake overhead or
+  /// tail idling dominated.
+  double worker_seconds = 0.0;
+};
+
+/// Spawn the worker fleet, hand out every unit of `plan` dynamically, and
+/// stream finished units into `reducer` (finish() is called on success, so
+/// the output is complete and validated when this returns). Throws
+/// contract_error when no worker can be spawned, a worker's handshake
+/// disagrees with `plan`, or every worker is lost with work remaining.
+[[nodiscard]] DispatchReport dispatch_study(const StudyPlan& plan,
+                                            const DispatchOptions& options,
+                                            StudyReducer& reducer);
+
+/// Worker-side knobs.
+struct WorkerOptions {
+  /// Threads per worker (the sweep engine's jobs; <= 0 = hardware).
+  int jobs = 1;
+  /// false = per-scenario fresh construction (equivalence testing).
+  bool use_cache = true;
+  /// TEST HOOK (--test-die-after): after executing this many units, the
+  /// worker exits abnormally on its next assignment without replying —
+  /// the dispatcher's death-recovery regression uses it to kill a worker
+  /// deterministically mid-run. < 0 = never.
+  int die_after_units = -1;
+  /// TEST HOOK (--test-die-delay-ms): milliseconds to sleep before the
+  /// die_after_units exit — long enough for the fleet's survivors to
+  /// drain the queue and go idle, which is the death schedule the
+  /// re-dispatch path must also cover.
+  int die_delay_ms = 0;
+};
+
+/// The worker loop behind `rrl_solve --worker`: handshake on `out_fd`,
+/// then execute every unit assigned on `in_fd` (through the given cache,
+/// whose attached store — if any — is flushed after every unit so fleet
+/// peers sharing the cache-dir start warm) until shutdown or EOF. Returns
+/// a process exit code (0 = clean shutdown). The caller must keep fds 0/1
+/// free of any other output — diagnostics go to stderr.
+[[nodiscard]] int run_worker_loop(const StudyPlan& plan, SolverCache& cache,
+                                  const WorkerOptions& options,
+                                  int in_fd = 0, int out_fd = 1);
+
+}  // namespace rrl

@@ -1,0 +1,126 @@
+#include "study/study_plan.hpp"
+
+#include <algorithm>
+
+#include "support/fnv.hpp"
+
+namespace rrl {
+
+double plan_unit_cost(const StudyModel& model, std::size_t count,
+                      std::size_t points) {
+  const double size =
+      static_cast<double>(model.file.chain.num_transitions()) +
+      2.0 * static_cast<double>(model.file.chain.num_states());
+  return size * (static_cast<double>(count) + static_cast<double>(points));
+}
+
+StudyPlan build_study_plan(const StudySpec& spec,
+                           ModelRepository& repository) {
+  // Resolve the solver axis ("all" = registry order) and validate names up
+  // front so a typo fails the study, not one scenario per combination.
+  std::vector<std::string> solver_names =
+      spec.solvers.empty() ? registered_solvers() : spec.solvers;
+  for (const std::string& name : solver_names) {
+    if (!solver_registered(name)) {
+      throw contract_error("study: unknown solver '" + name +
+                           "' (registered: " + registered_solver_list() +
+                           ")");
+    }
+  }
+
+  // Load every model once through the repository (content-deduplicated).
+  std::vector<std::shared_ptr<const StudyModel>> models;
+  models.reserve(spec.models.size());
+  for (const std::string& path : spec.models) {
+    models.push_back(repository.load(path));
+  }
+
+  // One canonical construction epsilon — the study's tightest — so that
+  // epsilon variation shares solvers; the per-scenario epsilon travels in
+  // the request and overrides it in every method.
+  const double construction_eps =
+      *std::min_element(spec.epsilons.begin(), spec.epsilons.end());
+
+  StudyPlan plan;
+  plan.grids = spec.grids;
+  plan.total_scenarios = spec.scenario_count(solver_names.size());
+  plan.scenarios.reserve(plan.total_scenarios);
+
+  const std::size_t unit_size =
+      spec.measures.size() * spec.epsilons.size() * spec.grids.size();
+  std::size_t grid_points = 0;
+  for (const std::vector<double>& grid : spec.grids) {
+    grid_points += grid.size();
+  }
+  grid_points *= spec.measures.size() * spec.epsilons.size();
+
+  std::uint64_t index = 0;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    for (const std::string& solver_name : solver_names) {
+      WorkUnit unit;
+      unit.id = static_cast<std::uint32_t>(plan.units.size());
+      unit.first = plan.scenarios.size();
+      unit.count = unit_size;
+      unit.cost = plan_unit_cost(*models[m], unit_size, grid_points);
+      plan.units.push_back(unit);
+
+      for (const MeasureKind measure : spec.measures) {
+        for (const double epsilon : spec.epsilons) {
+          for (std::size_t g = 0; g < spec.grids.size(); ++g, ++index) {
+            PlannedScenario scenario;
+            scenario.meta.index = index;
+            scenario.meta.model = m < spec.model_labels.size()
+                                      ? spec.model_labels[m]
+                                      : spec.models[m];
+            scenario.meta.solver = solver_name;
+            scenario.meta.measure = measure;
+            scenario.meta.epsilon = epsilon;
+            scenario.meta.grid = g;
+            scenario.model = models[m];
+            scenario.config.epsilon = construction_eps;
+            scenario.config.regenerative =
+                spec.regenerative == kRegenerativeFromModel
+                    ? models[m]->file.regenerative
+                    : spec.regenerative;
+            scenario.request.measure = measure;
+            scenario.request.times = spec.grids[g];
+            scenario.request.epsilon = epsilon;
+            plan.scenarios.push_back(std::move(scenario));
+          }
+        }
+      }
+    }
+  }
+
+  // Fingerprint: everything that gives a scenario index its meaning. Two
+  // processes whose plans fingerprint equal expand the same study into the
+  // same units — the serve handshake's agreement check.
+  std::uint64_t h = kFnv1aOffset;
+  fnv1a_mix(h, &plan.total_scenarios, sizeof(plan.total_scenarios));
+  const std::uint64_t unit_count = plan.units.size();
+  fnv1a_mix(h, &unit_count, sizeof(unit_count));
+  for (const WorkUnit& unit : plan.units) {
+    const std::uint64_t first = unit.first;
+    const std::uint64_t count = unit.count;
+    fnv1a_mix(h, &first, sizeof(first));
+    fnv1a_mix(h, &count, sizeof(count));
+  }
+  for (const PlannedScenario& s : plan.scenarios) {
+    fnv1a_mix(h, &s.model->hash, sizeof(s.model->hash));
+    fnv1a_mix(h, s.meta.solver.data(), s.meta.solver.size());
+    const auto measure = static_cast<std::uint8_t>(s.meta.measure);
+    fnv1a_mix(h, &measure, sizeof(measure));
+    fnv1a_mix(h, &s.meta.epsilon, sizeof(s.meta.epsilon));
+    const std::uint64_t grid = s.meta.grid;
+    fnv1a_mix(h, &grid, sizeof(grid));
+    fnv1a_mix(h, &s.config.regenerative, sizeof(s.config.regenerative));
+    fnv1a_mix(h, &s.config.epsilon, sizeof(s.config.epsilon));
+  }
+  for (const std::vector<double>& grid : plan.grids) {
+    fnv1a_mix(h, grid.data(), grid.size() * sizeof(double));
+  }
+  plan.fingerprint = h;
+  return plan;
+}
+
+}  // namespace rrl

@@ -14,6 +14,7 @@ namespace {
 constexpr const char* kMetaPrefix = "# rrl-study v1 scenarios=";
 constexpr const char* kHeader =
     "scenario,point,model,solver,measure,epsilon,t,value,dtmc_steps,error";
+constexpr const char* kTimingsSuffix = ",seconds,cache_tier";
 
 std::string csv_escape(const std::string& field) {
   // Newlines are flattened to spaces first: the reader is line-oriented
@@ -97,24 +98,38 @@ std::uint64_t parse_u64(const std::string& field, int line_no) {
 
 }  // namespace
 
-void write_report_csv(std::ostream& out, std::uint64_t total_scenarios,
-                      const std::vector<ReportRow>& rows) {
-  out << kMetaPrefix << total_scenarios << "\n" << kHeader << "\n";
-  for (const ReportRow& r : rows) {
-    out << r.scenario << ',' << r.point << ',' << csv_escape(r.model) << ','
-        << csv_escape(r.solver) << ',' << r.measure << ','
-        << fmt_double(r.epsilon) << ',';
-    if (r.failed()) {
-      out << ",,," << csv_escape(r.error) << "\n";
-    } else {
-      out << fmt_double(r.t) << ',' << fmt_double(r.value) << ','
-          << r.dtmc_steps << ",\n";
-    }
+void write_report_header(std::ostream& out, std::uint64_t total_scenarios,
+                         bool timings) {
+  out << kMetaPrefix << total_scenarios << "\n" << kHeader;
+  if (timings) out << kTimingsSuffix;
+  out << "\n";
+}
+
+void write_report_row(std::ostream& out, const ReportRow& r, bool timings) {
+  out << r.scenario << ',' << r.point << ',' << csv_escape(r.model) << ','
+      << csv_escape(r.solver) << ',' << r.measure << ','
+      << fmt_double(r.epsilon) << ',';
+  if (r.failed()) {
+    out << ",,," << csv_escape(r.error);
+  } else {
+    out << fmt_double(r.t) << ',' << fmt_double(r.value) << ','
+        << r.dtmc_steps << ',';
   }
+  if (timings) {
+    out << ',' << fmt_double(r.seconds) << ',' << csv_escape(r.tier);
+  }
+  out << "\n";
+}
+
+void write_report_csv(std::ostream& out, std::uint64_t total_scenarios,
+                      const std::vector<ReportRow>& rows, bool timings) {
+  write_report_header(out, total_scenarios, timings);
+  for (const ReportRow& r : rows) write_report_row(out, r, timings);
 }
 
 std::vector<ReportRow> read_report_csv(std::istream& in,
-                                       std::uint64_t& total_scenarios) {
+                                       std::uint64_t& total_scenarios,
+                                       bool* timings) {
   std::string line;
   int line_no = 0;
 
@@ -128,20 +143,24 @@ std::vector<ReportRow> read_report_csv(std::istream& in,
   total_scenarios = parse_u64(line.substr(std::string(kMetaPrefix).size()),
                               line_no);
 
-  if (!std::getline(in, line) || line != kHeader) {
+  if (!std::getline(in, line) ||
+      (line != kHeader && line != std::string(kHeader) + kTimingsSuffix)) {
     throw contract_error("report: missing or unexpected header line");
   }
+  const bool has_timings = line != kHeader;
+  if (timings != nullptr) *timings = has_timings;
   ++line_no;
 
+  const std::size_t want_fields = has_timings ? 12u : 10u;
   std::vector<ReportRow> rows;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
     const std::vector<std::string> f = split_csv(line, line_no);
-    if (f.size() != 10) {
+    if (f.size() != want_fields) {
       throw contract_error("report, line " + std::to_string(line_no) +
-                           ": expected 10 fields, got " +
-                           std::to_string(f.size()));
+                           ": expected " + std::to_string(want_fields) +
+                           " fields, got " + std::to_string(f.size()));
     }
     ReportRow row;
     row.scenario = parse_u64(f[0], line_no);
@@ -156,6 +175,10 @@ std::vector<ReportRow> read_report_csv(std::istream& in,
         f[8].empty() ? 0
                      : static_cast<std::int64_t>(parse_u64(f[8], line_no));
     row.error = f[9];
+    if (has_timings) {
+      row.seconds = parse_double(f[10], line_no);
+      row.tier = f[11];
+    }
     rows.push_back(std::move(row));
   }
   return rows;

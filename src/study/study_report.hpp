@@ -19,6 +19,16 @@
 // Fields containing commas/quotes/newlines are double-quote escaped
 // (standard CSV); doubles are printed with %.17g so values round-trip
 // exactly.
+//
+// Timings mode (--timings) appends two diagnostic columns, `seconds`
+// (the scenario's solve wall-clock, repeated on each of its rows) and
+// `cache_tier` (where the scenario's solver came from: mem | disk | cold |
+// none), so stragglers and cold compiles are attributable per scenario.
+// Both are non-deterministic or deployment-dependent, so timings reports
+// are EXCLUDED from byte-compare mode: the byte-identity guarantees (shard
+// merge == unsharded, serve == single-process, warm == cold) are stated
+// for the canonical 10-column layout only. The reader accepts either
+// layout and reports which one it saw.
 #pragma once
 
 #include <cstdint>
@@ -41,20 +51,36 @@ struct ReportRow {
   double value = 0.0;
   std::int64_t dtmc_steps = 0;
   std::string error;  ///< non-empty iff the scenario failed
+  /// Diagnostic fields, written only in timings mode (see header comment).
+  double seconds = 0.0;  ///< scenario solve wall-clock
+  std::string tier;      ///< solver provenance ("mem"|"disk"|"cold"|"none")
 
   [[nodiscard]] bool failed() const noexcept { return !error.empty(); }
 };
 
 /// Write the canonical report: metadata line, header, rows in the given
-/// order (callers pass rows already in global order).
+/// order (callers pass rows already in global order). `timings` appends
+/// the diagnostic columns (never in byte-compared reports).
 void write_report_csv(std::ostream& out, std::uint64_t total_scenarios,
-                      const std::vector<ReportRow>& rows);
+                      const std::vector<ReportRow>& rows,
+                      bool timings = false);
 
-/// Parse a report produced by write_report_csv. Returns the rows and sets
-/// `total_scenarios` from the metadata line. Throws contract_error on
-/// malformed input.
+/// The report prologue (metadata line + column header) and a single row —
+/// write_report_csv's own building blocks, exposed so the incremental
+/// reducer (study_reduce.hpp) emits byte-for-byte the same stream while
+/// flushing rows as units finish.
+void write_report_header(std::ostream& out, std::uint64_t total_scenarios,
+                         bool timings = false);
+void write_report_row(std::ostream& out, const ReportRow& row,
+                      bool timings = false);
+
+/// Parse a report produced by write_report_csv (either column layout).
+/// Returns the rows and sets `total_scenarios` from the metadata line;
+/// `timings` (when non-null) reports whether the diagnostic columns were
+/// present. Throws contract_error on malformed input.
 [[nodiscard]] std::vector<ReportRow> read_report_csv(
-    std::istream& in, std::uint64_t& total_scenarios);
+    std::istream& in, std::uint64_t& total_scenarios,
+    bool* timings = nullptr);
 
 /// Merge shard reports: all inputs must agree on total_scenarios; rows are
 /// sorted by (scenario, point) and validated — no duplicate (scenario,

@@ -1,39 +1,9 @@
 #include "study/study_runner.hpp"
 
-#include <algorithm>
-
-#include "core/registry.hpp"
-
 namespace rrl {
 
 std::vector<ReportRow> StudyRun::rows() const {
-  std::vector<ReportRow> out;
-  for (std::size_t s = 0; s < scenarios.size(); ++s) {
-    const StudyScenario& scenario = scenarios[s];
-    const ScenarioResult& result = sweep.results[s];
-    ReportRow base;
-    base.scenario = scenario.index;
-    base.model = scenario.model;
-    base.solver = scenario.solver;
-    base.measure = measure_name(scenario.measure);
-    base.epsilon = scenario.epsilon;
-    if (!result.ok()) {
-      base.error = result.error;
-      out.push_back(std::move(base));
-      continue;
-    }
-    const std::vector<double>& times = grids[scenario.grid];
-    for (std::size_t p = 0; p < result.report.points.size(); ++p) {
-      ReportRow row = base;
-      row.point = p;
-      const TransientValue& point = result.report.points[p];
-      row.t = times[p];
-      row.value = point.value;
-      row.dtmc_steps = point.stats.dtmc_steps;
-      out.push_back(std::move(row));
-    }
-  }
-  return out;
+  return report_rows(scenarios, sweep, tiers, grids);
 }
 
 StudyRun run_study(const StudySpec& spec, ModelRepository& repository,
@@ -45,115 +15,32 @@ StudyRun run_study(const StudySpec& spec, ModelRepository& repository,
                          " (expected 1 <= k <= N)");
   }
 
-  // Resolve the solver axis ("all" = registry order) and validate names up
-  // front so a typo fails the study, not one scenario per combination.
-  std::vector<std::string> solver_names =
-      spec.solvers.empty() ? registered_solvers() : spec.solvers;
-  for (const std::string& name : solver_names) {
-    if (!solver_registered(name)) {
-      throw contract_error("study: unknown solver '" + name +
-                           "' (registered: " + registered_solver_list() +
-                           ")");
-    }
-  }
+  const StudyPlan plan = build_study_plan(spec, repository);
 
-  // Load every model once through the repository (content-deduplicated).
-  std::vector<std::shared_ptr<const StudyModel>> models;
-  models.reserve(spec.models.size());
-  for (const std::string& path : spec.models) {
-    models.push_back(repository.load(path));
-  }
-
-  // One canonical construction epsilon — the study's tightest — so that
-  // epsilon variation shares solvers; the per-scenario epsilon travels in
-  // the request and overrides it in every method.
-  const double construction_eps =
-      *std::min_element(spec.epsilons.begin(), spec.epsilons.end());
-
-  const SolverCacheStats cache_before = cache.stats();
-
-  StudyRun run;
-  run.shard = options.shard;
-  run.total_scenarios = spec.scenario_count(solver_names.size());
-  run.grids = spec.grids;
-
-  BatchRequest batch;
+  // Round-robin slice: shard k of N owns every index % N == k-1.
   const auto shard_count = static_cast<std::uint64_t>(options.shard.count);
   const auto shard_slot = static_cast<std::uint64_t>(options.shard.index - 1);
-  std::uint64_t index = 0;
-  for (std::size_t m = 0; m < models.size(); ++m) {
-    for (const std::string& solver_name : solver_names) {
-      for (const MeasureKind measure : spec.measures) {
-        for (const double epsilon : spec.epsilons) {
-          for (std::size_t g = 0; g < spec.grids.size(); ++g, ++index) {
-            if (index % shard_count != shard_slot) continue;
-
-            StudyScenario meta;
-            meta.index = index;
-            meta.model = m < spec.model_labels.size() ? spec.model_labels[m]
-                                                      : spec.models[m];
-            meta.solver = solver_name;
-            meta.measure = measure;
-            meta.epsilon = epsilon;
-            meta.grid = g;
-
-            SweepScenario scenario;
-            scenario.model = meta.model;
-            scenario.solver = solver_name;
-            scenario.config.epsilon = construction_eps;
-            scenario.config.regenerative =
-                spec.regenerative == kRegenerativeFromModel
-                    ? models[m]->file.regenerative
-                    : spec.regenerative;
-            scenario.request.measure = measure;
-            scenario.request.times = spec.grids[g];
-            scenario.request.epsilon = epsilon;
-            if (options.use_cache) {
-              // Shared compiled solver. A construction failure (structural
-              // precondition, e.g. rsd on an absorbing chain) caches
-              // nothing and leaves shared_solver null: the fallback below
-              // reconstructs per scenario inside the sweep, which records
-              // the same error in that scenario's slot — per-scenario
-              // isolation identical to the uncached path.
-              try {
-                scenario.shared_solver = cache.get_or_build(
-                    models[m], solver_name, scenario.config);
-              } catch (const std::exception&) {
-              }
-            }
-            // The chain is always advertised (the engine's model-size
-            // scheduling heuristic reads it); the data vectors are only
-            // copied when the sweep must construct the solver itself.
-            scenario.chain = &models[m]->file.chain;
-            if (scenario.shared_solver == nullptr) {
-              scenario.rewards = models[m]->file.rewards;
-              scenario.initial = models[m]->file.initial;
-            }
-
-            run.scenarios.push_back(std::move(meta));
-            batch.scenarios.push_back(std::move(scenario));
-          }
-        }
-      }
-    }
+  std::vector<std::size_t> positions;
+  positions.reserve(plan.scenarios.size() / shard_count + 1);
+  for (std::size_t i = shard_slot; i < plan.scenarios.size();
+       i += shard_count) {
+    positions.push_back(i);
   }
 
-  batch.jobs = options.jobs > 0 ? options.jobs : spec.jobs;
-  run.sweep = run_sweep(batch);
-  run.jobs = run.sweep.jobs;
+  ExecOptions exec;
+  exec.jobs = options.jobs > 0 ? options.jobs : spec.jobs;
+  exec.use_cache = options.use_cache;
+  ExecutedSlice slice = execute_scenarios(plan, positions, cache, exec);
 
-  const SolverCacheStats cache_after = cache.stats();
-  run.cache.hits = cache_after.hits - cache_before.hits;
-  run.cache.misses = cache_after.misses - cache_before.misses;
-  run.cache.disk_hits = cache_after.disk_hits - cache_before.disk_hits;
-  run.cache.disk_misses =
-      cache_after.disk_misses - cache_before.disk_misses;
-  run.cache.disk_stores =
-      cache_after.disk_stores - cache_before.disk_stores;
-
-  // Models must outlive the sweep (scenarios borrow the chains); the
-  // repository and the cache entries pin them, and `models` held them
-  // through run_sweep above.
+  StudyRun run;
+  run.scenarios = std::move(slice.scenarios);
+  run.sweep = std::move(slice.sweep);
+  run.tiers = std::move(slice.tiers);
+  run.grids = plan.grids;
+  run.total_scenarios = plan.total_scenarios;
+  run.shard = options.shard;
+  run.cache = slice.cache;
+  run.jobs = slice.jobs;
   return run;
 }
 

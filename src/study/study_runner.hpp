@@ -1,23 +1,16 @@
-// Study execution: expand a StudySpec into scenarios, slice off one shard,
-// solve it through the sweep engine with cache-shared solvers, and reduce
-// to mergeable report rows.
-//
-// Expansion order (the contract that makes sharding and merging work):
-// scenario indices enumerate the cartesian product in fixed nested order —
-//
-//   for model in models:            # outermost
-//     for solver in solvers:
-//       for measure in measures:
-//         for epsilon in epsilons:
-//           for grid in grids:      # innermost
-//
-// — so index i is stable across runs, machines and shard counts.
+// Single-process study runner: the thin composition of the pipeline's
+// planner (study_plan.hpp) and executor (study_exec.hpp) that expands a
+// StudySpec, optionally slices off one round-robin shard, and solves it as
+// one batch. The multi-process face of the same pipeline is the dispatch
+// orchestrator (study_dispatch.hpp); both produce byte-identical reports.
 //
 // Sharding is round-robin: shard k of N (1-based) owns every scenario with
 // index % N == k-1. Round-robin (rather than contiguous blocks) spreads a
 // study's expensive axis — usually one model or one solver — evenly across
 // shards, and the report rows carry global indices so --merge restores the
-// unsharded order exactly.
+// unsharded order exactly. (Static sharding remains the zero-coordination
+// deployment: any machine can compute its slice alone. The dispatcher
+// exists for the workloads where static slicing straggles.)
 //
 // Solver sharing: scenarios are resolved through the SolverCache serially
 // before the sweep, so all scenarios keyed to the same (model, solver,
@@ -38,7 +31,9 @@
 #include "core/sweep_engine.hpp"
 #include "study/model_repository.hpp"
 #include "study/solver_cache.hpp"
+#include "study/study_exec.hpp"
 #include "study/study_format.hpp"
+#include "study/study_plan.hpp"
 #include "study/study_report.hpp"
 
 namespace rrl {
@@ -63,20 +58,11 @@ struct StudyOptions {
   bool use_cache = true;
 };
 
-/// Identity of one expanded scenario (parallel to the batch's scenarios).
-struct StudyScenario {
-  std::uint64_t index = 0;  ///< GLOBAL index in the full expansion
-  std::string model;        ///< model label (path as written in the study)
-  std::string solver;
-  MeasureKind measure = MeasureKind::kTrr;
-  double epsilon = 0.0;
-  std::size_t grid = 0;  ///< index into StudySpec::grids
-};
-
 /// A solved shard: metadata + results, index-aligned.
 struct StudyRun {
   std::vector<StudyScenario> scenarios;  ///< this shard, global order
   SweepReport sweep;                     ///< results[i] <-> scenarios[i]
+  std::vector<CacheTier> tiers;  ///< solver provenance, scenario-aligned
   std::vector<std::vector<double>> grids;  ///< the spec's grids (for rows)
   std::uint64_t total_scenarios = 0;     ///< full expansion size
   ShardSpec shard;
@@ -86,9 +72,15 @@ struct StudyRun {
   /// Report rows in canonical order (one per grid point, or one per
   /// failed scenario).
   [[nodiscard]] std::vector<ReportRow> rows() const;
+
+  /// Scenarios of this run that failed (partial results remain valid; the
+  /// CLI surfaces this as a nonzero exit code).
+  [[nodiscard]] std::size_t failed() const noexcept {
+    return sweep.failed();
+  }
 };
 
-/// Expand, slice, resolve solvers through the cache, and solve. Models are
+/// Plan, slice, resolve solvers through the cache, and solve. Models are
 /// loaded through `repository` (each distinct content parsed once) and
 /// solvers through `cache`; both outlive the returned run and may be
 /// shared across runs — a second study over the same models starts warm.

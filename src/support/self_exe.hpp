@@ -1,0 +1,36 @@
+// Path of the running executable — the self-exec primitive behind the
+// dispatch orchestrator (a --serve parent exec's its own binary as
+// --worker) and the test/bench harnesses that locate sibling binaries in
+// the build directory. One implementation so a platform fix (PATH_MAX,
+// a non-/proc fallback) lands everywhere at once.
+#pragma once
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+namespace rrl {
+
+/// The running binary's path via /proc/self/exe; `fallback` (typically
+/// argv[0], which then must be exec-resolvable) when /proc is
+/// unavailable.
+[[nodiscard]] inline std::string self_exe_path(
+    const char* fallback = "") {
+  char buffer[4096];
+  const ssize_t n =
+      ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return fallback;
+  buffer[n] = '\0';
+  return buffer;
+}
+
+/// Path of `name` next to the running binary (build-directory siblings),
+/// or empty when the running binary cannot be resolved.
+[[nodiscard]] inline std::string self_sibling_path(const char* name) {
+  const std::string self = self_exe_path();
+  if (self.empty()) return "";
+  return (std::filesystem::path(self).parent_path() / name).string();
+}
+
+}  // namespace rrl

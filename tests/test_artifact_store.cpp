@@ -7,6 +7,8 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -174,6 +176,98 @@ TEST(ArtifactStore, SolverCacheWarmStartSkipsCompilation) {
   EXPECT_EQ(refreshed.stats().disk_misses, 0u);  // never consulted
   EXPECT_EQ(solver_refreshed->solve_grid(request).values(),
             report_cold.values());
+}
+
+TEST(ArtifactStoreGc, SweepRemovesTempAndInvalidEntries) {
+  const TempDir dir;
+  const ArtifactStore store(dir.path.string());
+  const MultiprocModel model = build_multiproc_availability({});
+  SolverConfig config;
+  config.epsilon = 1e-8;
+  config.regenerative = model.initial_state;
+  ASSERT_TRUE(store.store(sample_artifact(model, config, 1)));
+  ASSERT_TRUE(store.store(sample_artifact(model, config, 2)));
+
+  // A crashed writer's leftover temp and a corrupt entry.
+  const fs::path temp = fs::path(store.entry_path(1, "rrl", config))
+                            .parent_path() /
+                        "rrl-deadbeef.rrla.tmp999-0";
+  std::ofstream(temp) << "half-written";
+  const fs::path bad = fs::path(store.entry_path(2, "rrl", config))
+                           .parent_path() /
+                       "rsd-deadbeef.rrla";
+  std::ofstream(bad) << "garbage";
+
+  const ArtifactGcStats gc = store.gc();
+  EXPECT_EQ(gc.scanned, 3u);  // 2 valid + 1 corrupt
+  EXPECT_EQ(gc.removed_temp, 1u);
+  EXPECT_EQ(gc.removed_invalid, 1u);
+  EXPECT_EQ(gc.evicted, 0u);  // no cap: sweep only
+  EXPECT_FALSE(fs::exists(temp));
+  EXPECT_FALSE(fs::exists(bad));
+  EXPECT_TRUE(store.load(1, "rrl", config).has_value());
+  EXPECT_TRUE(store.load(2, "rrl", config).has_value());
+
+  // A missing root is an empty sweep, not an error.
+  const ArtifactGcStats none =
+      ArtifactStore((dir.path / "absent").string()).gc(1);
+  EXPECT_EQ(none.scanned, 0u);
+}
+
+TEST(ArtifactStoreGc, CapEvictsLeastRecentlyUsedFirst) {
+  const TempDir dir;
+  const ArtifactStore store(dir.path.string());
+  const MultiprocModel model = build_multiproc_availability({});
+  SolverConfig config;
+  config.epsilon = 1e-8;
+  config.regenerative = model.initial_state;
+  for (const std::uint64_t hash : {1u, 2u, 3u}) {
+    ASSERT_TRUE(store.store(sample_artifact(model, config, hash)));
+  }
+  const auto set_age = [&](std::uint64_t hash, int hours_old) {
+    fs::last_write_time(store.entry_path(hash, "rrl", config),
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(hours_old));
+  };
+  set_age(1, 3);  // oldest
+  set_age(2, 2);
+  set_age(3, 1);  // newest
+
+  const std::uint64_t total = store.gc().bytes_before;
+  ASSERT_GT(total, 0u);
+
+  // Cap boundary: an exactly-full store evicts nothing.
+  const ArtifactGcStats at_cap = store.gc(total);
+  EXPECT_EQ(at_cap.evicted, 0u);
+  EXPECT_EQ(at_cap.bytes_after, total);
+
+  // One byte over: the LEAST RECENTLY USED entry goes first, and
+  // eviction stops the moment the store fits.
+  const ArtifactGcStats over = store.gc(total - 1);
+  EXPECT_EQ(over.evicted, 1u);
+  EXPECT_FALSE(fs::exists(store.entry_path(1, "rrl", config)));
+  EXPECT_TRUE(fs::exists(store.entry_path(2, "rrl", config)));
+  EXPECT_TRUE(fs::exists(store.entry_path(3, "rrl", config)));
+  EXPECT_LE(over.bytes_after, total - 1);
+
+  // A verified load REFRESHES recency: after using entry 2, entry 3 is
+  // the oldest and is evicted next.
+  set_age(2, 30);
+  ASSERT_TRUE(store.load(2, "rrl", config).has_value());  // touch
+  const ArtifactGcStats next = store.gc(1);
+  EXPECT_EQ(next.evicted, 2u);  // both remaining go under a 1-byte cap...
+  // ...in LRU order: had the cap allowed one survivor it would have been
+  // entry 2 — assert the ORDER via a fresh pair instead.
+  ASSERT_TRUE(store.store(sample_artifact(model, config, 4)));
+  ASSERT_TRUE(store.store(sample_artifact(model, config, 5)));
+  set_age(4, 20);
+  set_age(5, 10);
+  ASSERT_TRUE(store.load(4, "rrl", config).has_value());  // 4 now newest
+  const std::uint64_t pair_total = store.gc().bytes_before;
+  const ArtifactGcStats lru = store.gc(pair_total - 1);
+  EXPECT_EQ(lru.evicted, 1u);
+  EXPECT_TRUE(fs::exists(store.entry_path(4, "rrl", config)));
+  EXPECT_FALSE(fs::exists(store.entry_path(5, "rrl", config)));
 }
 
 TEST(ArtifactStore, WarmStudyReproducesColdReportByteForByte) {

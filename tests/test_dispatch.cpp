@@ -1,0 +1,302 @@
+// Dispatch orchestrator end-to-end, against the real rrl_solve binary
+// (located next to this test binary): (1) the serve acceptance — the
+// work-stealing fleet's merged report is byte-for-byte the single-process
+// unsharded report for worker counts 1 and 3; (2) death recovery — a
+// worker killed mid-run has its unit re-dispatched to a survivor and the
+// report is still byte-identical; (3) a fleet that loses every worker
+// fails loudly; (4) the exit-code regression — study, serve and merge all
+// report partial results AND a nonzero exit code when a scenario errors.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "models/multiproc.hpp"
+#include "models/raid5.hpp"
+#include "rrl.hpp"
+
+namespace rrl {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The rrl_solve binary next to this test binary (both live in the build
+/// directory); empty when absent.
+std::string rrl_solve_path() {
+  const std::string candidate = self_sibling_path("rrl_solve");
+  std::error_code ec;
+  return !candidate.empty() && fs::exists(candidate, ec) && !ec
+             ? candidate
+             : "";
+}
+
+/// Unique scratch directory, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("rrl-dispatch-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static int& counter() {
+    static int n = 0;
+    return n;
+  }
+};
+
+void write_model(const fs::path& path, const Ctmc& chain,
+                 const std::vector<double>& rewards,
+                 const std::vector<double>& initial, index_t regenerative) {
+  write_model_file(path.string(), chain, rewards, initial, regenerative);
+}
+
+/// A study over three models (two sizes of RAID-5 plus multiproc) — 6
+/// work units of 4 scenarios under `solvers rr rrl`, enough for dynamic
+/// handout to matter.
+fs::path write_fleet_study(const TempDir& dir) {
+  const MultiprocModel multi = build_multiproc_availability({});
+  write_model(dir.path / "multi.rrlm", multi.chain, multi.failure_rewards(),
+              multi.initial_distribution(), multi.initial_state);
+  for (const int groups : {6, 12}) {
+    Raid5Params p;
+    p.groups = groups;
+    const Raid5Model raid = build_raid5_availability(p);
+    write_model(dir.path / ("raid" + std::to_string(groups) + ".rrlm"),
+                raid.chain, raid.failure_rewards(),
+                raid.initial_distribution(), raid.initial_state);
+  }
+  const fs::path study = dir.path / "fleet.study";
+  std::ofstream(study) << "model raid12.rrlm\n"
+                          "model raid6.rrlm\n"
+                          "model multi.rrlm\n"
+                          "solvers rr rrl\n"
+                          "measures both\n"
+                          "epsilons 1e-8\n"
+                          "grid 1:500:3\n"
+                          "times 5 50\n"
+                          "jobs 1\n";
+  return study;
+}
+
+/// The single-process reference report of a study file.
+std::string reference_csv(const fs::path& study_path) {
+  const StudySpec spec = read_study_file(study_path.string());
+  ModelRepository repository;
+  SolverCache cache;
+  const StudyRun run = run_study(spec, repository, cache);
+  std::ostringstream csv;
+  write_report_csv(csv, run.total_scenarios, run.rows());
+  return csv.str();
+}
+
+DispatchOptions worker_fleet(const std::string& binary,
+                             const fs::path& study_path, int workers) {
+  DispatchOptions options;
+  options.workers = workers;
+  options.worker_command = {binary, "--worker", "--study",
+                            study_path.string(), "--jobs", "1"};
+  return options;
+}
+
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(Dispatch, ServeReportByteIdenticalForOneAndThreeWorkers) {
+  const std::string binary = rrl_solve_path();
+  if (binary.empty()) GTEST_SKIP() << "rrl_solve not built";
+  const TempDir dir;
+  const fs::path study = write_fleet_study(dir);
+  const std::string reference = reference_csv(study);
+
+  const StudySpec spec = read_study_file(study.string());
+  ModelRepository repository;
+  const StudyPlan plan = build_study_plan(spec, repository);
+  EXPECT_EQ(plan.units.size(), 6u);
+
+  for (const int workers : {1, 3}) {
+    std::ostringstream out;
+    StudyReducer reducer(out, plan.total_scenarios);
+    const DispatchReport report =
+        dispatch_study(plan, worker_fleet(binary, study, workers), reducer);
+    EXPECT_EQ(report.units, plan.units.size());
+    EXPECT_EQ(report.scenarios, plan.total_scenarios);
+    EXPECT_EQ(report.failed_scenarios, 0u);
+    EXPECT_EQ(report.workers_lost, 0u);
+    EXPECT_EQ(report.redispatched, 0u);
+    EXPECT_EQ(out.str(), reference)
+        << "serve report diverged with " << workers << " workers";
+  }
+}
+
+TEST(Dispatch, WorkerKilledMidRunIsRedispatchedAndReportIsByteIdentical) {
+  const std::string binary = rrl_solve_path();
+  if (binary.empty()) GTEST_SKIP() << "rrl_solve not built";
+  const TempDir dir;
+  const fs::path study = write_fleet_study(dir);
+  const std::string reference = reference_csv(study);
+
+  const StudySpec spec = read_study_file(study.string());
+  ModelRepository repository;
+  const StudyPlan plan = build_study_plan(spec, repository);
+
+  // Worker 0 accepts its first unit, sits on it for half a second and
+  // dies (abnormally, without replying) while worker 1 is still churning
+  // through the queue — the in-flight unit must migrate to worker 1, and
+  // the final report must not show a seam. (The idle-survivor death
+  // schedule is the separate test below.)
+  DispatchOptions options = worker_fleet(binary, study, 2);
+  options.worker_extra_args = {
+      {"--test-die-after", "0", "--test-die-delay-ms", "500"}};
+  std::ostringstream out;
+  StudyReducer reducer(out, plan.total_scenarios);
+  const DispatchReport report = dispatch_study(plan, options, reducer);
+  EXPECT_EQ(report.units, plan.units.size());
+  EXPECT_EQ(report.workers_lost, 1u);
+  EXPECT_EQ(report.redispatched, 1u);
+  EXPECT_EQ(report.failed_scenarios, 0u);
+  EXPECT_EQ(out.str(), reference);
+}
+
+TEST(Dispatch, RequeuedUnitReachesAnAlreadyIdleSurvivor) {
+  const std::string binary = rrl_solve_path();
+  if (binary.empty()) GTEST_SKIP() << "rrl_solve not built";
+  const TempDir dir;
+  // Two units, two workers: each worker gets one unit at hello. Worker 0
+  // sits on its assignment for 2.5 s and then dies without replying;
+  // worker 1 finishes its unit in a fraction of that and goes IDLE with
+  // an empty queue long before the death is detected. The re-queued unit
+  // must still reach the idle survivor — a survivor that is idle at
+  // requeue time sends no further frames, so only the dispatcher's own
+  // re-arming can hand it the work. (The units are sized to take a few
+  // hundred ms so worker 1 cannot drain the whole queue before worker
+  // 0's slower process startup completes its handshake.)
+  Raid5Params p;
+  p.groups = 12;
+  const Raid5Model raid = build_raid5_availability(p);
+  write_model(dir.path / "raid.rrlm", raid.chain, raid.failure_rewards(),
+              raid.initial_distribution(), raid.initial_state);
+  const fs::path study = dir.path / "tiny.study";
+  std::ofstream(study) << "model raid.rrlm\n"
+                          "solvers rr rrl\n"
+                          "measures both\n"
+                          "grid 1:2000:4\n"
+                          "jobs 1\n";
+  const std::string reference = reference_csv(study);
+
+  const StudySpec spec = read_study_file(study.string());
+  ModelRepository repository;
+  const StudyPlan plan = build_study_plan(spec, repository);
+  ASSERT_EQ(plan.units.size(), 2u);
+
+  DispatchOptions options = worker_fleet(binary, study, 2);
+  options.worker_extra_args = {
+      {"--test-die-after", "0", "--test-die-delay-ms", "2500"}};
+  std::ostringstream out;
+  StudyReducer reducer(out, plan.total_scenarios);
+  const DispatchReport report = dispatch_study(plan, options, reducer);
+  EXPECT_EQ(report.units, 2u);
+  EXPECT_EQ(report.workers_lost, 1u);
+  EXPECT_EQ(report.redispatched, 1u);
+  EXPECT_EQ(out.str(), reference);
+}
+
+TEST(Dispatch, AllWorkersLostFailsLoudly) {
+  const std::string binary = rrl_solve_path();
+  if (binary.empty()) GTEST_SKIP() << "rrl_solve not built";
+  const TempDir dir;
+  const fs::path study = write_fleet_study(dir);
+  const StudySpec spec = read_study_file(study.string());
+  ModelRepository repository;
+  const StudyPlan plan = build_study_plan(spec, repository);
+
+  // Every worker dies on its first assignment: no survivor can make
+  // progress, and dispatch must fail rather than hang or under-report.
+  DispatchOptions options = worker_fleet(binary, study, 2);
+  options.worker_extra_args = {{"--test-die-after", "0"},
+                               {"--test-die-after", "0"}};
+  std::ostringstream out;
+  StudyReducer reducer(out, plan.total_scenarios);
+  EXPECT_THROW((void)dispatch_study(plan, options, reducer),
+               contract_error);
+}
+
+TEST(Dispatch, PartialFailureExitsNonzeroInStudyServeAndMergeModes) {
+  const std::string binary = rrl_solve_path();
+  if (binary.empty()) GTEST_SKIP() << "rrl_solve not built";
+  const TempDir dir;
+  // An absorbing chain: rsd scenarios fail structurally, rrl succeeds —
+  // a PARTIALLY failed study.
+  const MultiprocModel rel = build_multiproc_reliability({});
+  write_model(dir.path / "absorbing.rrlm", rel.chain,
+              rel.failure_rewards(), rel.initial_distribution(),
+              rel.initial_state);
+  const fs::path study = dir.path / "failing.study";
+  std::ofstream(study) << "model absorbing.rrlm\n"
+                          "solvers rsd rrl\n"
+                          "times 5 50\n";
+
+  const std::string quiet = " 2>/dev/null >/dev/null";
+  const fs::path study_csv = dir.path / "study.csv";
+  // Regression: the partial results must be WRITTEN and the exit code
+  // must still be nonzero — an error string inside the CSV alone would
+  // let pipelines treat a half-failed study as success.
+  EXPECT_EQ(run_command(binary + " --study " + study.string() + " --out " +
+                        study_csv.string() + quiet),
+            1);
+  std::ifstream in(study_csv);
+  std::uint64_t total = 0;
+  const std::vector<ReportRow> rows = read_report_csv(in, total);
+  EXPECT_EQ(total, 2u);
+  std::size_t failed = 0;
+  std::size_t values = 0;
+  for (const ReportRow& row : rows) {
+    failed += row.failed() ? 1 : 0;
+    values += row.failed() ? 0 : 1;
+  }
+  EXPECT_EQ(failed, 1u);  // rsd
+  EXPECT_GT(values, 0u);  // rrl's points made it out
+
+  const fs::path serve_csv = dir.path / "serve.csv";
+  EXPECT_EQ(run_command(binary + " --serve --workers 2 --study " +
+                        study.string() + " --out " + serve_csv.string() +
+                        quiet),
+            1);
+  std::ifstream study_bytes(study_csv), serve_bytes(serve_csv);
+  std::stringstream a, b;
+  a << study_bytes.rdbuf();
+  b << serve_bytes.rdbuf();
+  EXPECT_EQ(b.str(), a.str());  // identical partial report
+
+  const fs::path merged_csv = dir.path / "merged.csv";
+  EXPECT_EQ(run_command(binary + " --merge " + study_csv.string() +
+                        " --out " + merged_csv.string() + quiet),
+            1);
+
+  // And a fully successful study still exits 0 end to end.
+  const fs::path ok_study = dir.path / "ok.study";
+  std::ofstream(ok_study) << "model absorbing.rrlm\n"
+                             "solvers rrl\n"
+                             "times 5 50\n";
+  EXPECT_EQ(run_command(binary + " --serve --workers 2 --study " +
+                        ok_study.string() + " --out " +
+                        (dir.path / "ok.csv").string() + quiet),
+            0);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,159 @@
+// Streaming reducer: units arriving in any order produce byte-for-byte
+// the batch-written report, rows flush incrementally as contiguous
+// prefixes complete, and the validation (overlap, double delivery, gaps,
+// out-of-range or unsorted rows, missing coverage) fails loudly online.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "study/study_reduce.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+ReportRow row(std::uint64_t scenario, std::uint64_t point,
+              bool failed = false) {
+  ReportRow r;
+  r.scenario = scenario;
+  r.point = point;
+  r.model = "m.rrlm";
+  r.solver = "rrl";
+  r.measure = "trr";
+  r.epsilon = 1e-10;
+  r.t = 10.0 * static_cast<double>(point + 1);
+  r.value = 0.5;
+  r.dtmc_steps = 7;
+  if (failed) r.error = "failed: structural precondition";
+  r.seconds = 0.125;
+  r.tier = "mem";
+  return r;
+}
+
+/// Rows of the unit covering [first, first+count): 2 points per scenario,
+/// scenario `fail_at` (if inside) failing instead.
+std::vector<ReportRow> unit_rows(std::uint64_t first, std::uint64_t count,
+                                 std::uint64_t fail_at = ~0ULL) {
+  std::vector<ReportRow> rows;
+  for (std::uint64_t s = first; s < first + count; ++s) {
+    if (s == fail_at) {
+      rows.push_back(row(s, 0, /*failed=*/true));
+      continue;
+    }
+    rows.push_back(row(s, 0));
+    rows.push_back(row(s, 1));
+  }
+  return rows;
+}
+
+TEST(StudyReducer, OutOfOrderUnitsReproduceTheBatchBytesIncrementally) {
+  // Batch reference: all rows in order through write_report_csv.
+  std::vector<ReportRow> all;
+  for (const auto& [first, count] :
+       std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0, 4}, {4, 2}, {6, 6}, {12, 4}}) {
+    const std::vector<ReportRow> rows = unit_rows(first, count);
+    all.insert(all.end(), rows.begin(), rows.end());
+  }
+  std::ostringstream reference;
+  write_report_csv(reference, 16, all);
+
+  // Streamed: completion order 3, 1, 0, 2 — nothing flushes until unit 0
+  // lands, then everything contiguous drains at once.
+  std::ostringstream out;
+  StudyReducer reducer(out, 16);
+  reducer.add_unit(12, 4, unit_rows(12, 4));
+  EXPECT_EQ(reducer.scenarios_flushed(), 0u);
+  reducer.add_unit(4, 2, unit_rows(4, 2));
+  EXPECT_EQ(reducer.scenarios_flushed(), 0u);
+  reducer.add_unit(0, 4, unit_rows(0, 4));
+  EXPECT_EQ(reducer.scenarios_flushed(), 6u);  // units 0 and 1 drained
+  reducer.add_unit(6, 6, unit_rows(6, 6));
+  EXPECT_EQ(reducer.scenarios_flushed(), 16u);
+  reducer.finish();
+  EXPECT_EQ(out.str(), reference.str());
+  EXPECT_EQ(reducer.rows_written(), all.size());
+  EXPECT_EQ(reducer.failed_scenarios(), 0u);
+}
+
+TEST(StudyReducer, CountsFailedScenariosAndKeepsTheirRows) {
+  std::ostringstream out;
+  StudyReducer reducer(out, 4);
+  reducer.add_unit(0, 4, unit_rows(0, 4, /*fail_at=*/2));
+  reducer.finish();
+  EXPECT_EQ(reducer.failed_scenarios(), 1u);
+  EXPECT_NE(out.str().find("structural precondition"), std::string::npos);
+}
+
+TEST(StudyReducer, TimingsLayoutCarriesDiagnosticColumns) {
+  std::ostringstream out;
+  StudyReducer reducer(out, 2, /*timings=*/true);
+  reducer.add_unit(0, 2, unit_rows(0, 2));
+  reducer.finish();
+  EXPECT_NE(out.str().find(",seconds,cache_tier"), std::string::npos);
+  EXPECT_NE(out.str().find(",mem"), std::string::npos);
+
+  // And the canonical layout does NOT (byte-compare mode).
+  std::ostringstream plain;
+  StudyReducer plain_reducer(plain, 2);
+  plain_reducer.add_unit(0, 2, unit_rows(0, 2));
+  plain_reducer.finish();
+  EXPECT_EQ(plain.str().find("seconds"), std::string::npos);
+  EXPECT_EQ(plain.str().find("mem"), std::string::npos);
+}
+
+TEST(StudyReducer, RejectsOverlapDoubleDeliveryAndBadRows) {
+  const auto fresh = [](std::ostringstream& out, std::uint64_t total) {
+    return StudyReducer(out, total);
+  };
+  std::ostringstream sink;
+
+  {  // Double delivery of a unit (e.g. a dispatcher bug after a re-queue).
+    StudyReducer r = fresh(sink, 8);
+    r.add_unit(0, 4, unit_rows(0, 4));
+    EXPECT_THROW(r.add_unit(0, 4, unit_rows(0, 4)), contract_error);
+  }
+  {  // Overlapping ranges, delivered while still pending.
+    StudyReducer r = fresh(sink, 8);
+    r.add_unit(4, 4, unit_rows(4, 4));
+    EXPECT_THROW(r.add_unit(2, 4, unit_rows(2, 4)), contract_error);
+  }
+  {  // Unit outside the study.
+    StudyReducer r = fresh(sink, 8);
+    EXPECT_THROW(r.add_unit(6, 4, unit_rows(6, 4)), contract_error);
+    EXPECT_THROW(r.add_unit(0, 0, {}), contract_error);
+  }
+  {  // A row outside its unit's range.
+    StudyReducer r = fresh(sink, 8);
+    std::vector<ReportRow> rows = unit_rows(0, 2);
+    rows.push_back(row(5, 0));
+    EXPECT_THROW(r.add_unit(0, 2, rows), contract_error);
+  }
+  {  // Unsorted / duplicated rows.
+    StudyReducer r = fresh(sink, 8);
+    std::vector<ReportRow> rows = unit_rows(0, 2);
+    std::swap(rows.front(), rows.back());
+    EXPECT_THROW(r.add_unit(0, 2, rows), contract_error);
+    std::vector<ReportRow> dup = unit_rows(0, 2);
+    dup.push_back(dup.back());
+    EXPECT_THROW(r.add_unit(0, 2, dup), contract_error);
+  }
+  {  // A scenario of the range with no row at all.
+    StudyReducer r = fresh(sink, 8);
+    std::vector<ReportRow> rows = unit_rows(0, 3);
+    rows.erase(rows.begin() + 2, rows.begin() + 4);  // scenario 1's rows
+    EXPECT_THROW(r.add_unit(0, 3, rows), contract_error);
+  }
+  {  // finish() with undelivered ranges (all workers died).
+    std::ostringstream out;
+    StudyReducer r(out, 8);
+    r.add_unit(0, 4, unit_rows(0, 4));
+    EXPECT_THROW(r.finish(), contract_error);
+  }
+}
+
+}  // namespace
+}  // namespace rrl

@@ -7,7 +7,9 @@
 //   rrl_solve --model a.rrlm,b.rrlm --solvers all --jobs 4 --t 1,10,100
 //   rrl_solve --model m.rrlm --measure both --eps 1e-8,1e-12 --t 1,100
 //   rrl_solve --study s.study [--shard 2/3] [--jobs 4] [--out shard2.csv]
+//   rrl_solve --serve --workers 3 --study s.study [--out report.csv]
 //   rrl_solve --merge s1.csv,s2.csv,s3.csv [--out report.csv]
+//   rrl_solve --cache-gc --cache-dir DIR [--cache-cap BYTES]
 //   rrl_solve --export raid20|raid40|multiproc --output m.rrlm
 //   rrl_solve --list-solvers
 //
@@ -32,8 +34,24 @@
 // (models x solvers x measures x epsilons x grids), optionally slices one
 // deterministic round-robin shard (--shard k/N), and emits a mergeable
 // CSV report; --merge order-restores shard outputs into byte-for-byte the
-// unsharded report. See README.md for the grammar and a 2-process
-// example.
+// unsharded report (and exits nonzero when the merged study contains
+// failed scenarios). --timings appends per-scenario wall-time and
+// cache-tier diagnostic columns (excluded from byte-compare mode). See
+// README.md for the grammar and a 2-process example.
+//
+// Serve mode (--serve --workers N, src/study/study_dispatch.hpp) runs the
+// same study through the plan/dispatch/execute/reduce pipeline: the
+// parent spawns N worker processes (the hidden --worker mode of this
+// binary), hands out the planner's (model, solver) work units dynamically
+// — work-stealing, so one heavy model never idles the fleet; a worker
+// lost mid-unit has its unit re-dispatched — and streams finished units
+// into the report incrementally. The merged report is byte-for-byte the
+// single-process unsharded report for any worker count and completion
+// order.
+//
+// --cache-gc sweeps a --cache-dir artifact store: leftover temp files and
+// corrupt entries are removed, and --cache-cap <bytes> evicts least-
+// recently-used entries until the store fits.
 //
 // Caching (batch and study modes): one in-memory compiled solver is
 // shared per (model, solver, config); --cache-dir DIR adds the
@@ -43,9 +61,12 @@
 // skips disk reads but refreshes the store; --cache-stats prints
 // hit/miss/load/store counters for both tiers; --no-cache bypasses both
 // tiers entirely.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -58,6 +79,7 @@
 #include "models/raid5.hpp"
 #include "rrl.hpp"
 #include "support/cli.hpp"
+#include "support/self_exe.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -300,6 +322,163 @@ int run_batch(const CliArgs& args,
   return run.sweep.failed() == 0 ? 0 : 1;
 }
 
+// Hidden worker mode (--worker, spawned by --serve): re-read and re-plan
+// the study, then execute whatever units the parent assigns over the
+// stdio wire protocol. Everything human-readable goes to stderr — stdout
+// carries frames only.
+int run_worker_mode(const CliArgs& args) {
+  const StudySpec spec = read_study_file(args.get_string("study", ""));
+  ModelRepository repository;
+  const StudyPlan plan = build_study_plan(spec, repository);
+
+  SolverCache cache;
+  const std::shared_ptr<ArtifactStore> store =
+      attach_disk_tier(args, cache);
+  WorkerOptions options;
+  options.jobs = static_cast<int>(args.get_long("jobs", spec.jobs));
+  options.use_cache = !args.get_bool("no-cache", false);
+  options.die_after_units =
+      static_cast<int>(args.get_long("test-die-after", -1));
+  options.die_delay_ms =
+      static_cast<int>(args.get_long("test-die-delay-ms", 0));
+  return run_worker_loop(plan, cache, options);
+}
+
+// Serve mode: the work-stealing multi-process orchestrator. Plans the
+// study, spawns --workers copies of this binary in --worker mode, hands
+// out work units dynamically and streams the merged report incrementally.
+int run_serve_mode(const CliArgs& args, const char* argv0) {
+  const std::string study_path = args.get_string("study", "");
+  if (study_path.empty()) {
+    std::fprintf(stderr, "error: --serve needs --study <file.study>\n");
+    return 2;
+  }
+  if (args.has("shard")) {
+    std::fprintf(stderr,
+                 "error: --serve replaces static --shard slicing; drop "
+                 "one of them\n");
+    return 2;
+  }
+  const int workers = static_cast<int>(args.get_long("workers", 2));
+  if (workers < 1) {
+    std::fprintf(stderr, "error: --workers must be >= 1\n");
+    return 2;
+  }
+
+  const StudySpec spec = read_study_file(study_path);
+  ModelRepository repository;
+  const StudyPlan plan = build_study_plan(spec, repository);
+
+  DispatchOptions options;
+  options.workers = workers;
+  // argv[0] fallback: serve then requires being invoked via a
+  // resolvable path.
+  options.worker_command = {self_exe_path(argv0), "--worker", "--study",
+                            study_path};
+  const auto forward = [&](const char* flag) {
+    if (args.has(flag)) {
+      options.worker_command.push_back(std::string("--") + flag);
+      const std::string value = args.get_string(flag, "");
+      if (value != "true") options.worker_command.push_back(value);
+    }
+  };
+  forward("jobs");
+  forward("cache-dir");
+  forward("cold");
+  forward("no-cache");
+
+  const bool timings = args.get_bool("timings", false);
+  const std::string out_path = args.get_string("out", "");
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open output file: %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+
+  StudyReducer reducer(out, plan.total_scenarios, timings);
+  const DispatchReport report = dispatch_study(plan, options, reducer);
+
+  std::FILE* summary = out_path.empty() ? stderr : stdout;
+  std::fprintf(summary,
+               "serve: %llu scenarios in %zu work units over %d workers "
+               "(%zu failed), %.3gs, %.3g scenarios/sec\n"
+               "dispatch: %zu workers lost, %zu units re-dispatched, "
+               "%.0f%% fleet efficiency\n",
+               static_cast<unsigned long long>(report.scenarios),
+               report.units, report.workers, report.failed_scenarios,
+               report.seconds,
+               report.seconds > 0.0
+                   ? static_cast<double>(report.scenarios) / report.seconds
+                   : 0.0,
+               report.workers_lost, report.redispatched,
+               report.seconds > 0.0
+                   ? 100.0 * report.worker_seconds /
+                         (report.seconds * report.workers)
+                   : 0.0);
+
+  const std::string json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "error: cannot open json file: %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    json << "{\n"
+         << "  \"total_scenarios\": " << plan.total_scenarios << ",\n"
+         << "  \"units\": " << report.units << ",\n"
+         << "  \"workers\": " << report.workers << ",\n"
+         << "  \"failed\": " << report.failed_scenarios << ",\n"
+         << "  \"workers_lost\": " << report.workers_lost << ",\n"
+         << "  \"redispatched\": " << report.redispatched << ",\n"
+         << "  \"seconds\": " << report.seconds << ",\n"
+         << "  \"worker_seconds\": " << report.worker_seconds << "\n"
+         << "}\n";
+  }
+  // Partial failures: results are all present (error rows included), and
+  // the exit code says so — same contract as single-process study mode.
+  return report.failed_scenarios == 0 ? 0 : 1;
+}
+
+// Cache maintenance: sweep a --cache-dir artifact store, optionally
+// evicting down to --cache-cap bytes (LRU by last verified use).
+int run_cache_gc_mode(const CliArgs& args) {
+  const std::string dir = args.get_string("cache-dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "error: --cache-gc needs --cache-dir DIR\n");
+    return 2;
+  }
+  // get_double so caps read naturally ("--cache-cap 1e9").
+  const auto cap = static_cast<std::uint64_t>(
+      std::max(0.0, args.get_double("cache-cap", 0.0)));
+  // A missing root would be a successful-looking empty sweep; refuse it
+  // so a typo'd path cannot masquerade as a healthy store in a cron job.
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "error: --cache-dir is not a directory: %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  const ArtifactStore store(dir);
+  const ArtifactGcStats gc = store.gc(cap);
+  std::printf(
+      "cache-gc %s: %zu entries (%llu bytes), removed %zu temp + %zu "
+      "invalid, evicted %zu",
+      dir.c_str(), gc.scanned,
+      static_cast<unsigned long long>(gc.bytes_before), gc.removed_temp,
+      gc.removed_invalid, gc.evicted);
+  if (cap > 0) {
+    std::printf(" (cap %llu bytes)", static_cast<unsigned long long>(cap));
+  }
+  std::printf("; %llu bytes kept\n",
+              static_cast<unsigned long long>(gc.bytes_after));
+  return 0;
+}
+
 // Study mode: expand a .study declaration, solve one shard (or all of it),
 // and write the mergeable CSV report.
 int run_study_mode(const CliArgs& args) {
@@ -333,11 +512,12 @@ int run_study_mode(const CliArgs& args) {
   // run skip the compilation.
   if (store != nullptr) cache.flush_to_store();
 
+  const bool timings = args.get_bool("timings", false);
   const std::string out_path = args.get_string("out", "");
   const std::vector<ReportRow> rows = run.rows();
   if (out_path.empty()) {
     // CSV to stdout, human summary to stderr.
-    write_report_csv(std::cout, run.total_scenarios, rows);
+    write_report_csv(std::cout, run.total_scenarios, rows, timings);
   } else {
     std::ofstream out(out_path);
     if (!out) {
@@ -345,7 +525,7 @@ int run_study_mode(const CliArgs& args) {
                    out_path.c_str());
       return 1;
     }
-    write_report_csv(out, run.total_scenarios, rows);
+    write_report_csv(out, run.total_scenarios, rows, timings);
   }
 
   std::FILE* summary = out_path.empty() ? stderr : stdout;
@@ -411,6 +591,7 @@ int run_merge_mode(const CliArgs& args) {
   }
   std::vector<std::vector<ReportRow>> shards;
   std::vector<std::uint64_t> totals;
+  bool timings = true;  // preserved iff every input carries the columns
   for (const std::string& path : paths) {
     std::ifstream in(path);
     if (!in) {
@@ -419,8 +600,10 @@ int run_merge_mode(const CliArgs& args) {
       return 1;
     }
     std::uint64_t total = 0;
-    shards.push_back(read_report_csv(in, total));
+    bool shard_timings = false;
+    shards.push_back(read_report_csv(in, total, &shard_timings));
     totals.push_back(total);
+    timings = timings && shard_timings;
   }
   std::uint64_t total_scenarios = 0;
   const std::vector<ReportRow> merged =
@@ -428,7 +611,7 @@ int run_merge_mode(const CliArgs& args) {
 
   const std::string out_path = args.get_string("out", "");
   if (out_path.empty()) {
-    write_report_csv(std::cout, total_scenarios, merged);
+    write_report_csv(std::cout, total_scenarios, merged, timings);
   } else {
     std::ofstream out(out_path);
     if (!out) {
@@ -436,14 +619,20 @@ int run_merge_mode(const CliArgs& args) {
                    out_path.c_str());
       return 1;
     }
-    write_report_csv(out, total_scenarios, merged);
+    write_report_csv(out, total_scenarios, merged, timings);
   }
+  // A failed scenario contributes exactly one (error) row; surface the
+  // count in the exit code so a merge step cannot silently launder a
+  // partially failed study (the partial results ARE still written).
+  std::size_t failed = 0;
+  for (const ReportRow& row : merged) failed += row.failed() ? 1 : 0;
   std::fprintf(out_path.empty() ? stderr : stdout,
-               "merged %zu shard reports: %llu scenarios, %zu rows\n",
+               "merged %zu shard reports: %llu scenarios, %zu rows, "
+               "%zu failed scenarios\n",
                shards.size(),
                static_cast<unsigned long long>(total_scenarios),
-               merged.size());
-  return 0;
+               merged.size(), failed);
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -456,6 +645,9 @@ int main(int argc, char** argv) {
       return export_model(args.get_string("export", ""),
                           args.get_string("output", "model.rrlm"));
     }
+    if (args.has("cache-gc")) return run_cache_gc_mode(args);
+    if (args.has("worker")) return run_worker_mode(args);
+    if (args.has("serve")) return run_serve_mode(args, argv[0]);
     if (args.has("merge")) return run_merge_mode(args);
     if (args.has("study")) return run_study_mode(args);
     if (!args.has("model") || (!args.has("t") && !args.has("t-grid"))) {
@@ -474,8 +666,15 @@ int main(int argc, char** argv) {
           "[--out report.csv]\n"
           "                 [--json summary.json] [--cache-dir DIR] "
           "[--cold] [--cache-stats]\n"
-          "                 [--no-cache]\n"
+          "                 [--no-cache] [--timings]\n"
+          "       rrl_solve --serve --workers N --study <file.study> "
+          "[--jobs N-per-worker]\n"
+          "                 [--out report.csv] [--json summary.json] "
+          "[--cache-dir DIR]\n"
+          "                 [--cold] [--no-cache] [--timings]\n"
           "       rrl_solve --merge <r1.csv,r2.csv,...> [--out report.csv]\n"
+          "       rrl_solve --cache-gc --cache-dir DIR "
+          "[--cache-cap BYTES]\n"
           "       rrl_solve --export raid20|raid40|multiproc "
           "[--output m.rrlm]\n"
           "       rrl_solve --list-solvers\n");
