@@ -11,6 +11,7 @@
 #include "core/standard_randomization.hpp"
 #include "core/vmodel.hpp"
 #include "markov/dtmc.hpp"
+#include "sparse/aligned_alloc.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
@@ -287,8 +288,8 @@ void solve_rr_batch(std::span<const RrBatchItem> items, ThreadPool* pool) {
       const VModel& vmodel = *g.compiled->vmodel;
       const std::size_t n_states =
           static_cast<std::size_t>(vmodel.chain.num_states());
-      std::vector<double> pi(vmodel.initial);
-      std::vector<double> next(n_states);
+      AlignedVector<double> pi(vmodel.initial.begin(), vmodel.initial.end());
+      AlignedVector<double> next(n_states);
       for (std::int64_t n = 0;; ++n) {
         const double d =
             sparse_reward_dot(g.reward_idx, vmodel.rewards, pi);
@@ -346,14 +347,19 @@ void solve_rr_batch(std::span<const RrBatchItem> items, ThreadPool* pool) {
                         pt.values().end());
           offset += pt.rows();
         }
-        const CsrMatrix combined = CsrMatrix::from_parts(
+        CsrMatrix combined = CsrMatrix::from_parts(
             combined_states, combined_states, std::move(row_ptr),
             std::move(col_idx), std::move(values));
+        // The fused block matrix is stepped to the longest pass's horizon:
+        // derive the blocked kernel layout for it like any other compiled
+        // matrix (bit-identical; the V-blocks' own layouts don't carry
+        // over through the CSR splice).
+        combined.specialize();
 
-        std::vector<double> x(static_cast<std::size_t>(combined_states),
-                              0.0);
-        std::vector<double> y(static_cast<std::size_t>(combined_states),
-                              0.0);
+        AlignedVector<double> x(static_cast<std::size_t>(combined_states),
+                                0.0);
+        AlignedVector<double> y(static_cast<std::size_t>(combined_states),
+                                0.0);
         for (std::size_t b = 0; b < live.size(); ++b) {
           const std::vector<double>& init =
               live[b]->compiled->vmodel->initial;

@@ -111,8 +111,8 @@ SolveReport StandardRandomization::solve_grid(
   report.total.capped = sweep.any_capped();
 
   const std::size_t n_states = static_cast<std::size_t>(chain_.num_states());
-  std::vector<double>& pi = workspace.pi(n_states);
-  std::vector<double>& next = workspace.next(n_states);
+  AlignedVector<double>& pi = workspace.pi(n_states);
+  AlignedVector<double>& next = workspace.next(n_states);
   std::copy(initial_.begin(), initial_.end(), pi.begin());
 
   // Row-partitioned stepping when the caller lent us a pool (small batches

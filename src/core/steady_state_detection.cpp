@@ -20,6 +20,9 @@ RandomizationSteadyStateDetection::RandomizationSteadyStateDetection(
       options_(options),
       dtmc_(chain, options.rate_factor),
       p_(dtmc_.transition_transposed().transposed()) {
+  // The backward pass steps p_ as hard as SR steps the gather form:
+  // specialize it at compile time too (transposed() returns plain CSR).
+  p_.specialize();
   RRL_EXPECTS(options_.epsilon > 0.0);
   RRL_EXPECTS(static_cast<index_t>(rewards_.size()) == chain.num_states());
   RRL_EXPECTS(chain.absorbing_states().empty());  // irreducible models only
@@ -47,8 +50,10 @@ void RandomizationSteadyStateDetection::import_compiled(
   dtmc_ = RandomizedDtmc::from_parts(artifact.dtmc_pt, artifact.self_loop,
                                      artifact.lambda);
   // The backward-pass P is the exact transpose of the adopted gather form,
-  // same as at construction.
+  // same as at construction — including the derived kernel layout, which
+  // is rebuilt here rather than shipped in the artifact.
   p_ = dtmc_.transition_transposed().transposed();
+  p_.specialize();
 }
 
 TransientValue RandomizationSteadyStateDetection::trr(double t) const {
@@ -100,8 +105,8 @@ SolveReport RandomizationSteadyStateDetection::solve_grid(
   // Backward iteration: w_0 = r, w_{n+1} = P w_n, d(n) = alpha . w_n is the
   // same coefficient for every grid point.
   const std::size_t n_states = static_cast<std::size_t>(chain_.num_states());
-  std::vector<double>& w = workspace.pi(n_states);
-  std::vector<double>& next = workspace.next(n_states);
+  AlignedVector<double>& w = workspace.pi(n_states);
+  AlignedVector<double>& next = workspace.next(n_states);
   std::copy(rewards_.begin(), rewards_.end(), w.begin());
 
   // Row-partitioned stepping when the caller lent us a pool (small batches

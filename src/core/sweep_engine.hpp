@@ -13,6 +13,10 @@
 // scenarios than workers flips to the orthogonal axis instead: scenarios
 // run serially and the pool row-partitions the solvers' model-sized SpMVs
 // (see SolveWorkspace::pooled_spmv) — both paths produce identical values.
+// Either way every product dispatches through the runtime-selected
+// vectorized kernels (sparse/spmv_kernels.hpp), which are bit-identical
+// to the scalar reference, so neither the host's SIMD level nor
+// RRL_KERNEL overrides can change a report.
 // Scenarios may carry pre-built solvers (shared_solver) so one compiled
 // solver serves every scenario with the same (model, solver, config); the
 // study subsystem's solver cache builds on exactly this. Scenarios sharing

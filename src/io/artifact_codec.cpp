@@ -125,7 +125,9 @@ class Reader {
     auto values = array<double>();
     if (rows < 0 || cols < 0) corrupt("negative matrix dimension");
     // from_parts re-validates the CSR invariants and throws contract_error
-    // itself on violation.
+    // itself on violation. The returned matrix is unspecialized — the
+    // blocked kernel layout is derived, not wire, data; the adopting
+    // solver re-runs specialize() in import_compiled().
     return CsrMatrix::from_parts(rows, cols, std::move(row_ptr),
                                  std::move(col_idx), std::move(values));
   }

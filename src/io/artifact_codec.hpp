@@ -18,6 +18,12 @@
 //                            guarantee)
 //   checksum  u64            FNV-1a over the payload
 //
+// Matrices travel as their canonical CSR arrays ONLY: the specialized
+// kernel layout (sparse/sell.hpp) is derived data and is never
+// serialized — importers re-run CsrMatrix::specialize(), so a blob stays
+// portable across hosts with different SIMD capabilities and a
+// layout-heuristic change never invalidates a cached artifact.
+//
 // Every validation failure — bad magic, unknown version, foreign
 // endianness, short read, checksum mismatch, malformed CSR/schema
 // structure — throws contract_error. Callers that treat artifacts as a

@@ -32,6 +32,10 @@ RandomizedDtmc::RandomizedDtmc(const Ctmc& chain, double rate_factor) {
     if (stay != 0.0) entries.push_back({i, i, stay});
   }
   pt_ = CsrMatrix::from_triplets(n, n, std::move(entries));
+  // Format-specialization pass: randomization is compile-time work and the
+  // matrix is about to be stepped thousands of times, so derive the
+  // blocked kernel layout now (bit-identical products either way).
+  pt_.specialize();
 }
 
 RandomizedDtmc RandomizedDtmc::from_parts(CsrMatrix pt,
@@ -42,6 +46,9 @@ RandomizedDtmc RandomizedDtmc::from_parts(CsrMatrix pt,
   RRL_EXPECTS(self_loop.size() == static_cast<std::size_t>(pt.rows()));
   RandomizedDtmc dtmc;
   dtmc.pt_ = std::move(pt);
+  // Specialized formats are derived, never serialized: an artifact import
+  // lands here with plain CSR arrays and re-runs the specialization pass.
+  dtmc.pt_.specialize();
   dtmc.self_loop_ = std::move(self_loop);
   dtmc.lambda_ = lambda;
   return dtmc;

@@ -66,7 +66,10 @@
 #include "models/multiproc.hpp"        // IWYU pragma: export
 #include "models/raid5.hpp"            // IWYU pragma: export
 #include "models/simple.hpp"           // IWYU pragma: export
+#include "sparse/aligned_alloc.hpp"    // IWYU pragma: export
 #include "sparse/csr.hpp"              // IWYU pragma: export
+#include "sparse/sell.hpp"             // IWYU pragma: export
+#include "sparse/spmv_kernels.hpp"     // IWYU pragma: export
 #include "sparse/vector_ops.hpp"       // IWYU pragma: export
 #include "sparse/workspace.hpp"        // IWYU pragma: export
 #include "study/artifact_store.hpp"    // IWYU pragma: export

@@ -1,0 +1,64 @@
+// Cache-line-aligned allocation for SpMV operands.
+//
+// The vectorized kernels (sparse/spmv_kernels.hpp) issue unaligned vector
+// loads, so alignment is never a correctness requirement — but a 64-byte
+// base keeps every 8-double slot of the blocked SELL layout and every
+// workspace iterate on one cache line, which avoids split loads/stores in
+// the hot stepping loops. AlignedVector is a drop-in std::vector whose
+// storage always starts on a 64-byte boundary.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace rrl {
+
+/// Minimum alignment of kernel operands: one x86 cache line, which also
+/// covers the widest vector register in use (64-byte ZMM).
+inline constexpr std::size_t kKernelAlignment = 64;
+
+/// std::allocator drop-in whose allocations start on an `Alignment`-byte
+/// boundary.
+template <class T, std::size_t Alignment = kKernelAlignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T));
+
+  using value_type = T;
+
+  constexpr AlignedAllocator() noexcept = default;
+  template <class U>
+  constexpr AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  friend constexpr bool operator==(const AlignedAllocator&,
+                                   const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// Contiguous buffer whose data() is 64-byte aligned.
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace rrl

@@ -2,32 +2,56 @@
 
 #include <algorithm>
 
+#include "sparse/sell.hpp"
+#include "sparse/spmv_kernels.hpp"
 #include "support/contracts.hpp"
 #include "support/thread_pool.hpp"
 
 namespace rrl {
-namespace {
 
-// Serial gather kernel over the half-open row range [r_begin, r_end): the
-// single shared implementation of the serial and the row-partitioned paths
-// (identical per-row accumulation order keeps them bit-identical).
-void mul_rows(std::span<const std::int64_t> row_ptr,
-              std::span<const index_t> col_idx,
-              std::span<const double> values, std::span<const double> x,
-              std::span<double> y, index_t r_begin, index_t r_end) {
-  for (index_t r = r_begin; r < r_end; ++r) {
-    double acc = 0.0;
-    const std::int64_t lo = row_ptr[static_cast<std::size_t>(r)];
-    const std::int64_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
-    for (std::int64_t k = lo; k < hi; ++k) {
-      acc += values[static_cast<std::size_t>(k)] *
-             x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])];
+// The single shared row walk of the serial and the row-partitioned paths:
+// SELL chunks for the chunk-aligned blocked span, CSR row kernel for the
+// fringes. Every kernel variant preserves the per-row accumulation order,
+// so any split of [r_begin, r_end) is bit-identical to the serial scalar
+// reference.
+void CsrMatrix::apply_rows(const SpmvKernels& kernels,
+                           std::span<const double> x, std::span<double> y,
+                           index_t r_begin, index_t r_end) const {
+  const std::int64_t* rp = row_ptr_.data();
+  const index_t* ci = col_idx_.data();
+  const double* vals = values_.data();
+  if (sell_ != nullptr && r_begin < sell_->covered_rows) {
+    constexpr index_t kC = kSellChunkRows;
+    const index_t blocked_end = std::min(r_end, sell_->covered_rows);
+    // Head fringe up to the first chunk boundary at or after r_begin.
+    const index_t head_end =
+        std::min(blocked_end, (r_begin + kC - 1) / kC * kC);
+    if (r_begin < head_end) {
+      kernels.csr_rows(rp, ci, vals, x.data(), y.data(), r_begin, head_end);
     }
-    y[static_cast<std::size_t>(r)] = acc;
+    const index_t c_begin = head_end / kC;
+    const index_t c_end = blocked_end / kC;
+    if (c_begin < c_end) {
+      kernels.sell_chunks(sell_->chunk_ptr.data(), sell_->col_idx.data(),
+                          sell_->values.data(), x.data(), y.data(), c_begin,
+                          c_end);
+    }
+    // Tail fringe: the rows past the last whole chunk (blocked_end not a
+    // chunk multiple only when it equals r_end or covered_rows' end).
+    const index_t tail_begin = std::max(head_end, c_end * kC);
+    if (tail_begin < r_end) {
+      kernels.csr_rows(rp, ci, vals, x.data(), y.data(), tail_begin, r_end);
+    }
+  } else if (r_begin < r_end) {
+    kernels.csr_rows(rp, ci, vals, x.data(), y.data(), r_begin, r_end);
   }
 }
 
-}  // namespace
+void CsrMatrix::specialize(bool force_blocked) {
+  if (sell_ != nullptr) return;
+  sell_ = build_sell_layout(rows_, row_ptr_, col_idx_, values_,
+                            force_blocked);
+}
 
 CsrMatrix CsrMatrix::from_parts(index_t rows, index_t cols,
                                 std::vector<std::int64_t> row_ptr,
@@ -99,14 +123,26 @@ CsrMatrix CsrMatrix::from_triplets(index_t rows, index_t cols,
 }
 
 void CsrMatrix::mul_vec(std::span<const double> x, std::span<double> y) const {
+  mul_vec_with(active_kernels(), x, y);
+}
+
+void CsrMatrix::mul_vec_with(const SpmvKernels& kernels,
+                             std::span<const double> x,
+                             std::span<double> y) const {
   RRL_EXPECTS(static_cast<index_t>(x.size()) == cols_);
   RRL_EXPECTS(static_cast<index_t>(y.size()) == rows_);
-  RRL_EXPECTS(x.data() != y.data());
-  mul_rows(row_ptr_, col_idx_, values_, x, y, 0, rows_);
+  // Aliasing is only a hazard when there is output to write; empty spans
+  // may legitimately share data() == nullptr.
+  RRL_EXPECTS(y.empty() || x.data() != y.data());
+  apply_rows(kernels, x, y, 0, rows_);
 }
 
 void CsrMatrix::mul_vec(std::span<const double> x, std::span<double> y,
                         ThreadPool& pool) const {
+  // Validate both operands here (not just y): the leading == rows_ we
+  // delegate with is only meaningful against a correctly sized x, and the
+  // caller's error should name this call, not the delegate.
+  RRL_EXPECTS(static_cast<index_t>(x.size()) == cols_);
   RRL_EXPECTS(static_cast<index_t>(y.size()) == rows_);
   mul_vec_leading(x, y, rows_, pool);
 }
@@ -116,8 +152,9 @@ void CsrMatrix::mul_vec_leading(std::span<const double> x,
   RRL_EXPECTS(static_cast<index_t>(x.size()) == cols_);
   RRL_EXPECTS(static_cast<index_t>(y.size()) >= leading);
   RRL_EXPECTS(leading >= 0 && leading <= rows_);
+  if (leading == 0) return;  // nothing to compute, y untouched
   RRL_EXPECTS(x.data() != y.data());
-  mul_rows(row_ptr_, col_idx_, values_, x, y, 0, leading);
+  apply_rows(active_kernels(), x, y, 0, leading);
 }
 
 void CsrMatrix::mul_vec_leading(std::span<const double> x,
@@ -126,10 +163,12 @@ void CsrMatrix::mul_vec_leading(std::span<const double> x,
   RRL_EXPECTS(static_cast<index_t>(x.size()) == cols_);
   RRL_EXPECTS(static_cast<index_t>(y.size()) >= leading);
   RRL_EXPECTS(leading >= 0 && leading <= rows_);
+  if (leading == 0) return;  // nothing to compute, y untouched
   RRL_EXPECTS(x.data() != y.data());
+  const SpmvKernels& kernels = active_kernels();
   const int workers = pool.num_threads();
   if (workers <= 1 || leading < 2 * workers) {
-    mul_rows(row_ptr_, col_idx_, values_, x, y, 0, leading);
+    apply_rows(kernels, x, y, 0, leading);
     return;
   }
   // Contiguous row chunks balanced by stored-entry count: chunk boundary c
@@ -138,6 +177,9 @@ void CsrMatrix::mul_vec_leading(std::span<const double> x,
   // two binary searches on the prefix-sum array — boundaries of monotone
   // targets are monotone, so chunks tile the rows disjointly, and the call
   // allocates nothing (this path is meant for hot loops on large models).
+  // With a blocked layout the boundaries snap to SELL chunk multiples
+  // (rounding a monotone sequence stays monotone), so workers hand whole
+  // chunks to the blocked kernel instead of splitting them into fringes.
   const std::int64_t total = row_ptr_[static_cast<std::size_t>(leading)];
   const auto last = row_ptr_.begin() + leading + 1;
   const auto boundary = [&](int c) {
@@ -146,13 +188,17 @@ void CsrMatrix::mul_vec_leading(std::span<const double> x,
     const std::int64_t target =
         total * static_cast<std::int64_t>(c) / workers;
     const auto it = std::lower_bound(row_ptr_.begin(), last, target);
-    return static_cast<index_t>(it - row_ptr_.begin());
+    index_t b = static_cast<index_t>(it - row_ptr_.begin());
+    if (sell_ != nullptr) {
+      constexpr index_t kC = kSellChunkRows;
+      b = std::min(leading, (b + kC / 2) / kC * kC);
+    }
+    return b;
   };
   pool.parallel_for(
       static_cast<std::size_t>(workers), [&](std::size_t chunk, std::size_t) {
         const int c = static_cast<int>(chunk);
-        mul_rows(row_ptr_, col_idx_, values_, x, y, boundary(c),
-                 boundary(c + 1));
+        apply_rows(kernels, x, y, boundary(c), boundary(c + 1));
       });
 }
 

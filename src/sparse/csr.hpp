@@ -3,17 +3,24 @@
 // All solvers in this library reduce to repeated sparse matrix-vector
 // products with the (randomized) transition matrix, so this module provides a
 // cache-friendly CSR container, a duplicate-summing triplet builder, a
-// transpose, and gather-style SpMV kernels. Matrices are immutable after
-// construction (P.10: prefer immutable data).
+// transpose, and gather-style SpMV entry points. The products dispatch
+// through the runtime-selected vectorized kernels (sparse/spmv_kernels.hpp)
+// and, after a specialize() pass, through the blocked SELL-8 layout
+// (sparse/sell.hpp) — all bit-identical to the serial scalar reference.
+// Matrices are immutable after construction (P.10: prefer immutable data);
+// specialize() only attaches derived data and must run before sharing.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 namespace rrl {
 
-class ThreadPool;  // support/thread_pool.hpp
+class ThreadPool;    // support/thread_pool.hpp
+struct SellLayout;   // sparse/sell.hpp
+struct SpmvKernels;  // sparse/spmv_kernels.hpp
 
 /// Index type for matrix dimensions / state indices. 32-bit indices keep the
 /// CSR arrays compact; models in this library are well below 2^31 states.
@@ -70,9 +77,36 @@ class CsrMatrix {
     return values_;
   }
 
-  /// y = A x (gather kernel: one pass per row, sequential writes).
+  /// Format-specialization pass (run at solver compile() time): analyze
+  /// the row-length histogram and derive the blocked SELL-8 layout
+  /// (sparse/sell.hpp) alongside the CSR arrays when the heuristic says it
+  /// pays (>= kMinSellNnz covered entries, bounded padding);
+  /// `force_blocked` bypasses the heuristic (tests, benchmarks). All
+  /// products stay bit-identical either way — the layout only changes
+  /// which kernel walks the entries, never the per-row accumulation
+  /// order. NOT thread-safe: call before the matrix is shared across
+  /// threads (the compile phase is single-threaded per matrix); copies
+  /// share the derived layout. The layout is derived data and is never
+  /// serialized (io/artifact_codec ships the canonical CSR arrays only);
+  /// importers re-run this pass.
+  void specialize(bool force_blocked = false);
+
+  /// The derived blocked layout, or nullptr when specialize() has not run
+  /// or rejected the matrix.
+  [[nodiscard]] const SellLayout* sell() const noexcept {
+    return sell_.get();
+  }
+
+  /// y = A x (gather kernel: one pass per row, sequential writes),
+  /// dispatched through the process-wide active SpMV kernels
+  /// (sparse/spmv_kernels.hpp).
   /// Preconditions: x.size() == cols(), y.size() == rows(); x and y distinct.
   void mul_vec(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A x with an explicit kernel variant — the testing/benchmark hook
+  /// behind mul_vec (which passes active_kernels()). Same preconditions.
+  void mul_vec_with(const SpmvKernels& kernels, std::span<const double> x,
+                    std::span<double> y) const;
 
   /// y = A x with the rows partitioned across `pool` (chunks balanced by
   /// stored-entry count, one contiguous row range per worker). Each row is
@@ -112,11 +146,19 @@ class CsrMatrix {
   [[nodiscard]] double coeff(index_t row, index_t col) const;
 
  private:
+  /// Run `kernels` over rows [r_begin, r_end): SELL chunks for the
+  /// chunk-aligned blocked span (when specialize() built one), CSR row
+  /// kernel for the head/tail fringes. Bit-identical for any split.
+  void apply_rows(const SpmvKernels& kernels, std::span<const double> x,
+                  std::span<double> y, index_t r_begin, index_t r_end) const;
+
   index_t rows_ = 0;
   index_t cols_ = 0;
   std::vector<std::int64_t> row_ptr_ = {0};
   std::vector<index_t> col_idx_;
   std::vector<double> values_;
+  /// Derived blocked layout (never serialized); shared so copies reuse it.
+  std::shared_ptr<const SellLayout> sell_;
 };
 
 }  // namespace rrl

@@ -1,0 +1,75 @@
+#include "sparse/sell.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+std::shared_ptr<const SellLayout> build_sell_layout(
+    index_t rows, std::span<const std::int64_t> row_ptr,
+    std::span<const index_t> col_idx, std::span<const double> values,
+    bool force) {
+  RRL_EXPECTS(row_ptr.size() == static_cast<std::size_t>(rows) + 1);
+  RRL_EXPECTS(col_idx.size() == values.size());
+
+  const index_t num_chunks = rows / kSellChunkRows;
+  if (num_chunks == 0) return nullptr;
+  const index_t covered = num_chunks * kSellChunkRows;
+  const std::int64_t covered_nnz = row_ptr[static_cast<std::size_t>(covered)];
+
+  // Row-length histogram pass: per-chunk width (the longest row) gives the
+  // padded slot count the layout would need.
+  std::int64_t total_slots = 0;
+  for (index_t c = 0; c < num_chunks; ++c) {
+    std::int64_t width = 0;
+    for (index_t l = 0; l < kSellChunkRows; ++l) {
+      const std::size_t r = static_cast<std::size_t>(c) * kSellChunkRows +
+                            static_cast<std::size_t>(l);
+      width = std::max(width, row_ptr[r + 1] - row_ptr[r]);
+    }
+    total_slots += width;
+  }
+  if (!force) {
+    if (covered_nnz < kMinSellNnz || num_chunks < 2) return nullptr;
+    if (static_cast<double>(total_slots) * kSellChunkRows >
+        kMaxSellPadding * static_cast<double>(covered_nnz)) {
+      return nullptr;
+    }
+  }
+
+  auto layout = std::make_shared<SellLayout>();
+  layout->covered_rows = covered;
+  layout->num_chunks = num_chunks;
+  layout->chunk_ptr.reserve(static_cast<std::size_t>(num_chunks) + 1);
+  layout->chunk_ptr.push_back(0);
+  layout->col_idx.assign(
+      static_cast<std::size_t>(total_slots) * kSellChunkRows, 0);
+  layout->values.assign(
+      static_cast<std::size_t>(total_slots) * kSellChunkRows, 0.0);
+
+  std::int64_t base = 0;  // slot offset of the current chunk
+  for (index_t c = 0; c < num_chunks; ++c) {
+    std::int64_t width = 0;
+    for (index_t l = 0; l < kSellChunkRows; ++l) {
+      const std::size_t r = static_cast<std::size_t>(c) * kSellChunkRows +
+                            static_cast<std::size_t>(l);
+      const std::int64_t lo = row_ptr[r];
+      const std::int64_t hi = row_ptr[r + 1];
+      width = std::max(width, hi - lo);
+      for (std::int64_t k = lo; k < hi; ++k) {
+        const std::size_t slot = static_cast<std::size_t>(
+            (base + (k - lo)) * kSellChunkRows + l);
+        layout->col_idx[slot] = col_idx[static_cast<std::size_t>(k)];
+        layout->values[slot] = values[static_cast<std::size_t>(k)];
+      }
+      // Padding slots keep the zero-fill: value 0.0, column 0.
+    }
+    base += width;
+    layout->chunk_ptr.push_back(base);
+  }
+  RRL_ENSURES(base == total_slots);
+  return layout;
+}
+
+}  // namespace rrl

@@ -1,0 +1,81 @@
+// SELL-8 blocked sparse layout: the format-specialization target of
+// CsrMatrix::specialize().
+//
+// A strictly sequential per-row accumulation (the library's determinism
+// contract) cannot be vectorized *within* a row — the floating-point add
+// chain is order-fixed — but rows are independent, so it vectorizes
+// *across* rows: pack 8 consecutive rows into a chunk, store their entries
+// column-major (slot k holds the k-th entry of each of the 8 rows, shorter
+// rows padded with value 0.0), and one vector register then carries 8
+// independent left-to-right accumulators. This is SELL-C-sigma with C = 8
+// and sigma = 1: no row reordering, so y is written in natural order and
+// the result is bit-identical to the CSR kernel row by row (a 0.0-padding
+// product contributes +0.0, which never changes a finite accumulation —
+// see spmv_kernels.hpp for the full contract).
+//
+// The layout is DERIVED data: built from the CSR arrays by specialize(),
+// rebuilt after artifact import, and never serialized (io/artifact_codec
+// ships only the canonical CSR form).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "sparse/aligned_alloc.hpp"
+#include "sparse/csr.hpp"
+
+namespace rrl {
+
+/// Rows per SELL chunk. Fixed at 8 (one AVX-512 register, two AVX2
+/// registers) so the layout is identical whatever kernel ISA later runs
+/// over it — the dispatch decision never changes the stored bytes.
+inline constexpr index_t kSellChunkRows = 8;
+
+/// The blocked layout of the leading floor(rows/8)*8 rows of a CSR matrix.
+/// The tail rows (rows % 8) always go through the CSR row kernel.
+///
+/// Chunk c covers rows [8c, 8c+8) and occupies value/column slots
+/// [chunk_ptr[c], chunk_ptr[c+1]), where one slot is 8 consecutive lanes:
+/// entry (slot k, lane l) belongs to row 8c+l and is that row's k-th
+/// stored entry, or padding (value 0.0, column 0) once the row is
+/// exhausted. Columns within a lane keep the CSR order, so each lane's
+/// accumulation order is exactly the serial kernel's.
+struct SellLayout {
+  index_t covered_rows = 0;  ///< multiple of kSellChunkRows
+  index_t num_chunks = 0;    ///< covered_rows / kSellChunkRows
+  /// Slot offsets per chunk, size num_chunks + 1; chunk width (its longest
+  /// row's entry count) is chunk_ptr[c+1] - chunk_ptr[c].
+  std::vector<std::int64_t> chunk_ptr;
+  /// Padded column indices, kSellChunkRows per slot, 64-byte aligned.
+  AlignedVector<index_t> col_idx;
+  /// Padded values, kSellChunkRows per slot, 64-byte aligned.
+  AlignedVector<double> values;
+
+  /// Total slots (padded per-lane entries = slots * 8 lanes).
+  [[nodiscard]] std::int64_t slots() const noexcept {
+    return chunk_ptr.empty() ? 0 : chunk_ptr.back();
+  }
+};
+
+/// Heuristic floor: matrices below this stored-entry count never pay for
+/// the blocked layout (their whole SpMV is microseconds).
+inline constexpr std::int64_t kMinSellNnz = 4096;
+
+/// Heuristic ceiling on padding: the blocked layout is rejected when the
+/// padded slot count would exceed this multiple of the covered entries
+/// (very skewed row-length histograms — padding work would eat the lane
+/// parallelism).
+inline constexpr double kMaxSellPadding = 1.5;
+
+/// Analyze the row-length histogram of the given CSR arrays and build the
+/// blocked layout, or return nullptr when the heuristic rejects it (too
+/// few entries, fewer than two full chunks, or too much padding).
+/// `force` bypasses the heuristic (tests, benchmarks) but still returns
+/// nullptr when no full chunk exists.
+[[nodiscard]] std::shared_ptr<const SellLayout> build_sell_layout(
+    index_t rows, std::span<const std::int64_t> row_ptr,
+    std::span<const index_t> col_idx, std::span<const double> values,
+    bool force = false);
+
+}  // namespace rrl

@@ -1,0 +1,100 @@
+// Vectorized, format-specialized SpMV kernels with runtime dispatch.
+//
+// Every solver hot loop in this library bottoms out in CsrMatrix::mul_vec
+// (SR/RSD stepping, the regenerative schema's excursion passes, the fused
+// block-CSR batched V-solve, pooled row-partitioned products), so the row
+// kernels live here as a function-pointer table selected ONCE per process:
+//
+//   scalar   portable reference, baseline x86-64 (always present)
+//   avx2     4-lane products, gathers via vgatherdpd (when compiled in
+//            and the CPU reports AVX2)
+//   avx512   8-lane products (when compiled in and the CPU reports
+//            AVX-512F)
+//
+// Selection is CPUID-based (best supported ISA wins) and overridable with
+// RRL_KERNEL=scalar|avx2|avx512 for testing and byte-compare CI runs; an
+// unavailable or unknown value falls back to the best supported variant
+// with a warning on stderr.
+//
+// Determinism contract — every variant is BIT-IDENTICAL to the scalar
+// reference on finite inputs, because the serial left-to-right
+// accumulation order within each row is preserved everywhere:
+//  * CSR row kernels compute the per-entry products in vector lanes, then
+//    reduce the lane partials sequentially in registers (acc += p0;
+//    acc += p1; ...) — same products, same addition order as scalar.
+//  * SELL chunk kernels vectorize ACROSS rows (sparse/sell.hpp): each lane
+//    is one row's own sequential accumulator, so within-row order never
+//    changes; padding contributes 0.0 * x[0] = +-0.0, and adding a signed
+//    zero to a finite accumulation that started at +0.0 cannot change its
+//    bits ((+0) + (-0) = +0 under round-to-nearest).
+//  * The kernel translation units are compiled with -ffp-contract=off, so
+//    no FMA contraction can merge a product and an addition into a
+//    single differently-rounded operation. There is no --fast-math escape
+//    hatch: a kernel that cannot reproduce the scalar bits does not ship.
+//
+// The contract assumes finite operands (no NaN/Inf in x or the matrix),
+// which the solvers' distribution/reward preconditions already guarantee;
+// 0.0 * Inf in a padding lane would be the one way to tell the layouts
+// apart.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sparse/sell.hpp"
+
+namespace rrl {
+
+/// The instruction sets a kernel variant is implemented with.
+enum class KernelIsa : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Short name of an ISA ("scalar", "avx2", "avx512") — the RRL_KERNEL
+/// vocabulary.
+[[nodiscard]] const char* kernel_isa_name(KernelIsa isa) noexcept;
+
+/// CSR row-range kernel: y[r] = sum_k values[k] * x[col_idx[k]] for each
+/// row r in [r_begin, r_end), entries accumulated in stored order.
+using CsrRowsFn = void (*)(const std::int64_t* row_ptr,
+                           const index_t* col_idx, const double* values,
+                           const double* x, double* y, index_t r_begin,
+                           index_t r_end);
+
+/// SELL chunk-range kernel over a SellLayout's padded arrays: writes
+/// y[8c .. 8c+8) for each chunk c in [c_begin, c_end), each lane
+/// accumulated in stored (= CSR) order.
+using SellChunksFn = void (*)(const std::int64_t* chunk_ptr,
+                              const index_t* col_idx, const double* values,
+                              const double* x, double* y, index_t c_begin,
+                              index_t c_end);
+
+/// One dispatchable kernel variant.
+struct SpmvKernels {
+  KernelIsa isa = KernelIsa::kScalar;
+  const char* name = "scalar";
+  CsrRowsFn csr_rows = nullptr;
+  SellChunksFn sell_chunks = nullptr;
+};
+
+/// The scalar reference variant (always available).
+[[nodiscard]] const SpmvKernels& scalar_kernels() noexcept;
+
+/// The variant for `isa`, or nullptr when it is not compiled into this
+/// binary or the running CPU does not support it.
+[[nodiscard]] const SpmvKernels* kernels_for(KernelIsa isa) noexcept;
+
+/// Best ISA usable on this host (compiled in AND reported by CPUID).
+[[nodiscard]] KernelIsa best_supported_isa() noexcept;
+
+/// Resolve an RRL_KERNEL-style override to a usable variant: nullptr or
+/// "auto" picks best_supported_isa(); a known but unavailable or an
+/// unknown name falls back to the best variant with a one-line warning on
+/// stderr. Pure of process state — active_kernels() feeds it the
+/// environment once; tests feed it strings directly.
+[[nodiscard]] const SpmvKernels& resolve_kernels(const char* override_name);
+
+/// The process-wide active variant: resolve_kernels(getenv("RRL_KERNEL")),
+/// evaluated once on first use. Every CsrMatrix product dispatches through
+/// this table.
+[[nodiscard]] const SpmvKernels& active_kernels();
+
+}  // namespace rrl

@@ -1,0 +1,110 @@
+// AVX2 SpMV kernels. Compiled with -mavx2 -ffp-contract=off as a per-file
+// option (CMakeLists) so the rest of the library stays baseline x86-64 and
+// the binary runs anywhere — this variant is only ever *called* after
+// CPUID reports AVX2. Without the flag (non-x86 target, compiler lacking
+// -mavx2) the TU degrades to a nullptr registration.
+//
+// Determinism: products are computed in vector lanes, but additions happen
+// in the serial order — the CSR kernel reduces the four lane products
+// sequentially in registers, the SELL kernel keeps one independent
+// sequential accumulator per row lane. -ffp-contract=off forbids the
+// compiler from fusing the explicit mul/add intrinsic pairs into FMAs.
+#include "sparse/spmv_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace rrl {
+namespace {
+
+// All-lanes gather via the masked form: the plain _mm256_i32gather_pd
+// seeds its pass-through operand with an undefined register, which GCC
+// (correctly) flags under -Wmaybe-uninitialized; an explicit zero source
+// with an all-ones mask compiles to the same vgatherdpd.
+inline __m256d gather4(const double* x, __m128i idx) {
+  const __m256d ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), x, idx, ones, 8);
+}
+
+void csr_rows_avx2(const std::int64_t* row_ptr, const index_t* col_idx,
+                   const double* values, const double* x, double* y,
+                   index_t r_begin, index_t r_end) {
+  for (index_t r = r_begin; r < r_end; ++r) {
+    const std::int64_t lo = row_ptr[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
+    double acc = 0.0;
+    std::int64_t k = lo;
+    for (; k + 4 <= hi; k += 4) {
+      const __m128i idx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(col_idx + k));
+      const __m256d xv = gather4(x, idx);
+      const __m256d vv = _mm256_loadu_pd(values + k);
+      const __m256d p = _mm256_mul_pd(vv, xv);
+      // In-register sequential reduction of the lane partials: identical
+      // addition order to the scalar reference.
+      alignas(32) double lane[4];
+      _mm256_store_pd(lane, p);
+      acc += lane[0];
+      acc += lane[1];
+      acc += lane[2];
+      acc += lane[3];
+    }
+    for (; k < hi; ++k) {
+      acc += values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void sell_chunks_avx2(const std::int64_t* chunk_ptr, const index_t* col_idx,
+                      const double* values, const double* x, double* y,
+                      index_t c_begin, index_t c_end) {
+  static_assert(kSellChunkRows == 8, "two 4-lane halves per chunk");
+  for (index_t c = c_begin; c < c_end; ++c) {
+    const std::int64_t base = chunk_ptr[static_cast<std::size_t>(c)];
+    const std::int64_t width =
+        chunk_ptr[static_cast<std::size_t>(c) + 1] - base;
+    const index_t* cp = col_idx + base * kSellChunkRows;
+    const double* vp = values + base * kSellChunkRows;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (std::int64_t k = 0; k < width; ++k) {
+      const __m128i i0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cp));
+      const __m128i i1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cp + 4));
+      // Each lane is one row's own accumulator: the vector add IS the
+      // serial left-to-right step of eight independent rows.
+      acc0 = _mm256_add_pd(
+          acc0, _mm256_mul_pd(_mm256_loadu_pd(vp), gather4(x, i0)));
+      acc1 = _mm256_add_pd(
+          acc1, _mm256_mul_pd(_mm256_loadu_pd(vp + 4), gather4(x, i1)));
+      cp += kSellChunkRows;
+      vp += kSellChunkRows;
+    }
+    double* out = y + static_cast<std::size_t>(c) * kSellChunkRows;
+    _mm256_storeu_pd(out, acc0);
+    _mm256_storeu_pd(out + 4, acc1);
+  }
+}
+
+constexpr SpmvKernels kAvx2Kernels{KernelIsa::kAvx2, "avx2", &csr_rows_avx2,
+                                   &sell_chunks_avx2};
+
+}  // namespace
+
+namespace detail {
+const SpmvKernels* avx2_kernels() noexcept { return &kAvx2Kernels; }
+}  // namespace detail
+
+}  // namespace rrl
+
+#else  // !defined(__AVX2__)
+
+namespace rrl::detail {
+const SpmvKernels* avx2_kernels() noexcept { return nullptr; }
+}  // namespace rrl::detail
+
+#endif

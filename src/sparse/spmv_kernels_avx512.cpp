@@ -1,0 +1,103 @@
+// AVX-512F SpMV kernels. Compiled with -mavx512f -ffp-contract=off as a
+// per-file option (CMakeLists); only called after CPUID reports AVX-512F.
+// Same determinism construction as the AVX2 variant, with 8-wide products:
+// the CSR kernel reduces the eight lane products sequentially in
+// registers, the SELL kernel carries one full chunk (8 rows) per ZMM
+// accumulator.
+#include "sparse/spmv_kernels.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace rrl {
+namespace {
+
+// All-lanes gather via the masked form: the plain _mm512_i32gather_pd
+// seeds its pass-through operand with an undefined register, which GCC
+// (correctly) flags under -Wmaybe-uninitialized; an explicit zero source
+// with a full mask compiles to the same vgatherdpd.
+inline __m512d gather8(const double* x, __m256i idx) {
+  return _mm512_mask_i32gather_pd(_mm512_setzero_pd(),
+                                  static_cast<__mmask8>(0xFF), idx, x, 8);
+}
+
+void csr_rows_avx512(const std::int64_t* row_ptr, const index_t* col_idx,
+                     const double* values, const double* x, double* y,
+                     index_t r_begin, index_t r_end) {
+  for (index_t r = r_begin; r < r_end; ++r) {
+    const std::int64_t lo = row_ptr[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
+    double acc = 0.0;
+    std::int64_t k = lo;
+    for (; k + 8 <= hi; k += 8) {
+      const __m256i idx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(col_idx + k));
+      const __m512d xv = gather8(x, idx);
+      const __m512d vv = _mm512_loadu_pd(values + k);
+      const __m512d p = _mm512_mul_pd(vv, xv);
+      // In-register sequential reduction of the lane partials: identical
+      // addition order to the scalar reference.
+      alignas(64) double lane[8];
+      _mm512_store_pd(lane, p);
+      acc += lane[0];
+      acc += lane[1];
+      acc += lane[2];
+      acc += lane[3];
+      acc += lane[4];
+      acc += lane[5];
+      acc += lane[6];
+      acc += lane[7];
+    }
+    for (; k < hi; ++k) {
+      acc += values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void sell_chunks_avx512(const std::int64_t* chunk_ptr,
+                        const index_t* col_idx, const double* values,
+                        const double* x, double* y, index_t c_begin,
+                        index_t c_end) {
+  static_assert(kSellChunkRows == 8, "one ZMM accumulator per chunk");
+  for (index_t c = c_begin; c < c_end; ++c) {
+    const std::int64_t base = chunk_ptr[static_cast<std::size_t>(c)];
+    const std::int64_t width =
+        chunk_ptr[static_cast<std::size_t>(c) + 1] - base;
+    const index_t* cp = col_idx + base * kSellChunkRows;
+    const double* vp = values + base * kSellChunkRows;
+    __m512d acc = _mm512_setzero_pd();
+    for (std::int64_t k = 0; k < width; ++k) {
+      const __m256i idx =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cp));
+      // Each lane is one row's own accumulator: the vector add IS the
+      // serial left-to-right step of eight independent rows.
+      acc = _mm512_add_pd(
+          acc, _mm512_mul_pd(_mm512_loadu_pd(vp), gather8(x, idx)));
+      cp += kSellChunkRows;
+      vp += kSellChunkRows;
+    }
+    _mm512_storeu_pd(y + static_cast<std::size_t>(c) * kSellChunkRows, acc);
+  }
+}
+
+constexpr SpmvKernels kAvx512Kernels{KernelIsa::kAvx512, "avx512",
+                                     &csr_rows_avx512, &sell_chunks_avx512};
+
+}  // namespace
+
+namespace detail {
+const SpmvKernels* avx512_kernels() noexcept { return &kAvx512Kernels; }
+}  // namespace detail
+
+}  // namespace rrl
+
+#else  // !defined(__AVX512F__)
+
+namespace rrl::detail {
+const SpmvKernels* avx512_kernels() noexcept { return nullptr; }
+}  // namespace rrl::detail
+
+#endif

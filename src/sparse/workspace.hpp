@@ -24,12 +24,17 @@
 // parallel region — the scenario axis already owns the cores) and a
 // matrix-size floor (the per-step pool synchronization only pays for
 // itself on large models).
+// Buffers are allocated cache-line aligned (sparse/aligned_alloc.hpp): the
+// vector operands of the vectorized SpMV kernels then start on a 64-byte
+// boundary, so the kernels' (unaligned-instruction) loads and stores never
+// split a cache line. Alignment is a throughput property only — kernel
+// correctness and bit-identity never depend on it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
+#include "sparse/aligned_alloc.hpp"
 #include "support/thread_pool.hpp"
 
 namespace rrl {
@@ -38,15 +43,15 @@ class SolveWorkspace {
  public:
   /// Current-iterate buffer (forward pi or backward w), resized to n;
   /// contents unspecified on return.
-  [[nodiscard]] std::vector<double>& pi(std::size_t n) {
+  [[nodiscard]] AlignedVector<double>& pi(std::size_t n) {
     return sized(pi_, n);
   }
   /// Stepping target buffer, resized to n; contents unspecified on return.
-  [[nodiscard]] std::vector<double>& next(std::size_t n) {
+  [[nodiscard]] AlignedVector<double>& next(std::size_t n) {
     return sized(next_, n);
   }
   /// General scratch buffer, resized to n; contents unspecified on return.
-  [[nodiscard]] std::vector<double>& scratch(std::size_t n) {
+  [[nodiscard]] AlignedVector<double>& scratch(std::size_t n) {
     return sized(scratch_, n);
   }
 
@@ -76,14 +81,15 @@ class SolveWorkspace {
   }
 
  private:
-  static std::vector<double>& sized(std::vector<double>& v, std::size_t n) {
+  static AlignedVector<double>& sized(AlignedVector<double>& v,
+                                      std::size_t n) {
     v.resize(n);  // capacity is retained across calls
     return v;
   }
 
-  std::vector<double> pi_;
-  std::vector<double> next_;
-  std::vector<double> scratch_;
+  AlignedVector<double> pi_;
+  AlignedVector<double> next_;
+  AlignedVector<double> scratch_;
 };
 
 }  // namespace rrl

@@ -132,6 +132,34 @@ TEST(Csr, MulVecRejectsBadSizes) {
   EXPECT_THROW(m.mul_vec(x, y), contract_error);
 }
 
+TEST(Csr, PooledMulVecRejectsBadSizes) {
+  // The pooled overload validates BOTH operands itself: a wrong x must be
+  // rejected here, not deep inside the leading-rows delegate it forwards to.
+  const CsrMatrix m = small();
+  ThreadPool pool(2);
+  std::vector<double> x_bad(2, 0.0);
+  std::vector<double> x(3, 0.0);
+  std::vector<double> y_bad(2, 0.0);
+  std::vector<double> y(3, 0.0);
+  EXPECT_THROW(m.mul_vec(x_bad, y, pool), contract_error);
+  EXPECT_THROW(m.mul_vec(x, y_bad, pool), contract_error);
+}
+
+TEST(Csr, MulVecLeadingZeroTouchesNothing) {
+  // leading == 0 is a no-op by contract: y keeps its bits (the batched
+  // V-solve hits this when every trailing block has already retired).
+  const CsrMatrix m = small();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3, 42.5);
+  m.mul_vec_leading(x, y, 0);
+  ThreadPool pool(2);
+  m.mul_vec_leading(x, y, 0, pool);
+  for (const double v : y) EXPECT_DOUBLE_EQ(v, 42.5);
+  // ... and x is still validated even when no rows are computed.
+  const std::vector<double> x_bad = {1.0};
+  EXPECT_THROW(m.mul_vec_leading(x_bad, y, 0), contract_error);
+}
+
 TEST(Csr, RectangularMatrix) {
   const CsrMatrix m =
       CsrMatrix::from_triplets(2, 4, {{0, 3, 1.0}, {1, 1, 2.0}});
