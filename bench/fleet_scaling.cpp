@@ -1,0 +1,276 @@
+// Elastic TCP fleet scaling on a skewed study: the remote-worker
+// transport's acceptance benchmark.
+//
+// Setup: the parent's artifact store is pre-warmed (one in-process run +
+// flush), then the SAME study runs through `dispatch_study` twice with a
+// remote-only loopback-TCP fleet — once with 1 connected worker, once
+// with 3. Every worker starts cold and pulls its artifacts from the
+// parent over artifact_request/artifact_data frames, so both runs pay
+// the fetch path instead of recompiling (the harness asserts zero
+// parent-side misses: artifact_hits == artifact_requests), and the
+// comparison isolates the fleet's SCALING — LPT handout over sockets,
+// heartbeats and all framing included.
+//
+// The workload is the skewed shape that makes dynamic handout matter:
+// one big RAID-5 schema next to several small ones. The harness checks
+// the 1-worker and 3-worker reports are byte-for-byte identical (the
+// determinism contract across fleet sizes) and ASSERTS the >= 1.5x
+// scenarios/sec speedup at 3 workers (exit code 1 on violation, so CI
+// tracks the regression).
+//
+// The speedup assertion needs hardware that can actually run 3 workers
+// concurrently: on fewer than 3 cores the workers timeshare one another's
+// CPU (compute triples, wall doesn't move) and the bench SKIPs (exit 0,
+// `"skipped": true` in the JSON) instead of reporting a fake regression.
+// `--force` runs the assertion anyway.
+//
+// Usage:
+//   fleet_scaling [--jobs 1] [--reps 3] [--min-speedup 1.5]
+//                 [--json-out BENCH_fleet.json] [--force]
+// Environment: RRL_BENCH_QUICK=1 shrinks the models and reps for CI.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rrl.hpp"
+#include "support/self_exe.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace rrl;
+namespace fs = std::filesystem;
+
+/// fork/exec a --connect worker (quiet), return the pid.
+pid_t spawn_worker(const std::vector<std::string>& argv_strings) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "error: fork failed\n");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    if (FILE* sink = std::fopen("/dev/null", "w")) {
+      ::dup2(fileno(sink), STDOUT_FILENO);
+      ::dup2(fileno(sink), STDERR_FILENO);
+    }
+    std::vector<char*> argv;
+    for (const std::string& arg : argv_strings) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool quick = env_flag("RRL_BENCH_QUICK");
+  const int jobs = static_cast<int>(args.get_long("jobs", 1));
+  const int reps = static_cast<int>(args.get_long("reps", quick ? 1 : 3));
+  const double min_speedup = args.get_double("min-speedup", 1.5);
+  const std::string binary = self_sibling_path("rrl_solve");
+  if (binary.empty() || !fs::exists(binary)) {
+    std::fprintf(stderr, "error: rrl_solve not found next to the bench\n");
+    return 1;
+  }
+
+  // 3 workers on < 3 cores just timeshare: compute triples, wall doesn't
+  // move, and the "regression" is the host, not the fleet. Skip honestly.
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < 3 && !args.has("force")) {
+    std::printf(
+        "SKIP: fleet_scaling needs >= 3 cores to run 3 workers "
+        "concurrently (host has %u); pass --force to run anyway\n",
+        cores);
+    const std::string json_path =
+        args.get_string("json-out", "BENCH_fleet.json");
+    if (!json_path.empty()) {
+      std::ofstream json(json_path);
+      json << "{\n  \"bench\": \"fleet_scaling\",\n"
+           << "  \"skipped\": true,\n"
+           << "  \"reason\": \"" << cores << " cores < 3\"\n}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+  }
+
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("rrl-fleet-scaling-" + std::to_string(::getpid()));
+  fs::create_directories(scratch);
+
+  // One big RAID-5 next to several small ones (`solvers rr` weights the
+  // units by their schema + V-solve): the straggler shape LPT handout
+  // is built for.
+  // The skew is bounded on purpose: the big unit leads (LPT) but the
+  // small units must aggregate to >= 2x its cost, or the big unit IS the
+  // critical path and no fleet size helps (Amdahl, not a scheduling
+  // defect).
+  const int big_groups = quick ? 12 : 14;
+  const std::vector<int> small_groups =
+      quick ? std::vector<int>{7, 8, 9, 10, 11}
+            : std::vector<int>{8, 9, 10, 11, 12, 13};
+  std::ostringstream study_text;
+  const auto emit_model = [&](const std::string& name, int groups) {
+    Raid5Params p;
+    p.groups = groups;
+    const Raid5Model m = build_raid5_availability(p);
+    write_model_file((scratch / name).string(), m.chain,
+                     m.failure_rewards(), m.initial_distribution(),
+                     m.initial_state);
+    study_text << "model " << name << "\n";
+  };
+  emit_model("big.rrlm", big_groups);
+  for (const int groups : small_groups) {
+    emit_model("small" + std::to_string(groups) + ".rrlm", groups);
+  }
+  const double tmax = quick ? 2e3 : 1e4;
+  study_text << "solvers rr\nmeasures both\nepsilons 1e-10 1e-12\n"
+             << "grid 1:" << tmax << ":4\ntimes 5 50 500\njobs " << jobs
+             << "\n";
+  const fs::path study = scratch / "skew.study";
+  std::ofstream(study) << study_text.str();
+
+  // Warm the parent store once (what a production parent's --cache-dir
+  // holds after any previous run of the study).
+  const auto store =
+      std::make_shared<ArtifactStore>((scratch / "store").string());
+  {
+    const StudySpec spec = read_study_file(study.string());
+    ModelRepository repository;
+    SolverCache cache;
+    cache.attach_store(store);
+    (void)run_study(spec, repository, cache);
+    cache.flush_to_store();
+  }
+
+  const StudySpec spec = read_study_file(study.string());
+  ModelRepository repository;
+  const StudyPlan plan = build_study_plan(spec, repository);
+
+  std::printf(
+      "fleet scaling: %llu scenarios in %zu units (1 big raid5 G=%d + %zu "
+      "small), remote-only loopback-TCP fleet, %d jobs/worker, warm "
+      "parent store, best of %d reps\n\n",
+      static_cast<unsigned long long>(plan.total_scenarios),
+      plan.units.size(), big_groups, small_groups.size(), jobs, reps);
+
+  // One fleet run: listener + n connected workers, all artifacts served
+  // by the parent.
+  const auto run_fleet = [&](int workers, double& seconds) {
+    const TcpListener listener = tcp_listen(0);
+    std::vector<pid_t> pids;
+    for (int i = 0; i < workers; ++i) {
+      pids.push_back(spawn_worker(
+          {binary, "--connect", "127.0.0.1:" + std::to_string(listener.port),
+           "--study", study.string(), "--jobs", std::to_string(jobs)}));
+    }
+    DispatchOptions options;
+    options.workers = 0;
+    options.listen_fd = listener.fd;
+    options.artifact_store = store.get();
+    std::ostringstream out;
+    StudyReducer reducer(out, plan.total_scenarios);
+    const Stopwatch watch;
+    const DispatchReport report = dispatch_study(plan, options, reducer);
+    seconds = watch.seconds();
+    std::fprintf(stderr, "  [%d workers] wall %.3fs, compute %.3fs\n",
+                 workers, seconds, report.worker_seconds);
+    ::close(listener.fd);
+    for (const pid_t pid : pids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    if (report.failed_scenarios != 0) {
+      std::fprintf(stderr, "error: %zu scenarios failed in the fleet run\n",
+                   report.failed_scenarios);
+      std::exit(1);
+    }
+    if (report.artifact_hits != report.artifact_requests) {
+      std::fprintf(stderr,
+                   "error: warm parent store missed %zu of %zu artifact "
+                   "requests — remotes recompiled\n",
+                   report.artifact_requests - report.artifact_hits,
+                   report.artifact_requests);
+      std::exit(1);
+    }
+    return out.str();
+  };
+
+  double one_seconds = 0.0;
+  double three_seconds = 0.0;
+  std::string one_csv;
+  std::string three_csv;
+  for (int rep = 0; rep < reps; ++rep) {
+    double seconds = 0.0;
+    const std::string one = run_fleet(1, seconds);
+    if (rep == 0 || seconds < one_seconds) {
+      one_seconds = seconds;
+      one_csv = one;
+    }
+    const std::string three = run_fleet(3, seconds);
+    if (rep == 0 || seconds < three_seconds) {
+      three_seconds = seconds;
+      three_csv = three;
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+
+  if (one_csv != three_csv) {
+    std::fprintf(
+        stderr,
+        "error: 3-worker fleet report differs from the 1-worker report\n");
+    return 1;
+  }
+
+  const double scenarios = static_cast<double>(plan.total_scenarios);
+  const double speedup = one_seconds / three_seconds;
+  TextTable table({"fleet", "seconds", "scenarios/sec"});
+  table.add_row({"1 TCP worker", fmt_sig(one_seconds, 4),
+                 fmt_sig(scenarios / one_seconds, 4)});
+  table.add_row({"3 TCP workers", fmt_sig(three_seconds, 4),
+                 fmt_sig(scenarios / three_seconds, 4)});
+  table.print();
+  std::printf("\nreports byte-identical: yes; fleet speedup %.3g\n",
+              speedup);
+
+  const std::string json_path =
+      args.get_string("json-out", "BENCH_fleet.json");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (json) {
+      json << "{\n  \"bench\": \"fleet_scaling\",\n"
+           << "  \"skipped\": false,\n"
+           << "  \"scenarios\": " << plan.total_scenarios << ",\n"
+           << "  \"units\": " << plan.units.size() << ",\n"
+           << "  \"jobs\": " << jobs << ",\n"
+           << "  \"one_worker_seconds\": " << one_seconds << ",\n"
+           << "  \"three_worker_seconds\": " << three_seconds << ",\n"
+           << "  \"speedup\": " << speedup << ",\n"
+           << "  \"min_speedup\": " << min_speedup << "\n}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: fleet speedup %.3g < required %.3g\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  std::printf("PASS: fleet speedup %.3g >= %.3g\n", speedup, min_speedup);
+  return 0;
+}

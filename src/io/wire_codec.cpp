@@ -127,7 +127,7 @@ std::optional<WireFrame> decode_frame(std::string_view buffer,
   std::uint16_t type_tag = 0;
   read(&type_tag, sizeof(type_tag));
   if (type_tag < static_cast<std::uint16_t>(WireType::kHello) ||
-      type_tag > static_cast<std::uint16_t>(WireType::kShutdown)) {
+      type_tag > static_cast<std::uint16_t>(WireType::kArtifactData)) {
     corrupt("unknown frame type");
   }
   std::uint64_t length = 0;
@@ -241,6 +241,52 @@ WireResult decode_result(std::string_view payload) {
   }
   r.expect_exhausted();
   return result;
+}
+
+std::string encode_artifact_request(const WireArtifactRequest& request) {
+  Writer w;
+  w.scalar<std::uint64_t>(request.model_hash);
+  w.string(request.solver);
+  w.scalar<double>(request.epsilon);
+  w.scalar<double>(request.rate_factor);
+  w.scalar<std::int64_t>(request.regenerative);
+  w.scalar<std::int64_t>(request.step_cap);
+  return w.take();
+}
+
+WireArtifactRequest decode_artifact_request(std::string_view payload) {
+  Reader r(payload);
+  WireArtifactRequest request;
+  request.model_hash = r.scalar<std::uint64_t>();
+  request.solver = r.string();
+  request.epsilon = r.scalar<double>();
+  request.rate_factor = r.scalar<double>();
+  request.regenerative = r.scalar<std::int64_t>();
+  request.step_cap = r.scalar<std::int64_t>();
+  r.expect_exhausted();
+  return request;
+}
+
+std::string encode_artifact_data(const WireArtifactData& data) {
+  Writer w;
+  w.scalar<std::uint64_t>(data.model_hash);
+  w.string(data.solver);
+  w.scalar<std::uint8_t>(data.found ? 1 : 0);
+  w.string(data.blob);
+  return w.take();
+}
+
+WireArtifactData decode_artifact_data(std::string_view payload) {
+  Reader r(payload);
+  WireArtifactData data;
+  data.model_hash = r.scalar<std::uint64_t>();
+  data.solver = r.string();
+  const auto found = r.scalar<std::uint8_t>();
+  if (found > 1) corrupt("bad artifact_data found flag");
+  data.found = found == 1;
+  data.blob = r.string();
+  r.expect_exhausted();
+  return data;
 }
 
 }  // namespace rrl

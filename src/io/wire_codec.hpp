@@ -15,8 +15,8 @@
 //   payload   length bytes   message-specific (below)
 //   checksum  u64            FNV-1a over the payload
 //
-// Messages (parent -> worker: assign, shutdown; worker -> parent: hello,
-// result):
+// Messages (parent -> worker: assign, shutdown, artifact_data;
+// worker -> parent: hello, result, ping, artifact_request):
 //
 //   hello     protocol version + the worker's plan fingerprint, unit
 //             count and total scenario count — the handshake that proves
@@ -27,6 +27,21 @@
 //             including the diagnostic seconds / cache-tier fields) plus
 //             the worker-side wall-clock
 //   shutdown  no payload; the worker drains and exits cleanly
+//   ping      no payload; a remote worker's heartbeat. Sent from a
+//             background thread while the main thread solves, so the
+//             parent can tell "busy for minutes" from "hung/dead" and
+//             re-queue the in-flight unit on timeout. Pipes don't carry
+//             pings — a local child's death is already an EOF.
+//   artifact_request
+//             worker -> parent: a solver-cache key (model hash + solver +
+//             config). The remote worker asks the parent's artifact store
+//             before cold-compiling — `--cache-dir` does not cross
+//             machines, but the wire does.
+//   artifact_data
+//             parent -> worker: the echoed key, a found flag, and (when
+//             found) an artifact blob in the artifact codec's format
+//             (io/artifact_codec.hpp). found=false means the worker
+//             compiles locally — a counted miss, never an error.
 //
 // decode_frame is incremental: pipes deliver byte streams, not messages,
 // so the caller accumulates reads in a buffer and asks after each read
@@ -47,14 +62,18 @@
 namespace rrl {
 
 /// Bumped on any frame or payload layout change so mismatched binaries
-/// refuse to talk instead of misreading each other.
-inline constexpr std::uint32_t kWireProtocolVersion = 1;
+/// refuse to talk instead of misreading each other. v2: TCP fleet —
+/// ping/artifact_request/artifact_data frames.
+inline constexpr std::uint32_t kWireProtocolVersion = 2;
 
 enum class WireType : std::uint16_t {
   kHello = 1,     ///< worker -> parent: handshake
   kAssign = 2,    ///< parent -> worker: one work unit
   kResult = 3,    ///< worker -> parent: one finished unit
   kShutdown = 4,  ///< parent -> worker: drain and exit
+  kPing = 5,      ///< worker -> parent: remote heartbeat (empty payload)
+  kArtifactRequest = 6,  ///< worker -> parent: solver-cache key lookup
+  kArtifactData = 7,     ///< parent -> worker: artifact blob or not-found
 };
 
 struct WireFrame {
@@ -98,6 +117,29 @@ struct WireResult {
   std::vector<ReportRow> rows;
 };
 
+/// A remote worker's solver-cache lookup: the full cache key (every
+/// SolverConfig field participates, exactly as study/solver_cache.hpp keys
+/// entries), asked of the parent's artifact store before cold-compiling.
+struct WireArtifactRequest {
+  std::uint64_t model_hash = 0;
+  std::string solver;
+  double epsilon = 0.0;
+  double rate_factor = 0.0;
+  std::int64_t regenerative = -1;
+  std::int64_t step_cap = -1;
+};
+
+/// The parent's answer: the echoed identity, whether the store had it,
+/// and (when found) the artifact serialized by io/artifact_codec — the
+/// same bytes the disk tier would hold, so a fetched warm start is
+/// bit-identical to a local one.
+struct WireArtifactData {
+  std::uint64_t model_hash = 0;
+  std::string solver;
+  bool found = false;
+  std::string blob;  ///< artifact-codec bytes; empty when !found
+};
+
 /// Payload codecs (decoders throw contract_error on malformed payloads).
 [[nodiscard]] std::string encode_hello(const WireHello& hello);
 [[nodiscard]] WireHello decode_hello(std::string_view payload);
@@ -105,5 +147,11 @@ struct WireResult {
 [[nodiscard]] WireAssign decode_assign(std::string_view payload);
 [[nodiscard]] std::string encode_result(const WireResult& result);
 [[nodiscard]] WireResult decode_result(std::string_view payload);
+[[nodiscard]] std::string encode_artifact_request(
+    const WireArtifactRequest& request);
+[[nodiscard]] WireArtifactRequest decode_artifact_request(
+    std::string_view payload);
+[[nodiscard]] std::string encode_artifact_data(const WireArtifactData& data);
+[[nodiscard]] WireArtifactData decode_artifact_data(std::string_view payload);
 
 }  // namespace rrl

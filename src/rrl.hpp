@@ -62,6 +62,7 @@
 #include "io/artifact_codec.hpp"       // IWYU pragma: export
 #include "io/model_format.hpp"         // IWYU pragma: export
 #include "io/model_solver.hpp"         // IWYU pragma: export
+#include "io/net_transport.hpp"        // IWYU pragma: export
 #include "io/wire_codec.hpp"           // IWYU pragma: export
 #include "models/multiproc.hpp"        // IWYU pragma: export
 #include "models/raid5.hpp"            // IWYU pragma: export

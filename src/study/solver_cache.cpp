@@ -56,8 +56,27 @@ std::shared_ptr<const TransientSolver> SolverCache::get_or_build(
   // Memory miss: consult the disk tier first (when attached and not in
   // cold mode) so a verified artifact can warm-start the construction.
   std::optional<CompiledArtifact> artifact;
+  CacheTier resolved = CacheTier::kCompiled;
   if (store_ != nullptr && read_disk_) {
     artifact = store_->load(key.model_hash, solver_name, config);
+    if (artifact.has_value()) {
+      resolved = CacheTier::kDisk;
+      ++stats_.disk_hits;
+    } else {
+      ++stats_.disk_misses;
+    }
+  }
+  // Disk miss (or no disk): the fetcher hook is the last warm source —
+  // a remote worker pulling the artifact from its parent's store over
+  // the wire. nullopt degrades to a cold compile, never an error.
+  if (!artifact.has_value() && fetcher_) {
+    artifact = fetcher_(key);
+    if (artifact.has_value()) {
+      resolved = CacheTier::kFetched;
+      ++stats_.fetch_hits;
+    } else {
+      ++stats_.fetch_misses;
+    }
   }
   // Build under the lock: construction either throws (nothing cached) or
   // yields the immutable shared instance. The solver borrows the model's
@@ -71,14 +90,11 @@ std::shared_ptr<const TransientSolver> SolverCache::get_or_build(
     built->import_compiled(*artifact);
     entry.imported = true;
     entry.imported_keys = schema_keys(*artifact);
-    ++stats_.disk_hits;
-  } else if (store_ != nullptr && read_disk_) {
-    ++stats_.disk_misses;
   }
   std::shared_ptr<const TransientSolver> solver = std::move(built);
   ++stats_.misses;
   if (tier != nullptr) {
-    *tier = entry.imported ? CacheTier::kDisk : CacheTier::kCompiled;
+    *tier = entry.imported ? resolved : CacheTier::kCompiled;
   }
   entry.solver = solver;
   entries_.emplace(std::move(key), std::move(entry));
@@ -90,6 +106,11 @@ void SolverCache::attach_store(std::shared_ptr<const ArtifactStore> store,
   const std::lock_guard<std::mutex> lock(mutex_);
   store_ = std::move(store);
   read_disk_ = read;
+}
+
+void SolverCache::set_fetcher(ArtifactFetcher fetcher) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  fetcher_ = std::move(fetcher);
 }
 
 std::size_t SolverCache::flush_to_store() {

@@ -32,9 +32,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -73,16 +75,21 @@ enum class CacheTier {
               ///< per-scenario fallback after a construction failure)
   kMemory,    ///< shared an already-compiled in-memory solver
   kDisk,      ///< memory miss warm-started from the disk artifact tier
+  kFetched,   ///< memory+disk miss warm-started through the fetcher hook
+              ///< (a remote worker pulling from the parent's store)
   kCompiled,  ///< memory miss compiled cold
 };
 
-/// Compact spelling for report rows: "none" | "mem" | "disk" | "cold".
+/// Compact spelling for report rows:
+/// "none" | "mem" | "disk" | "fetch" | "cold".
 [[nodiscard]] constexpr const char* cache_tier_name(CacheTier tier) noexcept {
   switch (tier) {
     case CacheTier::kMemory:
       return "mem";
     case CacheTier::kDisk:
       return "disk";
+    case CacheTier::kFetched:
+      return "fetch";
     case CacheTier::kCompiled:
       return "cold";
     case CacheTier::kNone:
@@ -91,17 +98,29 @@ enum class CacheTier {
   }
 }
 
-/// Two-tier hit/miss accounting (monotone). `misses` counts every memory
+/// Tiered hit/miss accounting (monotone). `misses` counts every memory
 /// miss; `disk_hits` the subset warm-started from the disk tier,
-/// `disk_misses` the subset that consulted the disk and compiled cold
-/// (both stay 0 without an attached store).
+/// `disk_misses` the subset that consulted the disk and came up empty
+/// (both stay 0 without an attached store). `fetch_hits`/`fetch_misses`
+/// are the same split for the fetcher hook — a remote worker's
+/// parent-served artifact pulls — consulted only after a disk miss.
 struct SolverCacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t disk_hits = 0;
   std::size_t disk_misses = 0;
   std::size_t disk_stores = 0;
+  std::size_t fetch_hits = 0;
+  std::size_t fetch_misses = 0;
 };
+
+/// A last-chance artifact source consulted after memory and disk both
+/// miss (remote workers wire this to an artifact_request round trip with
+/// the parent). Returning nullopt means "not available, compile cold" —
+/// a counted miss, never an error. Called under the cache lock, so a
+/// fetcher must not re-enter the cache.
+using ArtifactFetcher =
+    std::function<std::optional<CompiledArtifact>(const SolverCacheKey&)>;
 
 class SolverCache {
  public:
@@ -128,6 +147,13 @@ class SolverCache {
   /// get_or_build; the store must outlive the cache's use of it.
   void attach_store(std::shared_ptr<const ArtifactStore> store,
                     bool read = true);
+
+  /// Install the last-chance artifact source (see ArtifactFetcher).
+  /// Consulted on a memory+disk double miss, before the cold compile;
+  /// a fetched artifact warm-starts construction exactly like a disk hit
+  /// and is marked imported, so flush_to_store treats it as disk-current.
+  /// Call before the first get_or_build.
+  void set_fetcher(ArtifactFetcher fetcher);
 
   /// Export every entry's compiled state to the attached store (no-op
   /// without one). Called after a run so the artifacts include whatever
@@ -158,6 +184,7 @@ class SolverCache {
   SolverCacheStats stats_;
   std::shared_ptr<const ArtifactStore> store_;
   bool read_disk_ = true;
+  ArtifactFetcher fetcher_;
 };
 
 }  // namespace rrl

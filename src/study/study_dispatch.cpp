@@ -8,12 +8,20 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <deque>
+#include <mutex>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/compiled_artifact.hpp"
+#include "io/artifact_codec.hpp"
+#include "io/net_transport.hpp"
 #include "io/wire_codec.hpp"
 #include "study/study_exec.hpp"
 #include "support/stopwatch.hpp"
@@ -21,7 +29,10 @@
 namespace rrl {
 namespace {
 
-// ---- fd helpers shared by both sides of the pipe.
+using SteadyClock = std::chrono::steady_clock;
+
+// ---- fd helpers for the worker side (the parent side goes through
+// FrameChannel, io/net_transport.hpp).
 
 /// write() the whole buffer, riding out EINTR and short writes. False on
 /// any hard error (EPIPE after a peer death included — callers treat the
@@ -51,10 +62,12 @@ ssize_t read_chunk(int fd, std::string& buffer) {
   }
 }
 
-/// Writing into a pipe whose reader died raises SIGPIPE, which would kill
-/// the parent instead of returning the EPIPE the dispatcher handles.
-/// Scoped-ignore around the dispatch (restoring the previous disposition)
-/// keeps the library from imposing a process-wide handler.
+/// Writing into a pipe or socket whose reader died raises SIGPIPE, which
+/// would kill the process instead of returning the EPIPE the dispatcher
+/// handles (observed death -> re-dispatch). Scoped-ignore around the
+/// dispatch (restoring the previous disposition) keeps the library from
+/// imposing a process-wide handler; socket sends additionally pass
+/// MSG_NOSIGNAL inside FrameChannel.
 class ScopedIgnoreSigpipe {
  public:
   ScopedIgnoreSigpipe() {
@@ -72,24 +85,31 @@ class ScopedIgnoreSigpipe {
 
 // ---- parent side.
 
-struct Worker {
-  pid_t pid = -1;
-  int to_fd = -1;        ///< parent -> worker (worker stdin)
-  int from_fd = -1;      ///< worker -> parent (worker stdout)
-  std::string buffer;    ///< partial-frame accumulation
+/// One fleet member: a fork/exec'd local child (pid >= 0, stdio pipes) or
+/// a remote `--connect` worker (pid == -1, one TCP socket). Everything
+/// after the spawn/accept is transport-agnostic through the channel.
+struct Peer {
+  pid_t pid = -1;  ///< -1 = remote
+  FrameChannel channel;
+  bool remote = false;
   bool greeted = false;  ///< hello received and verified
   bool alive = false;
   /// Index into plan.units of the in-flight unit; npos = idle.
   std::size_t busy_unit = kIdle;
+  /// Last byte received (remote liveness; pipes don't use it).
+  SteadyClock::time_point last_heard;
 
   static constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
 };
 
 /// fork/exec one worker with stdio pipes. Parent-held ends are
 /// close-on-exec so later workers do not inherit earlier workers' pipes
-/// (which would defeat EOF-based death detection). Throws on fork/pipe
-/// failure; exec failure surfaces as an immediate EOF (exit 127).
-Worker spawn_worker(const std::vector<std::string>& argv_strings) {
+/// (which would defeat EOF-based death detection), and non-blocking so
+/// the dispatch poll loop treats them exactly like sockets (the child's
+/// copies of the other ends are separate open file descriptions and stay
+/// blocking). Throws on fork/pipe failure; exec failure surfaces as an
+/// immediate EOF (exit 127).
+Peer spawn_worker(const std::vector<std::string>& argv_strings) {
   RRL_EXPECTS(!argv_strings.empty());
   int to_child[2];    // parent writes [1], child reads [0]
   int from_child[2];  // child writes [1], parent reads [0]
@@ -129,12 +149,15 @@ Worker spawn_worker(const std::vector<std::string>& argv_strings) {
 
   ::close(to_child[0]);
   ::close(from_child[1]);
-  Worker worker;
-  worker.pid = pid;
-  worker.to_fd = to_child[1];
-  worker.from_fd = from_child[0];
-  worker.alive = true;
-  return worker;
+  set_nonblocking(from_child[0]);
+  set_nonblocking(to_child[1]);
+  Peer peer;
+  peer.pid = pid;
+  peer.channel = FrameChannel(from_child[0], to_child[1],
+                              /*is_socket=*/false);
+  peer.alive = true;
+  peer.last_heard = SteadyClock::now();
+  return peer;
 }
 
 }  // namespace
@@ -142,8 +165,9 @@ Worker spawn_worker(const std::vector<std::string>& argv_strings) {
 DispatchReport dispatch_study(const StudyPlan& plan,
                               const DispatchOptions& options,
                               StudyReducer& reducer) {
-  RRL_EXPECTS(options.workers >= 1);
-  if (options.worker_command.empty()) {
+  RRL_EXPECTS(options.workers >= 0);
+  RRL_EXPECTS(options.workers >= 1 || options.listen_fd >= 0);
+  if (options.workers >= 1 && options.worker_command.empty()) {
     throw contract_error("dispatch: empty worker command");
   }
   const Stopwatch watch;
@@ -161,41 +185,56 @@ DispatchReport dispatch_study(const StudyPlan& plan,
                    });
   std::deque<std::size_t> queue(order.begin(), order.end());
 
-  std::vector<Worker> workers;
-  workers.reserve(static_cast<std::size_t>(options.workers));
+  std::deque<Peer> peers;  // deque: stable references as remotes join
 
   DispatchReport report;
   report.workers = options.workers;
   std::size_t units_reduced = 0;
+  bool waiting_noted = false;
 
-  // Bury a worker: close its pipes, reap it, and put any in-flight unit
-  // back at the head of the queue (it is the oldest — and statistically
-  // the most expensive — outstanding work). The kill covers the one case
-  // where the worker is still running — a corrupt frame (something not
-  // ours on its stdout) — so the blocking reap below can never stall the
-  // fleet behind a live or wedged process; on the usual EOF path the
-  // process is already a zombie (its pid cannot be reused before the
-  // reap) and the kill is a no-op.
-  const auto lose_worker = [&](Worker& worker) {
-    if (!worker.alive) return;
-    worker.alive = false;
-    ::close(worker.to_fd);
-    ::close(worker.from_fd);
-    ::kill(worker.pid, SIGKILL);
-    int status = 0;
-    ::waitpid(worker.pid, &status, 0);
+  // Bury a peer: close its channel, reap it (local), and put any
+  // in-flight unit back at the head of the queue (it is the oldest — and
+  // statistically the most expensive — outstanding work). For a local
+  // child the kill covers the one case where the worker is still running
+  // — a corrupt frame (something not ours on its stdout) or a heartbeat
+  // timeout — so the blocking reap can never stall the fleet behind a
+  // live or wedged process; on the usual EOF path the process is already
+  // a zombie (its pid cannot be reused before the reap) and the kill is a
+  // no-op. A remote has no pid — closing the socket is the whole burial.
+  const auto lose_peer = [&](Peer& peer) {
+    if (!peer.alive) return;
+    peer.alive = false;
+    peer.channel.close();
+    if (peer.pid >= 0) {
+      ::kill(peer.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(peer.pid, &status, 0);
+    }
     ++report.workers_lost;
-    if (worker.busy_unit != Worker::kIdle) {
-      queue.push_front(worker.busy_unit);
+    if (peer.busy_unit != Peer::kIdle) {
+      queue.push_front(peer.busy_unit);
       ++report.redispatched;
-      worker.busy_unit = Worker::kIdle;
+      peer.busy_unit = Peer::kIdle;
     }
   };
 
-  // Hand the next queued unit to an idle, greeted worker. A failed write
-  // means the worker just died: bury it (re-queuing the unit) and report
-  // failure so the caller's loop re-examines the fleet.
-  const auto assign_next = [&](Worker& worker) -> bool {
+  // Refuse a remote whose handshake disagrees: one stray wrong binary
+  // must not kill the study (unlike a LOCAL mismatch, which is the
+  // parent's own configuration and is fatal). Not counted as lost — it
+  // never held work.
+  const auto reject_remote = [&](Peer& peer, const char* why) {
+    std::fprintf(stderr, "dispatch: rejecting remote worker: %s\n", why);
+    peer.alive = false;
+    peer.channel.close();
+    ++report.remotes_rejected;
+  };
+
+  // Hand the next queued unit to an idle, greeted peer. The channel
+  // queues what the fd cannot take right now (the poll loop flushes on
+  // POLLOUT), so a short write still assigns; only a hard write error
+  // means the peer just died — bury it (the unit stays at the queue
+  // front) and report failure so the caller's loop re-examines the fleet.
+  const auto assign_next = [&](Peer& peer) -> bool {
     if (queue.empty()) return true;
     const std::size_t unit_index = queue.front();
     const WorkUnit& unit = plan.units[unit_index];
@@ -203,63 +242,105 @@ DispatchReport dispatch_study(const StudyPlan& plan,
     assign.unit = unit.id;
     assign.first_scenario = unit.first;
     assign.scenario_count = unit.count;
-    if (!write_all(worker.to_fd,
-                   encode_frame(WireType::kAssign, encode_assign(assign)))) {
-      lose_worker(worker);
+    if (!peer.channel.send(
+            encode_frame(WireType::kAssign, encode_assign(assign)))) {
+      lose_peer(peer);
       return false;
     }
     queue.pop_front();
-    worker.busy_unit = unit_index;
+    peer.busy_unit = unit_index;
     return true;
   };
 
-  // One worker's incoming frames (hello, results). Returns false when the
-  // fleet cannot continue (handshake mismatch — a fatal configuration
-  // error, not a recoverable death).
-  const auto handle_frames = [&](Worker& worker) {
+  // One peer's incoming frames (hello, results, pings, artifact
+  // requests). Throws only on fatal fleet-wide errors (a LOCAL handshake
+  // mismatch, a unit the peer was never assigned).
+  const auto handle_frames = [&](Peer& peer) {
     std::size_t consumed = 0;
-    for (;;) {
+    while (peer.alive) {
       std::optional<WireFrame> frame;
       try {
-        frame = decode_frame(worker.buffer, consumed);
+        frame = decode_frame(peer.channel.inbox(), consumed);
       } catch (const std::exception& e) {
-        // A corrupt frame means the pipe carries something that is not
-        // our protocol (e.g. a worker that printed to stdout): that
-        // worker is unusable.
-        std::fprintf(stderr, "dispatch: dropping worker %d: %s\n",
-                     static_cast<int>(worker.pid), e.what());
-        lose_worker(worker);
+        // A corrupt frame means the channel carries something that is
+        // not our protocol (e.g. a worker that printed to stdout, or a
+        // stray connection): that peer is unusable.
+        if (peer.remote && !peer.greeted) {
+          reject_remote(peer, e.what());
+        } else {
+          std::fprintf(stderr, "dispatch: dropping worker: %s\n", e.what());
+          lose_peer(peer);
+        }
         return;
       }
       if (!frame.has_value()) return;
-      worker.buffer.erase(0, consumed);
+      peer.channel.inbox().erase(0, consumed);
 
       if (frame->type == WireType::kHello) {
         const WireHello hello = decode_hello(frame->payload);
-        if (hello.protocol != kWireProtocolVersion ||
-            hello.plan_fingerprint != plan.fingerprint ||
-            hello.unit_count != plan.units.size() ||
-            hello.total_scenarios != plan.total_scenarios) {
+        const bool agrees =
+            hello.protocol == kWireProtocolVersion &&
+            hello.plan_fingerprint == plan.fingerprint &&
+            hello.unit_count == plan.units.size() &&
+            hello.total_scenarios == plan.total_scenarios;
+        if (!agrees) {
+          if (peer.remote) {
+            reject_remote(peer,
+                          "plan disagrees with the parent's (study file "
+                          "or binary version mismatch)");
+            return;
+          }
           throw contract_error(
               "dispatch: worker plan disagrees with the parent's (did the "
               "study file change, or do the binaries differ?)");
         }
-        worker.greeted = true;
-        (void)assign_next(worker);
+        peer.greeted = true;
+        if (peer.remote) ++report.remote_workers;
+        (void)assign_next(peer);
       } else if (frame->type == WireType::kResult) {
         WireResult result = decode_result(frame->payload);
-        if (worker.busy_unit == Worker::kIdle ||
-            plan.units[worker.busy_unit].id != result.unit) {
+        if (peer.busy_unit == Peer::kIdle ||
+            plan.units[peer.busy_unit].id != result.unit) {
           throw contract_error(
               "dispatch: worker returned a unit it was not assigned");
         }
-        const WorkUnit& unit = plan.units[worker.busy_unit];
-        worker.busy_unit = Worker::kIdle;
+        const WorkUnit& unit = plan.units[peer.busy_unit];
+        peer.busy_unit = Peer::kIdle;
         report.worker_seconds += result.seconds;
         reducer.add_unit(unit.first, unit.count, std::move(result.rows));
         ++units_reduced;
         report.scenarios += unit.count;
-        (void)assign_next(worker);
+        (void)assign_next(peer);
+      } else if (frame->type == WireType::kPing) {
+        // Liveness only; last_heard was refreshed by the read itself.
+      } else if (frame->type == WireType::kArtifactRequest) {
+        const WireArtifactRequest request =
+            decode_artifact_request(frame->payload);
+        ++report.artifact_requests;
+        WireArtifactData data;
+        data.model_hash = request.model_hash;
+        data.solver = request.solver;
+        if (options.artifact_store != nullptr) {
+          SolverConfig config;
+          config.epsilon = request.epsilon;
+          config.rate_factor = request.rate_factor;
+          config.regenerative = static_cast<index_t>(request.regenerative);
+          config.step_cap = request.step_cap;
+          const auto artifact = options.artifact_store->load(
+              request.model_hash, request.solver, config);
+          if (artifact.has_value()) {
+            std::ostringstream blob;
+            write_artifact(blob, *artifact);
+            data.found = true;
+            data.blob = blob.str();
+            ++report.artifact_hits;
+          }
+        }
+        if (!peer.channel.send(encode_frame(WireType::kArtifactData,
+                                            encode_artifact_data(data)))) {
+          lose_peer(peer);
+          return;
+        }
       } else {
         throw contract_error("dispatch: unexpected frame from worker");
       }
@@ -277,7 +358,7 @@ DispatchReport dispatch_study(const StudyPlan& plan,
             options.worker_extra_args[i];
         argv.insert(argv.end(), extra.begin(), extra.end());
       }
-      workers.push_back(spawn_worker(argv));
+      peers.push_back(spawn_worker(argv));
     }
 
     while (units_reduced < plan.units.size()) {
@@ -285,70 +366,186 @@ DispatchReport dispatch_study(const StudyPlan& plan,
       // death must reach a survivor that already went idle (its last
       // frame is long processed, so no event will ever prompt it again) —
       // without this, losing the holder of the final unit would leave the
-      // loop polling silent pipes forever.
-      for (Worker& worker : workers) {
+      // loop polling silent channels forever.
+      for (Peer& peer : peers) {
         if (queue.empty()) break;
-        if (worker.alive && worker.greeted &&
-            worker.busy_unit == Worker::kIdle) {
-          (void)assign_next(worker);
+        if (peer.alive && peer.greeted && peer.busy_unit == Peer::kIdle) {
+          (void)assign_next(peer);
         }
       }
 
+      constexpr std::size_t kListenerTag = static_cast<std::size_t>(-1);
       std::vector<pollfd> fds;
-      std::vector<std::size_t> fd_workers;
-      for (std::size_t i = 0; i < workers.size(); ++i) {
-        if (!workers[i].alive) continue;
-        fds.push_back({workers[i].from_fd, POLLIN, 0});
-        fd_workers.push_back(i);
+      std::vector<std::size_t> fd_peers;
+      for (std::size_t i = 0; i < peers.size(); ++i) {
+        if (!peers[i].alive) continue;
+        short events = POLLIN;
+        if (peers[i].channel.wants_write()) {
+          events = static_cast<short>(events | POLLOUT);
+        }
+        fds.push_back({peers[i].channel.read_fd(), events, 0});
+        fd_peers.push_back(i);
       }
-      if (fds.empty()) {
-        throw contract_error(
-            "dispatch: all workers lost with work remaining (" +
-            std::to_string(plan.units.size() - units_reduced) +
-            " units undone)");
+      const bool fleet_empty = fds.empty();
+      if (options.listen_fd >= 0) {
+        fds.push_back({options.listen_fd, POLLIN, 0});
+        fd_peers.push_back(kListenerTag);
       }
-      const int ready = ::poll(fds.data(), fds.size(), -1);
+      if (fleet_empty) {
+        if (options.listen_fd < 0) {
+          throw contract_error(
+              "dispatch: all workers lost with work remaining (" +
+              std::to_string(plan.units.size() - units_reduced) +
+              " units undone)");
+        }
+        // Elastic fleet with a listener armed: work remains and nobody
+        // holds it, but the next joiner can — wait instead of failing.
+        if (!waiting_noted) {
+          std::fprintf(stderr,
+                       "dispatch: fleet empty, waiting for remote workers "
+                       "to connect (%zu units remaining)\n",
+                       plan.units.size() - units_reduced);
+          waiting_noted = true;
+        }
+      }
+
+      // Block until traffic — but never past the earliest remote
+      // heartbeat deadline, so a hung machine is noticed even while
+      // every channel is silent.
+      int timeout_ms = -1;
+      if (options.heartbeat_timeout_ms > 0) {
+        const SteadyClock::time_point now = SteadyClock::now();
+        for (const Peer& peer : peers) {
+          if (!peer.alive || !peer.remote) continue;
+          const auto deadline =
+              peer.last_heard +
+              std::chrono::milliseconds(options.heartbeat_timeout_ms);
+          const auto remaining =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - now)
+                  .count();
+          const int clamped =
+              remaining < 0 ? 0 : static_cast<int>(remaining) + 1;
+          if (timeout_ms < 0 || clamped < timeout_ms) timeout_ms = clamped;
+        }
+      }
+
+      const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
       if (ready < 0) {
         if (errno == EINTR) continue;
         throw contract_error("dispatch: poll failed");
       }
+      const SteadyClock::time_point now = SteadyClock::now();
+
       for (std::size_t f = 0; f < fds.size(); ++f) {
         if (fds[f].revents == 0) continue;
-        Worker& worker = workers[fd_workers[f]];
-        if (!worker.alive) continue;  // lost while handling a sibling
-        if ((fds[f].revents & POLLIN) != 0) {
-          const ssize_t n = read_chunk(worker.from_fd, worker.buffer);
-          if (n > 0) {
-            handle_frames(worker);
-            continue;
+        if (fd_peers[f] == kListenerTag) {
+          // Accept every pending joiner; each greets (or times out)
+          // like any other peer from here on.
+          for (;;) {
+            const int fd = tcp_accept(options.listen_fd);
+            if (fd < 0) break;
+            set_nonblocking(fd);
+            Peer peer;
+            peer.remote = true;
+            peer.channel = FrameChannel(fd, fd, /*is_socket=*/true);
+            peer.alive = true;
+            peer.last_heard = now;
+            peers.push_back(std::move(peer));
+            waiting_noted = false;
           }
-          lose_worker(worker);  // EOF or hard error
-        } else {
-          lose_worker(worker);  // POLLHUP/POLLERR with nothing to read
+          continue;
+        }
+        Peer& peer = peers[fd_peers[f]];
+        if (!peer.alive) continue;  // lost while handling a sibling
+        if ((fds[f].revents & POLLOUT) != 0 && !peer.channel.flush()) {
+          lose_peer(peer);
+          continue;
+        }
+        if ((fds[f].revents & POLLIN) != 0) {
+          switch (peer.channel.read_some()) {
+            case ChannelIo::kOk:
+              peer.last_heard = now;
+              handle_frames(peer);
+              break;
+            case ChannelIo::kAgain:
+              break;
+            case ChannelIo::kEof:
+            case ChannelIo::kError:
+              lose_peer(peer);
+              break;
+          }
+        } else if ((fds[f].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) {
+          lose_peer(peer);  // hangup/error with nothing left to read
+        }
+      }
+
+      // Heartbeat sweep: a remote silent past the deadline — no result,
+      // no ping — is dead or hung; either way its unit must not wait on
+      // it. (A hung-but-live remote that later wakes finds its socket
+      // closed and exits; its late result is never double-reduced.)
+      if (options.heartbeat_timeout_ms > 0) {
+        for (Peer& peer : peers) {
+          if (!peer.alive || !peer.remote) continue;
+          if (now - peer.last_heard >
+              std::chrono::milliseconds(options.heartbeat_timeout_ms)) {
+            std::fprintf(stderr,
+                         "dispatch: remote worker silent for %d ms, "
+                         "declaring it dead\n",
+                         options.heartbeat_timeout_ms);
+            lose_peer(peer);
+          }
         }
       }
     }
   } catch (...) {
     // Fatal dispatch error: tear the fleet down before propagating so no
     // orphan worker outlives the parent.
-    for (Worker& worker : workers) {
-      if (!worker.alive) continue;
-      ::kill(worker.pid, SIGTERM);
-      lose_worker(worker);
+    for (Peer& peer : peers) {
+      if (!peer.alive) continue;
+      if (peer.pid >= 0) ::kill(peer.pid, SIGTERM);
+      lose_peer(peer);
     }
     throw;
   }
 
-  // Every unit reduced: release the fleet.
+  // Every unit reduced: release the fleet. The shutdown frame is tiny,
+  // but the channels are non-blocking — drain any queued remainder with
+  // a short poll loop (best-effort: closing the channel also releases a
+  // worker, via EOF).
   const std::string shutdown = encode_frame(WireType::kShutdown, {});
-  for (Worker& worker : workers) {
-    if (!worker.alive) continue;
-    (void)write_all(worker.to_fd, shutdown);
-    ::close(worker.to_fd);
-    ::close(worker.from_fd);
-    int status = 0;
-    ::waitpid(worker.pid, &status, 0);
-    worker.alive = false;
+  for (Peer& peer : peers) {
+    if (!peer.alive) continue;
+    if (!peer.channel.send(shutdown)) continue;
+    const SteadyClock::time_point give_up =
+        SteadyClock::now() + std::chrono::seconds(5);
+    while (peer.channel.wants_write() && SteadyClock::now() < give_up) {
+      pollfd pfd{peer.channel.write_fd(), POLLOUT, 0};
+      if (::poll(&pfd, 1, 100) < 0 && errno != EINTR) break;
+      if (!peer.channel.flush()) break;
+    }
+  }
+  for (Peer& peer : peers) {
+    if (!peer.alive) continue;
+    peer.channel.close();
+    if (peer.pid >= 0) {
+      // A healthy worker exits promptly on shutdown/EOF. One that cannot
+      // even be told (its pipe already broken) or that is hung must not
+      // hang the parent's reap: grace-wait, then SIGKILL.
+      int status = 0;
+      const SteadyClock::time_point give_up =
+          SteadyClock::now() + std::chrono::seconds(2);
+      pid_t reaped = ::waitpid(peer.pid, &status, WNOHANG);
+      while (reaped == 0 && SteadyClock::now() < give_up) {
+        ::usleep(10 * 1000);
+        reaped = ::waitpid(peer.pid, &status, WNOHANG);
+      }
+      if (reaped == 0) {
+        ::kill(peer.pid, SIGKILL);
+        ::waitpid(peer.pid, &status, 0);
+      }
+    }
+    peer.alive = false;
   }
 
   reducer.finish();
@@ -360,20 +557,189 @@ DispatchReport dispatch_study(const StudyPlan& plan,
 
 // ---- worker side.
 
+namespace {
+
+/// The worker's half of the wire: one blocking read stream + one
+/// mutex-serialized write stream (the main thread's results and the
+/// heartbeat thread's pings interleave safely), plus a stash for frames
+/// that arrive while the artifact fetcher is waiting for its reply.
+struct WorkerLink {
+  int in_fd;
+  int out_fd;
+  std::mutex write_mutex;
+  std::string buffer;
+  std::deque<WireFrame> pending;
+  bool eof = false;     ///< parent closed the stream
+  bool failed = false;  ///< hard read error or corrupt frame
+
+  bool write_frame(const std::string& bytes) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    return write_all(out_fd, bytes);
+  }
+
+  /// Next frame straight off the wire (blocking; skips the stash).
+  std::optional<WireFrame> read_frame() {
+    for (;;) {
+      std::size_t consumed = 0;
+      try {
+        std::optional<WireFrame> frame = decode_frame(buffer, consumed);
+        if (frame.has_value()) {
+          buffer.erase(0, consumed);
+          return frame;
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "worker: corrupt frame from parent: %s\n",
+                     e.what());
+        failed = true;
+        return std::nullopt;
+      }
+      const ssize_t n = read_chunk(in_fd, buffer);
+      if (n == 0) {
+        eof = true;
+        return std::nullopt;
+      }
+      if (n < 0) {
+        failed = true;
+        return std::nullopt;
+      }
+    }
+  }
+
+  /// Next frame for the main loop: stashed frames first, then the wire.
+  std::optional<WireFrame> next_frame() {
+    if (!pending.empty()) {
+      WireFrame frame = std::move(pending.front());
+      pending.pop_front();
+      return frame;
+    }
+    return read_frame();
+  }
+};
+
+/// The remote worker's liveness thread: one ping every interval, sent
+/// through the link's write mutex so pings interleave with results, never
+/// tear them. The main thread may be deep in a multi-minute solve — this
+/// is what lets the parent distinguish that from a hang.
+class Heartbeat {
+ public:
+  Heartbeat(WorkerLink& link, int interval_ms) {
+    if (interval_ms <= 0) return;
+    thread_ = std::thread([this, &link, interval_ms] {
+      const std::string ping = encode_frame(WireType::kPing, {});
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                           [this] { return stop_; })) {
+        lock.unlock();
+        // A failed ping means the parent is gone; stop — the main loop
+        // will see the EOF/EPIPE on its own next wire operation.
+        const bool ok = link.write_frame(ping);
+        lock.lock();
+        if (!ok) break;
+      }
+    });
+  }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  ~Heartbeat() { stop(); }
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+ private:
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
 int run_worker_loop(const StudyPlan& plan, SolverCache& cache,
                     const WorkerOptions& options, int in_fd, int out_fd) {
   // Writing a hello/result after the PARENT died must surface as
   // write_all's error return (clean exit 1), not a SIGPIPE kill that
   // skips destructors — and must not take an in-process caller down.
   const ScopedIgnoreSigpipe sigpipe_guard;
+
+  WorkerLink link;
+  link.in_fd = in_fd;
+  link.out_fd = out_fd;
+
+  if (options.fetch_artifacts) {
+    // Last-chance artifact source: ask the parent's store over the wire
+    // before compiling cold. Runs on the main thread (the cache resolves
+    // scenarios serially before fanning the sweep out), so the blocking
+    // read here never races the main loop's reads; frames that are not
+    // our reply (there should be none, but the protocol does not forbid
+    // them) are stashed for the main loop. Every failure path — write
+    // error, EOF, corrupt blob, identity mismatch — degrades to nullopt:
+    // a counted miss and a local compile, never a wrong answer.
+    cache.set_fetcher([&link](const SolverCacheKey& key)
+                          -> std::optional<CompiledArtifact> {
+      WireArtifactRequest request;
+      request.model_hash = key.model_hash;
+      request.solver = key.solver;
+      request.epsilon = key.epsilon;
+      request.rate_factor = key.rate_factor;
+      request.regenerative = key.regenerative;
+      request.step_cap = key.step_cap;
+      if (!link.write_frame(
+              encode_frame(WireType::kArtifactRequest,
+                           encode_artifact_request(request)))) {
+        return std::nullopt;
+      }
+      for (;;) {
+        std::optional<WireFrame> frame = link.read_frame();
+        if (!frame.has_value()) return std::nullopt;
+        if (frame->type != WireType::kArtifactData) {
+          link.pending.push_back(std::move(*frame));
+          continue;
+        }
+        WireArtifactData data;
+        try {
+          data = decode_artifact_data(frame->payload);
+        } catch (const std::exception&) {
+          return std::nullopt;
+        }
+        if (!data.found) return std::nullopt;
+        SolverConfig config;
+        config.epsilon = key.epsilon;
+        config.rate_factor = key.rate_factor;
+        config.regenerative = key.regenerative;
+        config.step_cap = key.step_cap;
+        try {
+          std::istringstream in(data.blob);
+          CompiledArtifact artifact = read_artifact(in);
+          if (artifact_matches(artifact, key.solver, key.model_hash,
+                               config)) {
+            return artifact;
+          }
+        } catch (const std::exception&) {
+          // fall through: a corrupt blob is a miss, not an error
+        }
+        return std::nullopt;
+      }
+    });
+  }
+
   WireHello hello;
   hello.plan_fingerprint = plan.fingerprint;
   hello.unit_count = plan.units.size();
   hello.total_scenarios = plan.total_scenarios;
-  if (!write_all(out_fd,
-                 encode_frame(WireType::kHello, encode_hello(hello)))) {
+  if (!link.write_frame(
+          encode_frame(WireType::kHello, encode_hello(hello)))) {
     return 1;
   }
+
+  Heartbeat heartbeat(link, options.heartbeat_ms);
 
   ExecOptions exec;
   exec.jobs = options.jobs;
@@ -385,26 +751,22 @@ int run_worker_loop(const StudyPlan& plan, SolverCache& cache,
   std::vector<SolveWorkspace> workspaces;
 
   int executed = 0;
-  std::string buffer;
   for (;;) {
-    std::size_t consumed = 0;
-    std::optional<WireFrame> frame;
-    try {
-      frame = decode_frame(buffer, consumed);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "worker: corrupt frame from parent: %s\n",
-                   e.what());
-      return 1;
-    }
+    const std::optional<WireFrame> frame = link.next_frame();
     if (!frame.has_value()) {
-      const ssize_t n = read_chunk(in_fd, buffer);
-      if (n == 0) return 0;  // parent gone: clean exit, nothing in flight
-      if (n < 0) return 1;
-      continue;
+      // Parent gone mid-stream: clean exit when nothing was in flight
+      // (EOF), error exit on corruption or a hard read failure.
+      return link.eof ? 0 : 1;
     }
-    buffer.erase(0, consumed);
 
-    if (frame->type == WireType::kShutdown) return 0;
+    if (frame->type == WireType::kShutdown) {
+      const SolverCacheStats stats = cache.stats();
+      if (stats.fetch_hits > 0 || stats.fetch_misses > 0) {
+        std::fprintf(stderr, "worker: artifact fetch %zu hits / %zu misses\n",
+                     stats.fetch_hits, stats.fetch_misses);
+      }
+      return 0;
+    }
     if (frame->type != WireType::kAssign) {
       std::fprintf(stderr, "worker: unexpected frame type\n");
       return 1;
@@ -430,6 +792,15 @@ int run_worker_loop(const StudyPlan& plan, SolverCache& cache,
       }
       ::_exit(3);
     }
+    if (options.mute_after_units >= 0 &&
+        executed >= options.mute_after_units) {
+      // Test hook: accept the assignment, then go silent WITHOUT dying
+      // or closing anything — no result, no pings, socket healthy, the
+      // unit held hostage. Only the parent's heartbeat timeout can
+      // reclaim it.
+      heartbeat.stop();
+      for (;;) ::pause();
+    }
 
     const Stopwatch unit_watch;
     const ExecutedSlice slice =
@@ -439,16 +810,32 @@ int run_worker_loop(const StudyPlan& plan, SolverCache& cache,
     // the run is still in progress. No-op without an attached store.
     cache.flush_to_store();
 
+    const bool deaf_now = options.deaf_after_units >= 0 &&
+                          executed + 1 >= options.deaf_after_units;
+    if (deaf_now) {
+      // Test hook: stop READING without dying — close our end of the
+      // parent->worker stream BEFORE replying, so the parent's next
+      // assign write deterministically hits EPIPE (pipes) with the
+      // process still alive: the observed-death-on-write path, which
+      // must bury us, not crash the parent. (Closing after the reply
+      // would race the parent's next assign into the pipe buffer and
+      // deadlock the fleet.)
+      ::close(in_fd);
+    }
+
     WireResult result;
     result.unit = unit.id;
     result.seconds = unit_watch.seconds();
     result.rows = slice_rows(slice, plan.grids);
-    if (!write_all(out_fd,
-                   encode_frame(WireType::kResult,
-                                encode_result(result)))) {
+    if (!link.write_frame(encode_frame(WireType::kResult,
+                                       encode_result(result)))) {
       return 1;
     }
     ++executed;
+
+    if (deaf_now) {
+      for (;;) ::pause();
+    }
   }
 }
 

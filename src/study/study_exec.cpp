@@ -69,6 +69,9 @@ ExecutedSlice execute_scenarios(const StudyPlan& plan,
       cache_after.disk_misses - cache_before.disk_misses;
   slice.cache.disk_stores =
       cache_after.disk_stores - cache_before.disk_stores;
+  slice.cache.fetch_hits = cache_after.fetch_hits - cache_before.fetch_hits;
+  slice.cache.fetch_misses =
+      cache_after.fetch_misses - cache_before.fetch_misses;
 
   // The plan (and the cache entries) pin the models the sweep borrowed
   // chains from; both outlive the returned slice in every caller.

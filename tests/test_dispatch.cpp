@@ -215,6 +215,31 @@ TEST(Dispatch, RequeuedUnitReachesAnAlreadyIdleSurvivor) {
   EXPECT_EQ(out.str(), reference);
 }
 
+TEST(Dispatch, DeafWorkerMakesAssignWriteFailAnObservedDeathNotACrash) {
+  const std::string binary = rrl_solve_path();
+  if (binary.empty()) GTEST_SKIP() << "rrl_solve not built";
+  const TempDir dir;
+  const fs::path study = write_fleet_study(dir);
+  const StudySpec spec = read_study_file(study.string());
+  ModelRepository repository;
+  const StudyPlan plan = build_study_plan(spec, repository);
+
+  // A SOLO worker closes its end of the parent->worker pipe just before
+  // returning its first result, then hangs WITHOUT exiting: the parent's
+  // next assign write to it hits EPIPE with the worker process still
+  // alive. The write failure must be treated as an observed death — the
+  // worker buried, and (no survivors, no listener) the dispatch failing
+  // loudly — and emphatically NOT a SIGPIPE kill of the parent, which is
+  // what this regression pinned down: a worker dying mid-write used to
+  // be able to take the whole study down with it.
+  DispatchOptions options = worker_fleet(binary, study, 1);
+  options.worker_extra_args = {{"--test-deaf-after", "1"}};
+  std::ostringstream out;
+  StudyReducer reducer(out, plan.total_scenarios);
+  EXPECT_THROW((void)dispatch_study(plan, options, reducer),
+               contract_error);
+}
+
 TEST(Dispatch, AllWorkersLostFailsLoudly) {
   const std::string binary = rrl_solve_path();
   if (binary.empty()) GTEST_SKIP() << "rrl_solve not built";

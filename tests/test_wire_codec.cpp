@@ -132,6 +132,140 @@ TEST(WireCodec, DecodesIncrementallyFromPartialBuffers) {
   EXPECT_EQ(decode_assign(full->payload).unit, 3u);
 }
 
+TEST(WireCodec, FleetFrameTypesRoundTrip) {
+  // kPing carries nothing — it exists purely to refresh last_heard.
+  const std::string ping = encode_frame(WireType::kPing, {});
+  std::size_t consumed = 0;
+  auto frame = decode_frame(ping, consumed);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, WireType::kPing);
+  EXPECT_TRUE(frame->payload.empty());
+
+  WireArtifactRequest request;
+  request.model_hash = 0x0123456789abcdefULL;
+  request.solver = "rrl";
+  request.epsilon = 1e-10;
+  request.rate_factor = 1.0625;
+  request.regenerative = 7;
+  request.step_cap = 123456;
+  const WireArtifactRequest request2 =
+      decode_artifact_request(encode_artifact_request(request));
+  EXPECT_EQ(request2.model_hash, request.model_hash);
+  EXPECT_EQ(request2.solver, request.solver);
+  EXPECT_EQ(request2.epsilon, request.epsilon);
+  EXPECT_EQ(request2.rate_factor, request.rate_factor);
+  EXPECT_EQ(request2.regenerative, request.regenerative);
+  EXPECT_EQ(request2.step_cap, request.step_cap);
+
+  WireArtifactData data;
+  data.model_hash = request.model_hash;
+  data.solver = "rrl";
+  data.found = true;
+  data.blob = std::string("binary\0blob\xff with NULs", 22);
+  const WireArtifactData data2 =
+      decode_artifact_data(encode_artifact_data(data));
+  EXPECT_EQ(data2.model_hash, data.model_hash);
+  EXPECT_EQ(data2.solver, data.solver);
+  EXPECT_TRUE(data2.found);
+  EXPECT_EQ(data2.blob, data.blob);
+
+  // The parent-side miss: found=false with an empty blob.
+  data.found = false;
+  data.blob.clear();
+  const WireArtifactData miss =
+      decode_artifact_data(encode_artifact_data(data));
+  EXPECT_FALSE(miss.found);
+  EXPECT_TRUE(miss.blob.empty());
+
+  // A found flag that is neither 0 nor 1 is corruption, not "truthy".
+  // Locate the flag byte robustly: encode found=true and found=false and
+  // take the first byte that differs.
+  data.found = true;
+  data.blob.clear();
+  const std::string with_true = encode_artifact_data(data);
+  data.found = false;
+  const std::string with_false = encode_artifact_data(data);
+  ASSERT_EQ(with_true.size(), with_false.size());
+  std::size_t flag_at = with_true.size();
+  for (std::size_t i = 0; i < with_true.size(); ++i) {
+    if (with_true[i] != with_false[i]) {
+      flag_at = i;
+      break;
+    }
+  }
+  ASSERT_LT(flag_at, with_true.size());
+  std::string bad = with_true;
+  bad[flag_at] = 2;
+  EXPECT_THROW((void)decode_artifact_data(bad), contract_error);
+}
+
+TEST(WireCodec, EveryFrameSplitAtEveryByteOffsetDecodesIdentically) {
+  // The satellite-hardening contract: a TCP stream may hand the reader
+  // ANY byte-level chunking of the frame sequence — every split must
+  // decode to exactly the same frames, never a tear, never a misparse.
+  WireResult result;
+  result.unit = 2;
+  result.seconds = 0.5;
+  result.rows = {sample_row(16, 0), sample_row(17, 1)};
+  WireArtifactData data;
+  data.model_hash = 42;
+  data.solver = "rr";
+  data.found = true;
+  data.blob = "artifact-bytes";
+
+  std::string stream;
+  stream += encode_frame(WireType::kHello, encode_hello({}));
+  stream += encode_frame(WireType::kPing, {});
+  stream += encode_frame(WireType::kAssign, encode_assign({3, 24, 8}));
+  stream += encode_frame(WireType::kArtifactRequest,
+                         encode_artifact_request({42, "rr", 1e-8, 0, 0, -1}));
+  stream += encode_frame(WireType::kArtifactData, encode_artifact_data(data));
+  stream += encode_frame(WireType::kResult, encode_result(result));
+  stream += encode_frame(WireType::kShutdown, {});
+
+  // The reference decode from the whole stream at once.
+  const auto decode_all = [](std::string buffer) {
+    std::vector<WireFrame> frames;
+    std::size_t consumed = 0;
+    while (true) {
+      auto frame = decode_frame(buffer, consumed);
+      if (!frame.has_value()) break;
+      buffer.erase(0, consumed);
+      frames.push_back(std::move(*frame));
+    }
+    EXPECT_TRUE(buffer.empty());
+    return frames;
+  };
+  const std::vector<WireFrame> reference = decode_all(stream);
+  ASSERT_EQ(reference.size(), 7u);
+
+  // Deliver the stream in two chunks split at EVERY byte offset, decoding
+  // greedily after each chunk arrives — the read-loop discipline of the
+  // channel inbox.
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    std::vector<WireFrame> frames;
+    std::string buffer;
+    std::size_t consumed = 0;
+    for (const std::string& chunk :
+         {stream.substr(0, split), stream.substr(split)}) {
+      buffer += chunk;
+      while (true) {
+        auto frame = decode_frame(buffer, consumed);
+        if (!frame.has_value()) break;
+        buffer.erase(0, consumed);
+        frames.push_back(std::move(*frame));
+      }
+    }
+    ASSERT_TRUE(buffer.empty()) << "split at " << split;
+    ASSERT_EQ(frames.size(), reference.size()) << "split at " << split;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(frames[i].type, reference[i].type) << "split at " << split;
+      EXPECT_EQ(frames[i].payload, reference[i].payload)
+          << "split at " << split;
+    }
+  }
+}
+
 TEST(WireCodec, RejectsEveryCorruptionClass) {
   const std::string good =
       encode_frame(WireType::kAssign, encode_assign({5, 40, 8}));

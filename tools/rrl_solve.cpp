@@ -8,6 +8,8 @@
 //   rrl_solve --model m.rrlm --measure both --eps 1e-8,1e-12 --t 1,100
 //   rrl_solve --study s.study [--shard 2/3] [--jobs 4] [--out shard2.csv]
 //   rrl_solve --serve --workers 3 --study s.study [--out report.csv]
+//   rrl_solve --serve --listen 7411 --workers 2 --study s.study   # + TCP
+//   rrl_solve --connect host:7411 --study s.study                 # remote
 //   rrl_solve --merge s1.csv,s2.csv,s3.csv [--out report.csv]
 //   rrl_solve --cache-gc --cache-dir DIR [--cache-cap BYTES]
 //   rrl_solve --export raid20|raid40|multiproc --output m.rrlm
@@ -47,7 +49,12 @@
 // lost mid-unit has its unit re-dispatched — and streams finished units
 // into the report incrementally. The merged report is byte-for-byte the
 // single-process unsharded report for any worker count and completion
-// order.
+// order. --listen PORT additionally accepts remote workers (`rrl_solve
+// --connect host:port` on other machines) into the same fleet — they may
+// join and leave mid-run, heartbeat so hangs are detected, and pull
+// compiled artifacts from the parent's --cache-dir over the wire instead
+// of recompiling. --workers 0 / --jobs 0 mean one per hardware thread;
+// --no-local (with --listen) runs a remote-only fleet.
 //
 // --cache-gc sweeps a --cache-dir artifact store: leftover temp files and
 // corrupt entries are removed, and --cache-cap <bytes> evicts least-
@@ -75,6 +82,7 @@
 
 #include "io/model_format.hpp"
 #include "io/model_solver.hpp"
+#include "io/net_transport.hpp"
 #include "models/multiproc.hpp"
 #include "models/raid5.hpp"
 #include "rrl.hpp"
@@ -92,6 +100,15 @@ using namespace rrl;
 // --no-cache bypasses BOTH tiers — no memory sharing, no disk reads, no
 // disk writes (the pre-cache per-scenario behavior, kept for equivalence
 // testing).
+// --jobs 0 / --workers 0 mean "one per hardware thread". Explicit only:
+// an absent flag keeps each mode's own default (a study file's jobs
+// line, serve's 2 local workers, ...).
+int resolve_count(const CliArgs& args, const char* flag, long fallback) {
+  const long value = args.get_long(flag, fallback);
+  if (value == 0 && args.has(flag)) return ThreadPool::hardware_threads();
+  return static_cast<int>(value);
+}
+
 std::shared_ptr<ArtifactStore> attach_disk_tier(const CliArgs& args,
                                                 SolverCache& cache) {
   const std::string dir = args.get_string("cache-dir", "");
@@ -242,7 +259,7 @@ int run_batch(const CliArgs& args,
   spec.measures = measures;
   spec.epsilons = eps_list;
   spec.grids = {ts};
-  spec.jobs = static_cast<int>(args.get_long("jobs", 1));
+  spec.jobs = resolve_count(args, "jobs", 1);
   // --regenerative (an index for every model, or "auto") overrides each
   // file's hint; otherwise the hint, or auto-selection inside the
   // registry when the file has none.
@@ -335,18 +352,66 @@ int run_worker_mode(const CliArgs& args) {
   const std::shared_ptr<ArtifactStore> store =
       attach_disk_tier(args, cache);
   WorkerOptions options;
-  options.jobs = static_cast<int>(args.get_long("jobs", spec.jobs));
+  options.jobs = resolve_count(args, "jobs", spec.jobs);
   options.use_cache = !args.get_bool("no-cache", false);
   options.die_after_units =
       static_cast<int>(args.get_long("test-die-after", -1));
   options.die_delay_ms =
       static_cast<int>(args.get_long("test-die-delay-ms", 0));
+  options.deaf_after_units =
+      static_cast<int>(args.get_long("test-deaf-after", -1));
+  options.mute_after_units =
+      static_cast<int>(args.get_long("test-mute-after", -1));
   return run_worker_loop(plan, cache, options);
 }
 
+// Remote worker mode (--connect host:port): same worker loop as --worker,
+// but over one TCP socket to a parent on another machine — with a
+// heartbeat thread (the parent's hang detection) and the parent-served
+// artifact fetch enabled (its --cache-dir cannot be reached from here).
+// The study file must describe the same study the parent planned (shared
+// filesystem or a copied file; the fingerprint handshake verifies it).
+int run_connect_mode(const CliArgs& args) {
+  const HostPort target = parse_host_port(args.get_string("connect", ""));
+  const std::string study_path = args.get_string("study", "");
+  if (study_path.empty()) {
+    std::fprintf(stderr, "error: --connect needs --study <file.study>\n");
+    return 2;
+  }
+  const StudySpec spec = read_study_file(study_path);
+  ModelRepository repository;
+  const StudyPlan plan = build_study_plan(spec, repository);
+
+  SolverCache cache;
+  const std::shared_ptr<ArtifactStore> store =
+      attach_disk_tier(args, cache);
+  WorkerOptions options;
+  options.jobs = resolve_count(args, "jobs", spec.jobs);
+  options.use_cache = !args.get_bool("no-cache", false);
+  options.heartbeat_ms =
+      static_cast<int>(args.get_long("heartbeat-ms", 1000));
+  options.fetch_artifacts = !args.get_bool("no-fetch", false);
+  options.die_after_units =
+      static_cast<int>(args.get_long("test-die-after", -1));
+  options.die_delay_ms =
+      static_cast<int>(args.get_long("test-die-delay-ms", 0));
+  options.deaf_after_units =
+      static_cast<int>(args.get_long("test-deaf-after", -1));
+  options.mute_after_units =
+      static_cast<int>(args.get_long("test-mute-after", -1));
+
+  const int fd = tcp_connect(target.host, target.port);
+  std::fprintf(stderr, "worker: connected to %s:%d\n", target.host.c_str(),
+               target.port);
+  const int rc = run_worker_loop(plan, cache, options, fd, fd);
+  ::close(fd);
+  return rc;
+}
+
 // Serve mode: the work-stealing multi-process orchestrator. Plans the
-// study, spawns --workers copies of this binary in --worker mode, hands
-// out work units dynamically and streams the merged report incrementally.
+// study, spawns --workers copies of this binary in --worker mode (and,
+// with --listen, accepts remote --connect workers over TCP), hands out
+// work units dynamically and streams the merged report incrementally.
 int run_serve_mode(const CliArgs& args, const char* argv0) {
   const std::string study_path = args.get_string("study", "");
   if (study_path.empty()) {
@@ -359,9 +424,19 @@ int run_serve_mode(const CliArgs& args, const char* argv0) {
                  "one of them\n");
     return 2;
   }
-  const int workers = static_cast<int>(args.get_long("workers", 2));
-  if (workers < 1) {
-    std::fprintf(stderr, "error: --workers must be >= 1\n");
+  const bool listening = args.has("listen");
+  const bool no_local = args.get_bool("no-local", false);
+  if (no_local && !listening) {
+    std::fprintf(stderr,
+                 "error: --no-local only makes sense with --listen (who "
+                 "would do the work?)\n");
+    return 2;
+  }
+  const int workers = no_local ? 0 : resolve_count(args, "workers", 2);
+  if (workers < 1 && !listening) {
+    std::fprintf(stderr,
+                 "error: --workers must be >= 1 (or 0 for one per "
+                 "hardware thread)\n");
     return 2;
   }
 
@@ -387,6 +462,40 @@ int run_serve_mode(const CliArgs& args, const char* argv0) {
   forward("cold");
   forward("no-cache");
 
+  options.heartbeat_timeout_ms =
+      static_cast<int>(args.get_long("heartbeat-timeout-ms", 10000));
+
+  // The parent's own handle on the artifact store, for serving remote
+  // workers' artifact_request frames (--cache-dir is also forwarded to
+  // local workers above, who reach the same store through the
+  // filesystem).
+  std::shared_ptr<ArtifactStore> store;
+  const std::string cache_dir = args.get_string("cache-dir", "");
+  if (!cache_dir.empty() && !args.get_bool("no-cache", false)) {
+    store = std::make_shared<ArtifactStore>(cache_dir);
+    options.artifact_store = store.get();
+  }
+
+  // --listen PORT arms the TCP listener (0 = ephemeral; the bound port
+  // goes to stderr and, with --port-file, to a file scripts can poll).
+  TcpListener listener;
+  if (listening) {
+    listener = tcp_listen(static_cast<int>(args.get_long("listen", 0)));
+    options.listen_fd = listener.fd;
+    std::fprintf(stderr, "serve: listening on port %d\n", listener.port);
+    const std::string port_file = args.get_string("port-file", "");
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file);
+      pf << listener.port << "\n";
+      if (!pf) {
+        std::fprintf(stderr, "error: cannot write port file: %s\n",
+                     port_file.c_str());
+        ::close(listener.fd);
+        return 1;
+      }
+    }
+  }
+
   const bool timings = args.get_bool("timings", false);
   const std::string out_path = args.get_string("out", "");
   std::ofstream file;
@@ -402,24 +511,36 @@ int run_serve_mode(const CliArgs& args, const char* argv0) {
 
   StudyReducer reducer(out, plan.total_scenarios, timings);
   const DispatchReport report = dispatch_study(plan, options, reducer);
+  if (listener.fd >= 0) ::close(listener.fd);
 
+  const std::size_t fleet_size =
+      static_cast<std::size_t>(report.workers) + report.remote_workers;
   std::FILE* summary = out_path.empty() ? stderr : stdout;
   std::fprintf(summary,
-               "serve: %llu scenarios in %zu work units over %d workers "
-               "(%zu failed), %.3gs, %.3g scenarios/sec\n"
+               "serve: %llu scenarios in %zu work units over %d local + "
+               "%zu remote workers (%zu failed), %.3gs, "
+               "%.3g scenarios/sec\n"
                "dispatch: %zu workers lost, %zu units re-dispatched, "
                "%.0f%% fleet efficiency\n",
                static_cast<unsigned long long>(report.scenarios),
-               report.units, report.workers, report.failed_scenarios,
-               report.seconds,
+               report.units, report.workers, report.remote_workers,
+               report.failed_scenarios, report.seconds,
                report.seconds > 0.0
                    ? static_cast<double>(report.scenarios) / report.seconds
                    : 0.0,
                report.workers_lost, report.redispatched,
-               report.seconds > 0.0
+               report.seconds > 0.0 && fleet_size > 0
                    ? 100.0 * report.worker_seconds /
-                         (report.seconds * report.workers)
+                         (report.seconds *
+                          static_cast<double>(fleet_size))
                    : 0.0);
+  if (report.artifact_requests > 0 || report.remotes_rejected > 0) {
+    std::fprintf(summary,
+                 "fleet: %zu artifact requests served (%zu hits), "
+                 "%zu remotes rejected\n",
+                 report.artifact_requests, report.artifact_hits,
+                 report.remotes_rejected);
+  }
 
   const std::string json_path = args.get_string("json", "");
   if (!json_path.empty()) {
@@ -433,9 +554,14 @@ int run_serve_mode(const CliArgs& args, const char* argv0) {
          << "  \"total_scenarios\": " << plan.total_scenarios << ",\n"
          << "  \"units\": " << report.units << ",\n"
          << "  \"workers\": " << report.workers << ",\n"
+         << "  \"remote_workers\": " << report.remote_workers << ",\n"
+         << "  \"remotes_rejected\": " << report.remotes_rejected << ",\n"
          << "  \"failed\": " << report.failed_scenarios << ",\n"
          << "  \"workers_lost\": " << report.workers_lost << ",\n"
          << "  \"redispatched\": " << report.redispatched << ",\n"
+         << "  \"artifact_requests\": " << report.artifact_requests
+         << ",\n"
+         << "  \"artifact_hits\": " << report.artifact_hits << ",\n"
          << "  \"seconds\": " << report.seconds << ",\n"
          << "  \"worker_seconds\": " << report.worker_seconds << "\n"
          << "}\n";
@@ -498,7 +624,7 @@ int run_study_mode(const CliArgs& args) {
     }
     options.shard = ShardSpec{k, n};
   }
-  options.jobs = static_cast<int>(args.get_long("jobs", 0));
+  options.jobs = resolve_count(args, "jobs", 0);
   options.use_cache = !args.get_bool("no-cache", false);
 
   const StudySpec spec = read_study_file(args.get_string("study", ""));
@@ -647,6 +773,7 @@ int main(int argc, char** argv) {
     }
     if (args.has("cache-gc")) return run_cache_gc_mode(args);
     if (args.has("worker")) return run_worker_mode(args);
+    if (args.has("connect")) return run_connect_mode(args);
     if (args.has("serve")) return run_serve_mode(args, argv[0]);
     if (args.has("merge")) return run_merge_mode(args);
     if (args.has("study")) return run_study_mode(args);
@@ -672,6 +799,15 @@ int main(int argc, char** argv) {
           "                 [--out report.csv] [--json summary.json] "
           "[--cache-dir DIR]\n"
           "                 [--cold] [--no-cache] [--timings]\n"
+          "                 [--listen PORT] [--no-local] "
+          "[--port-file FILE]\n"
+          "                 [--heartbeat-timeout-ms MS]   # remote fleet\n"
+          "       rrl_solve --connect HOST:PORT --study <file.study> "
+          "[--jobs N]\n"
+          "                 [--heartbeat-ms MS] [--no-fetch] "
+          "[--cache-dir DIR]\n"
+          "       (--workers 0 and --jobs 0 mean one per hardware "
+          "thread)\n"
           "       rrl_solve --merge <r1.csv,r2.csv,...> [--out report.csv]\n"
           "       rrl_solve --cache-gc --cache-dir DIR "
           "[--cache-cap BYTES]\n"
