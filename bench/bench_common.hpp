@@ -12,11 +12,13 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "models/raid5.hpp"
 #include "rrl.hpp"
+#include "sparse/spmv_kernels.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -84,5 +86,96 @@ inline const PaperRow* paper_row(const std::vector<PaperRow>& table,
   }
   return nullptr;
 }
+
+/// Shared BENCH_*.json emitter. Every bench used to hand-write its JSON
+/// envelope; this single-sources the shape and stamps host metadata so a
+/// results file is interpretable on its own: which machine class
+/// (hardware_threads), which SpMV variant actually ran (spmv_kernel — a
+/// "2x speedup" means nothing without it), and whether RRL_BENCH_QUICK
+/// shrank the workload (quick runs are smoke tests, not results).
+///
+///   BenchJson json(args, "kernel_throughput", "BENCH_kernels.json");
+///   if (json) {
+///     json.field("rows", rows).field("speedup", speedup);
+///     json.raw("results") << "[1, 2, 3]";   // arrays / nested objects
+///   }                                        // closed by ~BenchJson
+///
+/// --json-out overrides the default path; an empty path disables emission
+/// (operator bool is false, every op a no-op). An unopenable path warns
+/// on stderr and disables likewise — a bench never fails on its telemetry.
+class BenchJson {
+ public:
+  BenchJson(const CliArgs& args, const char* bench,
+            const std::string& default_path)
+      : path_(args.get_string("json-out", default_path)) {
+    if (path_.empty()) return;
+    out_.open(path_);
+    if (!out_) {
+      std::fprintf(stderr, "warning: cannot open %s; skipping JSON\n",
+                   path_.c_str());
+      path_.clear();
+      return;
+    }
+    out_ << "{\n  \"bench\": \"" << bench << "\",\n"
+         << "  \"hardware_threads\": " << ThreadPool::hardware_threads()
+         << ",\n"
+         << "  \"spmv_kernel\": \"" << active_kernels().name << "\",\n"
+         << "  \"quick\": " << (env_flag("RRL_BENCH_QUICK") ? "true" : "false");
+  }
+
+  ~BenchJson() { close(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  [[nodiscard]] explicit operator bool() const { return !path_.empty(); }
+
+  BenchJson& field(const char* name, double v) {
+    if (*this) out_ << ",\n  \"" << name << "\": " << v;
+    return *this;
+  }
+  BenchJson& field(const char* name, std::int64_t v) {
+    if (*this) out_ << ",\n  \"" << name << "\": " << v;
+    return *this;
+  }
+  BenchJson& field(const char* name, std::uint64_t v) {
+    if (*this) out_ << ",\n  \"" << name << "\": " << v;
+    return *this;
+  }
+  BenchJson& field(const char* name, int v) {
+    return field(name, static_cast<std::int64_t>(v));
+  }
+  BenchJson& field(const char* name, bool v) {
+    if (*this) out_ << ",\n  \"" << name << "\": " << (v ? "true" : "false");
+    return *this;
+  }
+  BenchJson& field(const char* name, const std::string& v) {
+    if (*this) out_ << ",\n  \"" << name << "\": \"" << v << "\"";
+    return *this;
+  }
+  BenchJson& field(const char* name, const char* v) {
+    return field(name, std::string(v));
+  }
+
+  /// `,\n  "name": ` then hands the stream over — the caller writes the
+  /// value verbatim (arrays, nested objects).
+  std::ostream& raw(const char* name) {
+    out_ << ",\n  \"" << name << "\": ";
+    return out_;
+  }
+
+  /// Close the object and announce the file; idempotent (the destructor
+  /// calls it too).
+  void close() {
+    if (path_.empty()) return;
+    out_ << "\n}\n";
+    out_.close();
+    std::printf("wrote %s\n", path_.c_str());
+    path_.clear();
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
 
 }  // namespace rrl::bench

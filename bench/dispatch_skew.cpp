@@ -230,22 +230,16 @@ int main(int argc, char** argv) {
   std::printf("\nreports byte-identical: yes; work-stealing speedup %.3g\n",
               speedup);
 
-  const std::string json_path =
-      args.get_string("json-out", "BENCH_dispatch_skew.json");
-  if (!json_path.empty()) {
-    std::ofstream json(json_path);
-    if (json) {
-      json << "{\n  \"bench\": \"dispatch_skew\",\n"
-           << "  \"scenarios\": " << plan.total_scenarios << ",\n"
-           << "  \"units\": " << plan.units.size() << ",\n"
-           << "  \"workers\": " << workers << ",\n"
-           << "  \"jobs\": " << jobs << ",\n"
-           << "  \"static_seconds\": " << static_seconds << ",\n"
-           << "  \"serve_seconds\": " << serve_seconds << ",\n"
-           << "  \"speedup\": " << speedup << ",\n"
-           << "  \"min_speedup\": " << min_speedup << "\n}\n";
-      std::printf("wrote %s\n", json_path.c_str());
-    }
+  {
+    bench::BenchJson json(args, "dispatch_skew", "BENCH_dispatch_skew.json");
+    json.field("scenarios", plan.total_scenarios)
+        .field("units", plan.units.size())
+        .field("workers", workers)
+        .field("jobs", jobs)
+        .field("static_seconds", static_seconds)
+        .field("serve_seconds", serve_seconds)
+        .field("speedup", speedup)
+        .field("min_speedup", min_speedup);
   }
 
   if (speedup < min_speedup) {

@@ -95,14 +95,10 @@ int main(int argc, char** argv) {
         "SKIP: fleet_scaling needs >= 3 cores to run 3 workers "
         "concurrently (host has %u); pass --force to run anyway\n",
         cores);
-    const std::string json_path =
-        args.get_string("json-out", "BENCH_fleet.json");
-    if (!json_path.empty()) {
-      std::ofstream json(json_path);
-      json << "{\n  \"bench\": \"fleet_scaling\",\n"
-           << "  \"skipped\": true,\n"
-           << "  \"reason\": \"" << cores << " cores < 3\"\n}\n";
-      std::printf("wrote %s\n", json_path.c_str());
+    {
+      bench::BenchJson json(args, "fleet_scaling", "BENCH_fleet.json");
+      json.field("skipped", true)
+          .field("reason", std::to_string(cores) + " cores < 3");
     }
     return 0;
   }
@@ -248,22 +244,16 @@ int main(int argc, char** argv) {
   std::printf("\nreports byte-identical: yes; fleet speedup %.3g\n",
               speedup);
 
-  const std::string json_path =
-      args.get_string("json-out", "BENCH_fleet.json");
-  if (!json_path.empty()) {
-    std::ofstream json(json_path);
-    if (json) {
-      json << "{\n  \"bench\": \"fleet_scaling\",\n"
-           << "  \"skipped\": false,\n"
-           << "  \"scenarios\": " << plan.total_scenarios << ",\n"
-           << "  \"units\": " << plan.units.size() << ",\n"
-           << "  \"jobs\": " << jobs << ",\n"
-           << "  \"one_worker_seconds\": " << one_seconds << ",\n"
-           << "  \"three_worker_seconds\": " << three_seconds << ",\n"
-           << "  \"speedup\": " << speedup << ",\n"
-           << "  \"min_speedup\": " << min_speedup << "\n}\n";
-      std::printf("wrote %s\n", json_path.c_str());
-    }
+  {
+    bench::BenchJson json(args, "fleet_scaling", "BENCH_fleet.json");
+    json.field("skipped", false)
+        .field("scenarios", plan.total_scenarios)
+        .field("units", plan.units.size())
+        .field("jobs", jobs)
+        .field("one_worker_seconds", one_seconds)
+        .field("three_worker_seconds", three_seconds)
+        .field("speedup", speedup)
+        .field("min_speedup", min_speedup);
   }
 
   if (speedup < min_speedup) {

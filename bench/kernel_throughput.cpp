@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "rrl.hpp"
 #include "support/cli.hpp"
 #include "support/stopwatch.hpp"
@@ -143,27 +144,21 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\nproducts bit-identical to the scalar reference: yes\n");
 
-  const std::string json_path =
-      args.get_string("json-out", "BENCH_kernels.json");
-  if (!json_path.empty()) {
-    std::ofstream json(json_path);
-    if (json) {
-      json << "{\n  \"bench\": \"kernel_throughput\",\n"
-           << "  \"rows\": " << rows << ",\n"
-           << "  \"nnz\": " << plain.nnz() << ",\n"
-           << "  \"iters\": " << iters << ",\n"
-           << "  \"active_kernels\": \"" << active.name << "\",\n"
-           << "  \"blocked_format\": \""
-           << (blocked.sell() != nullptr ? "sell8" : "csr") << "\",\n"
-           << "  \"scalar_seconds\": " << scalar_seconds << ",\n"
-           << "  \"active_seconds\": " << active_seconds << ",\n"
-           << "  \"scalar_gflops\": " << scalar_gflops << ",\n"
-           << "  \"active_gflops\": " << active_gflops << ",\n"
-           << "  \"speedup\": " << speedup << ",\n"
-           << "  \"min_speedup\": " << min_speedup << ",\n"
-           << "  \"simd_available\": " << (simd ? "true" : "false") << "\n}\n";
-      std::printf("wrote %s\n", json_path.c_str());
-    }
+  {
+    bench::BenchJson json(args, "kernel_throughput", "BENCH_kernels.json");
+    json.field("rows", rows)
+        .field("nnz", plain.nnz())
+        .field("iters", iters)
+        .field("active_kernels", active.name)
+        .field("blocked_format",
+               blocked.sell() != nullptr ? "sell8" : "csr")
+        .field("scalar_seconds", scalar_seconds)
+        .field("active_seconds", active_seconds)
+        .field("scalar_gflops", scalar_gflops)
+        .field("active_gflops", active_gflops)
+        .field("speedup", speedup)
+        .field("min_speedup", min_speedup)
+        .field("simd_available", simd);
   }
 
   if (!simd) {

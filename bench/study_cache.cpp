@@ -155,23 +155,18 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\nvalues bit-identical to fresh construction: yes\n");
 
-  const std::string json_path =
-      args.get_string("json-out", "BENCH_study.json");
-  if (!json_path.empty()) {
-    std::ofstream json(json_path);
-    if (json) {
-      json << "{\n  \"bench\": \"study_cache\",\n"
-           << "  \"scenarios\": " << scenarios.size() << ",\n"
-           << "  \"jobs\": " << jobs << ",\n  \"eps\": " << eps
-           << ",\n  \"tmax\": " << tmax << ",\n"
-           << "  \"uncached_seconds\": " << uncached_seconds << ",\n"
-           << "  \"cached_seconds\": " << cached_seconds << ",\n"
-           << "  \"uncached_scenarios_per_sec\": " << uncached_rate << ",\n"
-           << "  \"cached_scenarios_per_sec\": " << cached_rate << ",\n"
-           << "  \"speedup\": " << speedup << ",\n"
-           << "  \"min_speedup\": " << min_speedup << "\n}\n";
-      std::printf("wrote %s\n", json_path.c_str());
-    }
+  {
+    bench::BenchJson json(args, "study_cache", "BENCH_study.json");
+    json.field("scenarios", scenarios.size())
+        .field("jobs", jobs)
+        .field("eps", eps)
+        .field("tmax", tmax)
+        .field("uncached_seconds", uncached_seconds)
+        .field("cached_seconds", cached_seconds)
+        .field("uncached_scenarios_per_sec", uncached_rate)
+        .field("cached_scenarios_per_sec", cached_rate)
+        .field("speedup", speedup)
+        .field("min_speedup", min_speedup);
   }
 
   if (speedup < min_speedup) {

@@ -143,29 +143,25 @@ int main(int argc, char** argv) {
       "are reduced by scenario index and bit-identical at every job count.\n"
       "Speedup saturates at min(#scenarios, hardware threads).\n");
 
-  const std::string json_path =
-      args.get_string("json-out", "BENCH_sweep.json");
-  if (!json_path.empty()) {
-    std::ofstream json(json_path);
-    if (!json) {
-      std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
-      return 1;
+  {
+    bench::BenchJson json(args, "sweep_throughput", "BENCH_sweep.json");
+    json.field("scenarios", batch.scenarios.size())
+        .field("points", points)
+        .field("tmax", tmax)
+        .field("eps", eps)
+        .field("reps", reps);
+    if (json) {
+      std::ostream& out = json.raw("results");
+      out << "[";
+      for (std::size_t i = 0; i < json_rows.size(); ++i) {
+        const JobsResult& r = json_rows[i];
+        out << (i == 0 ? "\n" : ",\n")
+            << "    {\"jobs\": " << r.jobs << ", \"seconds\": " << r.seconds
+            << ", \"scenarios_per_sec\": " << r.rate
+            << ", \"speedup\": " << r.speedup << "}";
+      }
+      out << "\n  ]";
     }
-    json << "{\n  \"bench\": \"sweep_throughput\",\n"
-         << "  \"scenarios\": " << batch.scenarios.size() << ",\n"
-         << "  \"points\": " << points << ",\n  \"tmax\": " << tmax
-         << ",\n  \"eps\": " << eps << ",\n  \"reps\": " << reps
-         << ",\n  \"hardware_threads\": " << ThreadPool::hardware_threads()
-         << ",\n  \"results\": [";
-    for (std::size_t i = 0; i < json_rows.size(); ++i) {
-      const JobsResult& r = json_rows[i];
-      json << (i == 0 ? "\n" : ",\n")
-           << "    {\"jobs\": " << r.jobs << ", \"seconds\": " << r.seconds
-           << ", \"scenarios_per_sec\": " << r.rate
-           << ", \"speedup\": " << r.speedup << "}";
-    }
-    json << "\n  ]\n}\n";
-    std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;
 }

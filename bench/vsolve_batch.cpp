@@ -125,22 +125,17 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\nvalues bit-identical to per-scenario stepping: yes\n");
 
-  const std::string json_path =
-      args.get_string("json-out", "BENCH_vsolve_batch.json");
-  if (!json_path.empty()) {
-    std::ofstream json(json_path);
-    if (json) {
-      json << "{\n  \"bench\": \"vsolve_batch\",\n"
-           << "  \"scenarios\": " << requests.size() << ",\n"
-           << "  \"eps\": " << eps << ",\n  \"tmax\": " << tmax << ",\n"
-           << "  \"serial_seconds\": " << serial_seconds << ",\n"
-           << "  \"batched_seconds\": " << batched_seconds << ",\n"
-           << "  \"serial_scenarios_per_sec\": " << serial_rate << ",\n"
-           << "  \"batched_scenarios_per_sec\": " << batched_rate << ",\n"
-           << "  \"speedup\": " << speedup << ",\n"
-           << "  \"min_speedup\": " << min_speedup << "\n}\n";
-      std::printf("wrote %s\n", json_path.c_str());
-    }
+  {
+    bench::BenchJson json(args, "vsolve_batch", "BENCH_vsolve_batch.json");
+    json.field("scenarios", requests.size())
+        .field("eps", eps)
+        .field("tmax", tmax)
+        .field("serial_seconds", serial_seconds)
+        .field("batched_seconds", batched_seconds)
+        .field("serial_scenarios_per_sec", serial_rate)
+        .field("batched_scenarios_per_sec", batched_rate)
+        .field("speedup", speedup)
+        .field("min_speedup", min_speedup);
   }
 
   if (speedup < min_speedup) {

@@ -141,21 +141,17 @@ int main(int argc, char** argv) {
   std::printf("\nreports byte-identical: yes; startup speedup %.3g\n",
               speedup);
 
-  const std::string json_path =
-      args.get_string("json-out", "BENCH_warm_start.json");
-  if (!json_path.empty()) {
-    std::ofstream json(json_path);
-    if (json) {
-      json << "{\n  \"bench\": \"warm_start\",\n"
-           << "  \"scenarios\": 16,\n  \"jobs\": " << jobs
-           << ",\n  \"eps\": " << eps << ",\n  \"tmax\": " << tmax << ",\n"
-           << "  \"cold_seconds\": " << cold_seconds << ",\n"
-           << "  \"warm_seconds\": " << warm_seconds << ",\n"
-           << "  \"disk_hits\": " << warm_stats.disk_hits << ",\n"
-           << "  \"speedup\": " << speedup << ",\n"
-           << "  \"min_speedup\": " << min_speedup << "\n}\n";
-      std::printf("wrote %s\n", json_path.c_str());
-    }
+  {
+    bench::BenchJson json(args, "warm_start", "BENCH_warm_start.json");
+    json.field("scenarios", 16)
+        .field("jobs", jobs)
+        .field("eps", eps)
+        .field("tmax", tmax)
+        .field("cold_seconds", cold_seconds)
+        .field("warm_seconds", warm_seconds)
+        .field("disk_hits", warm_stats.disk_hits)
+        .field("speedup", speedup)
+        .field("min_speedup", min_speedup);
   }
 
   if (speedup < min_speedup) {

@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
 namespace rrl {
+namespace {
+
+struct SchemaCounters {
+  metrics::Counter& hits = metrics::counter("rrl_cache_schema_hits_total");
+  metrics::Counter& builds =
+      metrics::counter("rrl_cache_schema_builds_total");
+  metrics::Counter& seeded =
+      metrics::counter("rrl_cache_schema_seeded_total");
+};
+
+SchemaCounters& schema_counters() {
+  static SchemaCounters c;
+  return c;
+}
+
+}  // namespace
 
 std::shared_ptr<CompiledSchema> SchemaCache::compile(
     RegenerativeSchema schema, bool want_transform, bool want_vmodel) {
@@ -51,6 +70,7 @@ std::shared_ptr<const CompiledSchema> SchemaCache::get(
       if (s.t == t && s.eps == eps &&
           satisfies(*s.compiled, want_transform, want_vmodel)) {
         ++stats_.hits;
+        schema_counters().hits.add(1);
         s.last_used = ++clock_;
         return s.compiled;
       }
@@ -59,8 +79,12 @@ std::shared_ptr<const CompiledSchema> SchemaCache::get(
 
   // Miss: compute outside the lock so concurrent misses on different keys
   // proceed in parallel.
-  std::shared_ptr<CompiledSchema> fresh =
-      compile(build(), want_transform, want_vmodel);
+  std::shared_ptr<CompiledSchema> fresh;
+  {
+    const trace::Span span("schema.build");
+    fresh = compile(build(), want_transform, want_vmodel);
+  }
+  schema_counters().builds.add(1);
 
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
@@ -95,6 +119,7 @@ void SchemaCache::seed(double t, double eps, RegenerativeSchema schema,
     if (s.t == t && s.eps == eps) return;  // identical by determinism
   }
   ++stats_.seeded;
+  schema_counters().seeded.add(1);
   insert(t, eps, std::move(compiled));
 }
 

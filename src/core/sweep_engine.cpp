@@ -5,14 +5,55 @@
 #include <string_view>
 
 #include "core/rr_solver.hpp"
+#include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace rrl {
 
 namespace {
 
+// Per-solve accounting in the paper's own units (Tables 1–2 compare the
+// methods by DTMC steps / truncation points / abscissae).
+struct SolveCounters {
+  metrics::Counter& solved = metrics::counter("rrl_scenarios_solved_total");
+  metrics::Counter& failed = metrics::counter("rrl_scenarios_failed_total");
+  metrics::Counter& dtmc_steps =
+      metrics::counter("rrl_solve_dtmc_steps_total");
+  metrics::Counter& vmodel_steps =
+      metrics::counter("rrl_solve_vmodel_steps_total");
+  metrics::Counter& abscissae = metrics::counter("rrl_solve_abscissae_total");
+  metrics::Counter& capped = metrics::counter("rrl_solve_capped_total");
+  metrics::Histogram& truncation =
+      metrics::histogram("rrl_solve_truncation_steps");
+};
+
+SolveCounters& solve_counters() {
+  static SolveCounters c;
+  return c;
+}
+
+void note_result(const ScenarioResult& slot) {
+  SolveCounters& c = solve_counters();
+  if (!slot.error.empty()) {
+    c.failed.add(1);
+    return;
+  }
+  c.solved.add(1);
+  const SolverStats& total = slot.report.total;
+  c.dtmc_steps.add(static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, total.dtmc_steps)));
+  c.vmodel_steps.add(static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, total.vmodel_steps)));
+  c.abscissae.add(
+      static_cast<std::uint64_t>(std::max(0, total.abscissae)));
+  if (total.capped) c.capped.add(1);
+  c.truncation.observe(static_cast<double>(total.dtmc_steps));
+}
+
 void solve_one(const SweepScenario& scenario, ScenarioResult& slot,
                SolveWorkspace& workspace) {
+  const trace::Span span("scenario.solve");
   const Stopwatch watch;
   try {
     if (scenario.shared_solver != nullptr) {
@@ -30,6 +71,7 @@ void solve_one(const SweepScenario& scenario, ScenarioResult& slot,
     if (slot.error.empty()) slot.error = "unknown error";
   }
   slot.seconds = watch.seconds();
+  note_result(slot);
 }
 
 }  // namespace
@@ -74,11 +116,17 @@ SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool,
       items.push_back(item);
     }
     const Stopwatch batch_watch;
-    solve_rr_batch(items, &pool);
+    {
+      const trace::Span span("scenario.solve_batch", batched.size());
+      solve_rr_batch(items, &pool);
+    }
     // The members shared one pass; attribute its wall-clock evenly.
     const double each =
         batch_watch.seconds() / static_cast<double>(batched.size());
-    for (const std::size_t i : batched) out.results[i].seconds = each;
+    for (const std::size_t i : batched) {
+      out.results[i].seconds = each;
+      note_result(out.results[i]);
+    }
     rest.reserve(batch.scenarios.size() - batched.size());
     std::size_t next_batched = 0;
     for (std::size_t i = 0; i < batch.scenarios.size(); ++i) {

@@ -12,10 +12,23 @@
 #include <utility>
 
 #include "support/contracts.hpp"
+#include "support/metrics.hpp"
 
 namespace rrl {
 
 namespace {
+
+// Wire-level byte accounting, shared with the worker-side raw-fd helpers
+// in study_dispatch.cpp (same metric names: one fleet-wide funnel).
+metrics::Counter& wire_bytes_in() {
+  static auto& c = metrics::counter("rrl_wire_bytes_in_total");
+  return c;
+}
+
+metrics::Counter& wire_bytes_out() {
+  static auto& c = metrics::counter("rrl_wire_bytes_out_total");
+  return c;
+}
 
 void set_cloexec(int fd) {
   int flags = ::fcntl(fd, F_GETFD);
@@ -232,6 +245,7 @@ bool FrameChannel::flush() {
                   outbox_.size() - out_off_);
     }
     if (n > 0) {
+      wire_bytes_out().add(static_cast<std::uint64_t>(n));
       out_off_ += static_cast<std::size_t>(n);
       continue;
     }
@@ -256,6 +270,7 @@ ChannelIo FrameChannel::read_some() {
   for (;;) {
     ssize_t n = ::read(read_fd_, chunk, sizeof(chunk));
     if (n > 0) {
+      wire_bytes_in().add(static_cast<std::uint64_t>(n));
       inbox_.append(chunk, static_cast<std::size_t>(n));
       return ChannelIo::kOk;
     }

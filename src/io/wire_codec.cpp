@@ -127,7 +127,7 @@ std::optional<WireFrame> decode_frame(std::string_view buffer,
   std::uint16_t type_tag = 0;
   read(&type_tag, sizeof(type_tag));
   if (type_tag < static_cast<std::uint16_t>(WireType::kHello) ||
-      type_tag > static_cast<std::uint16_t>(WireType::kArtifactData)) {
+      type_tag > static_cast<std::uint16_t>(WireType::kStatsReport)) {
     corrupt("unknown frame type");
   }
   std::uint64_t length = 0;
@@ -287,6 +287,37 @@ WireArtifactData decode_artifact_data(std::string_view payload) {
   data.blob = r.string();
   r.expect_exhausted();
   return data;
+}
+
+std::string encode_stats_report(const WireStatsReport& stats) {
+  Writer w;
+  w.scalar<std::uint64_t>(stats.units);
+  w.scalar<double>(stats.busy_seconds);
+  w.scalar<std::uint64_t>(stats.counters.size());
+  for (const auto& [name, value] : stats.counters) {
+    w.string(name);
+    w.scalar<std::uint64_t>(value);
+  }
+  return w.take();
+}
+
+WireStatsReport decode_stats_report(std::string_view payload) {
+  Reader r(payload);
+  WireStatsReport stats;
+  stats.units = r.scalar<std::uint64_t>();
+  stats.busy_seconds = r.scalar<double>();
+  const auto count = r.scalar<std::uint64_t>();
+  // Each counter needs at least its name length (8) + value (8); a count
+  // beyond the payload can only be corruption — refuse before allocating.
+  if (count > r.remaining() / 16) corrupt("oversized counter count");
+  stats.counters.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = r.string();
+    const auto value = r.scalar<std::uint64_t>();
+    stats.counters.emplace_back(std::move(name), value);
+  }
+  r.expect_exhausted();
+  return stats;
 }
 
 }  // namespace rrl

@@ -55,6 +55,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "study/study_report.hpp"
@@ -63,8 +64,9 @@ namespace rrl {
 
 /// Bumped on any frame or payload layout change so mismatched binaries
 /// refuse to talk instead of misreading each other. v2: TCP fleet —
-/// ping/artifact_request/artifact_data frames.
-inline constexpr std::uint32_t kWireProtocolVersion = 2;
+/// ping/artifact_request/artifact_data frames. v3: stats_report frames
+/// (fleet-wide observability aggregation).
+inline constexpr std::uint32_t kWireProtocolVersion = 3;
 
 enum class WireType : std::uint16_t {
   kHello = 1,     ///< worker -> parent: handshake
@@ -74,6 +76,7 @@ enum class WireType : std::uint16_t {
   kPing = 5,      ///< worker -> parent: remote heartbeat (empty payload)
   kArtifactRequest = 6,  ///< worker -> parent: solver-cache key lookup
   kArtifactData = 7,     ///< parent -> worker: artifact blob or not-found
+  kStatsReport = 8,      ///< worker -> parent: metrics snapshot
 };
 
 struct WireFrame {
@@ -140,6 +143,21 @@ struct WireArtifactData {
   std::string blob;  ///< artifact-codec bytes; empty when !found
 };
 
+/// A worker's observability snapshot, piggybacked on unit completion
+/// (sent right BEFORE each kResult, so the parent's view of a worker is
+/// current by the time it reduces the unit — including the run's last
+/// one). Counter values are ABSOLUTE for the
+/// worker process — the parent keeps the latest snapshot per worker and
+/// sums across workers for fleet totals — so a lost frame only delays
+/// the view, it never skews it. Stats frames feed DispatchReport and the
+/// `--json` / `--stats-interval-ms` views only; the reduced report never
+/// reads them (byte-identity with observability on or off).
+struct WireStatsReport {
+  std::uint64_t units = 0;       ///< units this worker has completed
+  double busy_seconds = 0.0;     ///< summed wall-clock of its unit solves
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
 /// Payload codecs (decoders throw contract_error on malformed payloads).
 [[nodiscard]] std::string encode_hello(const WireHello& hello);
 [[nodiscard]] WireHello decode_hello(std::string_view payload);
@@ -153,5 +171,7 @@ struct WireArtifactData {
     std::string_view payload);
 [[nodiscard]] std::string encode_artifact_data(const WireArtifactData& data);
 [[nodiscard]] WireArtifactData decode_artifact_data(std::string_view payload);
+[[nodiscard]] std::string encode_stats_report(const WireStatsReport& stats);
+[[nodiscard]] WireStatsReport decode_stats_report(std::string_view payload);
 
 }  // namespace rrl

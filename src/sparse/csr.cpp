@@ -5,9 +5,37 @@
 #include "sparse/sell.hpp"
 #include "sparse/spmv_kernels.hpp"
 #include "support/contracts.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 
 namespace rrl {
+namespace {
+
+// Work counters for every full product entry point (mul_vec and the
+// leading-prefix variants; apply_rows is their shared row walk and is not
+// counted again). Three relaxed adds per product — negligible against
+// even a few-hundred-state model's row sweep.
+struct SpmvCounters {
+  metrics::Counter& products = metrics::counter("rrl_spmv_products_total");
+  metrics::Counter& rows = metrics::counter("rrl_spmv_rows_total");
+  metrics::Counter& nnz = metrics::counter("rrl_spmv_nnz_total");
+};
+
+SpmvCounters& spmv_counters() {
+  static SpmvCounters c;
+  return c;
+}
+
+void note_product(const std::vector<std::int64_t>& row_ptr,
+                  index_t leading) {
+  SpmvCounters& c = spmv_counters();
+  c.products.add(1);
+  c.rows.add(static_cast<std::uint64_t>(leading));
+  c.nnz.add(static_cast<std::uint64_t>(
+      row_ptr[static_cast<std::size_t>(leading)]));
+}
+
+}  // namespace
 
 // The single shared row walk of the serial and the row-partitioned paths:
 // SELL chunks for the chunk-aligned blocked span, CSR row kernel for the
@@ -134,6 +162,7 @@ void CsrMatrix::mul_vec_with(const SpmvKernels& kernels,
   // Aliasing is only a hazard when there is output to write; empty spans
   // may legitimately share data() == nullptr.
   RRL_EXPECTS(y.empty() || x.data() != y.data());
+  note_product(row_ptr_, rows_);
   apply_rows(kernels, x, y, 0, rows_);
 }
 
@@ -154,6 +183,7 @@ void CsrMatrix::mul_vec_leading(std::span<const double> x,
   RRL_EXPECTS(leading >= 0 && leading <= rows_);
   if (leading == 0) return;  // nothing to compute, y untouched
   RRL_EXPECTS(x.data() != y.data());
+  note_product(row_ptr_, leading);
   apply_rows(active_kernels(), x, y, 0, leading);
 }
 
@@ -165,6 +195,7 @@ void CsrMatrix::mul_vec_leading(std::span<const double> x,
   RRL_EXPECTS(leading >= 0 && leading <= rows_);
   if (leading == 0) return;  // nothing to compute, y untouched
   RRL_EXPECTS(x.data() != y.data());
+  note_product(row_ptr_, leading);
   const SpmvKernels& kernels = active_kernels();
   const int workers = pool.num_threads();
   if (workers <= 1 || leading < 2 * workers) {

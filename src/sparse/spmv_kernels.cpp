@@ -9,6 +9,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "support/metrics.hpp"
+
 namespace rrl {
 namespace detail {
 
@@ -137,8 +139,13 @@ const SpmvKernels& resolve_kernels(const char* override_name) {
 }
 
 const SpmvKernels& active_kernels() {
-  static const SpmvKernels& active =
-      resolve_kernels(std::getenv("RRL_KERNEL"));
+  static const SpmvKernels& active = []() -> const SpmvKernels& {
+    const SpmvKernels& k = resolve_kernels(std::getenv("RRL_KERNEL"));
+    // 0 = scalar, 1 = avx2, 2 = avx512 — same order as KernelIsa, so the
+    // metrics view names the variant the whole process is running with.
+    metrics::gauge("rrl_spmv_kernel_isa").set(static_cast<int>(k.isa));
+    return k;
+  }();
   return active;
 }
 

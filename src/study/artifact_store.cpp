@@ -12,11 +12,24 @@
 
 #include "io/artifact_codec.hpp"
 #include "support/fnv.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace rrl {
 namespace {
 
 namespace fs = std::filesystem;
+
+struct StoreCounters {
+  metrics::Counter& loads = metrics::counter("rrl_artifact_loads_total");
+  metrics::Counter& invalid = metrics::counter("rrl_artifact_invalid_total");
+  metrics::Counter& stores = metrics::counter("rrl_artifact_stores_total");
+};
+
+StoreCounters& store_counters() {
+  static StoreCounters c;
+  return c;
+}
 
 /// FNV-1a over the exact bit patterns of every SolverConfig field — the
 /// file-name half of the key (the full key is re-verified from the
@@ -73,6 +86,7 @@ std::optional<CompiledArtifact> ArtifactStore::load(
     return std::nullopt;
   }
   try {
+    const trace::Span span("artifact.load");
     CompiledArtifact artifact = read_artifact_file(path);
     if (!artifact_matches(artifact, solver, model_hash, config)) {
       throw contract_error("artifact identity mismatch (stale entry)");
@@ -84,6 +98,7 @@ std::optional<CompiledArtifact> ArtifactStore::load(
     fs::last_write_time(path, fs::file_time_type::clock::now(), touch_ec);
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.hits;
+    store_counters().loads.add(1);
     return artifact;
   } catch (const std::exception&) {
     // Corrupt, truncated, foreign or stale: a miss, never an error — the
@@ -91,6 +106,7 @@ std::optional<CompiledArtifact> ArtifactStore::load(
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.misses;
     ++stats_.invalid;
+    store_counters().invalid.add(1);
     return std::nullopt;
   }
 }
@@ -109,6 +125,7 @@ bool ArtifactStore::store(const CompiledArtifact& artifact) const {
   temp += ".tmp" + std::to_string(static_cast<unsigned long>(::getpid())) +
           "-" + std::to_string(temp_serial.fetch_add(1));
   try {
+    const trace::Span span("artifact.store");
     fs::create_directories(target.parent_path());
     write_artifact_file(temp.string(), artifact);
     fs::rename(temp, target);
@@ -119,6 +136,7 @@ bool ArtifactStore::store(const CompiledArtifact& artifact) const {
   }
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
+  store_counters().stores.add(1);
   return true;
 }
 

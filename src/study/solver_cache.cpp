@@ -5,9 +5,35 @@
 #include <utility>
 
 #include "core/compiled_artifact.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace rrl {
 namespace {
+
+// Unified cache-tier namespace: every tier of the two-tier + fetcher
+// stack reports under rrl_cache_* so the Prometheus view (and the fleet
+// merge) reads as one funnel instead of three ad-hoc stat structs.
+struct CacheCounters {
+  metrics::Counter& mem_hits = metrics::counter("rrl_cache_memory_hits_total");
+  metrics::Counter& mem_misses =
+      metrics::counter("rrl_cache_memory_misses_total");
+  metrics::Counter& disk_hits = metrics::counter("rrl_cache_disk_hits_total");
+  metrics::Counter& disk_misses =
+      metrics::counter("rrl_cache_disk_misses_total");
+  metrics::Counter& disk_stores =
+      metrics::counter("rrl_cache_disk_stores_total");
+  metrics::Counter& fetch_hits =
+      metrics::counter("rrl_cache_fetch_hits_total");
+  metrics::Counter& fetch_misses =
+      metrics::counter("rrl_cache_fetch_misses_total");
+  metrics::Counter& compiles = metrics::counter("rrl_solver_compiles_total");
+};
+
+CacheCounters& cache_counters() {
+  static CacheCounters c;
+  return c;
+}
 
 /// The artifact's (t, eps) schema keys, sorted — the flush-time "is the
 /// disk already current" comparison (sr/rsd artifacts compare as empty,
@@ -50,9 +76,11 @@ std::shared_ptr<const TransientSolver> SolverCache::get_or_build(
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++stats_.hits;
+    cache_counters().mem_hits.add(1);
     if (tier != nullptr) *tier = CacheTier::kMemory;
     return it->second.solver;
   }
+  cache_counters().mem_misses.add(1);
   // Memory miss: consult the disk tier first (when attached and not in
   // cold mode) so a verified artifact can warm-start the construction.
   std::optional<CompiledArtifact> artifact;
@@ -62,8 +90,10 @@ std::shared_ptr<const TransientSolver> SolverCache::get_or_build(
     if (artifact.has_value()) {
       resolved = CacheTier::kDisk;
       ++stats_.disk_hits;
+      cache_counters().disk_hits.add(1);
     } else {
       ++stats_.disk_misses;
+      cache_counters().disk_misses.add(1);
     }
   }
   // Disk miss (or no disk): the fetcher hook is the last warm source —
@@ -74,22 +104,30 @@ std::shared_ptr<const TransientSolver> SolverCache::get_or_build(
     if (artifact.has_value()) {
       resolved = CacheTier::kFetched;
       ++stats_.fetch_hits;
+      cache_counters().fetch_hits.add(1);
     } else {
       ++stats_.fetch_misses;
+      cache_counters().fetch_misses.add(1);
     }
   }
   // Build under the lock: construction either throws (nothing cached) or
   // yields the immutable shared instance. The solver borrows the model's
   // chain, which the entry pins alongside it. The artifact import is part
   // of construction — it must precede any sharing across threads.
-  std::unique_ptr<TransientSolver> built =
-      make_solver(solver_name, model->file.chain, model->file.rewards,
-                  model->file.initial, config);
+  std::unique_ptr<TransientSolver> built;
   Entry entry{model, nullptr, false, {}};
-  if (artifact.has_value()) {
-    built->import_compiled(*artifact);
-    entry.imported = true;
-    entry.imported_keys = schema_keys(*artifact);
+  {
+    const trace::Span span(artifact.has_value() ? "solver.import"
+                                                : "solver.compile");
+    built = make_solver(solver_name, model->file.chain, model->file.rewards,
+                        model->file.initial, config);
+    if (artifact.has_value()) {
+      built->import_compiled(*artifact);
+      entry.imported = true;
+      entry.imported_keys = schema_keys(*artifact);
+    } else {
+      cache_counters().compiles.add(1);
+    }
   }
   std::shared_ptr<const TransientSolver> solver = std::move(built);
   ++stats_.misses;
@@ -167,6 +205,7 @@ std::size_t SolverCache::flush_to_store() {
     if (store_->store(artifact)) {
       ++written;
       ++stats_.disk_stores;
+      cache_counters().disk_stores.add(1);
     }
   }
   return written;

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -24,12 +25,32 @@
 #include "io/net_transport.hpp"
 #include "io/wire_codec.hpp"
 #include "study/study_exec.hpp"
+#include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace rrl {
 namespace {
 
 using SteadyClock = std::chrono::steady_clock;
+
+// Parent-side dispatch-loop counters (the worker side reports its own
+// process's counters over the wire; these are the orchestrator's).
+struct DispatchCounters {
+  metrics::Counter& assigned =
+      metrics::counter("rrl_dispatch_units_assigned_total");
+  metrics::Counter& requeued =
+      metrics::counter("rrl_dispatch_units_requeued_total");
+  metrics::Counter& heartbeats =
+      metrics::counter("rrl_dispatch_heartbeats_total");
+  metrics::Counter& stats_frames =
+      metrics::counter("rrl_dispatch_stats_frames_total");
+};
+
+DispatchCounters& dispatch_counters() {
+  static DispatchCounters c;
+  return c;
+}
 
 // ---- fd helpers for the worker side (the parent side goes through
 // FrameChannel, io/net_transport.hpp).
@@ -47,6 +68,10 @@ bool write_all(int fd, const std::string& bytes) {
     }
     off += static_cast<std::size_t>(n);
   }
+  // Same funnel as FrameChannel's counter (net_transport.cpp): workers
+  // write their half of the wire through raw fds.
+  static auto& bytes_out = metrics::counter("rrl_wire_bytes_out_total");
+  bytes_out.add(off);
   return true;
 }
 
@@ -57,7 +82,11 @@ ssize_t read_chunk(int fd, std::string& buffer) {
   for (;;) {
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
-    if (n > 0) buffer.append(chunk, static_cast<std::size_t>(n));
+    if (n > 0) {
+      static auto& bytes_in = metrics::counter("rrl_wire_bytes_in_total");
+      bytes_in.add(static_cast<std::uint64_t>(n));
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
     return n;
   }
 }
@@ -96,6 +125,9 @@ struct Peer {
   bool alive = false;
   /// Index into plan.units of the in-flight unit; npos = idle.
   std::size_t busy_unit = kIdle;
+  /// Index into DispatchReport::worker_stats; kIdle until the entry is
+  /// created (locals at spawn, remotes when their handshake passes).
+  std::size_t stats_index = kIdle;
   /// Last byte received (remote liveness; pipes don't use it).
   SteadyClock::time_point last_heard;
 
@@ -172,6 +204,7 @@ DispatchReport dispatch_study(const StudyPlan& plan,
   }
   const Stopwatch watch;
   const ScopedIgnoreSigpipe sigpipe_guard;
+  const trace::Span dispatch_span("dispatch.run", plan.units.size());
 
   // Longest-processing-time handout order: expensive units first, so the
   // heaviest model starts immediately and the cheap tail back-fills the
@@ -192,6 +225,72 @@ DispatchReport dispatch_study(const StudyPlan& plan,
   std::size_t units_reduced = 0;
   bool waiting_noted = false;
 
+  // Observability clock: scenarios/sec and busy fractions in the live
+  // stats lines are measured against dispatch start.
+  const SteadyClock::time_point started = SteadyClock::now();
+  SteadyClock::time_point next_stats =
+      options.stats_interval_ms > 0
+          ? started + std::chrono::milliseconds(options.stats_interval_ms)
+          : SteadyClock::time_point::max();
+
+  const auto new_worker_stats = [&](bool remote) {
+    WorkerStats stats;
+    stats.remote = remote;
+    std::size_t ordinal = 0;
+    for (const WorkerStats& w : report.worker_stats) {
+      if (w.remote == remote) ++ordinal;
+    }
+    stats.label = (remote ? "remote-" : "local-") + std::to_string(ordinal);
+    report.worker_stats.push_back(std::move(stats));
+    return report.worker_stats.size() - 1;
+  };
+
+  // One live progress line on stderr (--stats-interval-ms): fleet
+  // position, throughput, per-worker busy fractions ("x" marks a lost
+  // worker), and the merged cache-tier funnel from the workers' latest
+  // snapshots. Purely observational.
+  const auto print_stats_line = [&] {
+    const double elapsed =
+        std::chrono::duration<double>(SteadyClock::now() - started).count();
+    std::size_t in_flight = 0;
+    for (const Peer& peer : peers) {
+      if (peer.alive && peer.busy_unit != Peer::kIdle) ++in_flight;
+    }
+    std::vector<std::pair<std::string, std::uint64_t>> merged;
+    for (const WorkerStats& w : report.worker_stats) {
+      metrics::merge_counters(merged, w.counters);
+    }
+    const auto counter = [&](std::string_view name) -> unsigned long long {
+      for (const auto& [n, v] : merged) {
+        if (n == name) return static_cast<unsigned long long>(v);
+      }
+      return 0;
+    };
+    std::string busy;
+    for (const WorkerStats& w : report.worker_stats) {
+      if (!busy.empty()) busy += '/';
+      if (w.lost) busy += 'x';
+      char frac[32];
+      std::snprintf(frac, sizeof(frac), "%.0f%%",
+                    elapsed > 0.0 ? 100.0 * w.busy_seconds / elapsed : 0.0);
+      busy += frac;
+    }
+    std::fprintf(
+        stderr,
+        "stats: %zu/%zu units done (%zu queued, %zu in flight), "
+        "%llu scenarios, %.1f/sec, busy %s, cache mem %llu disk %llu "
+        "fetch %llu cold %llu\n",
+        units_reduced, plan.units.size(), queue.size(), in_flight,
+        static_cast<unsigned long long>(report.scenarios),
+        elapsed > 0.0 ? static_cast<double>(report.scenarios) / elapsed
+                      : 0.0,
+        busy.empty() ? "-" : busy.c_str(),
+        counter("rrl_cache_memory_hits_total"),
+        counter("rrl_cache_disk_hits_total"),
+        counter("rrl_cache_fetch_hits_total"),
+        counter("rrl_solver_compiles_total"));
+  };
+
   // Bury a peer: close its channel, reap it (local), and put any
   // in-flight unit back at the head of the queue (it is the oldest — and
   // statistically the most expensive — outstanding work). For a local
@@ -211,9 +310,13 @@ DispatchReport dispatch_study(const StudyPlan& plan,
       ::waitpid(peer.pid, &status, 0);
     }
     ++report.workers_lost;
+    if (peer.stats_index != Peer::kIdle) {
+      report.worker_stats[peer.stats_index].lost = true;
+    }
     if (peer.busy_unit != Peer::kIdle) {
       queue.push_front(peer.busy_unit);
       ++report.redispatched;
+      dispatch_counters().requeued.add(1);
       peer.busy_unit = Peer::kIdle;
     }
   };
@@ -249,6 +352,7 @@ DispatchReport dispatch_study(const StudyPlan& plan,
     }
     queue.pop_front();
     peer.busy_unit = unit_index;
+    dispatch_counters().assigned.add(1);
     return true;
   };
 
@@ -295,9 +399,13 @@ DispatchReport dispatch_study(const StudyPlan& plan,
               "study file change, or do the binaries differ?)");
         }
         peer.greeted = true;
-        if (peer.remote) ++report.remote_workers;
+        if (peer.remote) {
+          ++report.remote_workers;
+          peer.stats_index = new_worker_stats(/*remote=*/true);
+        }
         (void)assign_next(peer);
       } else if (frame->type == WireType::kResult) {
+        const trace::Span span("unit.reduce", frame->payload.size());
         WireResult result = decode_result(frame->payload);
         if (peer.busy_unit == Peer::kIdle ||
             plan.units[peer.busy_unit].id != result.unit) {
@@ -307,13 +415,30 @@ DispatchReport dispatch_study(const StudyPlan& plan,
         const WorkUnit& unit = plan.units[peer.busy_unit];
         peer.busy_unit = Peer::kIdle;
         report.worker_seconds += result.seconds;
+        if (peer.stats_index != Peer::kIdle) {
+          WorkerStats& stats = report.worker_stats[peer.stats_index];
+          ++stats.units;
+          stats.scenarios += unit.count;
+          stats.busy_seconds += result.seconds;
+        }
         reducer.add_unit(unit.first, unit.count, std::move(result.rows));
         ++units_reduced;
         report.scenarios += unit.count;
         (void)assign_next(peer);
+      } else if (frame->type == WireType::kStatsReport) {
+        // The worker's latest process-wide counter snapshot, piggybacked
+        // on unit completion. Absolute values: keep the newest only.
+        // Observability only — never touches the reducer.
+        const WireStatsReport stats = decode_stats_report(frame->payload);
+        dispatch_counters().stats_frames.add(1);
+        if (peer.stats_index != Peer::kIdle) {
+          report.worker_stats[peer.stats_index].counters = stats.counters;
+        }
       } else if (frame->type == WireType::kPing) {
         // Liveness only; last_heard was refreshed by the read itself.
+        dispatch_counters().heartbeats.add(1);
       } else if (frame->type == WireType::kArtifactRequest) {
+        const trace::Span span("artifact.serve");
         const WireArtifactRequest request =
             decode_artifact_request(frame->payload);
         ++report.artifact_requests;
@@ -358,7 +483,9 @@ DispatchReport dispatch_study(const StudyPlan& plan,
             options.worker_extra_args[i];
         argv.insert(argv.end(), extra.begin(), extra.end());
       }
-      peers.push_back(spawn_worker(argv));
+      Peer peer = spawn_worker(argv);
+      peer.stats_index = new_worker_stats(/*remote=*/false);
+      peers.push_back(std::move(peer));
     }
 
     while (units_reduced < plan.units.size()) {
@@ -429,6 +556,16 @@ DispatchReport dispatch_study(const StudyPlan& plan,
           if (timeout_ms < 0 || clamped < timeout_ms) timeout_ms = clamped;
         }
       }
+      // ... nor past the next live-stats line.
+      if (options.stats_interval_ms > 0) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                next_stats - SteadyClock::now())
+                .count();
+        const int clamped =
+            remaining < 0 ? 0 : static_cast<int>(remaining) + 1;
+        if (timeout_ms < 0 || clamped < timeout_ms) timeout_ms = clamped;
+      }
 
       const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
       if (ready < 0) {
@@ -497,6 +634,15 @@ DispatchReport dispatch_study(const StudyPlan& plan,
           }
         }
       }
+
+      // Live stats line, at most one per interval (a burst of traffic
+      // that overshoots several deadlines prints once and re-anchors).
+      if (options.stats_interval_ms > 0 && now >= next_stats) {
+        print_stats_line();
+        const auto interval =
+            std::chrono::milliseconds(options.stats_interval_ms);
+        while (next_stats <= now) next_stats += interval;
+      }
     }
   } catch (...) {
     // Fatal dispatch error: tear the fleet down before propagating so no
@@ -552,6 +698,12 @@ DispatchReport dispatch_study(const StudyPlan& plan,
   report.units = units_reduced;
   report.failed_scenarios = reducer.failed_scenarios();
   report.seconds = watch.seconds();
+  // Fleet totals: each worker's counters are absolute for its process, so
+  // summing the latest snapshots is the whole fleet's funnel.
+  for (const WorkerStats& stats : report.worker_stats) {
+    metrics::merge_counters(report.fleet_counters, stats.counters);
+  }
+  if (options.stats_interval_ms > 0) print_stats_line();
   return report;
 }
 
@@ -751,6 +903,7 @@ int run_worker_loop(const StudyPlan& plan, SolverCache& cache,
   std::vector<SolveWorkspace> workspaces;
 
   int executed = 0;
+  double busy_seconds = 0.0;
   for (;;) {
     const std::optional<WireFrame> frame = link.next_frame();
     if (!frame.has_value()) {
@@ -808,7 +961,10 @@ int run_worker_loop(const StudyPlan& plan, SolverCache& cache,
     // Publish freshly compiled artifacts before replying: a fleet peer
     // pointed at the same cache-dir can then warm-start this model while
     // the run is still in progress. No-op without an attached store.
-    cache.flush_to_store();
+    {
+      const trace::Span span("artifact.flush");
+      cache.flush_to_store();
+    }
 
     const bool deaf_now = options.deaf_after_units >= 0 &&
                           executed + 1 >= options.deaf_after_units;
@@ -827,11 +983,31 @@ int run_worker_loop(const StudyPlan& plan, SolverCache& cache,
     result.unit = unit.id;
     result.seconds = unit_watch.seconds();
     result.rows = slice_rows(slice, plan.grids);
-    if (!link.write_frame(encode_frame(WireType::kResult,
-                                       encode_result(result)))) {
-      return 1;
-    }
     ++executed;
+    busy_seconds += result.seconds;
+
+    // Piggyback this process's observability snapshot on the completion,
+    // sent BEFORE the result frame: frames arrive in order, so when the
+    // parent reduces this unit (possibly the run's last, after which it
+    // stops reading us) it has already stored the snapshot that covers
+    // it — final fleet totals miss nothing. Counter values are absolute,
+    // so a frame lost with its worker only delays the parent's view.
+    // Best-effort: a failed write here means the parent is gone, which
+    // the result write below surfaces anyway.
+    WireStatsReport stats;
+    stats.units = static_cast<std::uint64_t>(executed);
+    stats.busy_seconds = busy_seconds;
+    stats.counters = metrics::snapshot().counters;
+    (void)link.write_frame(
+        encode_frame(WireType::kStatsReport, encode_stats_report(stats)));
+
+    {
+      const trace::Span span("wire.result.send", result.rows.size());
+      if (!link.write_frame(encode_frame(WireType::kResult,
+                                         encode_result(result)))) {
+        return 1;
+      }
+    }
 
     if (deaf_now) {
       for (;;) ::pause();

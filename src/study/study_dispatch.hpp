@@ -62,6 +62,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "study/artifact_store.hpp"
@@ -95,6 +96,28 @@ struct DispatchOptions {
   /// request answered "not found"; the worker compiles locally).
   /// Caller-owned; must outlive the dispatch.
   const ArtifactStore* artifact_store = nullptr;
+  /// > 0: print a live progress line (units done/queued, scenarios/sec,
+  /// per-worker busy fraction, cache tiers) to stderr about this often.
+  /// Observability only — the reduced report is unaffected.
+  int stats_interval_ms = 0;
+};
+
+/// Per-worker accounting aggregated from kResult frames (units, busy
+/// seconds) and the latest kStatsReport snapshot (counters). A worker's
+/// counters are ABSOLUTE values for its process, so fleet totals are the
+/// sum of every worker's latest snapshot (see DispatchReport::
+/// fleet_counters); `busy_seconds / DispatchReport::seconds` is the
+/// worker's busy fraction over the run.
+struct WorkerStats {
+  std::string label;         ///< "local-N" or "remote-N"
+  bool remote = false;
+  bool lost = false;         ///< died or timed out mid-run
+  std::size_t units = 0;     ///< units this worker completed
+  std::uint64_t scenarios = 0;  ///< scenarios across those units
+  double busy_seconds = 0.0;    ///< summed per-unit solve wall-clock
+  /// Latest metrics snapshot the worker piggybacked on a result (empty
+  /// until its first completed unit).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
 /// Parent-side outcome accounting.
@@ -115,6 +138,12 @@ struct DispatchReport {
   /// parallel efficiency — low values mean spawn/handshake overhead or
   /// tail idling dominated.
   double worker_seconds = 0.0;
+  /// One entry per worker that ever passed the handshake (locals first,
+  /// remotes in join order). sum of .units over the entries == `units`.
+  std::vector<WorkerStats> worker_stats;
+  /// Fleet-wide counter totals: every worker's LATEST snapshot summed by
+  /// name. Empty when no worker ever reported (e.g. an empty plan).
+  std::vector<std::pair<std::string, std::uint64_t>> fleet_counters;
 };
 
 /// Spawn the local worker fleet (and accept remote joiners when

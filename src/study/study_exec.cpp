@@ -1,5 +1,8 @@
 #include "study/study_exec.hpp"
 
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
 namespace rrl {
 
 ExecutedSlice execute_scenarios(const StudyPlan& plan,
@@ -7,6 +10,12 @@ ExecutedSlice execute_scenarios(const StudyPlan& plan,
                                 SolverCache& cache,
                                 const ExecOptions& options, ThreadPool* pool,
                                 std::vector<SolveWorkspace>* workspaces) {
+  const trace::Span span("slice.execute", positions.size());
+  static auto& slices = metrics::counter("rrl_exec_slices_total");
+  static auto& scenarios_in =
+      metrics::counter("rrl_exec_scenarios_total");
+  slices.add(1);
+  scenarios_in.add(positions.size());
   const SolverCacheStats cache_before = cache.stats();
 
   ExecutedSlice slice;
@@ -84,6 +93,9 @@ ExecutedSlice execute_unit(const StudyPlan& plan, const WorkUnit& unit,
                            std::vector<SolveWorkspace>* workspaces) {
   RRL_EXPECTS(unit.count > 0 &&
               unit.first + unit.count <= plan.scenarios.size());
+  const trace::Span span("unit.execute", unit.id);
+  static auto& units = metrics::counter("rrl_exec_units_total");
+  units.add(1);
   std::vector<std::size_t> positions(unit.count);
   for (std::size_t i = 0; i < unit.count; ++i) positions[i] = unit.first + i;
   return execute_scenarios(plan, positions, cache, options, pool,

@@ -1,0 +1,204 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace rrl::metrics {
+namespace {
+
+// One registry per instrument kind. std::map nodes never move, so the
+// references handed out stay valid as the registry grows. The mutex only
+// guards registration and snapshotting — increments go straight to the
+// atomics.
+//
+// Instrument kinds share one namespace: registering "x" as a counter and
+// again as a gauge is a programming error (the exposition format would
+// emit two conflicting TYPE lines), detected here and fatal.
+enum class Kind : int { kCounter, kGauge, kHistogram };
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Kind, std::less<>> kinds;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+void check_kind(Registry& r, std::string_view name, Kind kind) {
+  const auto it = r.kinds.find(name);
+  if (it == r.kinds.end()) {
+    r.kinds.emplace(std::string(name), kind);
+  } else if (it->second != kind) {
+    std::fprintf(stderr,
+                 "rrl metrics: instrument '%.*s' registered as two "
+                 "different kinds\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+}
+
+template <class T>
+T& get_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& m,
+                 std::string_view name) {
+  auto it = m.find(name);
+  if (it == m.end()) {
+    it = m.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> (C++20) — no CAS loop needed here.
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  int k = 0;
+  if (v > 0.0 && std::isfinite(v)) {
+    int exp = 0;
+    std::frexp(v, &exp);  // v = m * 2^exp with m in [0.5, 1)
+    k = std::clamp(exp - kMinExponent, 0, kBuckets - 1);
+  } else if (!(v <= 0.0)) {  // NaN / +inf land in the overflow bucket
+    k = kBuckets - 1;
+  }
+  buckets_[static_cast<std::size_t>(k)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+}
+
+double Histogram::bucket_bound(int k) noexcept {
+  return std::ldexp(1.0, k + kMinExponent);
+}
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  check_kind(r, name, Kind::kCounter);
+  return get_or_create(r.counters, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  check_kind(r, name, Kind::kGauge);
+  return get_or_create(r.gauges, name);
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  check_kind(r, name, Kind::kHistogram);
+  return get_or_create(r.histograms, name);
+}
+
+std::uint64_t MetricsSnapshot::value(std::string_view counter_name) const {
+  const auto it = std::lower_bound(
+      counters.begin(), counters.end(), counter_name,
+      [](const auto& entry, std::string_view key) {
+        return entry.first < key;
+      });
+  if (it != counters.end() && it->first == counter_name) return it->second;
+  return 0;
+}
+
+MetricsSnapshot snapshot() {
+  Registry& r = registry();
+  MetricsSnapshot snap;
+  std::lock_guard lock(r.mutex);
+  snap.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    for (int k = 0; k < Histogram::kBuckets; ++k) {
+      hs.buckets[static_cast<std::size_t>(k)] = h->bucket(k);
+    }
+    snap.histograms.emplace_back(name, hs);
+  }
+  // std::map iterates in name order already; the contract says sorted.
+  return snap;
+}
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snap) {
+  char buf[256];
+  for (const auto& [name, value] : snap.counters) {
+    std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %" PRIu64 "\n",
+                  name.c_str(), name.c_str(), value);
+    out << buf;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %" PRId64 "\n",
+                  name.c_str(), name.c_str(), value);
+    out << buf;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::snprintf(buf, sizeof(buf), "# TYPE %s histogram\n", name.c_str());
+    out << buf;
+    std::uint64_t cumulative = 0;
+    for (int k = 0; k < Histogram::kBuckets; ++k) {
+      cumulative += h.buckets[static_cast<std::size_t>(k)];
+      if (h.buckets[static_cast<std::size_t>(k)] == 0 &&
+          k != Histogram::kBuckets - 1) {
+        continue;  // keep the exposition compact: only occupied buckets
+      }
+      if (k == Histogram::kBuckets - 1) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+                      cumulative);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%s_bucket{le=\"%.9g\"} %" PRIu64 "\n", name.c_str(),
+                      Histogram::bucket_bound(k), cumulative);
+      }
+      out << buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_sum %.17g\n%s_count %" PRIu64 "\n",
+                  name.c_str(), h.sum, name.c_str(), h.count);
+    out << buf;
+  }
+}
+
+bool write_prometheus_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  write_prometheus(out, snapshot());
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void merge_counters(
+    std::vector<std::pair<std::string, std::uint64_t>>& into,
+    const std::vector<std::pair<std::string, std::uint64_t>>& from) {
+  for (const auto& [name, value] : from) {
+    auto it = std::find_if(into.begin(), into.end(), [&](const auto& e) {
+      return e.first == name;
+    });
+    if (it == into.end()) {
+      into.emplace_back(name, value);
+    } else {
+      it->second += value;
+    }
+  }
+  std::sort(into.begin(), into.end());
+}
+
+}  // namespace rrl::metrics

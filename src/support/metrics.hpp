@@ -1,0 +1,159 @@
+// Process-wide always-on metrics registry.
+//
+// The paper's own evaluation is counter-driven — Tables 1–2 compare the
+// methods by randomization steps and truncation points — so the engine
+// keeps the same accounting about itself, cheaply enough to leave on in
+// production (the netdata global-statistics idiom: plain relaxed atomics,
+// no locks anywhere near a hot path).
+//
+// Usage pattern at an instrumentation site:
+//
+//   static auto& c = metrics::counter("rrl_scenarios_solved_total");
+//   c.add(1);
+//
+// The registry lookup happens once per call site (function-local static);
+// after that an increment is a single relaxed fetch_add on a cache-line-
+// padded atomic. Registration is mutex-protected but returns references
+// with stable addresses for the life of the process (instruments are
+// never deleted), so call sites may cache them freely across threads.
+//
+// Three instrument kinds:
+//   Counter    monotone u64 (events, bytes, steps)
+//   Gauge      last-written i64 (pool size, kernel ISA, queue depth)
+//   Histogram  log2-bucketed distribution of doubles + count + sum
+//              (per-solve truncation steps, unit seconds)
+//
+// snapshot() copies every instrument into plain structs; the snapshot is
+// what gets formatted (write_prometheus), shipped over the wire by fleet
+// workers (kStatsReport frames), and merged across processes
+// (merge_counters). Metrics NEVER feed back into solver results: the
+// reduced report of a study is byte-identical with metrics read or
+// ignored, at any fleet size.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rrl::metrics {
+
+/// Monotonically increasing event counter (relaxed; readers tolerate any
+/// interleaving — totals are exact once writers quiesce).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written signed value (set wins; add for up/down adjustments).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(64) std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative doubles. Bucket k counts
+/// observations v with upper bound 2^(k + kMinExponent); the first bucket
+/// also absorbs everything smaller, the last everything larger. With
+/// kMinExponent = -20 the buckets span ~1 microsecond to ~4000 seconds
+/// when observations are in seconds — wide enough for both per-solve step
+/// counts and wall-clock durations.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 33;
+  static constexpr int kMinExponent = -20;
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(int k) const noexcept {
+    return buckets_[static_cast<std::size_t>(k)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Upper bound of bucket k (= 2^(k + kMinExponent)); the last bucket
+  /// is unbounded (+inf in the exposition format).
+  [[nodiscard]] static double bucket_bound(int k) noexcept;
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// The instrument named `name`, creating it on first use. The returned
+/// reference is valid for the life of the process; call sites should
+/// cache it (function-local static) so the registry lock is off the hot
+/// path. Requesting the same name as two different kinds is a contract
+/// violation and aborts.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// Plain-struct copy of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+/// Taken with relaxed loads: concurrent writers may or may not be
+/// visible, but each value is a real value the instrument held.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Value of the named counter, or 0 when it was never registered —
+  /// absent and never-incremented are indistinguishable by design.
+  [[nodiscard]] std::uint64_t value(std::string_view counter_name) const;
+};
+
+[[nodiscard]] MetricsSnapshot snapshot();
+
+/// Prometheus text exposition (version 0.0.4): `# TYPE` headers, one
+/// sample per line, histograms as cumulative `_bucket{le=...}` series
+/// plus `_sum`/`_count`. The future daemon's `/metrics` endpoint is a
+/// thin wrapper over this.
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snap);
+
+/// Write the current snapshot to `path` in Prometheus text format.
+/// Returns false if the file could not be written.
+bool write_prometheus_file(const std::string& path);
+
+/// Sum `from` into `into` by counter name (names absent from `into` are
+/// appended). Counters are per-process absolute values, so summing the
+/// latest snapshot of every fleet member yields fleet totals.
+void merge_counters(
+    std::vector<std::pair<std::string, std::uint64_t>>& into,
+    const std::vector<std::pair<std::string, std::uint64_t>>& from);
+
+}  // namespace rrl::metrics

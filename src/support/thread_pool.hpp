@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "support/contracts.hpp"
+#include "support/metrics.hpp"
 
 namespace rrl {
 
@@ -125,6 +126,12 @@ class ThreadPool {
 
   void run(std::size_t count, void* ctx, BodyFn fn) {
     if (count == 0) return;
+    // Task accounting: one loop, `count` indices — whether it runs inline
+    // or across the workers (the split is visible via num_threads()).
+    static auto& loops = metrics::counter("rrl_pool_loops_total");
+    static auto& indices = metrics::counter("rrl_pool_indices_total");
+    loops.add(1);
+    indices.add(count);
     if (num_threads_ == 1 || count == 1 || in_region_) {
       // Inline on the caller, with the same drain-then-rethrow exception
       // contract as the threaded path. Reentrant calls (in_region_) land

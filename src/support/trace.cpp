@@ -1,0 +1,142 @@
+#include "support/trace.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rrl::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t start_us;
+  std::uint64_t dur_us;
+  std::uint64_t arg;
+};
+
+// Per-thread event buffer, registered once in a global list. The owning
+// thread appends; flushers read — both under the buffer's own mutex,
+// which is uncontended except during a flush. Buffers are never removed
+// (a dead thread's events must survive until the flush), so the list
+// only grows; tids are small sequential ids assigned at registration.
+struct ThreadBuffer {
+  std::mutex mutex;
+  int tid = 0;
+  std::vector<Event> events;
+};
+
+struct Global {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  int next_tid = 1;
+};
+
+Global& global() {
+  static Global* g = new Global();  // leaked: outlives thread exit order
+  return *g;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* tls = [] {
+    Global& g = global();
+    std::lock_guard lock(g.mutex);
+    g.buffers.push_back(std::make_unique<ThreadBuffer>());
+    g.buffers.back()->tid = g.next_tid++;
+    return g.buffers.back().get();
+  }();
+  return *tls;
+}
+
+// One steady-clock anchor per process so every thread's timestamps share
+// an origin (Chrome traces want a common monotonic timeline).
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - process_epoch())
+          .count());
+}
+
+void record(const char* name, std::uint64_t start_us, std::uint64_t dur_us,
+            std::uint64_t arg) noexcept {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard lock(buf.mutex);
+  buf.events.push_back(Event{name, start_us, dur_us, arg});
+}
+
+}  // namespace detail
+
+void enable() noexcept {
+  process_epoch();  // pin the timeline origin before the first span
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() noexcept {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void reset() {
+  Global& g = global();
+  std::lock_guard lock(g.mutex);
+  for (auto& buf : g.buffers) {
+    std::lock_guard inner(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+std::size_t write_chrome_trace(std::ostream& out) {
+  Global& g = global();
+  const long pid = static_cast<long>(::getpid());
+  std::size_t written = 0;
+  char buf[256];
+  out << "{\"traceEvents\":[";
+  {
+    std::lock_guard lock(g.mutex);
+    for (auto& tb : g.buffers) {
+      std::lock_guard inner(tb->mutex);
+      for (const Event& e : tb->events) {
+        if (written != 0) out << ",";
+        std::snprintf(buf, sizeof(buf),
+                      "\n{\"name\":\"%s\",\"cat\":\"rrl\",\"ph\":\"X\","
+                      "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                      ",\"pid\":%ld,\"tid\":%d,\"args\":{\"v\":%" PRIu64
+                      "}}",
+                      e.name, e.start_us, e.dur_us, pid, tb->tid, e.arg);
+        out << buf;
+        ++written;
+      }
+      tb->events.clear();
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return written;
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  write_chrome_trace(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace rrl::trace

@@ -22,6 +22,7 @@
 #include "models/multiproc.hpp"
 #include "models/raid5.hpp"
 #include "rrl.hpp"
+#include "support/trace.hpp"
 
 namespace rrl {
 namespace {
@@ -141,6 +142,68 @@ TEST(Dispatch, ServeReportByteIdenticalForOneAndThreeWorkers) {
     EXPECT_EQ(out.str(), reference)
         << "serve report diverged with " << workers << " workers";
   }
+}
+
+std::uint64_t fleet_value(const DispatchReport& report,
+                          const std::string& name) {
+  for (const auto& [counter, value] : report.fleet_counters) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+TEST(Dispatch, WorkerStatsAccountEveryUnitAndObservabilityKeepsBytes) {
+  const std::string binary = rrl_solve_path();
+  if (binary.empty()) GTEST_SKIP() << "rrl_solve not built";
+  const TempDir dir;
+  const fs::path study = write_fleet_study(dir);
+  const std::string reference = reference_csv(study);
+
+  const StudySpec spec = read_study_file(study.string());
+  ModelRepository repository;
+  const StudyPlan plan = build_study_plan(spec, repository);
+
+  // Observability fully armed in the parent — tracing on, live stats
+  // lines at a fast cadence — must not move the reduced report by a byte.
+  trace::enable();
+  std::ostringstream out;
+  StudyReducer reducer(out, plan.total_scenarios);
+  DispatchOptions options = worker_fleet(binary, study, 3);
+  options.stats_interval_ms = 50;
+  const DispatchReport report = dispatch_study(plan, options, reducer);
+  trace::disable();
+  trace::reset();
+
+  EXPECT_EQ(out.str(), reference)
+      << "observability perturbed the reduced report";
+
+  // Per-worker accounting: one entry per spawned worker, every unit and
+  // scenario attributed to exactly one of them, busy time positive.
+  ASSERT_EQ(report.worker_stats.size(), 3u);
+  std::size_t units = 0;
+  std::uint64_t scenarios = 0;
+  double busy = 0.0;
+  for (const WorkerStats& ws : report.worker_stats) {
+    EXPECT_EQ(ws.label.rfind("local-", 0), 0u) << ws.label;
+    EXPECT_FALSE(ws.remote);
+    EXPECT_FALSE(ws.lost);
+    units += ws.units;
+    scenarios += ws.scenarios;
+    busy += ws.busy_seconds;
+  }
+  EXPECT_EQ(units, report.units);
+  EXPECT_EQ(scenarios, report.scenarios);
+  EXPECT_GT(busy, 0.0);
+  EXPECT_NEAR(busy, report.worker_seconds,
+              1e-9 * (1.0 + report.worker_seconds));
+
+  // Fleet totals merge every worker's LATEST snapshot; the stats frame
+  // precedes its result frame, so the merged counters cover every unit
+  // and every scenario the fleet executed.
+  EXPECT_EQ(fleet_value(report, "rrl_exec_units_total"), report.units);
+  EXPECT_EQ(fleet_value(report, "rrl_scenarios_solved_total"),
+            report.scenarios);
+  EXPECT_GT(fleet_value(report, "rrl_solve_dtmc_steps_total"), 0u);
 }
 
 TEST(Dispatch, WorkerKilledMidRunIsRedispatchedAndReportIsByteIdentical) {

@@ -1,0 +1,171 @@
+// Metrics registry: register-once stable references, counter / gauge /
+// histogram semantics, snapshot consistency, Prometheus text formatting,
+// cross-process counter merging, and — the reason this test is on the
+// thread-sanitizer target list — concurrent increments from pool workers
+// racing a snapshot reader without a data race.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rrl {
+namespace {
+
+// The registry is process-global and shared with every other test in this
+// binary, so each test uses its own metric names and reads them back via
+// MetricsSnapshot::value() rather than comparing whole snapshots.
+
+TEST(Metrics, RegistrationReturnsStableReferences) {
+  metrics::Counter& a = metrics::counter("test_metrics_stable_total");
+  metrics::Counter& b = metrics::counter("test_metrics_stable_total");
+  EXPECT_EQ(&a, &b);
+
+  metrics::Gauge& g1 = metrics::gauge("test_metrics_stable_gauge");
+  metrics::Gauge& g2 = metrics::gauge("test_metrics_stable_gauge");
+  EXPECT_EQ(&g1, &g2);
+
+  metrics::Histogram& h1 = metrics::histogram("test_metrics_stable_hist");
+  metrics::Histogram& h2 = metrics::histogram("test_metrics_stable_hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Metrics, CounterAccumulatesAndSnapshotSeesIt) {
+  metrics::Counter& c = metrics::counter("test_metrics_counter_total");
+  const std::uint64_t before = c.value();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), before + 42);
+  EXPECT_EQ(metrics::snapshot().value("test_metrics_counter_total"),
+            before + 42);
+}
+
+TEST(Metrics, GaugeSetWinsAndAddAdjusts) {
+  metrics::Gauge& g = metrics::gauge("test_metrics_gauge");
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.set(2);
+  EXPECT_EQ(g.value(), 2);
+
+  const metrics::MetricsSnapshot snap = metrics::snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "test_metrics_gauge") {
+      found = true;
+      EXPECT_EQ(value, 2);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, AbsentCounterReadsAsZero) {
+  EXPECT_EQ(metrics::snapshot().value("test_metrics_never_registered"), 0u);
+}
+
+TEST(Metrics, HistogramCountsSumsAndBuckets) {
+  metrics::Histogram& h = metrics::histogram("test_metrics_hist");
+  const std::uint64_t count_before = h.count();
+  const double sum_before = h.sum();
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(1e9);  // beyond the last bound: absorbed by the last bucket
+  h.observe(0.0);  // below the first bound: absorbed by the first bucket
+  EXPECT_EQ(h.count(), count_before + 4);
+  EXPECT_DOUBLE_EQ(h.sum(), sum_before + 0.5 + 1.5 + 1e9);
+
+  // Every observation lands in exactly one bucket.
+  std::uint64_t total = 0;
+  for (int k = 0; k < metrics::Histogram::kBuckets; ++k) total += h.bucket(k);
+  EXPECT_EQ(total, h.count());
+
+  // Bounds double per bucket; the first is 2^kMinExponent.
+  EXPECT_DOUBLE_EQ(metrics::Histogram::bucket_bound(0),
+                   std::ldexp(1.0, metrics::Histogram::kMinExponent));
+  EXPECT_DOUBLE_EQ(metrics::Histogram::bucket_bound(5),
+                   2.0 * metrics::Histogram::bucket_bound(4));
+}
+
+TEST(Metrics, PrometheusExpositionShape) {
+  metrics::counter("test_metrics_prom_total").add(3);
+  metrics::gauge("test_metrics_prom_gauge").set(-5);
+  metrics::histogram("test_metrics_prom_hist").observe(1.0);
+
+  std::ostringstream out;
+  metrics::write_prometheus(out, metrics::snapshot());
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# TYPE test_metrics_prom_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_metrics_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_metrics_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_metrics_prom_gauge -5\n"), std::string::npos);
+  // Histograms expose cumulative buckets ending at +Inf, plus sum/count.
+  EXPECT_NE(text.find("test_metrics_prom_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_metrics_prom_hist_sum"), std::string::npos);
+  EXPECT_NE(text.find("test_metrics_prom_hist_count"), std::string::npos);
+}
+
+TEST(Metrics, MergeCountersSumsByNameAndAppendsNewNames) {
+  std::vector<std::pair<std::string, std::uint64_t>> into = {
+      {"a_total", 10}, {"b_total", 1}};
+  const std::vector<std::pair<std::string, std::uint64_t>> from = {
+      {"b_total", 2}, {"c_total", 30}};
+  metrics::merge_counters(into, from);
+  ASSERT_EQ(into.size(), 3u);
+  // merge_counters keeps the result name-sorted.
+  EXPECT_EQ(into[0].first, "a_total");
+  EXPECT_EQ(into[0].second, 10u);
+  EXPECT_EQ(into[1].first, "b_total");
+  EXPECT_EQ(into[1].second, 3u);
+  EXPECT_EQ(into[2].first, "c_total");
+  EXPECT_EQ(into[2].second, 30u);
+}
+
+// The TSan acceptance: pool workers hammering one counter and one
+// histogram while another thread snapshots mid-flight. Under
+// -fsanitize=thread any non-atomic access would be flagged; functionally
+// the final totals must be exact once the writers quiesce.
+TEST(Metrics, ConcurrentIncrementsAndSnapshotsAreRaceFree) {
+  metrics::Counter& c = metrics::counter("test_metrics_race_total");
+  metrics::Histogram& h = metrics::histogram("test_metrics_race_hist");
+  const std::uint64_t count_before = c.value();
+  const std::uint64_t hist_before = h.count();
+
+  constexpr std::size_t kIncrements = 20000;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const metrics::MetricsSnapshot snap = metrics::snapshot();
+      // Monotone counter: any mid-flight value is within range.
+      EXPECT_LE(snap.value("test_metrics_race_total"),
+                count_before + kIncrements);
+    }
+  });
+
+  ThreadPool pool(4);
+  pool.parallel_for(kIncrements, [&](std::size_t i) {
+    c.add(1);
+    h.observe(static_cast<double>(i % 7) * 0.25);
+  });
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(c.value(), count_before + kIncrements);
+  EXPECT_EQ(h.count(), hist_before + kIncrements);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,161 @@
+// Trace spans: disabled-by-default no-op, enable/flush round trip, the
+// Chrome-trace JSON shape (parseable, spans nest, pid/tid sane), events
+// from several threads landing in one flush, and reset() clearing
+// buffered events. The JSON is checked with a small structural validator
+// rather than string matching, so formatting may evolve without breaking
+// the test as long as the output stays a valid trace-event file.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/trace.hpp"
+
+namespace rrl {
+namespace {
+
+/// Minimal JSON scanner for the fixed shape write_chrome_trace emits:
+/// {"traceEvents":[{...},...],"displayTimeUnit":"ms"}. Extracts one
+/// numeric field per event; throws out_of_range/invalid_argument (failing
+/// the test) on malformed text.
+std::vector<std::int64_t> event_fields(const std::string& json,
+                                       const std::string& key) {
+  std::vector<std::int64_t> values;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    values.push_back(std::stoll(json.substr(pos)));
+  }
+  return values;
+}
+
+struct TraceGuard {
+  ~TraceGuard() {
+    trace::disable();
+    trace::reset();
+  }
+};
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  TraceGuard guard;
+  trace::disable();
+  trace::reset();
+  { const trace::Span span("should.not.appear"); }
+  std::ostringstream out;
+  EXPECT_EQ(trace::write_chrome_trace(out), 0u);
+}
+
+TEST(Trace, EnableFlushRoundTripHasValidShape) {
+  TraceGuard guard;
+  trace::reset();
+  trace::enable();
+  {
+    const trace::Span outer("outer", 7);
+    const trace::Span inner("inner");
+  }
+  trace::disable();
+
+  std::ostringstream out;
+  EXPECT_EQ(trace::write_chrome_trace(out), 2u);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  // pid is this process; both spans came from this thread, so one tid.
+  const std::vector<std::int64_t> pids = event_fields(json, "pid");
+  ASSERT_EQ(pids.size(), 2u);
+  for (const std::int64_t pid : pids) EXPECT_EQ(pid, ::getpid());
+  const std::vector<std::int64_t> tids = event_fields(json, "tid");
+  ASSERT_EQ(tids.size(), 2u);
+  EXPECT_EQ(tids[0], tids[1]);
+  EXPECT_GT(tids[0], 0);
+}
+
+TEST(Trace, NestedSpansNestInTime) {
+  TraceGuard guard;
+  trace::reset();
+  trace::enable();
+  {
+    const trace::Span outer("nest.outer");
+    {
+      const trace::Span inner("nest.inner");
+    }
+  }
+  trace::disable();
+
+  std::ostringstream out;
+  ASSERT_EQ(trace::write_chrome_trace(out), 2u);
+  const std::string json = out.str();
+  const std::vector<std::int64_t> ts = event_fields(json, "ts");
+  const std::vector<std::int64_t> dur = event_fields(json, "dur");
+  ASSERT_EQ(ts.size(), 2u);
+  ASSERT_EQ(dur.size(), 2u);
+
+  // Spans close innermost-first, so the inner event is recorded first.
+  const std::int64_t inner_start = ts[0], inner_end = ts[0] + dur[0];
+  const std::int64_t outer_start = ts[1], outer_end = ts[1] + dur[1];
+  EXPECT_LE(outer_start, inner_start);
+  EXPECT_LE(inner_end, outer_end);
+}
+
+TEST(Trace, SpansFromSeveralThreadsAllFlushWithDistinctTids) {
+  TraceGuard guard;
+  trace::reset();
+  trace::enable();
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] { const trace::Span span("thread.span"); });
+  }
+  for (std::thread& t : threads) t.join();
+  trace::disable();
+
+  std::ostringstream out;
+  EXPECT_EQ(trace::write_chrome_trace(out), 3u);
+  std::vector<std::int64_t> tids = event_fields(out.str(), "tid");
+  ASSERT_EQ(tids.size(), 3u);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_NE(tids[0], tids[1]);
+  EXPECT_NE(tids[1], tids[2]);
+}
+
+TEST(Trace, FlushDrainsAndResetDiscards) {
+  TraceGuard guard;
+  trace::reset();
+  trace::enable();
+  { const trace::Span span("drain.one"); }
+  std::ostringstream first;
+  EXPECT_EQ(trace::write_chrome_trace(first), 1u);
+  // A flush consumes its events: a second flush is empty.
+  std::ostringstream second;
+  EXPECT_EQ(trace::write_chrome_trace(second), 0u);
+
+  { const trace::Span span("drain.two"); }
+  trace::reset();
+  std::ostringstream third;
+  EXPECT_EQ(trace::write_chrome_trace(third), 0u);
+}
+
+TEST(Trace, ArgRidesAlongAsNumericPayload) {
+  TraceGuard guard;
+  trace::reset();
+  trace::enable();
+  { const trace::Span span("arg.span", 1234567); }
+  trace::disable();
+  std::ostringstream out;
+  ASSERT_EQ(trace::write_chrome_trace(out), 1u);
+  EXPECT_NE(out.str().find("\"v\":1234567"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -315,5 +315,59 @@ TEST(WireCodec, RejectsEveryCorruptionClass) {
   EXPECT_TRUE(decode_frame(good, consumed).has_value());
 }
 
+TEST(WireCodec, StatsReportRoundTripsThroughAFrame) {
+  WireStatsReport stats;
+  stats.units = 42;
+  stats.busy_seconds = 3.0625;
+  stats.counters = {
+      {"rrl_scenarios_solved_total", 12345},
+      {"rrl_cache_memory_hits_total", 678},
+      {"rrl_wire_bytes_out_total", 0xffffffffffffffffULL},
+  };
+
+  const std::string frame_bytes =
+      encode_frame(WireType::kStatsReport, encode_stats_report(stats));
+  std::size_t consumed = 0;
+  const auto frame = decode_frame(frame_bytes, consumed);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, WireType::kStatsReport);
+  EXPECT_EQ(consumed, frame_bytes.size());
+
+  const WireStatsReport stats2 = decode_stats_report(frame->payload);
+  EXPECT_EQ(stats2.units, stats.units);
+  EXPECT_EQ(stats2.busy_seconds, stats.busy_seconds);
+  ASSERT_EQ(stats2.counters.size(), stats.counters.size());
+  for (std::size_t i = 0; i < stats.counters.size(); ++i) {
+    EXPECT_EQ(stats2.counters[i].first, stats.counters[i].first);
+    EXPECT_EQ(stats2.counters[i].second, stats.counters[i].second);
+  }
+
+  // An empty snapshot (a worker before its first solve) is legal.
+  const WireStatsReport empty = decode_stats_report(
+      encode_stats_report(WireStatsReport{}));
+  EXPECT_EQ(empty.units, 0u);
+  EXPECT_TRUE(empty.counters.empty());
+}
+
+TEST(WireCodec, StatsReportRejectsCorruptPayloads) {
+  // Truncated: cut anywhere inside a valid payload.
+  WireStatsReport stats;
+  stats.units = 1;
+  stats.counters = {{"a_total", 1}};
+  const std::string payload = encode_stats_report(stats);
+  EXPECT_THROW((void)decode_stats_report(payload.substr(0, 20)),
+               contract_error);
+
+  // A counter count the payload cannot possibly hold is refused before
+  // any allocation.
+  std::string huge;
+  huge.append(16, '\0');   // units + busy_seconds
+  huge.append(8, '\x7f');  // absurd counter count
+  EXPECT_THROW((void)decode_stats_report(huge), contract_error);
+
+  // Trailing bytes after a complete payload are corruption.
+  EXPECT_THROW((void)decode_stats_report(payload + "x"), contract_error);
+}
+
 }  // namespace
 }  // namespace rrl

@@ -68,6 +68,14 @@
 // skips disk reads but refreshes the store; --cache-stats prints
 // hit/miss/load/store counters for both tiers; --no-cache bypasses both
 // tiers entirely.
+//
+// Observability (any mode): --trace FILE collects scoped spans and writes
+// a Perfetto-loadable Chrome trace JSON on exit; --metrics-out FILE dumps
+// the process's metrics registry in Prometheus text format. Serve mode
+// adds --stats-interval-ms (live fleet progress lines on stderr), a
+// per-worker --timings table, and per-worker/fleet counters in --json.
+// None of it perturbs results: reports are byte-identical with
+// observability on or off (see README "Observability").
 #include <unistd.h>
 
 #include <algorithm>
@@ -87,8 +95,10 @@
 #include "models/raid5.hpp"
 #include "rrl.hpp"
 #include "support/cli.hpp"
+#include "support/metrics.hpp"
 #include "support/self_exe.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -118,23 +128,51 @@ std::shared_ptr<ArtifactStore> attach_disk_tier(const CliArgs& args,
   return store;
 }
 
+// Cache-tier accounting, single-sourced from the metrics registry: the
+// instrumented SolverCache / ArtifactStore increments are the ONLY place
+// these numbers are counted, and both human-readable (--cache-stats) and
+// machine-readable (--json "cache"/"disk" objects) views format the same
+// snapshot. One rrl_solve process runs exactly one study/batch, so the
+// process-wide counters ARE the run's counters.
+struct CacheStatsView {
+  std::uint64_t memory_hits = 0;
+  std::uint64_t memory_misses = 0;  ///< == solver-cache "compiled"
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_misses = 0;
+  std::uint64_t disk_stores = 0;
+  std::uint64_t invalid = 0;  ///< corrupt store entries rejected on load
+};
+
+CacheStatsView cache_stats_view() {
+  const metrics::MetricsSnapshot snap = metrics::snapshot();
+  CacheStatsView v;
+  v.memory_hits = snap.value("rrl_cache_memory_hits_total");
+  v.memory_misses = snap.value("rrl_cache_memory_misses_total");
+  v.disk_hits = snap.value("rrl_cache_disk_hits_total");
+  v.disk_misses = snap.value("rrl_cache_disk_misses_total");
+  v.disk_stores = snap.value("rrl_cache_disk_stores_total");
+  v.invalid = snap.value("rrl_artifact_invalid_total");
+  return v;
+}
+
 // --cache-stats: hit/miss/load/store counters for both tiers. The disk
 // numbers are the CACHE's view (solver warm-starts), matching the --json
-// output; the raw store counters additionally move on flush-time merge
-// reads, so only its corrupt-file count is reported from there.
-void print_cache_stats(std::FILE* out, const SolverCache& cache,
-                       const ArtifactStore* store) {
-  const SolverCacheStats mem = cache.stats();
-  std::fprintf(out, "cache stats: memory %zu hits / %zu misses", mem.hits,
-               mem.misses);
-  if (store == nullptr) {
+// output.
+void print_cache_stats(std::FILE* out, bool disk_tier) {
+  const CacheStatsView v = cache_stats_view();
+  std::fprintf(out, "cache stats: memory %llu hits / %llu misses",
+               static_cast<unsigned long long>(v.memory_hits),
+               static_cast<unsigned long long>(v.memory_misses));
+  if (!disk_tier) {
     std::fprintf(out, "; disk tier off\n");
     return;
   }
-  std::fprintf(out,
-               "; disk %zu hits / %zu misses, %zu stored (%zu invalid)\n",
-               mem.disk_hits, mem.disk_misses, mem.disk_stores,
-               store->stats().invalid);
+  std::fprintf(
+      out, "; disk %llu hits / %llu misses, %llu stored (%llu invalid)\n",
+      static_cast<unsigned long long>(v.disk_hits),
+      static_cast<unsigned long long>(v.disk_misses),
+      static_cast<unsigned long long>(v.disk_stores),
+      static_cast<unsigned long long>(v.invalid));
 }
 
 int export_model(const std::string& which, const std::string& output) {
@@ -294,7 +332,7 @@ int run_batch(const CliArgs& args,
   const StudyRun run = run_study(spec, repository, cache, options);
   if (store != nullptr) cache.flush_to_store();
   if (args.get_bool("cache-stats", false)) {
-    print_cache_stats(stdout, cache, store.get());
+    print_cache_stats(stdout, store != nullptr);
   }
 
   std::printf("batch sweep: %zu scenarios (%zu models x %zu solvers x "
@@ -464,6 +502,10 @@ int run_serve_mode(const CliArgs& args, const char* argv0) {
 
   options.heartbeat_timeout_ms =
       static_cast<int>(args.get_long("heartbeat-timeout-ms", 10000));
+  // Live progress lines to stderr (observability only; the reduced
+  // report is byte-identical with or without them).
+  options.stats_interval_ms =
+      static_cast<int>(args.get_long("stats-interval-ms", 0));
 
   // The parent's own handle on the artifact store, for serving remote
   // workers' artifact_request frames (--cache-dir is also forwarded to
@@ -542,6 +584,25 @@ int run_serve_mode(const CliArgs& args, const char* argv0) {
                  report.remotes_rejected);
   }
 
+  // --timings: the per-worker utilization breakdown (busy = summed
+  // per-unit solve wall-clock; util = busy / dispatch wall-clock).
+  if (timings && !report.worker_stats.empty()) {
+    TextTable workers_table(
+        {"worker", "units", "scenarios", "busy-s", "util%"});
+    for (const WorkerStats& ws : report.worker_stats) {
+      const double util = report.seconds > 0.0
+                              ? 100.0 * ws.busy_seconds / report.seconds
+                              : 0.0;
+      workers_table.add_row(
+          {ws.lost ? ws.label + " (lost)" : ws.label,
+           std::to_string(ws.units), std::to_string(ws.scenarios),
+           fmt_sig(ws.busy_seconds, 4), fmt_sig(util, 3)});
+    }
+    std::fprintf(summary, "per-worker timings:\n");
+    std::fflush(summary);
+    workers_table.print(summary == stdout ? std::cout : std::cerr);
+  }
+
   const std::string json_path = args.get_string("json", "");
   if (!json_path.empty()) {
     std::ofstream json(json_path);
@@ -563,8 +624,33 @@ int run_serve_mode(const CliArgs& args, const char* argv0) {
          << ",\n"
          << "  \"artifact_hits\": " << report.artifact_hits << ",\n"
          << "  \"seconds\": " << report.seconds << ",\n"
-         << "  \"worker_seconds\": " << report.worker_seconds << "\n"
-         << "}\n";
+         << "  \"worker_seconds\": " << report.worker_seconds << ",\n";
+    // Per-worker accounting: sum of "units" over worker_stats equals the
+    // top-level "units" (every unit is completed by exactly one worker).
+    json << "  \"worker_stats\": [";
+    for (std::size_t i = 0; i < report.worker_stats.size(); ++i) {
+      const WorkerStats& ws = report.worker_stats[i];
+      json << (i == 0 ? "\n" : ",\n") << "    {\"label\": \"" << ws.label
+           << "\", \"remote\": " << (ws.remote ? "true" : "false")
+           << ", \"lost\": " << (ws.lost ? "true" : "false")
+           << ", \"units\": " << ws.units
+           << ", \"scenarios\": " << ws.scenarios
+           << ", \"busy_seconds\": " << ws.busy_seconds
+           << ", \"utilization\": "
+           << (report.seconds > 0.0 ? ws.busy_seconds / report.seconds
+                                    : 0.0)
+           << "}";
+    }
+    json << (report.worker_stats.empty() ? "],\n" : "\n  ],\n");
+    // Fleet-wide counter totals: every worker's latest metrics snapshot
+    // summed by name (absolute per-process values; see WireStatsReport).
+    json << "  \"fleet_counters\": {";
+    for (std::size_t i = 0; i < report.fleet_counters.size(); ++i) {
+      json << (i == 0 ? "\n" : ",\n") << "    \""
+           << report.fleet_counters[i].first
+           << "\": " << report.fleet_counters[i].second;
+    }
+    json << (report.fleet_counters.empty() ? "}\n" : "\n  }\n") << "}\n";
   }
   // Partial failures: results are all present (error rows included), and
   // the exit code says so — same contract as single-process study mode.
@@ -666,7 +752,7 @@ int run_study_mode(const CliArgs& args) {
                run.sweep.scenarios_per_second(), run.cache.misses,
                run.cache.hits, repository.size());
   if (args.get_bool("cache-stats", false)) {
-    print_cache_stats(summary, cache, store.get());
+    print_cache_stats(summary, store != nullptr);
   }
   for (std::size_t s = 0; s < run.sweep.results.size(); ++s) {
     if (!run.sweep.results[s].ok()) {
@@ -687,6 +773,10 @@ int run_study_mode(const CliArgs& args) {
                    json_path.c_str());
       return 1;
     }
+    // The cache/disk objects are formatted from the same metrics snapshot
+    // as --cache-stats (cache_stats_view); warm-start tooling greps the
+    // "disk" object, so the key shape is load-bearing.
+    const CacheStatsView v = cache_stats_view();
     json << "{\n"
          << "  \"total_scenarios\": " << run.total_scenarios << ",\n"
          << "  \"shard\": {\"index\": " << run.shard.index
@@ -697,11 +787,11 @@ int run_study_mode(const CliArgs& args) {
          << "  \"seconds\": " << run.sweep.seconds << ",\n"
          << "  \"scenarios_per_sec\": " << run.sweep.scenarios_per_second()
          << ",\n"
-         << "  \"cache\": {\"compiled\": " << run.cache.misses
-         << ", \"shared\": " << run.cache.hits << "},\n"
-         << "  \"disk\": {\"hits\": " << cache.stats().disk_hits
-         << ", \"misses\": " << cache.stats().disk_misses
-         << ", \"stores\": " << cache.stats().disk_stores << "}\n"
+         << "  \"cache\": {\"compiled\": " << v.memory_misses
+         << ", \"shared\": " << v.memory_hits << "},\n"
+         << "  \"disk\": {\"hits\": " << v.disk_hits
+         << ", \"misses\": " << v.disk_misses
+         << ", \"stores\": " << v.disk_stores << "}\n"
          << "}\n";
   }
   return run.sweep.failed() == 0 ? 0 : 1;
@@ -761,10 +851,9 @@ int run_merge_mode(const CliArgs& args) {
   return failed == 0 ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+// Mode dispatch, factored out of main so the observability flush (--trace
+// / --metrics-out files) runs after EVERY mode, error exits included.
+int run_cli(const CliArgs& args, char** argv) {
   try {
     if (args.has("list-solvers")) return list_solvers();
     if (args.has("export")) {
@@ -802,6 +891,7 @@ int main(int argc, char** argv) {
           "                 [--listen PORT] [--no-local] "
           "[--port-file FILE]\n"
           "                 [--heartbeat-timeout-ms MS]   # remote fleet\n"
+          "                 [--stats-interval-ms MS]      # live progress\n"
           "       rrl_solve --connect HOST:PORT --study <file.study> "
           "[--jobs N]\n"
           "                 [--heartbeat-ms MS] [--no-fetch] "
@@ -813,7 +903,9 @@ int main(int argc, char** argv) {
           "[--cache-cap BYTES]\n"
           "       rrl_solve --export raid20|raid40|multiproc "
           "[--output m.rrlm]\n"
-          "       rrl_solve --list-solvers\n");
+          "       rrl_solve --list-solvers\n"
+          "       any mode: [--trace spans.json] "
+          "[--metrics-out metrics.prom]\n");
       return 2;
     }
 
@@ -942,4 +1034,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  // --trace FILE arms span collection for the whole run (any mode) and
+  // flushes a Chrome-trace-event JSON on exit; --metrics-out FILE dumps
+  // the final metrics snapshot in Prometheus text format. Both are
+  // observability-only: solver results and report bytes are unaffected.
+  if (args.has("trace")) trace::enable();
+  int rc = run_cli(args, argv);
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    if (trace::write_chrome_trace_file(trace_path)) {
+      std::fprintf(stderr, "trace: wrote %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write trace file: %s\n",
+                   trace_path.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  const std::string metrics_path = args.get_string("metrics-out", "");
+  if (!metrics_path.empty() &&
+      !metrics::write_prometheus_file(metrics_path)) {
+    std::fprintf(stderr, "error: cannot write metrics file: %s\n",
+                 metrics_path.c_str());
+    if (rc == 0) rc = 1;
+  }
+  return rc;
 }
