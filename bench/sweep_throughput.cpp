@@ -1,7 +1,7 @@
 // Scenario-sweep throughput: scenarios/sec vs worker threads.
 //
 // The batch is the paper's own evaluation shape scaled out: RAID-5 (G=20)
-// and multiprocessor availability models, each pushed through all four
+// and multiprocessor availability models, each pushed through all
 // registered solvers for both measures (TRR and MRR) over a shared
 // log-spaced time grid — 16 scenarios by default. The sweep engine fans
 // them over a worker pool; this harness reruns the identical batch at

@@ -1,5 +1,5 @@
 // Quickstart: build a tiny rewarded CTMC by hand and compute its transient
-// measures with all four solvers through the registry interface.
+// measures with every registered solver through the registry interface.
 //
 // The model is a 3-state repairable system: state 0 = both units up,
 // state 1 = one unit up, state 2 = system down (reward 1 = "unavailable").

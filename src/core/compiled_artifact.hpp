@@ -56,6 +56,20 @@ struct CompiledArtifact {
   /// Construction config, exactly as the solver cache keys it.
   SolverConfig config;
 
+  /// Provenance of a GENERATED model (markov/generator.hpp): the
+  /// canonical spec the chain was expanded from, empty for explicit
+  /// models. Informational — identity is still (solver, model_hash,
+  /// config); hash_model derives model_hash from this very spec for
+  /// generated models, so the content-addressed cache and remote artifact
+  /// fetch work unchanged, and the spec here lets an operator read WHAT a
+  /// cached blob solves without re-expanding it.
+  std::string model_spec;
+  /// State count before the generator's lumping pass
+  /// (markov/lumping.hpp); -1 when no lumping was applied. Records that
+  /// the artifact's (lumped) state space is an exact quotient of a larger
+  /// one.
+  index_t pre_lump_states = -1;
+
   /// SR/RSD: randomization rate Lambda (0 when the artifact carries no
   /// DTMC payload).
   double lambda = 0.0;

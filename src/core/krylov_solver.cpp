@@ -1,0 +1,466 @@
+#include "core/krylov_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/compiled_artifact.hpp"
+#include "sparse/vector_ops.hpp"
+#include "support/stopwatch.hpp"
+
+namespace rrl {
+namespace {
+
+// ---- Small dense kernels (matrices of order m+2 <= 32, row-major) ----
+//
+// Everything here is O(m^3) on a matrix that fits in L1; against the
+// n-sized matvecs of the outer iteration it is noise, so clarity beats
+// cleverness.
+
+double dense_norm1(const std::vector<double>& a, int d) {
+  double best = 0.0;
+  for (int c = 0; c < d; ++c) {
+    double col = 0.0;
+    for (int r = 0; r < d; ++r) col += std::abs(a[static_cast<std::size_t>(r * d + c)]);
+    best = std::max(best, col);
+  }
+  return best;
+}
+
+void dense_mul(const std::vector<double>& a, const std::vector<double>& b,
+               std::vector<double>& c, int d) {
+  for (int r = 0; r < d; ++r) {
+    for (int k = 0; k < d; ++k) {
+      const double arv = a[static_cast<std::size_t>(r * d + k)];
+      if (arv == 0.0) continue;
+      for (int col = 0; col < d; ++col) {
+        c[static_cast<std::size_t>(r * d + col)] +=
+            arv * b[static_cast<std::size_t>(k * d + col)];
+      }
+    }
+  }
+}
+
+/// Solve M X = B for X (both d x d, row-major); M is destroyed, B becomes
+/// X. Partial-pivoted LU — M = (V - U) of the Pade form is well
+/// conditioned after scaling, but pivoting costs nothing at this size.
+void dense_solve(std::vector<double>& m, std::vector<double>& b, int d) {
+  for (int col = 0; col < d; ++col) {
+    int pivot = col;
+    double best = std::abs(m[static_cast<std::size_t>(col * d + col)]);
+    for (int r = col + 1; r < d; ++r) {
+      const double v = std::abs(m[static_cast<std::size_t>(r * d + col)]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    RRL_ENSURES(best > 0.0);  // (V - U) is nonsingular for scaled Pade
+    if (pivot != col) {
+      for (int c = 0; c < d; ++c) {
+        std::swap(m[static_cast<std::size_t>(col * d + c)],
+                  m[static_cast<std::size_t>(pivot * d + c)]);
+        std::swap(b[static_cast<std::size_t>(col * d + c)],
+                  b[static_cast<std::size_t>(pivot * d + c)]);
+      }
+    }
+    const double inv = 1.0 / m[static_cast<std::size_t>(col * d + col)];
+    for (int r = col + 1; r < d; ++r) {
+      const double f = m[static_cast<std::size_t>(r * d + col)] * inv;
+      if (f == 0.0) continue;
+      for (int c = col + 1; c < d; ++c) {
+        m[static_cast<std::size_t>(r * d + c)] -=
+            f * m[static_cast<std::size_t>(col * d + c)];
+      }
+      for (int c = 0; c < d; ++c) {
+        b[static_cast<std::size_t>(r * d + c)] -=
+            f * b[static_cast<std::size_t>(col * d + c)];
+      }
+    }
+  }
+  for (int r = d - 1; r >= 0; --r) {
+    const double inv = 1.0 / m[static_cast<std::size_t>(r * d + r)];
+    for (int c = 0; c < d; ++c) {
+      double acc = b[static_cast<std::size_t>(r * d + c)];
+      for (int k = r + 1; k < d; ++k) {
+        acc -= m[static_cast<std::size_t>(r * d + k)] *
+               b[static_cast<std::size_t>(k * d + c)];
+      }
+      b[static_cast<std::size_t>(r * d + c)] = acc * inv;
+    }
+  }
+}
+
+/// In-place exp(A), degree-13 Pade with scaling and squaring (Higham
+/// 2005). Exact enough to machine precision for any scaled norm; the
+/// projected Hessenberg tau*H can carry a large norm when tau covers a
+/// stiff stretch, which scaling absorbs.
+void dense_matexp(std::vector<double>& a, int d) {
+  static const double kB[14] = {
+      64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+      1187353796428800.0,  129060195264000.0,   10559470521600.0,
+      670442572800.0,      33522128640.0,       1323241920.0,
+      40840800.0,          960960.0,            16380.0,
+      182.0,               1.0};
+  constexpr double kTheta13 = 5.371920351148152;
+
+  const double nrm = dense_norm1(a, d);
+  int squarings = 0;
+  if (nrm > kTheta13) {
+    squarings = static_cast<int>(std::ceil(std::log2(nrm / kTheta13)));
+    const double scale = std::ldexp(1.0, -squarings);
+    for (double& v : a) v *= scale;
+  }
+
+  const std::size_t dd = static_cast<std::size_t>(d) * static_cast<std::size_t>(d);
+  std::vector<double> a2(dd, 0.0), a4(dd, 0.0), a6(dd, 0.0);
+  dense_mul(a, a, a2, d);
+  dense_mul(a2, a2, a4, d);
+  dense_mul(a2, a4, a6, d);
+
+  std::vector<double> w(dd, 0.0), u(dd, 0.0), z(dd, 0.0), v(dd, 0.0);
+  // w = a6*(b13 a6 + b11 a4 + b9 a2) + b7 a6 + b5 a4 + b3 a2 + b1 I
+  for (std::size_t i = 0; i < dd; ++i) {
+    z[i] = kB[13] * a6[i] + kB[11] * a4[i] + kB[9] * a2[i];
+  }
+  dense_mul(a6, z, w, d);
+  for (std::size_t i = 0; i < dd; ++i) {
+    w[i] += kB[7] * a6[i] + kB[5] * a4[i] + kB[3] * a2[i];
+  }
+  for (int r = 0; r < d; ++r) w[static_cast<std::size_t>(r * d + r)] += kB[1];
+  // u = a * w  (odd part)
+  dense_mul(a, w, u, d);
+  // v = a6*(b12 a6 + b10 a4 + b8 a2) + b6 a6 + b4 a4 + b2 a2 + b0 I
+  for (std::size_t i = 0; i < dd; ++i) {
+    z[i] = kB[12] * a6[i] + kB[10] * a4[i] + kB[8] * a2[i];
+  }
+  dense_mul(a6, z, v, d);
+  for (std::size_t i = 0; i < dd; ++i) {
+    v[i] += kB[6] * a6[i] + kB[4] * a4[i] + kB[2] * a2[i];
+  }
+  for (int r = 0; r < d; ++r) v[static_cast<std::size_t>(r * d + r)] += kB[0];
+
+  // (v - u) F = (v + u)
+  for (std::size_t i = 0; i < dd; ++i) {
+    const double vi = v[i];
+    const double ui = u[i];
+    v[i] = vi - ui;  // left-hand side
+    u[i] = vi + ui;  // right-hand side, becomes F
+  }
+  dense_solve(v, u, d);
+
+  for (int s = 0; s < squarings; ++s) {
+    std::fill(z.begin(), z.end(), 0.0);
+    dense_mul(u, u, z, d);
+    u.swap(z);
+  }
+  a = std::move(u);
+}
+
+double norm2(std::span<const double> x) {
+  double s = 0.0;
+  for (const double v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+KrylovSolver::KrylovSolver(const Ctmc& chain, std::vector<double> rewards,
+                           std::vector<double> initial,
+                           KrylovOptions options)
+    : chain_(chain),
+      rewards_(std::move(rewards)),
+      initial_(std::move(initial)),
+      options_(options),
+      dtmc_(chain, options.rate_factor) {
+  RRL_EXPECTS(options_.epsilon > 0.0);
+  RRL_EXPECTS(options_.max_dim >= 1);
+  RRL_EXPECTS(static_cast<index_t>(rewards_.size()) == chain.num_states());
+  check_distribution(initial_, chain.num_states());
+  reward_idx_ = nonzero_reward_states(rewards_);
+  r_max_ = max_reward(rewards_);
+}
+
+void KrylovSolver::export_compiled(CompiledArtifact& artifact) const {
+  artifact.lambda = dtmc_.lambda();
+  artifact.dtmc_pt = dtmc_.transition_transposed();
+  const auto loops = dtmc_.self_loops();
+  artifact.self_loop.assign(loops.begin(), loops.end());
+}
+
+void KrylovSolver::import_compiled(const CompiledArtifact& artifact) {
+  if (artifact.lambda <= 0.0 ||
+      artifact.dtmc_pt.rows() != chain_.num_states() ||
+      artifact.dtmc_pt.cols() != chain_.num_states() ||
+      artifact.self_loop.size() !=
+          static_cast<std::size_t>(chain_.num_states())) {
+    return;
+  }
+  dtmc_ = RandomizedDtmc::from_parts(artifact.dtmc_pt, artifact.self_loop,
+                                     artifact.lambda);
+}
+
+SolveReport KrylovSolver::solve_grid(const SolveRequest& request,
+                                     SolveWorkspace& workspace) const {
+  const Stopwatch watch;
+  const double eps = validated_epsilon(request, options_.epsilon);
+  const std::size_t num_points = request.times.size();
+
+  SolveReport report;
+  report.points.resize(num_points);
+  for (TransientValue& p : report.points) p.stats.lambda = dtmc_.lambda();
+  report.total.lambda = dtmc_.lambda();
+
+  if (r_max_ == 0.0) {
+    report.total.seconds = watch.seconds();
+    return report;
+  }
+
+  // Grid times in ascending order (original order restored through the
+  // permutation); the adaptive pass visits each exactly.
+  std::vector<std::size_t> order(num_points);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return request.times[a] < request.times[b];
+                   });
+  const double t_end = request.times[order.back()];
+
+  const std::size_t n = static_cast<std::size_t>(chain_.num_states());
+  const double lambda = dtmc_.lambda();
+  const double anorm = 2.0 * lambda;  // ||Q||_inf <= 2 Lambda
+  const int m = std::min<int>(options_.max_dim,
+                              static_cast<int>(chain_.num_states()));
+  const int ld = m + 2;  // leading dimension of the Hessenberg storage
+
+  // Error budget: err_loc per substep <= tau/t_end * eps_vec, with the L1
+  // contraction of the semigroup turning the per-step budget into a
+  // sweep-wide ~eps_vec bound on the iterate, hence ~eps on the reward
+  // (safety factor 0.5 against estimate slack).
+  const double eps_vec = 0.5 * eps / std::max(r_max_, 1.0);
+  const double tol_rate = t_end > 0.0 ? eps_vec / t_end : eps_vec;
+  constexpr double kDelta = 1.2;   // acceptance slack (Expokit)
+  constexpr double kGamma = 0.9;   // step-size safety (Expokit)
+  constexpr int kMaxReject = 10;
+
+  AlignedVector<double>& w = workspace.pi(n);
+  std::copy(initial_.begin(), initial_.end(), w.begin());
+  AlignedVector<double>& step_tmp = workspace.next(n);
+  AlignedVector<double>& scratch = workspace.scratch(n);
+
+  ThreadPool* const pool =
+      workspace.pooled_spmv(dtmc_.transition_transposed().nnz());
+  std::int64_t matvecs = 0;
+  auto apply_a = [&](const double* in, double* out) {
+    const std::span<const double> in_span(in, n);
+    if (pool != nullptr) {
+      dtmc_.step(in_span, step_tmp, *pool);
+    } else {
+      dtmc_.step(in_span, step_tmp);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = lambda * (step_tmp[i] - in[i]);
+    }
+    ++matvecs;
+  };
+
+  std::vector<AlignedVector<double>> basis(static_cast<std::size_t>(m + 1));
+  for (auto& v : basis) v.resize(n);
+  std::vector<double> hess(static_cast<std::size_t>(ld * ld), 0.0);
+  std::vector<double> small;  // per-trial dense exp operand
+  std::vector<double> phi;    // per-step phi_1 operand (MRR)
+
+  CompensatedSum integral;  // Int_0^t_now r . w(s) ds  (MRR)
+  double t_now = 0.0;
+  double tau_suggest = 0.0;
+  bool budget_spent = false;  // step cap fired
+  bool tolerance_missed = false;
+
+  auto record = [&](std::size_t original, double t, bool point_capped) {
+    TransientValue& p = report.points[original];
+    p.value = request.measure == MeasureKind::kTrr
+                  ? sparse_reward_dot(reward_idx_, rewards_, w)
+                  : integral.value() / t;
+    p.stats.dtmc_steps = matvecs;
+    p.stats.capped = point_capped || tolerance_missed;
+  };
+
+  std::size_t next_target = 0;
+  while (next_target < num_points) {
+    const double t_target = request.times[order[next_target]];
+    if (t_target <= t_now) {
+      record(order[next_target], t_target, false);
+      ++next_target;
+      continue;
+    }
+    if (budget_spent ||
+        (options_.step_cap >= 0 && matvecs + m + 1 > options_.step_cap)) {
+      // Out of budget: report the value at the last reached time, capped.
+      budget_spent = true;
+      record(order[next_target], t_target, true);
+      ++next_target;
+      continue;
+    }
+
+    // ---- One adaptive substep from t_now toward t_target ----
+    const double beta = norm2(w);
+    if (beta == 0.0) {  // zero vector is a fixed point
+      t_now = t_target;
+      continue;
+    }
+
+    // Arnoldi on A = Q^T at w (modified Gram-Schmidt).
+    std::fill(hess.begin(), hess.end(), 0.0);
+    {
+      const double inv_beta = 1.0 / beta;
+      for (std::size_t i = 0; i < n; ++i) basis[0][i] = w[i] * inv_beta;
+    }
+    const double breakdown_tol = 1e-14 * anorm;
+    int dim = m;
+    bool breakdown = false;
+    for (int j = 0; j < m; ++j) {
+      apply_a(basis[static_cast<std::size_t>(j)].data(),
+              basis[static_cast<std::size_t>(j + 1)].data());
+      AlignedVector<double>& cand = basis[static_cast<std::size_t>(j + 1)];
+      for (int i = 0; i <= j; ++i) {
+        const AlignedVector<double>& vi = basis[static_cast<std::size_t>(i)];
+        const double h = dot(vi, cand);
+        hess[static_cast<std::size_t>(i * ld + j)] = h;
+        for (std::size_t x = 0; x < n; ++x) cand[x] -= h * vi[x];
+      }
+      const double h_next = norm2(cand);
+      if (h_next <= breakdown_tol) {
+        dim = j + 1;
+        breakdown = true;
+        break;
+      }
+      hess[static_cast<std::size_t>((j + 1) * ld + j)] = h_next;
+      const double inv = 1.0 / h_next;
+      for (std::size_t x = 0; x < n; ++x) cand[x] *= inv;
+    }
+
+    double avnorm = 0.0;
+    if (!breakdown) {
+      // ||A v_{m+1}||, the weight of the second-order error term.
+      apply_a(basis[static_cast<std::size_t>(m)].data(), scratch.data());
+      avnorm = norm2(scratch);
+      hess[static_cast<std::size_t>((m + 1) * ld + m)] = 1.0;
+    }
+
+    // First substep: Expokit's a-priori guess from the series remainder.
+    if (tau_suggest <= 0.0) {
+      const double xm = 1.0 / static_cast<double>(m);
+      const double fact =
+          std::pow((m + 1) / std::exp(1.0), m + 1) *
+          std::sqrt(2.0 * 3.14159265358979323846 * (m + 1));
+      tau_suggest = (1.0 / anorm) *
+                    std::pow((fact * std::max(tol_rate * t_end, 1e-300)) /
+                                 (4.0 * beta * anorm),
+                             xm);
+    }
+
+    double tau = std::min(tau_suggest, t_target - t_now);
+    // Trial loop: evaluate the projected exponential, estimate the local
+    // error, shrink tau until accepted.
+    const int mx = breakdown ? dim : m + 2;  // operand order
+    double err_loc = 0.0;
+    int rejections = 0;
+    for (;;) {
+      if (breakdown) {
+        // The basis is invariant: the projection is EXACT for any tau, so
+        // jump straight to the target.
+        tau = t_target - t_now;
+      }
+      small.assign(static_cast<std::size_t>(mx * mx), 0.0);
+      for (int r = 0; r < mx; ++r) {
+        for (int c = 0; c < mx; ++c) {
+          small[static_cast<std::size_t>(r * mx + c)] =
+              tau * hess[static_cast<std::size_t>(r * ld + c)];
+        }
+      }
+      dense_matexp(small, mx);
+      if (breakdown) {
+        err_loc = 0.0;
+        break;
+      }
+      const double p1 =
+          std::abs(beta * small[static_cast<std::size_t>(m * mx)]);
+      const double p2 =
+          std::abs(beta * small[static_cast<std::size_t>((m + 1) * mx)]) *
+          avnorm;
+      double xm_l;
+      if (p1 > 10.0 * p2) {
+        err_loc = p2;
+        xm_l = 1.0 / static_cast<double>(m);
+      } else if (p1 > p2) {
+        err_loc = p1 * p2 / (p1 - p2);
+        xm_l = 1.0 / static_cast<double>(m);
+      } else {
+        err_loc = p1;
+        xm_l = m > 1 ? 1.0 / static_cast<double>(m - 1) : 1.0;
+      }
+      if (err_loc <= kDelta * tau * tol_rate) {
+        tau_suggest = kGamma * tau *
+                      std::pow(tau * tol_rate / std::max(err_loc, 1e-300),
+                               xm_l);
+        break;
+      }
+      if (++rejections > kMaxReject) {
+        // Give up shrinking: accept and flag every subsequent value as
+        // not guaranteed (mirrors the capped semantics of SR's step cap).
+        tolerance_missed = true;
+        break;
+      }
+      tau = kGamma * tau *
+            std::pow(tau * tol_rate / std::max(err_loc, 1e-300), xm_l);
+    }
+
+    const int mk = breakdown ? dim : m + 1;  // basis vectors in the update
+    // MRR: accumulate Int_{t_now}^{t_now+tau} r . w(s) ds BEFORE w is
+    // overwritten, via the phi_1 block-matrix identity on the projected
+    // operator (header comment).
+    if (request.measure == MeasureKind::kMrr) {
+      const int md = mk + 1;
+      phi.assign(static_cast<std::size_t>(md * md), 0.0);
+      for (int r = 0; r < mk; ++r) {
+        for (int c = 0; c < mk; ++c) {
+          phi[static_cast<std::size_t>(r * md + c)] =
+              tau * hess[static_cast<std::size_t>(r * ld + c)];
+        }
+      }
+      phi[static_cast<std::size_t>(mk)] = tau;  // e_1 column, row 0
+      dense_matexp(phi, md);
+      CompensatedSum inc;
+      for (int j = 0; j < mk; ++j) {
+        const double weight = phi[static_cast<std::size_t>(j * md + mk)];
+        if (weight == 0.0) continue;
+        inc.add(weight * sparse_reward_dot(reward_idx_, rewards_,
+                                           basis[static_cast<std::size_t>(j)]));
+      }
+      integral.add(beta * inc.value());
+    }
+
+    // w <- beta * V_{1..mk} * exp(tau H)(:, 1)
+    std::fill(scratch.begin(), scratch.end(), 0.0);
+    for (int j = 0; j < mk; ++j) {
+      const double f = beta * small[static_cast<std::size_t>(j * mx)];
+      if (f == 0.0) continue;
+      const AlignedVector<double>& vj = basis[static_cast<std::size_t>(j)];
+      for (std::size_t i = 0; i < n; ++i) scratch[i] += f * vj[i];
+    }
+    std::copy(scratch.begin(), scratch.end(), w.begin());
+
+    t_now = tau >= t_target - t_now ? t_target : t_now + tau;
+  }
+
+  report.total.dtmc_steps = matvecs;
+  report.total.capped = budget_spent || tolerance_missed;
+  report.total.seconds = watch.seconds();
+  return report;
+}
+
+}  // namespace rrl

@@ -1,0 +1,112 @@
+// Uniformized-Krylov transient solver: exp(Qt)-action by Arnoldi
+// projection with adaptive time-stepping (the Expokit dgexpv scheme,
+// Sidje 1998; see also Masetti & Robol's matrix-function treatment of
+// performability measures in PAPERS.md).
+//
+// Randomization methods pay ~Lambda*t vector iterations: on a stiff
+// million-state model with Lambda*t ~ 10^5..10^7 the step counts explode
+// (the very effect the paper's Tables 1-2 document for SR). This solver
+// instead advances the distribution directly through the matrix
+// exponential: per substep tau it builds an m-dimensional Krylov basis
+// V_m of A = Q^T at the current iterate w (m ~ 30), projects
+// exp(tau A) w ~= beta V_{m+1} exp(tau H_bar) e_1 with a DENSE
+// (m+2)-order exponential (Pade scaling-and-squaring — m^3 flops,
+// nothing against the n-sized matvecs), and adapts tau from Expokit's
+// corrected a-posteriori local error estimate. Cost per substep is m+1
+// matvecs regardless of Lambda*t, so total matvecs track the transient's
+// intrinsic time scale, not its stiffness.
+//
+// The matvecs reuse the existing uniformization machinery: A v = Q^T v =
+// Lambda * (P^T v - v) with P^T the randomized DTMC's CSR gather matrix,
+// so every SpMV dispatches through the vectorized kernels
+// (sparse/spmv_kernels.hpp), and the compile -> execute split is shared
+// with SR/RSD — export/import carry (Lambda, P^T, self-loops) and an
+// imported solver answers bit-identically.
+//
+// Measures: TRR(t) = r . w(t) is read off whenever a substep lands on a
+// grid time (substeps are clipped to grid times, so values are evaluated
+// exactly at the requested t, never interpolated). MRR's integral
+// Int_0^t r . w is accumulated per accepted substep through the phi_1
+// trick: for the block matrix [[H, e_1], [0, 0]],
+// exp(tau * [[H, e_1], [0, 0]]) has Int_0^tau exp(sH) e_1 ds as its
+// top-right column, so the integral increment is
+// beta * (r^T V) Int_0^tau exp(s H) e_1 ds — one more small dense
+// exponential per substep, no extra matvecs.
+//
+// Error control: the local estimate err_loc is held below
+// tau/t * (eps / max(r_max, 1)) per substep. Because exp(Q^T s) is an
+// L1-contraction on the probability simplex, local vector errors
+// accumulate at most additively over substeps, so the sweep-wide reward
+// error stays ~eps for the dependability-style rewards this library
+// targets. Unlike SR/RR the bound rests on a (robust, Expokit-standard)
+// ESTIMATE, not a proof — the cross-validation tests pin it against SR's
+// rigorous bound on every built-in model.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "core/transient_solver.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/dtmc.hpp"
+
+namespace rrl {
+
+struct KrylovOptions {
+  /// Total error target (per grid point, like every other solver here).
+  double epsilon = 1e-12;
+  /// Lambda = rate_factor * max exit rate (shared with SR so artifacts
+  /// interchange bit-identically for the same config).
+  double rate_factor = 1.0;
+  /// Optional cap on TOTAL matvecs of a solve_grid call; < 0 disables.
+  /// When it fires the remaining grid points report the value at the
+  /// last reached time and are flagged `capped`.
+  std::int64_t step_cap = -1;
+  /// Krylov subspace dimension per substep (clamped to the state count).
+  /// Expokit's default 30 balances basis storage ((m+1) n-vectors)
+  /// against substep length.
+  int max_dim = 30;
+};
+
+class KrylovSolver : public TransientSolver {
+ public:
+  KrylovSolver(const Ctmc& chain, std::vector<double> rewards,
+               std::vector<double> initial, KrylovOptions options = {});
+
+  static constexpr std::string_view kDescription =
+      "uniformized-Krylov exp(Qt) action (Arnoldi, adaptive stepping)";
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "krylov";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return kDescription;
+  }
+
+  /// One adaptive pass from t = 0 to the largest grid time; every grid
+  /// point is evaluated exactly when the pass crosses it, so the whole
+  /// grid costs one sweep (same amortization contract as SR/RSD).
+  using TransientSolver::solve_grid;
+  [[nodiscard]] SolveReport solve_grid(
+      const SolveRequest& request, SolveWorkspace& workspace) const override;
+
+  /// Compile -> execute split: the compiled state is the randomized DTMC,
+  /// exactly as for SR/RSD (distinct solver name keys the cache).
+  void export_compiled(CompiledArtifact& artifact) const override;
+  void import_compiled(const CompiledArtifact& artifact) override;
+
+  [[nodiscard]] double lambda() const noexcept { return dtmc_.lambda(); }
+
+ private:
+  const Ctmc& chain_;
+  std::vector<double> rewards_;
+  std::vector<double> initial_;
+  std::vector<index_t> reward_idx_;
+  double r_max_ = 0.0;
+  KrylovOptions options_;
+  RandomizedDtmc dtmc_;
+};
+
+}  // namespace rrl

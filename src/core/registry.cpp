@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "core/krylov_solver.hpp"
 #include "core/regenerative.hpp"
 #include "core/rr_solver.hpp"
 #include "core/rrl_solver.hpp"
@@ -102,6 +103,17 @@ Registry& registry() {
             return std::make_unique<RegenerativeRandomizationLaplace>(
                 chain, std::move(rewards), std::move(initial),
                 regenerative_or_suggest(chain, config), opt);
+          });
+    r.add("krylov", std::string(KrylovSolver::kDescription),
+          [](const Ctmc& chain, std::vector<double> rewards,
+             std::vector<double> initial, const SolverConfig& config)
+              -> std::unique_ptr<TransientSolver> {
+            KrylovOptions opt;
+            opt.epsilon = config.epsilon;
+            opt.rate_factor = config.rate_factor;
+            opt.step_cap = config.step_cap;
+            return std::make_unique<KrylovSolver>(
+                chain, std::move(rewards), std::move(initial), opt);
           });
     return true;
   }();

@@ -179,6 +179,8 @@ void write_artifact(std::ostream& out, const CompiledArtifact& artifact) {
   payload.scalar<double>(artifact.config.rate_factor);
   payload.scalar<index_t>(artifact.config.regenerative);
   payload.scalar<std::int64_t>(artifact.config.step_cap);
+  payload.string(artifact.model_spec);
+  payload.scalar<index_t>(artifact.pre_lump_states);
 
   payload.scalar<double>(artifact.lambda);
   payload.csr(artifact.dtmc_pt);
@@ -269,6 +271,8 @@ CompiledArtifact read_artifact(std::istream& in) {
   artifact.config.rate_factor = payload.scalar<double>();
   artifact.config.regenerative = payload.scalar<index_t>();
   artifact.config.step_cap = payload.scalar<std::int64_t>();
+  artifact.model_spec = payload.string();
+  artifact.pre_lump_states = payload.scalar<index_t>();
 
   artifact.lambda = payload.scalar<double>();
   artifact.dtmc_pt = payload.csr();

@@ -41,7 +41,11 @@ namespace rrl {
 
 /// Current format revision; bumped on any layout change so older builds
 /// reject newer files (and vice versa) instead of misreading them.
-inline constexpr std::uint32_t kArtifactFormatVersion = 1;
+/// History: 1 = initial layout; 2 = generated-model provenance
+/// (model_spec, pre_lump_states) after the config block. A version-1 blob
+/// under a version-2 reader degrades to a cache miss (cold compile),
+/// never to a misread.
+inline constexpr std::uint32_t kArtifactFormatVersion = 2;
 
 /// Serialize `artifact` to `out`. Throws contract_error if the stream
 /// fails.

@@ -4,7 +4,9 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 
+#include "markov/generator.hpp"
 #include "support/contracts.hpp"
 
 namespace rrl {
@@ -25,6 +27,9 @@ ModelFile read_model(std::istream& in) {
   std::vector<std::pair<index_t, double>> rewards;
   std::vector<std::pair<index_t, double>> initial;
   bool has_initial = false;
+  bool has_explicit = false;  // any states/transition/... line seen
+  std::string generator_family;
+  GeneratorParams generator_params;
 
   std::string raw;
   int line_no = 0;
@@ -35,6 +40,38 @@ ModelFile read_model(std::istream& in) {
     std::istringstream line(raw);
     std::string keyword;
     if (!(line >> keyword)) continue;  // blank / comment-only line
+
+    if (keyword == "generator") {
+      if (!generator_family.empty()) {
+        parse_fail(line_no, "duplicate 'generator' line");
+      }
+      if (has_explicit) {
+        parse_fail(line_no,
+                   "'generator' cannot be mixed with explicit model lines");
+      }
+      if (!(line >> generator_family)) {
+        parse_fail(line_no, "'generator' needs a family name");
+      }
+      std::string token;
+      while (line >> token) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == token.size() ||
+            token.find('=', eq + 1) != std::string::npos) {
+          parse_fail(line_no, "generator parameters must be key=value, got '" +
+                                  token + "'");
+        }
+        generator_params.emplace_back(token.substr(0, eq),
+                                      token.substr(eq + 1));
+      }
+      continue;
+    }
+    if (!generator_family.empty()) {
+      parse_fail(line_no,
+                 "'generator' must be the only content line, found '" +
+                     keyword + "'");
+    }
+    has_explicit = true;
 
     auto need_states = [&] {
       if (num_states < 0) {
@@ -90,6 +127,11 @@ ModelFile read_model(std::istream& in) {
     } else {
       parse_fail(line_no, "unknown keyword '" + keyword + "'");
     }
+  }
+  if (!generator_family.empty()) {
+    // A generator file IS its spec: expansion (markov/generator.hpp) is
+    // deterministic, validates the parameters, and stamps spec_key.
+    return generate_model(generator_family, generator_params);
   }
   if (num_states < 0) {
     throw contract_error("model file: missing 'states' line");

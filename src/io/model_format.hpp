@@ -12,6 +12,16 @@
 //
 // Indices are 0-based. Duplicate `transition` lines are summed (consistent
 // with the in-memory builder); duplicate `reward`/`initial` lines overwrite.
+//
+// Alternatively a file may hold a single GENERATOR line instead of an
+// explicit state space (markov/generator.hpp expands it on read):
+//
+//   generator <family> <key>=<value> ...
+//
+// e.g. `generator k_of_n n=9 k=8 groups=6 lambda=1e-3 mu=1 lump=1`. A
+// generator line must be the only content line of the file: the expansion
+// IS the model, and mixing it with explicit transitions would make the
+// spec key (below) a lie.
 #pragma once
 
 #include <iosfwd>
@@ -28,6 +38,17 @@ struct ModelFile {
   std::vector<double> rewards;
   std::vector<double> initial;
   index_t regenerative = -1;  ///< -1 = not specified
+  /// Canonical generator spec ("k_of_n groups=6 k=8 ..." — family plus
+  /// sorted key=value params) when the model was expanded from a
+  /// `generator` line; empty for explicit models. Because expansion is
+  /// deterministic, the spec names the content exactly, so the study
+  /// layer's hash_model() hashes these few bytes instead of walking a
+  /// million-state CSR.
+  std::string spec_key;
+  /// State count before the lumping pass when the generator applied one
+  /// (`lump=1`); -1 when no lumping happened. Provenance only — the chain
+  /// above is already the lumped one.
+  index_t pre_lump_states = -1;
 };
 
 /// Parse a model from a stream. Throws contract_error with a line-numbered

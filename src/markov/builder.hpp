@@ -24,6 +24,19 @@ namespace rrl {
 /// callable is invoked as expand(state, emit) and must call
 /// emit(successor_state, rate) for every outgoing transition (rate >= 0;
 /// zero rates are ignored).
+/// Capacity hint for explore(): a generator that knows (or can bound) the
+/// size of its state space declares it up front, and the builder reserves
+/// the state table, the intern map and the triplet buffer once instead of
+/// growing them through the doubling schedule. At 10^6+ states the repeated
+/// reallocate-and-copy of a multi-megabyte triplet vector is the dominant
+/// expansion cost; with an accurate hint the BFS allocates nothing past
+/// warm-up. Over-estimates only cost address space; under-estimates merely
+/// fall back to growth.
+struct ReserveHint {
+  index_t states = 0;            ///< expected number of reachable states
+  std::int64_t transitions = 0;  ///< expected (or bounding) transition count
+};
+
 template <class State, class Hash = std::hash<State>>
 class StateSpaceBuilder {
  public:
@@ -41,8 +54,13 @@ class StateSpaceBuilder {
   /// `max_states` is a safety valve against runaway generators.
   [[nodiscard]] static Result explore(const std::vector<State>& initial_states,
                                       const ExpandFn& expand,
-                                      index_t max_states = 10'000'000) {
+                                      index_t max_states = 10'000'000,
+                                      const ReserveHint& hint = {}) {
     Result r;
+    if (hint.states > 0) {
+      r.states.reserve(static_cast<std::size_t>(hint.states));
+      r.index_of.reserve(static_cast<std::size_t>(hint.states));
+    }
     std::deque<index_t> frontier;
     auto intern = [&](const State& s) -> index_t {
       const auto it = r.index_of.find(s);
@@ -58,6 +76,9 @@ class StateSpaceBuilder {
     for (const State& s : initial_states) intern(s);
 
     std::vector<Triplet> rates;
+    if (hint.transitions > 0) {
+      rates.reserve(static_cast<std::size_t>(hint.transitions));
+    }
     while (!frontier.empty()) {
       const index_t from = frontier.front();
       frontier.pop_front();

@@ -1,0 +1,78 @@
+// Parametric CTMC families: large models from a few-line spec.
+//
+// The models this library was seeded with (RAID-5, multiproc, cluster)
+// have tens of states; the fleet, cache and SIMD layers want 10^5..10^7.
+// Rather than shipping megabyte .rrlm files, a model file (or a .study
+// referencing one) carries a single line
+//
+//   generator <family> <key>=<value> ...
+//
+// and the reader expands it on the fly (io/model_format.hpp routes here).
+// Expansion is DETERMINISTIC — same spec, same chain, byte for byte — so
+// a spec names its content exactly: remote study workers re-expand
+// instead of receiving the chain, and hash_model() hashes the canonical
+// spec string instead of walking the CSR arrays.
+//
+// Families (all rates per hour, all validated with precise errors):
+//
+//   k_of_n     g exchangeable groups of n components, group down when
+//              more than n-k have failed (i.e. fewer than k working),
+//              per-component failure rate lambda, one repairman per group
+//              at rate mu. Reward 1 while ANY group is down (system
+//              unavailability). States: (n+1)^g ordered tuples — the
+//              groups are interchangeable, so `lump=1` collapses them to
+//              the C(n+g, g) multisets (orders of magnitude).
+//              Params: n, k, groups, lambda, mu [, lump].
+//
+//   tiered_repair  T tiers of n components; tier t fails at rate
+//              lambda * scale^t; a shared pool of `repairmen` works at
+//              rate mu each, assigned preemptively to the lowest-index
+//              tier with failures first. Reward = number of tiers with at
+//              least k components up (performability: surviving
+//              capacity). scale=1 with a full repair pool makes the tiers
+//              exchangeable (lumpable); scale != 1 grades the symmetry
+//              away — lumping stays exact either way.
+//              Params: tiers, n, k, lambda, mu [, scale, repairmen, lump].
+//
+//   queue      M/M/c/K queue with server breakdowns: jobs 0..capacity,
+//              up-servers 0..servers; arrivals `arrival`, per-server
+//              service `service`, per-server failure `fail`, per-server
+//              repair `repair`. Reward = min(jobs, up) * service
+//              (instantaneous throughput — a queueing-style
+//              performability measure). Large `capacity` with fast
+//              arrival/service against slow fail/repair is the stiff,
+//              banded, symmetry-free stress case for the Krylov solver.
+//              Params: capacity, servers, arrival, service [, fail,
+//              repair, lump].
+//
+// Every family accepts `lump=1` to run the exact lumping pass
+// (markov/lumping.hpp) right after expansion; the returned ModelFile then
+// carries pre_lump_states. The expansion itself is allocation-churn-free:
+// each family computes its exact state count up front and hands the
+// builder a ReserveHint.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/model_format.hpp"
+
+namespace rrl {
+
+/// Raw key=value pairs exactly as parsed from a generator line.
+using GeneratorParams = std::vector<std::pair<std::string, std::string>>;
+
+/// Expand `family` with `params` into a rewarded CTMC. The returned
+/// ModelFile has spec_key set to the canonical spec (family + every
+/// effective parameter, defaults included, sorted by key) and, for
+/// `lump=1`, pre_lump_states set. Throws contract_error on an unknown
+/// family, unknown/duplicate/malformed parameters, out-of-range values,
+/// or a spec that would expand beyond the state cap.
+[[nodiscard]] ModelFile generate_model(const std::string& family,
+                                       const GeneratorParams& params);
+
+/// The registered family names, in documentation order.
+[[nodiscard]] std::vector<std::string> generator_families();
+
+}  // namespace rrl

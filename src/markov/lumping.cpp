@@ -1,0 +1,177 @@
+#include "markov/lumping.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "support/contracts.hpp"
+#include "support/fnv.hpp"
+
+namespace rrl {
+namespace {
+
+// A state's refinement signature: its current block plus its aggregate
+// rates into every OTHER current block (ordinary lumpability places no
+// condition on intra-block rates, so excluding them yields a coarser —
+// more reduction — and still exact partition). Aggregates are summed over
+// the (block, rate) pairs sorted by block THEN rate, so two states whose
+// outgoing rates into a block form the same multiset of doubles produce
+// bit-identical sums — block membership must never hinge on summation
+// order.
+struct Signature {
+  index_t own = 0;
+  std::vector<std::pair<index_t, double>> rates;  // (target block, sum)
+
+  bool operator==(const Signature& other) const {
+    return own == other.own && rates == other.rates;
+  }
+};
+
+struct SignatureHash {
+  std::size_t operator()(const Signature& s) const {
+    std::uint64_t h = kFnv1aOffset;
+    fnv1a_mix(h, &s.own, sizeof(s.own));
+    for (const auto& [block, rate] : s.rates) {
+      fnv1a_mix(h, &block, sizeof(block));
+      const std::uint64_t bits = std::bit_cast<std::uint64_t>(rate);
+      fnv1a_mix(h, &bits, sizeof(bits));
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// Aggregate `pairs` ((target block, rate), unsorted, possibly duplicated
+// blocks) into sorted per-block sums, dropping `own`.
+void aggregate(std::vector<std::pair<index_t, double>>& pairs, index_t own,
+               std::vector<std::pair<index_t, double>>& out) {
+  std::sort(pairs.begin(), pairs.end());
+  out.clear();
+  for (std::size_t i = 0; i < pairs.size();) {
+    const index_t block = pairs[i].first;
+    double sum = 0.0;
+    for (; i < pairs.size() && pairs[i].first == block; ++i) {
+      sum += pairs[i].second;
+    }
+    if (block != own) out.emplace_back(block, sum);
+  }
+}
+
+}  // namespace
+
+LumpResult lump_model(const ModelFile& model) {
+  const index_t n = model.chain.num_states();
+  RRL_EXPECTS(static_cast<index_t>(model.rewards.size()) == n);
+  RRL_EXPECTS(static_cast<index_t>(model.initial.size()) == n);
+  const CsrMatrix& rates = model.chain.rates();
+  const auto row_ptr = rates.row_ptr();
+  const auto col_idx = rates.col_idx();
+  const auto values = rates.values();
+
+  LumpResult result;
+  result.original_states = n;
+  result.block_of.assign(static_cast<std::size_t>(n), 0);
+
+  // Initial partition: states of bit-identical reward, blocks numbered by
+  // first occurrence (the reward vector is part of the measure, so it must
+  // be constant on every block from the start).
+  index_t num_blocks = 0;
+  {
+    std::unordered_map<std::uint64_t, index_t> by_reward;
+    for (index_t s = 0; s < n; ++s) {
+      const std::uint64_t key = std::bit_cast<std::uint64_t>(
+          model.rewards[static_cast<std::size_t>(s)]);
+      const auto [it, inserted] = by_reward.emplace(key, num_blocks);
+      if (inserted) ++num_blocks;
+      result.block_of[static_cast<std::size_t>(s)] = it->second;
+    }
+  }
+
+  // Refinement: split blocks by the aggregate-rate signature until stable.
+  // Each new block is a subset of an old one (the signature includes the
+  // old block id), so an unchanged block count means an unchanged
+  // partition. Terminates after at most n rounds; each round is
+  // O(n + nnz log deg).
+  std::vector<index_t> next_block(static_cast<std::size_t>(n));
+  std::vector<std::pair<index_t, double>> scratch;
+  for (;;) {
+    std::unordered_map<Signature, index_t, SignatureHash> by_signature;
+    by_signature.reserve(static_cast<std::size_t>(num_blocks) * 2);
+    index_t next_count = 0;
+    for (index_t s = 0; s < n; ++s) {
+      Signature sig;
+      sig.own = result.block_of[static_cast<std::size_t>(s)];
+      scratch.clear();
+      for (std::int64_t k = row_ptr[static_cast<std::size_t>(s)];
+           k < row_ptr[static_cast<std::size_t>(s) + 1]; ++k) {
+        scratch.emplace_back(
+            result.block_of[static_cast<std::size_t>(
+                col_idx[static_cast<std::size_t>(k)])],
+            values[static_cast<std::size_t>(k)]);
+      }
+      aggregate(scratch, sig.own, sig.rates);
+      const auto [it, inserted] =
+          by_signature.emplace(std::move(sig), next_count);
+      if (inserted) ++next_count;
+      next_block[static_cast<std::size_t>(s)] = it->second;
+    }
+    if (next_count == num_blocks) break;
+    result.block_of.swap(next_block);
+    num_blocks = next_count;
+  }
+
+  // Assemble the lumped chain from one representative per block (the
+  // block's smallest state — numbering by first occurrence makes that the
+  // first state that named the block). The fixpoint guarantees every
+  // member would produce the same aggregates, bit for bit.
+  std::vector<index_t> representative(static_cast<std::size_t>(num_blocks),
+                                      -1);
+  for (index_t s = 0; s < n; ++s) {
+    const index_t b = result.block_of[static_cast<std::size_t>(s)];
+    if (representative[static_cast<std::size_t>(b)] < 0) {
+      representative[static_cast<std::size_t>(b)] = s;
+    }
+  }
+
+  std::vector<Triplet> lumped_rates;
+  std::vector<std::pair<index_t, double>> out;
+  for (index_t b = 0; b < num_blocks; ++b) {
+    const index_t rep = representative[static_cast<std::size_t>(b)];
+    scratch.clear();
+    for (std::int64_t k = row_ptr[static_cast<std::size_t>(rep)];
+         k < row_ptr[static_cast<std::size_t>(rep) + 1]; ++k) {
+      scratch.emplace_back(
+          result.block_of[static_cast<std::size_t>(
+              col_idx[static_cast<std::size_t>(k)])],
+          values[static_cast<std::size_t>(k)]);
+    }
+    aggregate(scratch, b, out);
+    for (const auto& [target, sum] : out) {
+      lumped_rates.push_back({b, target, sum});
+    }
+  }
+
+  ModelFile& lumped = result.lumped;
+  lumped.chain = Ctmc::from_transitions(num_blocks, std::move(lumped_rates));
+  lumped.rewards.resize(static_cast<std::size_t>(num_blocks));
+  for (index_t b = 0; b < num_blocks; ++b) {
+    lumped.rewards[static_cast<std::size_t>(b)] =
+        model.rewards[static_cast<std::size_t>(
+            representative[static_cast<std::size_t>(b)])];
+  }
+  lumped.initial.assign(static_cast<std::size_t>(num_blocks), 0.0);
+  for (index_t s = 0; s < n; ++s) {
+    lumped.initial[static_cast<std::size_t>(
+        result.block_of[static_cast<std::size_t>(s)])] +=
+        model.initial[static_cast<std::size_t>(s)];
+  }
+  if (model.regenerative >= 0) {
+    lumped.regenerative =
+        result.block_of[static_cast<std::size_t>(model.regenerative)];
+  }
+  lumped.pre_lump_states = n;
+  return result;
+}
+
+}  // namespace rrl

@@ -2,12 +2,13 @@
 //
 // rrl reproduces Carrasco's "Transient Analysis of Dependability/
 // Performability Models by Regenerative Randomization with Laplace Transform
-// Inversion" (IPDPS 2000 Workshops): four transient solvers for rewarded
+// Inversion" (IPDPS 2000 Workshops): five transient solvers for rewarded
 // CTMCs — standard randomization (SR), randomization with steady-state
-// detection (RSD), regenerative randomization (RR) and the paper's new
-// variant RRL — plus the substrates (sparse kernels, Poisson arithmetic,
-// uniformization, Laplace inversion) and the paper's RAID-5 evaluation
-// models.
+// detection (RSD), regenerative randomization (RR), the paper's new
+// variant RRL, and a uniformized-Krylov backend for large stiff models —
+// plus the substrates (sparse kernels, Poisson arithmetic, uniformization,
+// Laplace inversion, parametric model generation and exact lumping) and
+// the paper's RAID-5 evaluation models.
 //
 // Quick start (see examples/quickstart.cpp and README.md):
 //   rrl::Ctmc chain = ...;                      // your model
@@ -38,6 +39,7 @@
 
 #include "core/compiled_artifact.hpp"  // IWYU pragma: export
 #include "core/grid_sweep.hpp"         // IWYU pragma: export
+#include "core/krylov_solver.hpp"      // IWYU pragma: export
 #include "core/regenerative.hpp"       // IWYU pragma: export
 #include "core/registry.hpp"           // IWYU pragma: export
 #include "core/rr_solver.hpp"          // IWYU pragma: export
@@ -56,6 +58,8 @@
 #include "markov/builder.hpp"          // IWYU pragma: export
 #include "markov/ctmc.hpp"             // IWYU pragma: export
 #include "markov/dtmc.hpp"             // IWYU pragma: export
+#include "markov/generator.hpp"        // IWYU pragma: export
+#include "markov/lumping.hpp"          // IWYU pragma: export
 #include "markov/poisson.hpp"          // IWYU pragma: export
 #include "markov/scc.hpp"              // IWYU pragma: export
 #include "markov/steady_state.hpp"     // IWYU pragma: export

@@ -21,6 +21,18 @@ void mix_span(std::uint64_t& h, std::span<const T> values) {
 
 std::uint64_t hash_model(const ModelFile& model) {
   std::uint64_t h = kFnv1aOffset;
+  // A generated model is named exactly by its canonical spec (expansion
+  // and lumping are deterministic — markov/generator.hpp), so hash those
+  // few bytes instead of walking a million-state CSR: interning a 10^6
+  // state model costs nanoseconds, not a memory sweep. The leading tag
+  // keeps the spec-hash stream disjoint from the content-hash stream — a
+  // spec string can never alias an explicit model's byte walk.
+  if (!model.spec_key.empty()) {
+    const char tag = 'S';
+    fnv1a_mix(h, &tag, sizeof(tag));
+    fnv1a_mix(h, model.spec_key.data(), model.spec_key.size());
+    return h;
+  }
   const CsrMatrix& rates = model.chain.rates();
   const index_t states = model.chain.num_states();
   fnv1a_mix(h, &states, sizeof(states));

@@ -41,6 +41,15 @@ struct StudyModel {
 /// regenerative hint). Equal models — however they were read or built —
 /// hash equal; the reverse holds up to the usual 64-bit collision odds,
 /// which is the standard content-address trade.
+///
+/// GENERATED models (non-empty spec_key) hash their canonical spec string
+/// instead: expansion is deterministic, so the spec names the content
+/// exactly, and interning a million-state model costs a few bytes of
+/// hashing instead of a full CSR walk. Two spellings of the same spec
+/// canonicalize identically (markov/generator.hpp) and therefore intern
+/// to one entry; a generated model and a hand-written copy of its
+/// expansion hash differently, which only costs a duplicate cache line,
+/// never a wrong answer.
 [[nodiscard]] std::uint64_t hash_model(const ModelFile& model);
 
 class ModelRepository {

@@ -168,6 +168,11 @@ std::size_t SolverCache::flush_to_store() {
     artifact.solver = key.solver;
     artifact.model_hash = key.model_hash;
     artifact.config = config;
+    // Generated-model provenance rides along (informational — identity
+    // stays (solver, hash, config); for generated models the hash IS the
+    // spec hash, so the stored spec names the blob's content readably).
+    artifact.model_spec = entry.model->file.spec_key;
+    artifact.pre_lump_states = entry.model->file.pre_lump_states;
     entry.solver->export_compiled(artifact);
     // A warm-started entry whose compiled state holds nothing beyond what
     // the disk already has (schema keys a subset of the imported ones;

@@ -1,0 +1,172 @@
+// Parametric model generator: grammar, canonicalization, expansion
+// counts, structural validity and the spec-key hashing path of the model
+// repository (interning a generated model must not depend on walking the
+// expanded chain).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "io/model_format.hpp"
+#include "markov/generator.hpp"
+#include "markov/scc.hpp"
+#include "rrl.hpp"
+#include "study/model_repository.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+namespace {
+
+ModelFile parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_model(in);
+}
+
+TEST(Generator, KOfNExpandsTheFullTupleSpace) {
+  const ModelFile m =
+      parse("generator k_of_n n=3 k=2 groups=2 lambda=0.01 mu=1\n");
+  EXPECT_EQ(m.chain.num_states(), 16);  // (n+1)^groups
+  EXPECT_EQ(m.regenerative, 0);
+  EXPECT_EQ(m.pre_lump_states, -1);
+  EXPECT_FALSE(m.spec_key.empty());
+  EXPECT_DOUBLE_EQ(m.initial[0], 1.0);
+  // Reward 1 exactly on states where some group has > n-k = 1 failures:
+  // group counts in {2, 3} — 4 bad combinations per group arrangement.
+  int down = 0;
+  for (const double r : m.rewards) {
+    EXPECT_TRUE(r == 0.0 || r == 1.0);
+    if (r == 1.0) ++down;
+  }
+  // P(some group in {2,3}) over 4x4 tuple grid: 16 - 2*2 = 12.
+  EXPECT_EQ(down, 12);
+  // Failure/repair reaches every tuple from every tuple: irreducible.
+  EXPECT_EQ(strongly_connected_components(m.chain.rates()).count, 1);
+}
+
+TEST(Generator, LumpCollapsesExchangeableGroupsToMultisets) {
+  const ModelFile lumped =
+      parse("generator k_of_n n=3 k=2 groups=3 lambda=0.01 mu=1 lump=1\n");
+  // (n+1)^g = 64 ordered tuples collapse to C(n+g, g) = C(6,3) = 20
+  // multisets of per-group failure counts.
+  EXPECT_EQ(lumped.pre_lump_states, 64);
+  EXPECT_EQ(lumped.chain.num_states(), 20);
+  EXPECT_EQ(lumped.regenerative, 0);
+  EXPECT_DOUBLE_EQ(lumped.initial[0], 1.0);
+  EXPECT_EQ(strongly_connected_components(lumped.chain.rates()).count, 1);
+}
+
+TEST(Generator, TieredRepairAndQueueCounts) {
+  const ModelFile tiered = parse(
+      "generator tiered_repair tiers=2 n=2 k=1 lambda=0.1 mu=1\n");
+  EXPECT_EQ(tiered.chain.num_states(), 9);  // (n+1)^tiers
+  // Performability reward: number of up tiers, in {0, 1, 2}.
+  for (const double r : tiered.rewards) {
+    EXPECT_TRUE(r == 0.0 || r == 1.0 || r == 2.0);
+  }
+
+  const ModelFile queue = parse(
+      "generator queue capacity=4 servers=2 arrival=1 service=2 "
+      "fail=0.01 repair=1\n");
+  EXPECT_EQ(queue.chain.num_states(), 15);  // (K+1)*(c+1)
+  EXPECT_EQ(strongly_connected_components(queue.chain.rates()).count, 1);
+
+  // Without breakdowns only the all-up band is reachable.
+  const ModelFile up_only =
+      parse("generator queue capacity=4 servers=2 arrival=1 service=2\n");
+  EXPECT_EQ(up_only.chain.num_states(), 5);
+}
+
+TEST(Generator, SpecKeyIsCanonicalAcrossSpellings) {
+  // Parameter order, defaulted-vs-explicit params and numeric spellings
+  // must all canonicalize to one spec (and so one model hash).
+  const ModelFile a =
+      parse("generator k_of_n n=3 k=2 groups=2 lambda=1e-2 mu=1\n");
+  const ModelFile b =
+      parse("generator k_of_n mu=1.0 groups=2 lambda=0.01 k=2 n=3 lump=0\n");
+  EXPECT_EQ(a.spec_key, b.spec_key);
+  EXPECT_EQ(hash_model(a), hash_model(b));
+
+  const ModelFile c =
+      parse("generator k_of_n n=3 k=2 groups=2 lambda=1e-2 mu=2\n");
+  EXPECT_NE(a.spec_key, c.spec_key);
+  EXPECT_NE(hash_model(a), hash_model(c));
+  // Lumped and unlumped expansions are different content.
+  const ModelFile d =
+      parse("generator k_of_n n=3 k=2 groups=2 lambda=1e-2 mu=1 lump=1\n");
+  EXPECT_NE(hash_model(a), hash_model(d));
+}
+
+TEST(Generator, RepositoryInternsBySpec) {
+  ModelRepository repo;
+  const auto first = repo.adopt(
+      "a", parse("generator k_of_n n=3 k=2 groups=2 lambda=0.01 mu=1\n"));
+  const auto second = repo.adopt(
+      "b", parse("generator k_of_n k=2 n=3 mu=1 groups=2 lambda=1e-2\n"));
+  EXPECT_EQ(first.get(), second.get());  // one interned entry
+  EXPECT_EQ(repo.size(), 1u);
+}
+
+TEST(Generator, GrammarErrors) {
+  // Unknown family.
+  EXPECT_THROW(parse("generator nosuch n=3\n"), contract_error);
+  // Missing required parameter.
+  EXPECT_THROW(parse("generator k_of_n n=3 k=2 groups=2 lambda=0.01\n"),
+               contract_error);
+  // Unknown parameter.
+  EXPECT_THROW(
+      parse("generator k_of_n n=3 k=2 groups=2 lambda=0.01 mu=1 zz=1\n"),
+      contract_error);
+  // Duplicate parameter.
+  EXPECT_THROW(
+      parse("generator k_of_n n=3 n=4 k=2 groups=2 lambda=0.01 mu=1\n"),
+      contract_error);
+  // Out of range (k > n).
+  EXPECT_THROW(parse("generator k_of_n n=3 k=5 groups=2 lambda=0.01 mu=1\n"),
+               contract_error);
+  // Malformed value.
+  EXPECT_THROW(
+      parse("generator k_of_n n=abc k=2 groups=2 lambda=0.01 mu=1\n"),
+      contract_error);
+  // Malformed key=value token.
+  EXPECT_THROW(parse("generator k_of_n n 3\n"), contract_error);
+  // Generator mixed with explicit lines (both orders).
+  EXPECT_THROW(parse("states 2\ngenerator k_of_n n=1 k=1 groups=1 "
+                     "lambda=1 mu=1\n"),
+               contract_error);
+  EXPECT_THROW(parse("generator k_of_n n=1 k=1 groups=1 lambda=1 mu=1\n"
+                     "states 2\n"),
+               contract_error);
+  // Duplicate generator line.
+  EXPECT_THROW(parse("generator k_of_n n=1 k=1 groups=1 lambda=1 mu=1\n"
+                     "generator queue capacity=1 servers=1 arrival=1 "
+                     "service=1\n"),
+               contract_error);
+  // Expansion beyond the state cap.
+  EXPECT_THROW(
+      parse("generator k_of_n n=250 k=2 groups=8 lambda=0.01 mu=1\n"),
+      contract_error);
+  // Queue with failures but no repair (no way back up).
+  EXPECT_THROW(parse("generator queue capacity=4 servers=2 arrival=1 "
+                     "service=2 fail=0.01\n"),
+               contract_error);
+}
+
+TEST(Generator, DeterministicExpansion) {
+  const std::string spec =
+      "generator tiered_repair tiers=3 n=2 k=1 lambda=0.1 mu=1 scale=2\n";
+  const ModelFile a = parse(spec);
+  const ModelFile b = parse(spec);
+  ASSERT_EQ(a.chain.num_states(), b.chain.num_states());
+  const CsrMatrix& ra = a.chain.rates();
+  const CsrMatrix& rb = b.chain.rates();
+  ASSERT_EQ(ra.nnz(), rb.nnz());
+  EXPECT_TRUE(std::equal(ra.col_idx().begin(), ra.col_idx().end(),
+                         rb.col_idx().begin()));
+  EXPECT_TRUE(std::equal(ra.values().begin(), ra.values().end(),
+                         rb.values().begin()));
+  EXPECT_EQ(a.rewards, b.rewards);
+}
+
+}  // namespace
+}  // namespace rrl

@@ -1,0 +1,157 @@
+// Exact ordinary lumping: reduction on symmetric chains, no-op on
+// asymmetric ones, determinism, and the invariance that justifies the
+// pass — every solver answers the same transient questions on the lumped
+// chain as on the original, within the requested tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/model_format.hpp"
+#include "markov/lumping.hpp"
+#include "rrl.hpp"
+
+namespace rrl {
+namespace {
+
+ModelFile parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_model(in);
+}
+
+/// Two exchangeable components (states coded as 2*a + b, a,b in {0,1}
+/// failed-flags): failure rate 0.1, repair rate 1 per component. States
+/// 01 and 10 are equivalent; 4 states lump to 3.
+ModelFile two_component_model() {
+  return parse(
+      "states 4\n"
+      "transition 0 1 0.1\n"
+      "transition 0 2 0.1\n"
+      "transition 1 0 1\n"
+      "transition 1 3 0.1\n"
+      "transition 2 0 1\n"
+      "transition 2 3 0.1\n"
+      "transition 3 1 1\n"
+      "transition 3 2 1\n"
+      "reward 0 1\n"
+      "reward 1 1\n"
+      "reward 2 1\n"
+      "initial 0 1\n");
+}
+
+TEST(Lumping, MergesExchangeableStates) {
+  const ModelFile model = two_component_model();
+  const LumpResult result = lump_model(model);
+  EXPECT_EQ(result.original_states, 4);
+  EXPECT_EQ(result.lumped_states(), 3);
+  EXPECT_EQ(result.lumped.pre_lump_states, 4);
+  ASSERT_EQ(result.block_of.size(), 4u);
+  EXPECT_EQ(result.block_of[1], result.block_of[2]);
+  EXPECT_NE(result.block_of[0], result.block_of[1]);
+  EXPECT_NE(result.block_of[0], result.block_of[3]);
+  // Initial mass is summed per block; rewards are constant per block.
+  double mass = 0.0;
+  for (const double p : result.lumped.initial) mass += p;
+  EXPECT_NEAR(mass, 1.0, 1e-15);
+  for (index_t s = 0; s < result.original_states; ++s) {
+    EXPECT_EQ(model.rewards[s],
+              result.lumped.rewards[result.block_of[s]]);
+  }
+}
+
+TEST(Lumping, AsymmetricChainDoesNotShrink) {
+  // Same structure but distinguishable components (different rates):
+  // nothing is ordinarily lumpable.
+  const ModelFile model = parse(
+      "states 4\n"
+      "transition 0 1 0.1\n"
+      "transition 0 2 0.2\n"
+      "transition 1 0 1\n"
+      "transition 1 3 0.2\n"
+      "transition 2 0 2\n"
+      "transition 2 3 0.1\n"
+      "transition 3 1 2\n"
+      "transition 3 2 1\n"
+      "reward 0 1\n"
+      "reward 1 1\n"
+      "reward 2 1\n"
+      "initial 0 1\n");
+  const LumpResult result = lump_model(model);
+  EXPECT_EQ(result.lumped_states(), 4);
+}
+
+TEST(Lumping, RegenerativeStateMapsToItsBlock) {
+  ModelFile model = two_component_model();
+  model.regenerative = 3;
+  const LumpResult result = lump_model(model);
+  EXPECT_EQ(result.lumped.regenerative, result.block_of[3]);
+}
+
+TEST(Lumping, Deterministic) {
+  const ModelFile model =
+      parse("generator k_of_n n=3 k=2 groups=3 lambda=0.01 mu=1\n");
+  const LumpResult a = lump_model(model);
+  const LumpResult b = lump_model(model);
+  EXPECT_EQ(a.block_of, b.block_of);
+  ASSERT_EQ(a.lumped.chain.num_states(), b.lumped.chain.num_states());
+  const auto av = a.lumped.chain.rates().values();
+  const auto bv = b.lumped.chain.rates().values();
+  ASSERT_EQ(av.size(), bv.size());
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    EXPECT_EQ(av[i], bv[i]);  // bitwise, not approximately
+  }
+}
+
+/// The load-bearing property: solving on the lumped chain is
+/// indistinguishable (within solver tolerance) from solving on the
+/// original, for every solver and both measures.
+void expect_invariant(const ModelFile& original, double tolerance) {
+  const LumpResult lumped = lump_model(original);
+  ASSERT_LT(lumped.lumped_states(), original.chain.num_states());
+  const std::vector<double> grid{0.5, 5.0, 50.0};
+  for (const std::string name : {"sr", "rsd", "rr", "rrl", "krylov"}) {
+    SolverConfig config;
+    // Solve well below the comparison tolerance: RRL's inversion error is
+    // heuristic near its bound (see test_rrl_solver.cpp), so the solver
+    // budget must not be the quantity under test here — the lumping is.
+    config.epsilon = 1e-12;
+    config.regenerative = original.regenerative;
+    const auto full = make_solver(name, original.chain, original.rewards,
+                                  original.initial, config);
+    SolverConfig lumped_config = config;
+    lumped_config.regenerative = lumped.lumped.regenerative;
+    const auto small =
+        make_solver(name, lumped.lumped.chain, lumped.lumped.rewards,
+                    lumped.lumped.initial, lumped_config);
+    for (const MeasureKind measure :
+         {MeasureKind::kTrr, MeasureKind::kMrr}) {
+      const SolveReport a = full->solve_grid({measure, grid, -1.0});
+      const SolveReport b = small->solve_grid({measure, grid, -1.0});
+      ASSERT_EQ(a.points.size(), b.points.size());
+      for (std::size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_NEAR(a.points[i].value, b.points[i].value, tolerance)
+            << name << " " << measure_name(measure) << " t=" << grid[i];
+      }
+    }
+  }
+}
+
+TEST(Lumping, TransientMeasuresInvariantKOfN) {
+  // 64 ordered tuples -> 20 multisets.
+  expect_invariant(
+      parse("generator k_of_n n=3 k=2 groups=3 lambda=0.01 mu=1\n"), 2e-10);
+}
+
+TEST(Lumping, TransientMeasuresInvariantTieredRepair) {
+  // scale=1 makes the tiers exchangeable up to the reward/repair
+  // structure; the pass finds whatever symmetry survives.
+  expect_invariant(
+      parse("generator tiered_repair tiers=3 n=2 k=1 lambda=0.1 mu=1 "
+            "scale=1 repairmen=6\n"),
+      2e-10);
+}
+
+}  // namespace
+}  // namespace rrl

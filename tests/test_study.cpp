@@ -2,7 +2,7 @@
 // resolution, line-numbered errors; (2) content-addressed model interning;
 // (3) solver-cache hit/miss accounting and regenerative-hint key
 // resolution; (4) the schema memo inside RR/RRL; (5) cached-solver batch
-// results bit-identical to fresh-solver results across all four solvers
+// results bit-identical to fresh-solver results across all five solvers
 // and both measures; (6) deterministic round-robin sharding whose merged
 // 3/3-shard report reproduces the unsharded report byte-for-byte,
 // including CSV-escaped error rows; (7) merge validation (overlap, gaps,
@@ -243,8 +243,8 @@ TEST(SchemaCache, MemoizesPerHorizonAndEpsilon) {
 }
 
 // The study used by the end-to-end tests: 3 models (one absorbing, so rsd
-// scenarios fail and exercise the error rows) x all four solvers x both
-// measures x 2 epsilons x 2 grids = 96 scenarios.
+// scenarios fail and exercise the error rows) x all five solvers x both
+// measures x 2 epsilons x 2 grids = 120 scenarios.
 StudySpec end_to_end_spec(const std::string& multi_path,
                           const std::string& raid_path,
                           const std::string& absorbing_path) {
@@ -277,9 +277,9 @@ TEST(StudyRunner, CachedBitIdenticalToFreshAcrossSolversAndMeasures) {
   SolverCache unused;
   const StudyRun fresh = run_study(spec, repo, unused, fresh_options);
 
-  ASSERT_EQ(cached.total_scenarios, 96u);
-  ASSERT_EQ(cached.scenarios.size(), 96u);
-  ASSERT_EQ(fresh.scenarios.size(), 96u);
+  ASSERT_EQ(cached.total_scenarios, 120u);
+  ASSERT_EQ(cached.scenarios.size(), 120u);
+  ASSERT_EQ(fresh.scenarios.size(), 120u);
   // rsd on the absorbing model fails per scenario: 2 measures x 2 eps x 2
   // grids = 8 failures, identically in both modes.
   EXPECT_EQ(cached.sweep.failed(), 8u);
@@ -306,11 +306,11 @@ TEST(StudyRunner, CachedBitIdenticalToFreshAcrossSolversAndMeasures) {
 
   // Accounting: one compiled solver per (model, solver) — rsd on the
   // absorbing model never constructs — and every other scenario shares.
-  // 3 models x 4 solvers - 1 failing combination = 11 compiled; of the 88
-  // successful-construction scenarios (11 keys x 8 scenarios each), the
+  // 3 models x 5 solvers - 1 failing combination = 14 compiled; of the 112
+  // successful-construction scenarios (14 keys x 8 scenarios each), the
   // rest were cache hits. The fresh run must not have touched the cache.
-  EXPECT_EQ(cached.cache.misses, 11u);
-  EXPECT_EQ(cached.cache.hits, 77u);
+  EXPECT_EQ(cached.cache.misses, 14u);
+  EXPECT_EQ(cached.cache.hits, 98u);
   EXPECT_EQ(unused.stats().hits + unused.stats().misses, 0u);
 
   // With 'regenerative auto' the cache keys auto as auto (the registry's
