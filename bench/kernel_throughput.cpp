@@ -7,12 +7,22 @@
 // no SIMD variant, in which case the bound is vacuous and the run passes
 // with a note. Needs no google-benchmark.
 //
+// A second, informational section times the scalar micro-primitives whose
+// costs compose into the table/figure benches (Poisson window
+// construction, regenerative-schema computation, closed-form transform
+// evaluation, epsilon acceleration, full Crump inversion) as best-of-reps
+// ns/op rows. These carry no bound — they exist so a PR that regresses a
+// primitive is visible in the emitted JSON trajectory. (--no-micro skips
+// the section; it was previously a separate google-benchmark binary.)
+//
 // Usage:
 //   kernel_throughput [--rows 32768] [--row-nnz 16] [--band 1024]
 //                     [--iters 200] [--reps 5] [--min-speedup 1.3]
-//                     [--json-out BENCH_kernels.json]
+//                     [--no-micro] [--json-out BENCH_kernels.json]
 // Environment: RRL_BENCH_QUICK=1 shrinks iters/reps for CI;
 //              RRL_KERNEL=scalar|avx2|avx512 pins the "active" variant.
+#include <algorithm>
+#include <complex>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -144,6 +154,102 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\nproducts bit-identical to the scalar reference: yes\n");
 
+  // --- Micro-primitives (informational; no bound) ------------------------
+  // Folded in from the retired google-benchmark binary: the scalar
+  // primitives whose costs compose into the table/figure benches, timed as
+  // best-of-reps ns/op. The SpMV stepping case is gone (this harness's
+  // main section already times it better) and the end-to-end RRL solve
+  // lives in fig3/fig4.
+  struct MicroRow {
+    std::string name;
+    double ns_per_op = 0.0;
+  };
+  std::vector<MicroRow> micro;
+  if (!args.get_bool("no-micro", false)) {
+    const auto time_micro = [&](int op_iters, const auto& op) {
+      const int n = std::max(1, quick ? op_iters / 10 : op_iters);
+      double best = 0.0;
+      for (int rep = 0; rep < std::max(2, reps); ++rep) {
+        const Stopwatch watch;
+        for (int it = 0; it < n; ++it) op();
+        const double seconds = watch.seconds();
+        if (rep == 0 || seconds < best) best = seconds;
+      }
+      return best / static_cast<double>(n) * 1e9;
+    };
+    volatile double sink = 0.0;  // defeats dead-code elimination
+
+    for (const double mean : {1e2, 1e4, 1e6}) {
+      const int op_iters = mean >= 1e6 ? 20 : (mean >= 1e4 ? 100 : 1000);
+      micro.push_back({"poisson_window(mean=" + fmt_sig(mean, 1) + ")",
+                       time_micro(op_iters, [&] {
+                         const PoissonDistribution p(mean);
+                         sink = sink + p.tail(static_cast<std::int64_t>(mean));
+                       })});
+    }
+
+    const Raid5Model raid = build_raid5_availability(bench::paper_params(20));
+    const std::vector<double> rewards = raid.failure_rewards();
+    const std::vector<double> alpha = raid.initial_distribution();
+    for (const double t : {1e1, 1e3}) {
+      micro.push_back({"schema(raid5-g20, t=" + fmt_sig(t, 1) + ")",
+                       time_micro(5, [&] {
+                         const auto schema = compute_regenerative_schema(
+                             raid.chain, rewards, alpha, raid.initial_state,
+                             t, {});
+                         sink = sink + static_cast<double>(schema.K());
+                       })});
+    }
+
+    {
+      const auto schema = compute_regenerative_schema(
+          raid.chain, rewards, alpha, raid.initial_state, 1e2, {});
+      const TrrTransform transform(schema);
+      std::complex<double> s(1e-4, 0.0);
+      micro.push_back({"trr_transform(raid5-g20, K=" +
+                           std::to_string(schema.K()) + ")",
+                       time_micro(2000, [&] {
+                         sink = sink + transform.trr(s).real();
+                         s += std::complex<double>(0.0, 1e-5);
+                       })});
+    }
+
+    micro.push_back({"epsilon_accel(256 terms)", time_micro(2000, [&] {
+                       EpsilonAccelerator accel;
+                       double partial = 0.0;
+                       double term = 1.0;
+                       for (int k = 0; k < 256; ++k) {
+                         partial += term;
+                         term *= 0.9;
+                         accel.push(partial);
+                       }
+                       sink = sink + accel.estimate();
+                     })});
+
+    {
+      CrumpOptions opt;
+      opt.damping = damping_for_bounded(1.0, 1e-12, 8.0 * 100.0);
+      opt.tolerance = 1e-14;
+      micro.push_back({"crump_invert(1/(s+0.01), t=100)",
+                       time_micro(100, [&] {
+                         sink = sink + crump_invert(
+                                           [](std::complex<double> s_) {
+                                             return 1.0 / (s_ + 0.01);
+                                           },
+                                           100.0, opt)
+                                           .value;
+                       })});
+    }
+
+    TextTable micro_table({"primitive", "ns/op"});
+    for (const MicroRow& row : micro) {
+      micro_table.add_row({row.name, fmt_sig(row.ns_per_op, 4)});
+    }
+    std::printf("\nmicro-primitives (best of %d reps, informational):\n",
+                std::max(2, reps));
+    micro_table.print();
+  }
+
   {
     bench::BenchJson json(args, "kernel_throughput", "BENCH_kernels.json");
     json.field("rows", rows)
@@ -159,6 +265,16 @@ int main(int argc, char** argv) {
         .field("speedup", speedup)
         .field("min_speedup", min_speedup)
         .field("simd_available", simd);
+    if (json && !micro.empty()) {
+      std::ostream& out = json.raw("micro");
+      out << "[";
+      for (std::size_t i = 0; i < micro.size(); ++i) {
+        out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+            << micro[i].name << "\", \"ns_per_op\": " << micro[i].ns_per_op
+            << "}";
+      }
+      out << "\n  ]";
+    }
   }
 
   if (!simd) {

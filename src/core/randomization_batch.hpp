@@ -1,0 +1,64 @@
+// Shared-pass batched SR/RSD solves: scenarios as SpMM columns.
+//
+// A sweep that varies epsilon or measure over one compiled SR/RSD solver
+// used to pay one full randomization pass PER SCENARIO — N passes
+// streaming the same matrix through memory N times per step budget. This
+// engine steps every scenario of a shared solver instance JOINTLY: each
+// scenario is one column of a dense block (sparse/block.hpp), each
+// randomization step is one multi-RHS product (CsrMatrix::mul_block), and
+// per-column Poisson truncation retires columns as their own passes end —
+// the active column set shrinks, tiles drop out of the product, and the
+// pass length is the largest scenario's, exactly as in the per-scenario
+// path.
+//
+// Determinism: each column replays its scenario's solve_grid loop
+// bit-for-bit — same truncation rule (through the solver's batch_view and
+// the shared sr_truncation_point), same per-step reward dot (the strided
+// forms preserve arithmetic order), same GridSweep accumulation, and SpMM
+// columns bitwise equal to single-vector SpMV by the kernel contract. A
+// batched report therefore matches the per-scenario report byte-for-byte
+// (timings aside). RSD's span detection is evaluated per column against
+// that scenario's own tolerance, folding at exactly the step the solo
+// solve would.
+//
+// RRL_SPMM=off (sparse/spmv_kernels.hpp spmm_enabled()) makes the sweep
+// engine skip this routing entirely — the CI determinism gate compares
+// the two paths byte-for-byte.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/transient_solver.hpp"
+
+namespace rrl {
+
+class ThreadPool;
+
+/// One scenario of a shared-model randomization batch. `report` is filled
+/// on success; `error` is set instead when this scenario fails (batch
+/// siblings are isolated from each other's failures, mirroring
+/// solve_rr_batch). All pointers are borrowed and must outlive the call.
+struct RandBatchItem {
+  const TransientSolver* solver = nullptr;
+  const SolveRequest* request = nullptr;
+  SolveReport* report = nullptr;
+  std::string* error = nullptr;
+};
+
+/// Whether `solver` is a type this batch engine can step jointly
+/// (StandardRandomization or RandomizationSteadyStateDetection).
+[[nodiscard]] bool randomization_batchable(const TransientSolver& solver);
+
+/// Solve every item, grouping by solver instance; each group of >= 2
+/// scenarios steps as one SpMM block per randomization step (groups of 1
+/// run the plain solve_grid). `pool` (optional) row-partitions the
+/// products of large matrices — never the scenario axis, which is why the
+/// batch beats scenario-parallel solves: the matrix streams once per tile
+/// instead of once per scenario. `workspace` (optional) lends the block
+/// and vector buffers; a null pointer uses a call-local workspace.
+void solve_randomization_batch(std::span<const RandBatchItem> items,
+                               ThreadPool* pool,
+                               SolveWorkspace* workspace = nullptr);
+
+}  // namespace rrl

@@ -6,12 +6,16 @@
 #include <tuple>
 #include <utility>
 
+#include <cstring>
+
 #include "core/compiled_artifact.hpp"
 #include "core/grid_sweep.hpp"
 #include "core/standard_randomization.hpp"
 #include "core/vmodel.hpp"
 #include "markov/dtmc.hpp"
 #include "sparse/aligned_alloc.hpp"
+#include "sparse/block.hpp"
+#include "sparse/spmv_kernels.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
@@ -259,16 +263,9 @@ void solve_rr_batch(std::span<const RrBatchItem> items, ThreadPool* pool) {
     if (!g.members.empty() && !g.zero_rewards) live.push_back(&g);
   }
 
-  // --- Execute the V-passes: one d(n) stream per group, every member's
-  // mixtures fed from it. Three schedules, all bit-identical:
-  //  * fused: all groups' gather matrices concatenated block-diagonally
-  //    and stepped as ONE row-partitioned product per step — the pool
-  //    engages on the combined stored-entry count even though each
-  //    V-model alone is far below the floor; groups are ordered by
-  //    descending pass length so retired blocks shrink the live prefix
-  //    (mul_vec_leading) instead of being stepped to the global horizon;
-  //  * group-parallel: each group's serial pass on its own worker;
-  //  * serial: group after group on the calling thread.
+  // --- Execute phase. Starts here: the SpMM classes below are execute
+  // work, timed into the same phase as the fused/parallel/serial
+  // schedules.
   const Stopwatch execute_watch;
 
   // Per-scenario isolation extends into the execute phase: a group whose
@@ -283,6 +280,136 @@ void solve_rr_batch(std::span<const RrBatchItem> items, ThreadPool* pool) {
         e.what()[0] != '\0' ? e.what() : "unknown error";
     for (const std::size_t i : g.members) *items[i].error = message;
   };
+
+  // --- SpMM classes: distinct groups whose V stepping matrices are
+  // bitwise EQUAL step jointly, each group one column of a dense block,
+  // each step one multi-RHS product (sparse/block.hpp). Equal V matrices
+  // arise naturally from exactly-terminating excursion processes (a(k)
+  // hits 0, so K saturates): the same solver queried at different t_max
+  // compiles distinct groups with the identical truncated V_{K,L}. Unlike
+  // the fused block-diagonal path below — which streams every group's
+  // matrix once per step — the class streams ONE matrix for all its
+  // groups. Equality is bitwise (memcmp of the CSR arrays), so each
+  // column's products are exactly the products its own matrix would have
+  // produced and the kernel contract keeps the pass bit-identical to the
+  // group's serial pass. Classes with a single member fall through to the
+  // fused/group-parallel/serial schedules unchanged.
+  if (spmm_enabled() && live.size() > 1) {
+    const auto same_matrix = [](const CsrMatrix& a, const CsrMatrix& b) {
+      if (a.rows() != b.rows() || a.cols() != b.cols() ||
+          a.nnz() != b.nnz()) {
+        return false;
+      }
+      const auto bytes_equal = [](const auto& x, const auto& y) {
+        return std::memcmp(x.data(), y.data(), x.size_bytes()) == 0;
+      };
+      return bytes_equal(a.row_ptr(), b.row_ptr()) &&
+             bytes_equal(a.col_idx(), b.col_idx()) &&
+             bytes_equal(a.values(), b.values());
+    };
+    std::vector<std::vector<VGroup*>> classes;
+    for (VGroup* g : live) {
+      const CsrMatrix& pt = g->dtmc->transition_transposed();
+      auto it = std::find_if(
+          classes.begin(), classes.end(), [&](const auto& cls) {
+            return same_matrix(
+                cls.front()->dtmc->transition_transposed(), pt);
+          });
+      if (it == classes.end()) {
+        classes.push_back({g});
+      } else {
+        it->push_back(g);
+      }
+    }
+    const auto run_class_spmm = [&](std::vector<VGroup*>& cls) {
+      try {
+        // Longest pass first: retired columns form a suffix and whole
+        // tiles drop out of the product.
+        std::stable_sort(cls.begin(), cls.end(),
+                         [](const VGroup* a, const VGroup* b) {
+                           return a->pass_steps > b->pass_steps;
+                         });
+        const CsrMatrix& pt = cls.front()->dtmc->transition_transposed();
+        const index_t n_states = pt.rows();
+        DenseBlock x;
+        DenseBlock y;
+        x.reshape(n_states, static_cast<index_t>(cls.size()));
+        y.reshape(n_states, static_cast<index_t>(cls.size()));
+        for (std::size_t j = 0; j < cls.size(); ++j) {
+          x.fill_column(static_cast<index_t>(j),
+                        cls[j]->compiled->vmodel->initial);
+        }
+        ThreadPool* const prod_pool =
+            (pool_usable && pt.nnz() >= SolveWorkspace::kMinPooledNnz)
+                ? pool
+                : nullptr;
+        std::vector<SpmmOperand> ops;
+        std::size_t live_cols = cls.size();
+        for (std::int64_t n = 0;; ++n) {
+          for (std::size_t j = 0; j < live_cols; ++j) {
+            VGroup& g = *cls[j];
+            const index_t t =
+                DenseBlock::tile_of(static_cast<index_t>(j));
+            const double d = sparse_reward_dot_strided(
+                g.reward_idx, g.compiled->vmodel->rewards,
+                x.tile(t) + DenseBlock::lane_of(static_cast<index_t>(j)),
+                static_cast<std::size_t>(x.tile_width(t)));
+            for (auto& sweep : g.sweeps) sweep->accumulate(n, d);
+          }
+          while (live_cols > 0 && cls[live_cols - 1]->pass_steps == n) {
+            --live_cols;
+          }
+          if (live_cols == 0) break;
+          ops.clear();
+          for (index_t t = 0; t < x.num_tiles(); ++t) {
+            if (static_cast<std::size_t>(x.tile_col_begin(t)) >=
+                live_cols) {
+              break;
+            }
+            const index_t in_tile = std::min<index_t>(
+                x.tile_cols(t),
+                static_cast<index_t>(live_cols) - x.tile_col_begin(t));
+            ops.push_back(
+                SpmmOperand{x.tile(t), y.tile(t), x.tile_width(t),
+                            in_tile});
+          }
+          if (prod_pool != nullptr) {
+            pt.mul_block(ops, n_states, *prod_pool);
+          } else {
+            pt.mul_block(ops, n_states);
+          }
+          x.swap(y);
+        }
+      } catch (const std::exception& e) {
+        for (VGroup* g : cls) fail_members(*g, e);
+      }
+    };
+    bool any_class = false;
+    for (std::vector<VGroup*>& cls : classes) {
+      if (cls.size() < 2) continue;
+      run_class_spmm(cls);
+      any_class = true;
+    }
+    if (any_class) {
+      // Only singleton classes remain for the schedules below.
+      std::vector<VGroup*> rest;
+      for (const std::vector<VGroup*>& cls : classes) {
+        if (cls.size() < 2) rest.push_back(cls.front());
+      }
+      live = std::move(rest);
+    }
+  }
+
+  // --- The remaining V-passes: one d(n) stream per group, every member's
+  // mixtures fed from it. Three schedules, all bit-identical:
+  //  * fused: all groups' gather matrices concatenated block-diagonally
+  //    and stepped as ONE row-partitioned product per step — the pool
+  //    engages on the combined stored-entry count even though each
+  //    V-model alone is far below the floor; groups are ordered by
+  //    descending pass length so retired blocks shrink the live prefix
+  //    (mul_vec_leading) instead of being stepped to the global horizon;
+  //  * group-parallel: each group's serial pass on its own worker;
+  //  * serial: group after group on the calling thread.
   const auto run_group_serial = [&fail_members](VGroup& g) {
     try {
       const VModel& vmodel = *g.compiled->vmodel;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/solver.hpp"
@@ -80,6 +81,25 @@ class StandardRandomization : public TransientSolver {
   [[nodiscard]] TransientValue mrr(double t) const;
 
   [[nodiscard]] double lambda() const noexcept { return dtmc_.lambda(); }
+
+  /// Read-only view of the compiled pass state for the shared-pass batch
+  /// engine (core/randomization_batch.hpp), which must replicate
+  /// solve_grid's loop bit-for-bit per column and therefore needs the same
+  /// inputs solve_grid itself consumes. Spans borrow from this solver —
+  /// the view must not outlive it (or a subsequent import_compiled()).
+  struct BatchView {
+    const RandomizedDtmc* dtmc = nullptr;
+    std::span<const double> rewards;
+    std::span<const double> initial;
+    std::span<const index_t> reward_idx;
+    double r_max = 0.0;
+    double epsilon = 0.0;
+    std::int64_t step_cap = -1;
+  };
+  [[nodiscard]] BatchView batch_view() const noexcept {
+    return BatchView{&dtmc_,  rewards_,         initial_,          reward_idx_,
+                     r_max_,  options_.epsilon, options_.step_cap};
+  }
 
  private:
   const Ctmc& chain_;

@@ -19,6 +19,7 @@
 // guaranteed aperiodicity.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/solver.hpp"
@@ -79,6 +80,32 @@ class RandomizationSteadyStateDetection : public TransientSolver {
   [[nodiscard]] TransientValue mrr(double t) const;
 
   [[nodiscard]] double lambda() const noexcept { return dtmc_.lambda(); }
+
+  /// Read-only view of the compiled pass state for the shared-pass batch
+  /// engine (core/randomization_batch.hpp) — same contract as
+  /// StandardRandomization::batch_view(): the batch loop replays
+  /// solve_grid bit-for-bit per column from exactly these inputs. Spans
+  /// borrow from this solver.
+  struct BatchView {
+    const RandomizedDtmc* dtmc = nullptr;
+    const CsrMatrix* p = nullptr;  ///< row-form P, the backward operator
+    std::span<const double> rewards;
+    std::span<const double> initial;
+    double r_max = 0.0;
+    double epsilon = 0.0;
+    double detection_tol = -1.0;
+    std::int64_t step_cap = -1;
+  };
+  [[nodiscard]] BatchView batch_view() const noexcept {
+    return BatchView{&dtmc_,
+                     &p_,
+                     rewards_,
+                     initial_,
+                     r_max_,
+                     options_.epsilon,
+                     options_.detection_tol,
+                     options_.step_cap};
+  }
 
  private:
   const Ctmc& chain_;

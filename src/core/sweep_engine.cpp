@@ -1,10 +1,13 @@
 #include "core/sweep_engine.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <exception>
 #include <string_view>
 
+#include "core/randomization_batch.hpp"
 #include "core/rr_solver.hpp"
+#include "sparse/spmv_kernels.hpp"
 #include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
@@ -102,7 +105,7 @@ SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool,
       batched.push_back(i);
     }
   }
-  std::vector<std::size_t> rest;
+  std::vector<std::uint8_t> taken(batch.scenarios.size(), 0);
   if (batched.size() >= 2) {
     std::vector<RrBatchItem> items;
     items.reserve(batched.size());
@@ -114,6 +117,7 @@ SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool,
       item.report = &out.results[i].report;
       item.error = &out.results[i].error;
       items.push_back(item);
+      taken[i] = 1;
     }
     const Stopwatch batch_watch;
     {
@@ -127,18 +131,67 @@ SweepReport run_sweep(const BatchRequest& batch, ThreadPool& pool,
       out.results[i].seconds = each;
       note_result(out.results[i]);
     }
-    rest.reserve(batch.scenarios.size() - batched.size());
-    std::size_t next_batched = 0;
+  }
+
+  // Shared-pass SR/RSD batching (core/randomization_batch.hpp): scenarios
+  // driving the SAME shared SR/RSD solver instance become columns of one
+  // SpMM block, so each randomization step streams the shared matrix once
+  // instead of once per scenario. Only instances with >= 2 scenarios are
+  // routed — a singleton gains nothing from a one-column block and would
+  // lose its worker-level parallelism. Bit-identical to per-scenario
+  // solve_grid() (the engine's determinism contract), so BatchRequest::spmm
+  // and RRL_SPMM=off only ever change timings, never values.
+  if (batch.spmm && spmm_enabled()) {
+    std::vector<std::size_t> rand_batched;
     for (std::size_t i = 0; i < batch.scenarios.size(); ++i) {
-      if (next_batched < batched.size() && batched[next_batched] == i) {
-        ++next_batched;
-      } else {
-        rest.push_back(i);
+      const SweepScenario& scenario = batch.scenarios[i];
+      if (taken[i] == 0 && scenario.shared_solver != nullptr &&
+          randomization_batchable(*scenario.shared_solver)) {
+        rand_batched.push_back(i);
       }
     }
-  } else {
-    rest.resize(batch.scenarios.size());
-    for (std::size_t i = 0; i < rest.size(); ++i) rest[i] = i;
+    // Keep only instances shared by >= 2 scenarios.
+    const auto shared_twice = [&](std::size_t i) {
+      const TransientSolver* s = batch.scenarios[i].shared_solver.get();
+      std::size_t n = 0;
+      for (const std::size_t j : rand_batched) {
+        n += batch.scenarios[j].shared_solver.get() == s ? 1 : 0;
+      }
+      return n >= 2;
+    };
+    std::erase_if(rand_batched,
+                  [&](std::size_t i) { return !shared_twice(i); });
+    if (!rand_batched.empty()) {
+      if (workspaces.empty()) workspaces.resize(1);
+      std::vector<RandBatchItem> items;
+      items.reserve(rand_batched.size());
+      for (const std::size_t i : rand_batched) {
+        RandBatchItem item;
+        item.solver = batch.scenarios[i].shared_solver.get();
+        item.request = &batch.scenarios[i].request;
+        item.report = &out.results[i].report;
+        item.error = &out.results[i].error;
+        items.push_back(item);
+        taken[i] = 1;
+      }
+      const Stopwatch batch_watch;
+      {
+        const trace::Span span("scenario.solve_rand_batch",
+                               rand_batched.size());
+        solve_randomization_batch(items, &pool, &workspaces.front());
+      }
+      const double each =
+          batch_watch.seconds() / static_cast<double>(rand_batched.size());
+      for (const std::size_t i : rand_batched) {
+        out.results[i].seconds = each;
+        note_result(out.results[i]);
+      }
+    }
+  }
+
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < batch.scenarios.size(); ++i) {
+    if (taken[i] == 0) rest.push_back(i);
   }
   if (rest.empty()) {
     out.seconds = watch.seconds();

@@ -24,7 +24,12 @@
 // (rr_solver.hpp's solve_rr_batch): items with the same compiled schema
 // share one ~Lambda*t V-pass, and the distinct small V-models advance
 // jointly through one pooled block-concatenated stepping loop — again
-// bit-identical to per-scenario solves.
+// bit-identical to per-scenario solves. Scenarios sharing an SR/RSD
+// solver are likewise routed through the shared-pass SpMM batch
+// (core/randomization_batch.hpp): each scenario becomes one column of a
+// dense block and every randomization step is one multi-RHS product,
+// streaming the shared matrix once per step instead of once per scenario
+// (disable with BatchRequest::spmm = false or RRL_SPMM=off).
 //
 // Determinism: results[i] always corresponds to scenarios[i] — workers
 // write only their own slot and the reduction is by index, so the report's
@@ -78,6 +83,12 @@ struct BatchRequest {
   /// Worker threads INCLUDING the calling thread; <= 0 selects the
   /// hardware concurrency. Ignored by the pool-taking overload.
   int jobs = 1;
+  /// Route scenarios sharing one SR/RSD solver instance through the
+  /// shared-pass SpMM batch (core/randomization_batch.hpp) instead of
+  /// per-scenario solves. Values are bit-identical either way; this knob
+  /// (and the RRL_SPMM=off environment override) exists so benches and the
+  /// CI determinism gate can compare the two paths in one process.
+  bool spmm = true;
 };
 
 /// Outcome of one scenario: either a report or an error message.

@@ -1,0 +1,139 @@
+// Column-tile-interleaved dense block: the RHS/result container of the
+// multi-vector SpMM paths (sparse/spmv_kernels.hpp).
+//
+// A block of `cols` vectors of length `rows` is stored as a sequence of
+// column tiles: floor(cols / 8) full wide tiles (width 8) plus, when
+// columns remain, one padded fringe tile — narrow (width 4) for 1..4 live
+// columns, wide for 5..7. Within a tile of width W, element (row r,
+// lane j) lives at tile[r * W + j], so a kernel touching row r reads or
+// writes one contiguous W-element group per nonzero instead of W strided
+// gathers. All tiles share one AlignedVector allocation (64-byte aligned,
+// like every kernel-facing buffer), and reshape() retains capacity across
+// solves the way SolveWorkspace's vectors do.
+//
+// Padding lanes (the dead columns of a partially filled fringe tile) are
+// zero-initialized and stay finite under stepping; kernels compute them
+// like any other lane, but no reader ever looks at them, and lanes never
+// mix — so their presence cannot perturb live-column bits.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/aligned_alloc.hpp"
+#include "sparse/spmv_kernels.hpp"
+#include "support/contracts.hpp"
+
+namespace rrl {
+
+class DenseBlock {
+ public:
+  /// Lay out `rows x cols` (cols >= 0; zero cols means zero tiles) and
+  /// zero-fill the storage, retaining capacity from previous shapes.
+  void reshape(index_t rows, index_t cols) {
+    RRL_EXPECTS(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    tiles_.clear();
+    std::int64_t offset = 0;
+    for (index_t col = 0; col < cols; col += kSpmmTileWide) {
+      const index_t live = std::min(cols - col, kSpmmTileWide);
+      const index_t width =
+          live <= kSpmmTileNarrow ? kSpmmTileNarrow : kSpmmTileWide;
+      tiles_.push_back(Tile{width, col, live, offset});
+      offset += static_cast<std::int64_t>(rows) * width;
+    }
+    data_.assign(static_cast<std::size_t>(offset), 0.0);
+  }
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t num_tiles() const noexcept {
+    return static_cast<index_t>(tiles_.size());
+  }
+
+  /// Tile stride (4 or 8); `tile_cols` is the live columns <= width.
+  [[nodiscard]] index_t tile_width(index_t t) const {
+    return tiles_[checked(t)].width;
+  }
+  [[nodiscard]] index_t tile_cols(index_t t) const {
+    return tiles_[checked(t)].live;
+  }
+  /// First block-column covered by tile t (always 8 * t).
+  [[nodiscard]] index_t tile_col_begin(index_t t) const {
+    return tiles_[checked(t)].col_begin;
+  }
+
+  [[nodiscard]] double* tile(index_t t) {
+    return data_.data() + static_cast<std::size_t>(tiles_[checked(t)].offset);
+  }
+  [[nodiscard]] const double* tile(index_t t) const {
+    return data_.data() + static_cast<std::size_t>(tiles_[checked(t)].offset);
+  }
+
+  /// Tile index / lane of a block column. Every tile but the fringe is
+  /// wide, so the mapping is a plain division by the wide width.
+  [[nodiscard]] static index_t tile_of(index_t col) noexcept {
+    return col / kSpmmTileWide;
+  }
+  [[nodiscard]] static index_t lane_of(index_t col) noexcept {
+    return col % kSpmmTileWide;
+  }
+
+  [[nodiscard]] double& at(index_t row, index_t col) {
+    return tile(tile_of(col))[element(row, col)];
+  }
+  [[nodiscard]] double at(index_t row, index_t col) const {
+    return tile(tile_of(col))[element(row, col)];
+  }
+
+  /// Scatter a length-rows vector into column `col`'s lane.
+  void fill_column(index_t col, std::span<const double> v) {
+    RRL_EXPECTS(static_cast<index_t>(v.size()) == rows_);
+    const index_t t = tile_of(col);
+    const index_t w = tile_width(t);
+    double* base = tile(t) + lane_of(col);
+    for (index_t r = 0; r < rows_; ++r) {
+      base[static_cast<std::size_t>(r) * static_cast<std::size_t>(w)] =
+          v[static_cast<std::size_t>(r)];
+    }
+  }
+
+  void swap(DenseBlock& other) noexcept {
+    std::swap(rows_, other.rows_);
+    std::swap(cols_, other.cols_);
+    tiles_.swap(other.tiles_);
+    data_.swap(other.data_);
+  }
+
+ private:
+  struct Tile {
+    index_t width = 0;
+    index_t col_begin = 0;
+    index_t live = 0;
+    std::int64_t offset = 0;
+  };
+
+  [[nodiscard]] std::size_t checked(index_t t) const {
+    RRL_EXPECTS(t >= 0 && t < num_tiles());
+    return static_cast<std::size_t>(t);
+  }
+
+  [[nodiscard]] std::size_t element(index_t row, index_t col) const {
+    RRL_EXPECTS(row >= 0 && row < rows_);
+    RRL_EXPECTS(col >= 0 && col < cols_);
+    return static_cast<std::size_t>(row) *
+               static_cast<std::size_t>(tiles_[tile_of(col)].width) +
+           static_cast<std::size_t>(lane_of(col));
+  }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<Tile> tiles_;
+  AlignedVector<double> data_;
+};
+
+}  // namespace rrl

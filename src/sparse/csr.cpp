@@ -35,6 +35,29 @@ void note_product(const std::vector<std::int64_t>& row_ptr,
       row_ptr[static_cast<std::size_t>(leading)]));
 }
 
+// Multi-RHS products count separately from SpMV so the scenarios/sec win
+// of a batched solve is visible in the fleet stats: one `products` tick
+// per mul_block call, `columns` summing the live lanes it advanced.
+struct SpmmCounters {
+  metrics::Counter& products = metrics::counter("rrl_spmm_products_total");
+  metrics::Counter& columns = metrics::counter("rrl_spmm_columns_total");
+};
+
+SpmmCounters& spmm_counters() {
+  static SpmmCounters c;
+  return c;
+}
+
+void note_block(std::span<const SpmmOperand> tiles) {
+  SpmmCounters& c = spmm_counters();
+  c.products.add(1);
+  std::uint64_t cols = 0;
+  for (const SpmmOperand& t : tiles) {
+    cols += static_cast<std::uint64_t>(t.cols);
+  }
+  c.columns.add(cols);
+}
+
 }  // namespace
 
 // The single shared row walk of the serial and the row-partitioned paths:
@@ -72,6 +95,46 @@ void CsrMatrix::apply_rows(const SpmvKernels& kernels,
     }
   } else if (r_begin < r_end) {
     kernels.csr_rows(rp, ci, vals, x.data(), y.data(), r_begin, r_end);
+  }
+}
+
+// Same fringe split as apply_rows, walked once per column tile: the block
+// paths exist to stream the matrix once per TILE instead of once per
+// column, so the tile loop stays outermost and the kernels keep whole
+// W-wide row groups register-resident.
+void CsrMatrix::apply_rows_mm(const SpmvKernels& kernels,
+                              std::span<const SpmmOperand> tiles,
+                              index_t r_begin, index_t r_end) const {
+  const std::int64_t* rp = row_ptr_.data();
+  const index_t* ci = col_idx_.data();
+  const double* vals = values_.data();
+  for (const SpmmOperand& t : tiles) {
+    const bool wide = t.width == kSpmmTileWide;
+    const CsrRowsMmFn rows_fn =
+        wide ? kernels.csr_rows_mm8 : kernels.csr_rows_mm4;
+    const SellChunksMmFn chunks_fn =
+        wide ? kernels.sell_chunks_mm8 : kernels.sell_chunks_mm4;
+    if (sell_ != nullptr && r_begin < sell_->covered_rows) {
+      constexpr index_t kC = kSellChunkRows;
+      const index_t blocked_end = std::min(r_end, sell_->covered_rows);
+      const index_t head_end =
+          std::min(blocked_end, (r_begin + kC - 1) / kC * kC);
+      if (r_begin < head_end) {
+        rows_fn(rp, ci, vals, t.b, t.c, r_begin, head_end);
+      }
+      const index_t c_begin = head_end / kC;
+      const index_t c_end = blocked_end / kC;
+      if (c_begin < c_end) {
+        chunks_fn(sell_->chunk_ptr.data(), sell_->col_idx.data(),
+                  sell_->values.data(), t.b, t.c, c_begin, c_end);
+      }
+      const index_t tail_begin = std::max(head_end, c_end * kC);
+      if (tail_begin < r_end) {
+        rows_fn(rp, ci, vals, t.b, t.c, tail_begin, r_end);
+      }
+    } else if (r_begin < r_end) {
+      rows_fn(rp, ci, vals, t.b, t.c, r_begin, r_end);
+    }
   }
 }
 
@@ -202,34 +265,81 @@ void CsrMatrix::mul_vec_leading(std::span<const double> x,
     apply_rows(kernels, x, y, 0, leading);
     return;
   }
-  // Contiguous row chunks balanced by stored-entry count: chunk boundary c
-  // is the first row whose cumulative nnz (row_ptr_) reaches c/workers of
-  // the leading rows' total. Each worker derives its own [begin, end) with
-  // two binary searches on the prefix-sum array — boundaries of monotone
-  // targets are monotone, so chunks tile the rows disjointly, and the call
-  // allocates nothing (this path is meant for hot loops on large models).
-  // With a blocked layout the boundaries snap to SELL chunk multiples
-  // (rounding a monotone sequence stays monotone), so workers hand whole
-  // chunks to the blocked kernel instead of splitting them into fringes.
-  const std::int64_t total = row_ptr_[static_cast<std::size_t>(leading)];
-  const auto last = row_ptr_.begin() + leading + 1;
-  const auto boundary = [&](int c) {
-    if (c <= 0) return index_t{0};
-    if (c >= workers) return leading;
-    const std::int64_t target =
-        total * static_cast<std::int64_t>(c) / workers;
-    const auto it = std::lower_bound(row_ptr_.begin(), last, target);
-    index_t b = static_cast<index_t>(it - row_ptr_.begin());
-    if (sell_ != nullptr) {
-      constexpr index_t kC = kSellChunkRows;
-      b = std::min(leading, (b + kC / 2) / kC * kC);
-    }
-    return b;
-  };
   pool.parallel_for(
       static_cast<std::size_t>(workers), [&](std::size_t chunk, std::size_t) {
         const int c = static_cast<int>(chunk);
-        apply_rows(kernels, x, y, boundary(c), boundary(c + 1));
+        apply_rows(kernels, x, y, chunk_boundary(leading, workers, c),
+                   chunk_boundary(leading, workers, c + 1));
+      });
+}
+
+// Contiguous row chunks balanced by stored-entry count: chunk boundary c
+// is the first row whose cumulative nnz (row_ptr_) reaches c/workers of
+// the leading rows' total — one binary search on the prefix-sum array.
+// Boundaries of monotone targets are monotone, so chunks tile the rows
+// disjointly, and the call allocates nothing (this path is meant for hot
+// loops on large models). With a blocked layout the boundaries snap to
+// SELL chunk multiples (rounding a monotone sequence stays monotone), so
+// workers hand whole chunks to the blocked kernel instead of splitting
+// them into fringes.
+index_t CsrMatrix::chunk_boundary(index_t leading, int workers,
+                                  int c) const {
+  if (c <= 0) return index_t{0};
+  if (c >= workers) return leading;
+  const std::int64_t total = row_ptr_[static_cast<std::size_t>(leading)];
+  const std::int64_t target = total * static_cast<std::int64_t>(c) / workers;
+  const auto last = row_ptr_.begin() + leading + 1;
+  const auto it = std::lower_bound(row_ptr_.begin(), last, target);
+  index_t b = static_cast<index_t>(it - row_ptr_.begin());
+  if (sell_ != nullptr) {
+    constexpr index_t kC = kSellChunkRows;
+    b = std::min(leading, (b + kC / 2) / kC * kC);
+  }
+  return b;
+}
+
+void CsrMatrix::mul_block(std::span<const SpmmOperand> tiles,
+                          index_t leading) const {
+  mul_block_with(active_kernels(), tiles, leading);
+}
+
+void CsrMatrix::mul_block_with(const SpmvKernels& kernels,
+                               std::span<const SpmmOperand> tiles,
+                               index_t leading) const {
+  RRL_EXPECTS(leading >= 0 && leading <= rows_);
+  // An empty product is a no-op before tile validation: a zero-row block
+  // legitimately has no storage, so its tile pointers may be null.
+  if (leading == 0 || tiles.empty()) return;
+  for (const SpmmOperand& t : tiles) {
+    RRL_EXPECTS(t.width == kSpmmTileNarrow || t.width == kSpmmTileWide);
+    RRL_EXPECTS(t.cols > 0 && t.cols <= t.width);
+    RRL_EXPECTS(t.b != nullptr && t.c != nullptr && t.b != t.c);
+  }
+  note_block(tiles);
+  apply_rows_mm(kernels, tiles, 0, leading);
+}
+
+void CsrMatrix::mul_block(std::span<const SpmmOperand> tiles, index_t leading,
+                          ThreadPool& pool) const {
+  RRL_EXPECTS(leading >= 0 && leading <= rows_);
+  if (leading == 0 || tiles.empty()) return;
+  for (const SpmmOperand& t : tiles) {
+    RRL_EXPECTS(t.width == kSpmmTileNarrow || t.width == kSpmmTileWide);
+    RRL_EXPECTS(t.cols > 0 && t.cols <= t.width);
+    RRL_EXPECTS(t.b != nullptr && t.c != nullptr && t.b != t.c);
+  }
+  note_block(tiles);
+  const SpmvKernels& kernels = active_kernels();
+  const int workers = pool.num_threads();
+  if (workers <= 1 || leading < 2 * workers) {
+    apply_rows_mm(kernels, tiles, 0, leading);
+    return;
+  }
+  pool.parallel_for(
+      static_cast<std::size_t>(workers), [&](std::size_t chunk, std::size_t) {
+        const int c = static_cast<int>(chunk);
+        apply_rows_mm(kernels, tiles, chunk_boundary(leading, workers, c),
+                      chunk_boundary(leading, workers, c + 1));
       });
 }
 

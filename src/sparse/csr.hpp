@@ -3,7 +3,8 @@
 // All solvers in this library reduce to repeated sparse matrix-vector
 // products with the (randomized) transition matrix, so this module provides a
 // cache-friendly CSR container, a duplicate-summing triplet builder, a
-// transpose, and gather-style SpMV entry points. The products dispatch
+// transpose, gather-style SpMV entry points, and multi-RHS SpMM block
+// entry points over column tiles. The products dispatch
 // through the runtime-selected vectorized kernels (sparse/spmv_kernels.hpp)
 // and, after a specialize() pass, through the blocked SELL-8 layout
 // (sparse/sell.hpp) — all bit-identical to the serial scalar reference.
@@ -31,6 +32,18 @@ struct Triplet {
   index_t row = 0;
   index_t col = 0;
   double value = 0.0;
+};
+
+/// One column tile of a multi-RHS product: `b` and `c` are the input and
+/// output tiles in the column-interleaved layout of sparse/block.hpp
+/// (element (row r, lane j) at tile[r * width + j]), `width` is the tile
+/// stride (kSpmmTileNarrow or kSpmmTileWide), `cols` the live columns
+/// <= width (metrics only — kernels compute every lane).
+struct SpmmOperand {
+  const double* b = nullptr;
+  double* c = nullptr;
+  index_t width = 0;
+  index_t cols = 0;
 };
 
 /// Immutable CSR sparse matrix over doubles.
@@ -132,6 +145,29 @@ class CsrMatrix {
   void mul_vec_leading(std::span<const double> x, std::span<double> y,
                        index_t leading, ThreadPool& pool) const;
 
+  /// C[0..leading) = (A B)[0..leading) over a set of column tiles — the
+  /// multi-RHS product. Each tile's input must cover cols() rows and its
+  /// output at least `leading`; per tile the per-row, per-column
+  /// accumulation order is exactly mul_vec's, so column j of the result
+  /// is bitwise the single-vector product of column j. Dispatches through
+  /// the process-wide active kernels.
+  /// Preconditions: every operand width is kSpmmTileNarrow or
+  /// kSpmmTileWide, 0 < cols <= width, b != c; 0 <= leading <= rows().
+  void mul_block(std::span<const SpmmOperand> tiles, index_t leading) const;
+
+  /// Pooled mul_block: rows partitioned across `pool` with the same
+  /// nnz-balanced contiguous chunks as the pooled mul_vec (each worker
+  /// applies every tile over its row range), bit-identical to the serial
+  /// form for any thread count.
+  void mul_block(std::span<const SpmmOperand> tiles, index_t leading,
+                 ThreadPool& pool) const;
+
+  /// mul_block with an explicit kernel variant — the testing/benchmark
+  /// hook behind mul_block (which passes active_kernels()).
+  void mul_block_with(const SpmvKernels& kernels,
+                      std::span<const SpmmOperand> tiles,
+                      index_t leading) const;
+
   /// y = A^T x (scatter kernel). Preconditions mirror mul_vec.
   void mul_vec_transposed(std::span<const double> x, std::span<double> y) const;
 
@@ -151,6 +187,19 @@ class CsrMatrix {
   /// kernel for the head/tail fringes. Bit-identical for any split.
   void apply_rows(const SpmvKernels& kernels, std::span<const double> x,
                   std::span<double> y, index_t r_begin, index_t r_end) const;
+
+  /// The SpMM analogue of apply_rows: run the width-matched tile kernels
+  /// of `kernels` over rows [r_begin, r_end) for every operand.
+  void apply_rows_mm(const SpmvKernels& kernels,
+                     std::span<const SpmmOperand> tiles, index_t r_begin,
+                     index_t r_end) const;
+
+  /// Boundary of worker chunk `c` when [0, leading) is split across
+  /// `workers` nnz-balanced contiguous row ranges (SELL-snapped when a
+  /// blocked layout exists) — shared by the pooled mul_vec_leading and
+  /// mul_block paths.
+  [[nodiscard]] index_t chunk_boundary(index_t leading, int workers,
+                                       int c) const;
 
   index_t rows_ = 0;
   index_t cols_ = 0;

@@ -61,8 +61,72 @@ void sell_chunks_scalar(const std::int64_t* chunk_ptr, const index_t* col_idx,
   }
 }
 
-constexpr SpmvKernels kScalarKernels{KernelIsa::kScalar, "scalar",
-                                     &csr_rows_scalar, &sell_chunks_scalar};
+// Scalar SpMM tile kernels, one instantiation per tile width. Lane j of
+// the tile is the j-th column's own sequential accumulator: per nonzero
+// the matrix value is read once and multiplied into all W lanes from one
+// contiguous W-element load of b — same products, same per-column
+// addition order as csr_rows_scalar on that column alone.
+template <index_t W>
+void csr_rows_mm_scalar(const std::int64_t* row_ptr, const index_t* col_idx,
+                        const double* values, const double* b, double* c,
+                        index_t r_begin, index_t r_end) {
+  for (index_t r = r_begin; r < r_end; ++r) {
+    double acc[W] = {};
+    const std::int64_t lo = row_ptr[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
+    for (std::int64_t k = lo; k < hi; ++k) {
+      const double v = values[static_cast<std::size_t>(k)];
+      const double* bt =
+          b + static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)]) *
+                  static_cast<std::size_t>(W);
+      for (index_t j = 0; j < W; ++j) acc[j] += v * bt[j];
+    }
+    double* ct = c + static_cast<std::size_t>(r) * static_cast<std::size_t>(W);
+    for (index_t j = 0; j < W; ++j) ct[j] = acc[j];
+  }
+}
+
+template <index_t W>
+void sell_chunks_mm_scalar(const std::int64_t* chunk_ptr,
+                           const index_t* col_idx, const double* values,
+                           const double* b, double* c, index_t c_begin,
+                           index_t c_end) {
+  for (index_t ch = c_begin; ch < c_end; ++ch) {
+    const std::int64_t base = chunk_ptr[static_cast<std::size_t>(ch)];
+    const std::int64_t width =
+        chunk_ptr[static_cast<std::size_t>(ch) + 1] - base;
+    double acc[kSellChunkRows][W] = {};
+    const index_t* cp = col_idx + base * kSellChunkRows;
+    const double* vp = values + base * kSellChunkRows;
+    for (std::int64_t k = 0; k < width; ++k) {
+      for (index_t l = 0; l < kSellChunkRows; ++l) {
+        const double v = vp[l];
+        const double* bt = b + static_cast<std::size_t>(cp[l]) *
+                                   static_cast<std::size_t>(W);
+        for (index_t j = 0; j < W; ++j) acc[l][j] += v * bt[j];
+      }
+      cp += kSellChunkRows;
+      vp += kSellChunkRows;
+    }
+    double* out = c + static_cast<std::size_t>(ch) * kSellChunkRows *
+                          static_cast<std::size_t>(W);
+    for (index_t l = 0; l < kSellChunkRows; ++l) {
+      for (index_t j = 0; j < W; ++j) {
+        out[static_cast<std::size_t>(l) * static_cast<std::size_t>(W) + j] =
+            acc[l][j];
+      }
+    }
+  }
+}
+
+constexpr SpmvKernels kScalarKernels{KernelIsa::kScalar,
+                                     "scalar",
+                                     &csr_rows_scalar,
+                                     &sell_chunks_scalar,
+                                     &csr_rows_mm_scalar<kSpmmTileNarrow>,
+                                     &csr_rows_mm_scalar<kSpmmTileWide>,
+                                     &sell_chunks_mm_scalar<kSpmmTileNarrow>,
+                                     &sell_chunks_mm_scalar<kSpmmTileWide>};
 
 bool cpu_supports(KernelIsa isa) noexcept {
 #if defined(__x86_64__) || defined(__i386__)
@@ -143,10 +207,20 @@ const SpmvKernels& active_kernels() {
     const SpmvKernels& k = resolve_kernels(std::getenv("RRL_KERNEL"));
     // 0 = scalar, 1 = avx2, 2 = avx512 — same order as KernelIsa, so the
     // metrics view names the variant the whole process is running with.
+    // The SpMM tile kernels ride the same table, so the two gauges can
+    // only ever disagree if a future variant ships one side without the
+    // other.
     metrics::gauge("rrl_spmv_kernel_isa").set(static_cast<int>(k.isa));
+    metrics::gauge("rrl_spmm_kernel_isa").set(static_cast<int>(k.isa));
     return k;
   }();
   return active;
+}
+
+bool spmm_enabled() noexcept {
+  const char* v = std::getenv("RRL_SPMM");
+  return v == nullptr ||
+         (std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0);
 }
 
 }  // namespace rrl

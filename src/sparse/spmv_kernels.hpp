@@ -36,6 +36,18 @@
 // which the solvers' distribution/reward preconditions already guarantee;
 // 0.0 * Inf in a padding lane would be the one way to tell the layouts
 // apart.
+//
+// Multi-RHS (SpMM) kernels live in the same table. A block of right-hand
+// sides is stored as column TILES of fixed width W in {4, 8}: element
+// (row r, lane j) of a tile lives at tile[r * W + j], so one nonzero
+// costs a single broadcast of the matrix value plus one contiguous
+// W-element load — the per-column gather of x disappears, which is where
+// the arithmetic-intensity win over W separate SpMV passes comes from.
+// Each lane j is an independent sequential accumulator walking the row's
+// entries in stored order, so every output column is bitwise identical
+// to the scalar single-vector SpMV of that column by construction; the
+// same signed-zero argument covers SELL padding, and dead lanes of a
+// partially filled tile never mix with live ones.
 #pragma once
 
 #include <cstdint>
@@ -67,12 +79,41 @@ using SellChunksFn = void (*)(const std::int64_t* chunk_ptr,
                               const double* x, double* y, index_t c_begin,
                               index_t c_end);
 
-/// One dispatchable kernel variant.
+/// SpMM column-tile widths. A block of N columns is covered by
+/// floor(N / 8) wide tiles plus one padded fringe tile: a narrow one when
+/// the remainder is 1..4 live columns, a wide one when it is 5..7.
+inline constexpr index_t kSpmmTileNarrow = 4;
+inline constexpr index_t kSpmmTileWide = 8;
+
+/// CSR row-range SpMM kernel over one column tile of fixed width W (4 for
+/// the *_mm4 pointer, 8 for *_mm8): for each row r in [r_begin, r_end)
+/// and each lane j < W, c[r*W + j] = sum_k values[k] * b[col_idx[k]*W + j]
+/// with the entries of row r accumulated in stored order per lane.
+using CsrRowsMmFn = void (*)(const std::int64_t* row_ptr,
+                             const index_t* col_idx, const double* values,
+                             const double* b, double* c, index_t r_begin,
+                             index_t r_end);
+
+/// SELL chunk-range SpMM kernel, same tile layout: writes the 8 x W output
+/// sub-block c[(8c)*W .. (8c+8)*W) for each chunk c in [c_begin, c_end),
+/// each (row, lane) accumulated in stored (= CSR) order.
+using SellChunksMmFn = void (*)(const std::int64_t* chunk_ptr,
+                                const index_t* col_idx, const double* values,
+                                const double* b, double* c, index_t c_begin,
+                                index_t c_end);
+
+/// One dispatchable kernel variant. Every compiled-in variant provides the
+/// full set — single-vector and both SpMM tile widths for both formats —
+/// so dispatch never needs a per-pointer fallback.
 struct SpmvKernels {
   KernelIsa isa = KernelIsa::kScalar;
   const char* name = "scalar";
   CsrRowsFn csr_rows = nullptr;
   SellChunksFn sell_chunks = nullptr;
+  CsrRowsMmFn csr_rows_mm4 = nullptr;
+  CsrRowsMmFn csr_rows_mm8 = nullptr;
+  SellChunksMmFn sell_chunks_mm4 = nullptr;
+  SellChunksMmFn sell_chunks_mm8 = nullptr;
 };
 
 /// The scalar reference variant (always available).
@@ -96,5 +137,12 @@ struct SpmvKernels {
 /// evaluated once on first use. Every CsrMatrix product dispatches through
 /// this table.
 [[nodiscard]] const SpmvKernels& active_kernels();
+
+/// Whether multi-RHS batched stepping is enabled. RRL_SPMM=off (or =0)
+/// routes shared-model batches back through the per-scenario SpMV paths;
+/// used by CI byte-compare runs, read from the environment on every call
+/// so one process can compare both paths. Both paths are bit-identical by
+/// the kernel contract — the toggle exists to prove it.
+[[nodiscard]] bool spmm_enabled() noexcept;
 
 }  // namespace rrl

@@ -1,4 +1,4 @@
-// AVX2 SpMV kernels. Compiled with -mavx2 -ffp-contract=off as a per-file
+// AVX2 SpMV + SpMM kernels. Compiled with -mavx2 -ffp-contract=off as a per-file
 // option (CMakeLists) so the rest of the library stays baseline x86-64 and
 // the binary runs anywhere — this variant is only ever *called* after
 // CPUID reports AVX2. Without the flag (non-x86 target, compiler lacking
@@ -90,8 +90,128 @@ void sell_chunks_avx2(const std::int64_t* chunk_ptr, const index_t* col_idx,
   }
 }
 
-constexpr SpmvKernels kAvx2Kernels{KernelIsa::kAvx2, "avx2", &csr_rows_avx2,
-                                   &sell_chunks_avx2};
+// SpMM tile kernels. The tile layout (lane j of row r at tile[r*W + j])
+// makes the RHS access a plain contiguous load, so no gathers appear at
+// all: per nonzero, one vbroadcastsd + one vmovupd + mul + add advance W
+// independent per-column accumulators by exactly the scalar step.
+
+void csr_rows_mm4_avx2(const std::int64_t* row_ptr, const index_t* col_idx,
+                       const double* values, const double* b, double* c,
+                       index_t r_begin, index_t r_end) {
+  for (index_t r = r_begin; r < r_end; ++r) {
+    const std::int64_t lo = row_ptr[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
+    __m256d acc = _mm256_setzero_pd();
+    for (std::int64_t k = lo; k < hi; ++k) {
+      const __m256d v = _mm256_set1_pd(values[static_cast<std::size_t>(k)]);
+      const double* bt =
+          b + static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)]) *
+                  4;
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(v, _mm256_loadu_pd(bt)));
+    }
+    _mm256_storeu_pd(c + static_cast<std::size_t>(r) * 4, acc);
+  }
+}
+
+void csr_rows_mm8_avx2(const std::int64_t* row_ptr, const index_t* col_idx,
+                       const double* values, const double* b, double* c,
+                       index_t r_begin, index_t r_end) {
+  for (index_t r = r_begin; r < r_end; ++r) {
+    const std::int64_t lo = row_ptr[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (std::int64_t k = lo; k < hi; ++k) {
+      const __m256d v = _mm256_set1_pd(values[static_cast<std::size_t>(k)]);
+      const double* bt =
+          b + static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)]) *
+                  8;
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v, _mm256_loadu_pd(bt)));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v, _mm256_loadu_pd(bt + 4)));
+    }
+    double* ct = c + static_cast<std::size_t>(r) * 8;
+    _mm256_storeu_pd(ct, acc0);
+    _mm256_storeu_pd(ct + 4, acc1);
+  }
+}
+
+void sell_chunks_mm4_avx2(const std::int64_t* chunk_ptr,
+                          const index_t* col_idx, const double* values,
+                          const double* b, double* c, index_t c_begin,
+                          index_t c_end) {
+  static_assert(kSellChunkRows == 8, "eight YMM row accumulators per chunk");
+  for (index_t ch = c_begin; ch < c_end; ++ch) {
+    const std::int64_t base = chunk_ptr[static_cast<std::size_t>(ch)];
+    const std::int64_t width =
+        chunk_ptr[static_cast<std::size_t>(ch) + 1] - base;
+    const index_t* cp = col_idx + base * kSellChunkRows;
+    const double* vp = values + base * kSellChunkRows;
+    __m256d acc[kSellChunkRows];
+    for (index_t l = 0; l < kSellChunkRows; ++l) acc[l] = _mm256_setzero_pd();
+    for (std::int64_t k = 0; k < width; ++k) {
+      for (index_t l = 0; l < kSellChunkRows; ++l) {
+        const __m256d v = _mm256_set1_pd(vp[l]);
+        const double* bt = b + static_cast<std::size_t>(cp[l]) * 4;
+        acc[l] = _mm256_add_pd(acc[l], _mm256_mul_pd(v, _mm256_loadu_pd(bt)));
+      }
+      cp += kSellChunkRows;
+      vp += kSellChunkRows;
+    }
+    double* out = c + static_cast<std::size_t>(ch) * kSellChunkRows * 4;
+    for (index_t l = 0; l < kSellChunkRows; ++l) {
+      _mm256_storeu_pd(out + static_cast<std::size_t>(l) * 4, acc[l]);
+    }
+  }
+}
+
+void sell_chunks_mm8_avx2(const std::int64_t* chunk_ptr,
+                          const index_t* col_idx, const double* values,
+                          const double* b, double* c, index_t c_begin,
+                          index_t c_end) {
+  static_assert(kSellChunkRows == 8, "two width-4 half passes per chunk");
+  // 8 rows x 8 columns would need sixteen YMM accumulators — the whole
+  // register file, guaranteeing spills. Two half passes over the chunk
+  // (column lanes [0,4) then [4,8)) keep eight accumulators live; each
+  // lane still walks its row's entries in stored order, so per-column
+  // bits are unchanged.
+  for (index_t ch = c_begin; ch < c_end; ++ch) {
+    const std::int64_t base = chunk_ptr[static_cast<std::size_t>(ch)];
+    const std::int64_t width =
+        chunk_ptr[static_cast<std::size_t>(ch) + 1] - base;
+    double* out = c + static_cast<std::size_t>(ch) * kSellChunkRows * 8;
+    for (int h = 0; h < 2; ++h) {
+      const index_t* cp = col_idx + base * kSellChunkRows;
+      const double* vp = values + base * kSellChunkRows;
+      __m256d acc[kSellChunkRows];
+      for (index_t l = 0; l < kSellChunkRows; ++l) {
+        acc[l] = _mm256_setzero_pd();
+      }
+      for (std::int64_t k = 0; k < width; ++k) {
+        for (index_t l = 0; l < kSellChunkRows; ++l) {
+          const __m256d v = _mm256_set1_pd(vp[l]);
+          const double* bt = b + static_cast<std::size_t>(cp[l]) * 8 + h * 4;
+          acc[l] =
+              _mm256_add_pd(acc[l], _mm256_mul_pd(v, _mm256_loadu_pd(bt)));
+        }
+        cp += kSellChunkRows;
+        vp += kSellChunkRows;
+      }
+      for (index_t l = 0; l < kSellChunkRows; ++l) {
+        _mm256_storeu_pd(out + static_cast<std::size_t>(l) * 8 + h * 4,
+                         acc[l]);
+      }
+    }
+  }
+}
+
+constexpr SpmvKernels kAvx2Kernels{KernelIsa::kAvx2,
+                                   "avx2",
+                                   &csr_rows_avx2,
+                                   &sell_chunks_avx2,
+                                   &csr_rows_mm4_avx2,
+                                   &csr_rows_mm8_avx2,
+                                   &sell_chunks_mm4_avx2,
+                                   &sell_chunks_mm8_avx2};
 
 }  // namespace
 

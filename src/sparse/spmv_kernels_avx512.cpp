@@ -1,4 +1,4 @@
-// AVX-512F SpMV kernels. Compiled with -mavx512f -ffp-contract=off as a
+// AVX-512F SpMV + SpMM kernels. Compiled with -mavx512f -ffp-contract=off as a
 // per-file option (CMakeLists); only called after CPUID reports AVX-512F.
 // Same determinism construction as the AVX2 variant, with 8-wide products:
 // the CSR kernel reduces the eight lane products sequentially in
@@ -83,8 +83,114 @@ void sell_chunks_avx512(const std::int64_t* chunk_ptr,
   }
 }
 
-constexpr SpmvKernels kAvx512Kernels{KernelIsa::kAvx512, "avx512",
-                                     &csr_rows_avx512, &sell_chunks_avx512};
+// SpMM tile kernels. No gathers: the tile layout turns the RHS access
+// into one contiguous load per nonzero (256-bit for width-4 tiles,
+// 512-bit for width-8), each vector lane being one column's own
+// sequential accumulator. -mavx512f implies AVX2 codegen for the YMM
+// width-4 forms.
+
+void csr_rows_mm4_avx512(const std::int64_t* row_ptr, const index_t* col_idx,
+                         const double* values, const double* b, double* c,
+                         index_t r_begin, index_t r_end) {
+  for (index_t r = r_begin; r < r_end; ++r) {
+    const std::int64_t lo = row_ptr[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
+    __m256d acc = _mm256_setzero_pd();
+    for (std::int64_t k = lo; k < hi; ++k) {
+      const __m256d v = _mm256_set1_pd(values[static_cast<std::size_t>(k)]);
+      const double* bt =
+          b + static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)]) *
+                  4;
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(v, _mm256_loadu_pd(bt)));
+    }
+    _mm256_storeu_pd(c + static_cast<std::size_t>(r) * 4, acc);
+  }
+}
+
+void csr_rows_mm8_avx512(const std::int64_t* row_ptr, const index_t* col_idx,
+                         const double* values, const double* b, double* c,
+                         index_t r_begin, index_t r_end) {
+  for (index_t r = r_begin; r < r_end; ++r) {
+    const std::int64_t lo = row_ptr[static_cast<std::size_t>(r)];
+    const std::int64_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
+    __m512d acc = _mm512_setzero_pd();
+    for (std::int64_t k = lo; k < hi; ++k) {
+      const __m512d v = _mm512_set1_pd(values[static_cast<std::size_t>(k)]);
+      const double* bt =
+          b + static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)]) *
+                  8;
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(v, _mm512_loadu_pd(bt)));
+    }
+    _mm512_storeu_pd(c + static_cast<std::size_t>(r) * 8, acc);
+  }
+}
+
+void sell_chunks_mm4_avx512(const std::int64_t* chunk_ptr,
+                            const index_t* col_idx, const double* values,
+                            const double* b, double* c, index_t c_begin,
+                            index_t c_end) {
+  static_assert(kSellChunkRows == 8, "eight YMM row accumulators per chunk");
+  for (index_t ch = c_begin; ch < c_end; ++ch) {
+    const std::int64_t base = chunk_ptr[static_cast<std::size_t>(ch)];
+    const std::int64_t width =
+        chunk_ptr[static_cast<std::size_t>(ch) + 1] - base;
+    const index_t* cp = col_idx + base * kSellChunkRows;
+    const double* vp = values + base * kSellChunkRows;
+    __m256d acc[kSellChunkRows];
+    for (index_t l = 0; l < kSellChunkRows; ++l) acc[l] = _mm256_setzero_pd();
+    for (std::int64_t k = 0; k < width; ++k) {
+      for (index_t l = 0; l < kSellChunkRows; ++l) {
+        const __m256d v = _mm256_set1_pd(vp[l]);
+        const double* bt = b + static_cast<std::size_t>(cp[l]) * 4;
+        acc[l] = _mm256_add_pd(acc[l], _mm256_mul_pd(v, _mm256_loadu_pd(bt)));
+      }
+      cp += kSellChunkRows;
+      vp += kSellChunkRows;
+    }
+    double* out = c + static_cast<std::size_t>(ch) * kSellChunkRows * 4;
+    for (index_t l = 0; l < kSellChunkRows; ++l) {
+      _mm256_storeu_pd(out + static_cast<std::size_t>(l) * 4, acc[l]);
+    }
+  }
+}
+
+void sell_chunks_mm8_avx512(const std::int64_t* chunk_ptr,
+                            const index_t* col_idx, const double* values,
+                            const double* b, double* c, index_t c_begin,
+                            index_t c_end) {
+  static_assert(kSellChunkRows == 8, "eight ZMM row accumulators per chunk");
+  for (index_t ch = c_begin; ch < c_end; ++ch) {
+    const std::int64_t base = chunk_ptr[static_cast<std::size_t>(ch)];
+    const std::int64_t width =
+        chunk_ptr[static_cast<std::size_t>(ch) + 1] - base;
+    const index_t* cp = col_idx + base * kSellChunkRows;
+    const double* vp = values + base * kSellChunkRows;
+    __m512d acc[kSellChunkRows];
+    for (index_t l = 0; l < kSellChunkRows; ++l) acc[l] = _mm512_setzero_pd();
+    for (std::int64_t k = 0; k < width; ++k) {
+      for (index_t l = 0; l < kSellChunkRows; ++l) {
+        const __m512d v = _mm512_set1_pd(vp[l]);
+        const double* bt = b + static_cast<std::size_t>(cp[l]) * 8;
+        acc[l] = _mm512_add_pd(acc[l], _mm512_mul_pd(v, _mm512_loadu_pd(bt)));
+      }
+      cp += kSellChunkRows;
+      vp += kSellChunkRows;
+    }
+    double* out = c + static_cast<std::size_t>(ch) * kSellChunkRows * 8;
+    for (index_t l = 0; l < kSellChunkRows; ++l) {
+      _mm512_storeu_pd(out + static_cast<std::size_t>(l) * 8, acc[l]);
+    }
+  }
+}
+
+constexpr SpmvKernels kAvx512Kernels{KernelIsa::kAvx512,
+                                     "avx512",
+                                     &csr_rows_avx512,
+                                     &sell_chunks_avx512,
+                                     &csr_rows_mm4_avx512,
+                                     &csr_rows_mm8_avx512,
+                                     &sell_chunks_mm4_avx512,
+                                     &sell_chunks_mm8_avx512};
 
 }  // namespace
 

@@ -905,7 +905,19 @@ int run_cli(const CliArgs& args, char** argv) {
           "[--output m.rrlm]\n"
           "       rrl_solve --list-solvers\n"
           "       any mode: [--trace spans.json] "
-          "[--metrics-out metrics.prom]\n");
+          "[--metrics-out metrics.prom]\n"
+          "       environment: RRL_KERNEL=scalar|avx2|avx512 pins the "
+          "SpMV/SpMM kernel\n"
+          "                    variant (default: best the CPU supports); "
+          "RRL_SPMM=off\n"
+          "                    disables the shared-pass SpMM batching of "
+          "scenarios that\n"
+          "                    drive one SR/RSD solver. Both are pure perf "
+          "knobs — every\n"
+          "                    kernel and batch path is bit-identical to "
+          "the scalar\n"
+          "                    per-scenario reference, so reports never "
+          "change.\n");
       return 2;
     }
 
